@@ -1,0 +1,42 @@
+// Figure 5: requests per 10-minute slot and average waiting time per request
+// WITHOUT resource sharing. Paper: load peaks around midnight, is lightest
+// in the early morning, and peak waits reach ~250 seconds.
+#include <cstdio>
+
+#include "fig_common.h"
+
+using namespace agora;
+using namespace agora::figbench;
+
+int main() {
+  banner("Figure 5",
+         "Requests per 10-minute slot and average waiting time, no sharing.\n"
+         "Paper expectation: peak wait ~250 s around midnight, near-zero waits\n"
+         "in the early morning trough.");
+
+  proxysim::SimConfig cfg = base_config();
+  const auto traces = make_traces(0.0);
+  const proxysim::SimMetrics m = run_sim(cfg, traces);
+
+  // Per-proxy view (the paper plots one proxy); with gap 0 all proxies are
+  // statistically identical, so report proxy 0 alongside the fleet average.
+  Table t({"hour", "requests_per_10min", "avg_wait_s_fleet", "avg_wait_s_proxy0"});
+  const auto fleet = hourly_means(m.wait_by_slot);
+  const auto p0 = hourly_means(m.wait_by_slot_per_proxy[0]);
+  const std::size_t slots_per_hour = 6;
+  for (std::size_t h = 0; h < 24; ++h) {
+    double reqs = 0.0;
+    for (std::size_t s = 0; s < slots_per_hour; ++s)
+      reqs += static_cast<double>(m.requests_by_slot[h * slots_per_hour + s]);
+    reqs /= static_cast<double>(slots_per_hour * kProxies);
+    t.add_row({static_cast<double>(h), reqs, fleet[h], p0[h]});
+  }
+  emit("fig05_no_sharing", t);
+
+  std::printf(
+      "\nSummary: peak slot wait %.1f s (paper: ~250 s), overall mean %.2f s,\n"
+      "total requests %llu across %zu proxies.\n",
+      m.peak_slot_wait(), m.mean_wait(),
+      static_cast<unsigned long long>(m.total_requests), kProxies);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 6: average waiting time WITH resource sharing (complete graph of
+// 10 ISPs, each sharing 10% with every other) for different time skews
+// ("gap") between the proxies' request streams. Paper: at gap 3600 s the
+// waiting time drops from ~250 s to below 2 s.
+#include <cstdio>
+
+#include "agree/topology.h"
+#include "fig_common.h"
+
+using namespace agora;
+using namespace agora::figbench;
+
+int main() {
+  banner("Figure 6",
+         "Average waiting time with sharing (complete graph, 10% each) for\n"
+         "gap in {0, 1200, 2400, 3600} s. Paper expectation: waits collapse\n"
+         "from hundreds of seconds to <2 s once streams are skewed by 1 h.");
+
+  const std::vector<double> gaps{0.0, 1200.0, 2400.0, 3600.0};
+  std::vector<std::vector<double>> hourly;
+  std::vector<double> peaks, means;
+
+  for (double gap : gaps) {
+    proxysim::SimConfig cfg = base_config();
+    cfg.scheduler = proxysim::SchedulerKind::Lp;
+    cfg.agreements = agree::complete_graph(kProxies, 0.10);
+    const proxysim::SimMetrics m = run_sim(cfg, make_traces(gap));
+    // Proxy 0 keeps shift 0, so its local clock equals global time for
+    // every gap value -- that is the ISP the paper plots.
+    hourly.push_back(hourly_means(m.wait_by_slot_per_proxy[0]));
+    peaks.push_back(m.wait_by_slot_per_proxy[0].peak_slot_mean());
+    means.push_back(m.per_proxy_wait[0].mean());
+    std::printf("gap %4.0f s: proxy-0 peak %.2f s, mean %.3f s, redirected %.2f%%\n", gap,
+                peaks.back(), means.back(), 100.0 * m.redirected_fraction());
+  }
+
+  Table t({"hour", "gap0", "gap1200", "gap2400", "gap3600"});
+  for (std::size_t h = 0; h < 24; ++h)
+    t.add_row({static_cast<double>(h), hourly[0][h], hourly[1][h], hourly[2][h], hourly[3][h]});
+  emit("fig06_sharing_gap", t);
+
+  std::printf("\nSummary (proxy-0 peak wait): gap0 %.1f s -> gap3600 %.2f s (paper: ~250 s -> <2 s)\n",
+              peaks[0], peaks[3]);
+  return 0;
+}

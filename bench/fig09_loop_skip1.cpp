@@ -1,0 +1,8 @@
+// Figure 9: loop agreement structure, sharing neighbor one time zone away.
+// Paper: worst-case wait ~35 s at level 1, dropping to ~2 s at level >= 3.
+#include "fig_ring.h"
+
+int main() {
+  agora::figbench::run_ring_figure("Figure 9", 1, "~35 s");
+  return 0;
+}

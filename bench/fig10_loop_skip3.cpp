@@ -1,0 +1,8 @@
+// Figure 10: loop agreement structure, sharing neighbor three time zones
+// away. Paper: worst-case wait ~7 s at level 1, ~2 s at level >= 3.
+#include "fig_ring.h"
+
+int main() {
+  agora::figbench::run_ring_figure("Figure 10", 3, "~7 s");
+  return 0;
+}

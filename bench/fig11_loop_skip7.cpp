@@ -1,0 +1,8 @@
+// Figure 11: loop agreement structure, sharing neighbor seven time zones
+// away. Paper: worst-case wait ~3 s at level 1, ~2 s at level >= 3.
+#include "fig_ring.h"
+
+int main() {
+  agora::figbench::run_ring_figure("Figure 11", 7, "~3 s");
+  return 0;
+}

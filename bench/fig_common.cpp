@@ -1,0 +1,70 @@
+#include "fig_common.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+
+namespace agora::figbench {
+
+trace::Generator make_generator() {
+  trace::GeneratorConfig cfg;
+  cfg.peak_rate = kPeakRate;
+  return trace::Generator(cfg, trace::DiurnalProfile::berkeley_like());
+}
+
+std::vector<std::vector<trace::TraceRequest>> make_traces(double gap_seconds,
+                                                          std::size_t proxies) {
+  const trace::Generator gen = make_generator();
+  std::vector<std::vector<trace::TraceRequest>> traces;
+  traces.reserve(proxies);
+  for (std::size_t p = 0; p < proxies; ++p)
+    traces.push_back(gen.generate(kSeedBase + p, gap_seconds * static_cast<double>(p)));
+  return traces;
+}
+
+proxysim::SimConfig base_config(std::size_t proxies) {
+  proxysim::SimConfig cfg;
+  cfg.num_proxies = proxies;
+  cfg.scheduler = proxysim::SchedulerKind::None;
+  return cfg;
+}
+
+proxysim::SimMetrics run_sim(const proxysim::SimConfig& cfg,
+                             const std::vector<std::vector<trace::TraceRequest>>& traces) {
+  proxysim::Simulator sim(cfg);
+  return sim.run(traces);
+}
+
+std::vector<double> hourly_means(const SlottedSeries& s) {
+  std::vector<double> hours(24, 0.0);
+  std::vector<StreamingStats> acc(24);
+  const double slots_per_hour = 3600.0 / s.slot_width();
+  for (std::size_t i = 0; i < s.slots(); ++i) {
+    auto h = static_cast<std::size_t>(static_cast<double>(i) / slots_per_hour);
+    if (h >= 24) h = 23;
+    acc[h].merge(s.slot(i));
+  }
+  for (std::size_t h = 0; h < 24; ++h) hours[h] = acc[h].mean();
+  return hours;
+}
+
+void banner(const std::string& figure, const std::string& description) {
+  std::printf("\n=== %s ===\n%s\n\n", figure.c_str(), description.c_str());
+}
+
+void emit(const std::string& name, const Table& table) {
+  table.write_pretty(std::cout, 3);
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  if (!ec) {
+    const std::string path = "bench_results/" + name + ".csv";
+    try {
+      table.save_csv(path);
+      std::printf("\n[saved %s]\n", path.c_str());
+    } catch (const IoError&) {
+      // Read-only working directory: console output stands on its own.
+    }
+  }
+}
+
+}  // namespace agora::figbench

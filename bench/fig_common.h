@@ -1,0 +1,50 @@
+// fig_common.h -- shared scenario definitions for the figure-reproduction
+// harnesses (one binary per figure of the paper's evaluation, Section 4).
+//
+// The canonical scenario, used by every figure unless it says otherwise:
+// 10 ISP-level proxies, one 24h synthetic Berkeley-like trace per proxy
+// (peak_rate 9.5 req/s at the midnight peak -- calibrated so the no-sharing
+// baseline reproduces Figure 5's few-hundred-second peak waits), per-request
+// cost a + b*x capped at c with the paper's constants, and proxies shifted
+// in time by a configurable gap to model different time zones.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "proxysim/simulator.h"
+#include "trace/generator.h"
+#include "util/csv.h"
+
+namespace agora::figbench {
+
+inline constexpr double kPeakRate = 9.5;
+inline constexpr std::size_t kProxies = 10;
+inline constexpr double kHour = 3600.0;
+inline constexpr std::uint64_t kSeedBase = 100;
+
+/// The calibrated workload generator.
+trace::Generator make_generator();
+
+/// One stream per proxy, proxy p shifted by p * gap_seconds.
+std::vector<std::vector<trace::TraceRequest>> make_traces(double gap_seconds,
+                                                          std::size_t proxies = kProxies);
+
+/// Baseline config: 10 proxies, no sharing, paper cost model, 10-minute
+/// slots, scheduling-epoch spare reporting.
+proxysim::SimConfig base_config(std::size_t proxies = kProxies);
+
+/// Convenience: build, run, return metrics.
+proxysim::SimMetrics run_sim(const proxysim::SimConfig& cfg,
+                             const std::vector<std::vector<trace::TraceRequest>>& traces);
+
+/// Mean wait per hour of day (24 entries) for a slotted series.
+std::vector<double> hourly_means(const SlottedSeries& s);
+
+/// Print the figure banner.
+void banner(const std::string& figure, const std::string& description);
+
+/// Pretty-print to stdout and save bench_results/<name>.csv.
+void emit(const std::string& name, const Table& table);
+
+}  // namespace agora::figbench

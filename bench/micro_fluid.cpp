@@ -1,0 +1,62 @@
+// Ablation: fluid planner vs discrete-event simulator -- how much faster is
+// the per-slot LP recursion, at what approximation error.
+#include <benchmark/benchmark.h>
+
+#include "agree/topology.h"
+#include "fluid/planner.h"
+#include "proxysim/simulator.h"
+#include "trace/generator.h"
+
+namespace {
+
+using namespace agora;
+
+constexpr std::size_t kProxies = 10;
+
+std::vector<std::vector<double>> make_demand() {
+  const trace::DiurnalProfile profile = trace::DiurnalProfile::berkeley_like();
+  trace::GeneratorConfig gc;
+  gc.peak_rate = 9.5;
+  const double mean_demand = 0.1 + 1e-6 * trace::expected_response_bytes(gc);
+  std::vector<double> weights(profile.slots());
+  for (std::size_t s = 0; s < profile.slots(); ++s) weights[s] = profile.slot_weight(s);
+  std::vector<std::vector<double>> demand;
+  for (std::size_t p = 0; p < kProxies; ++p)
+    demand.push_back(fluid::expected_demand_per_slot(gc.peak_rate, mean_demand, weights,
+                                                     600.0, p * 6));  // 1h skew
+  return demand;
+}
+
+void BM_FluidPlanner(benchmark::State& state) {
+  const auto demand = make_demand();
+  fluid::FluidConfig cfg;
+  cfg.agreements = agree::complete_graph(kProxies, 0.10);
+  for (auto _ : state) {
+    const fluid::FluidResult r = fluid::plan(cfg, demand);
+    benchmark::DoNotOptimize(r.peak_wait());
+  }
+}
+BENCHMARK(BM_FluidPlanner)->Unit(benchmark::kMillisecond);
+
+void BM_DiscreteSimulator(benchmark::State& state) {
+  trace::GeneratorConfig gc;
+  gc.peak_rate = 9.5;
+  const trace::Generator gen(gc, trace::DiurnalProfile::berkeley_like());
+  std::vector<std::vector<trace::TraceRequest>> traces;
+  for (std::size_t p = 0; p < kProxies; ++p)
+    traces.push_back(gen.generate(100 + p, 3600.0 * static_cast<double>(p)));
+  proxysim::SimConfig cfg;
+  cfg.num_proxies = kProxies;
+  cfg.scheduler = proxysim::SchedulerKind::Lp;
+  cfg.agreements = agree::complete_graph(kProxies, 0.10);
+  for (auto _ : state) {
+    proxysim::Simulator sim(cfg);
+    const proxysim::SimMetrics m = sim.run(traces);
+    benchmark::DoNotOptimize(m.mean_wait());
+  }
+}
+BENCHMARK(BM_DiscreteSimulator)->Unit(benchmark::kMillisecond)->Iterations(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

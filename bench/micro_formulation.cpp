@@ -1,0 +1,62 @@
+// Ablation: compact (n+1 variables) vs full-paper (n^2 + n + 1 variables)
+// allocation formulations -- identical optima (tested), very different cost.
+#include <benchmark/benchmark.h>
+
+#include "agree/topology.h"
+#include "alloc/allocator.h"
+#include "alloc/hierarchical.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace agora;
+
+agree::AgreementSystem make_system(std::size_t n) {
+  Pcg32 rng(n * 13 + 5);
+  agree::AgreementSystem sys(n);
+  for (std::size_t i = 0; i < n; ++i) sys.capacity[i] = rng.uniform(5.0, 20.0);
+  sys.relative = agree::complete_graph(n, 0.8 / static_cast<double>(n));
+  return sys;
+}
+
+template <alloc::Formulation F>
+void BM_Allocate(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  alloc::AllocatorOptions opts;
+  opts.formulation = F;
+  // Prune negligible transitive paths: the exact DFS is factorial on the
+  // complete fixture graph and would dominate (and at n = 20, hang) setup.
+  opts.transitive.prune_below = 1e-8;
+  const alloc::Allocator allocator(make_system(n), opts);
+  const double x = allocator.available_to(0) * 0.5;
+  for (auto _ : state) {
+    const alloc::AllocationPlan plan = allocator.allocate(0, x);
+    benchmark::DoNotOptimize(plan.theta);
+  }
+}
+
+void BM_Compact(benchmark::State& state) { BM_Allocate<alloc::Formulation::Compact>(state); }
+void BM_FullPaper(benchmark::State& state) {
+  BM_Allocate<alloc::Formulation::FullPaper>(state);
+}
+BENCHMARK(BM_Compact)->Arg(5)->Arg(10)->Arg(20);
+BENCHMARK(BM_FullPaper)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_Hierarchical(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::size_t> groups(n);
+  for (std::size_t i = 0; i < n; ++i) groups[i] = i / 5;  // groups of 5
+  alloc::AllocatorOptions opts;
+  opts.transitive.prune_below = 1e-8;
+  alloc::HierarchicalAllocator h(make_system(n), groups, opts);
+  const double x = 4.0;
+  for (auto _ : state) {
+    const alloc::AllocationPlan plan = h.allocate(0, x);
+    benchmark::DoNotOptimize(plan.theta);
+  }
+}
+BENCHMARK(BM_Hierarchical)->Arg(10)->Arg(20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

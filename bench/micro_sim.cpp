@@ -1,0 +1,62 @@
+// Ablation: end-to-end simulator throughput (requests simulated per second
+// of wall clock) vs proxy count and scheduler kind.
+#include <benchmark/benchmark.h>
+
+#include "agree/topology.h"
+#include "proxysim/simulator.h"
+#include "trace/generator.h"
+
+namespace {
+
+using namespace agora;
+
+std::vector<std::vector<trace::TraceRequest>> make_traces(std::size_t proxies) {
+  trace::GeneratorConfig gc;
+  gc.peak_rate = 8.0;
+  trace::Generator gen(gc, trace::DiurnalProfile::flat(1.0, 1800.0, 3));
+  std::vector<std::vector<trace::TraceRequest>> traces;
+  for (std::size_t p = 0; p < proxies; ++p) traces.push_back(gen.generate(p + 1));
+  return traces;
+}
+
+void run_case(benchmark::State& state, proxysim::SchedulerKind kind) {
+  const std::size_t proxies = static_cast<std::size_t>(state.range(0));
+  const auto traces = make_traces(proxies);
+  std::uint64_t requests = 0;
+  for (const auto& t : traces) requests += t.size();
+
+  proxysim::SimConfig cfg;
+  cfg.num_proxies = proxies;
+  cfg.horizon = 1800.0;
+  cfg.slot_width = 600.0;
+  cfg.scheduler = kind;
+  if (kind != proxysim::SchedulerKind::None)
+    cfg.agreements = agree::complete_graph(proxies, 0.8 / static_cast<double>(proxies));
+  // Exact simple-path closure is factorial on complete graphs; prune
+  // negligible products so the 20-proxy case stays tractable.
+  cfg.alloc_opts.transitive.prune_below = 1e-8;
+
+  for (auto _ : state) {
+    proxysim::Simulator sim(cfg);
+    const proxysim::SimMetrics m = sim.run(traces);
+    benchmark::DoNotOptimize(m.mean_wait());
+  }
+  state.counters["requests/s"] = benchmark::Counter(
+      static_cast<double>(requests) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_SimNoSharing(benchmark::State& state) {
+  run_case(state, proxysim::SchedulerKind::None);
+}
+void BM_SimLp(benchmark::State& state) { run_case(state, proxysim::SchedulerKind::Lp); }
+void BM_SimEndpoint(benchmark::State& state) {
+  run_case(state, proxysim::SchedulerKind::Endpoint);
+}
+BENCHMARK(BM_SimNoSharing)->Arg(2)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimLp)->Arg(2)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimEndpoint)->Arg(2)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Ablation: exact simple-path transitive shares (DFS) vs the matrix-power
+// walk approximation, and the effect of the DFS product-pruning knob.
+#include <benchmark/benchmark.h>
+
+#include "agree/topology.h"
+#include "agree/transitive.h"
+
+namespace {
+
+using namespace agora;
+
+void BM_ExactSimplePaths(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Matrix s = agree::complete_graph(n, 0.8 / static_cast<double>(n));
+  for (auto _ : state) {
+    const Matrix t = agree::transitive_shares(s);
+    benchmark::DoNotOptimize(t.max_abs());
+  }
+}
+BENCHMARK(BM_ExactSimplePaths)->Arg(6)->Arg(8)->Arg(10)->Arg(11);
+
+void BM_ExactWithPruning(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Matrix s = agree::complete_graph(n, 0.8 / static_cast<double>(n));
+  agree::TransitiveOptions opts;
+  opts.prune_below = 1e-6;
+  for (auto _ : state) {
+    const Matrix t = agree::transitive_shares(s, opts);
+    benchmark::DoNotOptimize(t.max_abs());
+  }
+}
+BENCHMARK(BM_ExactWithPruning)->Arg(6)->Arg(8)->Arg(10)->Arg(11)->Arg(14);
+
+void BM_LevelLimited(benchmark::State& state) {
+  const Matrix s = agree::complete_graph(10, 0.08);
+  agree::TransitiveOptions opts;
+  opts.max_level = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const Matrix t = agree::transitive_shares(s, opts);
+    benchmark::DoNotOptimize(t.max_abs());
+  }
+}
+BENCHMARK(BM_LevelLimited)->Arg(1)->Arg(2)->Arg(3)->Arg(5);
+
+void BM_WalkApproximation(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Matrix s = agree::complete_graph(n, 0.8 / static_cast<double>(n));
+  for (auto _ : state) {
+    const Matrix t = agree::transitive_shares_walks(s, n - 1);
+    benchmark::DoNotOptimize(t.max_abs());
+  }
+}
+BENCHMARK(BM_WalkApproximation)->Arg(10)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_SparseExact(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Matrix s = agree::sparse_random(n, 3, 0.25, 42);
+  // Even degree-3 graphs have exponentially many deep simple paths; prune
+  // the negligible ones (products fall below 1e-6 within ~10 hops at share
+  // 0.25) so n = 40 stays tractable.
+  agree::TransitiveOptions opts;
+  opts.prune_below = 1e-6;
+  for (auto _ : state) {
+    const Matrix t = agree::transitive_shares(s, opts);
+    benchmark::DoNotOptimize(t.max_abs());
+  }
+}
+BENCHMARK(BM_SparseExact)->Arg(10)->Arg(20)->Arg(40);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// asp_marketplace -- the paper's introduction motivates sharing across
+// administrative domains with application service providers (ASPs) and
+// companies trading database access, hardware, and bandwidth. This example
+// models that marketplace end to end:
+//
+//   * an ASP owns CPU and database-IO capacity and *grants* (not shares --
+//     the taxonomy of Section 2.1) fixed fractions to two client companies;
+//   * the clients own network bandwidth and share slices back with the ASP;
+//   * a client job needs CPU and db-io *together on the ASP's site*, so the
+//     two resources are bound into a bundle (Section 3.2's coupled
+//     resources);
+//   * allocations run through the multi-resource LP allocator.
+//
+// Build & run:  ./build/examples/asp_marketplace
+#include <cstdio>
+
+#include "agree/from_economy.h"
+#include "alloc/multi_resource.h"
+#include "core/economy.h"
+#include "core/valuation.h"
+
+using namespace agora;
+
+namespace {
+const char* kNames[] = {"asp", "acme", "globex"};
+}
+
+int main() {
+  // --- Express the marketplace with tickets & currencies. -----------------
+  core::Economy e;
+  const auto cpu = e.add_resource_type("cpu", "cores");
+  const auto dbio = e.add_resource_type("db-io", "kIOPS");
+  const auto net = e.add_resource_type("net", "Gbps");
+
+  const auto asp = e.add_principal("asp", 1000.0);
+  const auto acme = e.add_principal("acme", 100.0);
+  const auto globex = e.add_principal("globex", 100.0);
+
+  e.fund_with_resource(e.default_currency(asp), cpu, 64.0);
+  e.fund_with_resource(e.default_currency(asp), dbio, 200.0);
+  e.fund_with_resource(e.default_currency(acme), net, 10.0);
+  e.fund_with_resource(e.default_currency(globex), net, 20.0);
+
+  // The ASP *grants* service capacity: the granted fraction is not usable
+  // for the ASP's own jobs while the contract stands.
+  e.issue_relative(e.default_currency(asp), e.default_currency(acme), 250.0, cpu,
+                   core::SharingMode::Granting, "asp-cpu-acme");      // 25%
+  e.issue_relative(e.default_currency(asp), e.default_currency(acme), 300.0, dbio,
+                   core::SharingMode::Granting, "asp-dbio-acme");     // 30%
+  e.issue_relative(e.default_currency(asp), e.default_currency(globex), 150.0, cpu,
+                   core::SharingMode::Granting, "asp-cpu-globex");    // 15%
+  e.issue_relative(e.default_currency(asp), e.default_currency(globex), 200.0, dbio,
+                   core::SharingMode::Granting, "asp-dbio-globex");   // 20%
+  // In return the clients *share* bandwidth with the ASP (both may use it).
+  e.issue_relative(e.default_currency(acme), e.default_currency(asp), 30.0, net,
+                   core::SharingMode::Sharing, "acme-net-asp");       // 30%
+  e.issue_relative(e.default_currency(globex), e.default_currency(asp), 25.0, net,
+                   core::SharingMode::Sharing, "globex-net-asp");     // 25%
+
+  const core::Valuation val = core::value_economy(e);
+  std::printf("contracted capacity by currency:\n");
+  std::printf("%-8s %8s %8s %8s\n", "", "cpu", "db-io", "net");
+  for (std::size_t p = 0; p < 3; ++p) {
+    const auto cur = e.default_currency(core::PrincipalId(p));
+    std::printf("%-8s %8.1f %8.1f %8.1f\n", kNames[p], val.currency_value(cur, cpu),
+                val.currency_value(cur, dbio), val.currency_value(cur, net));
+  }
+
+  // --- Lower to per-resource matrices; note the granting retained_i. -------
+  std::vector<agree::AgreementSystem> systems{
+      agree::from_economy(e, cpu), agree::from_economy(e, dbio), agree::from_economy(e, net)};
+  std::printf("\nASP's own usable fraction after granting: cpu %.0f%%, db-io %.0f%%\n",
+              100.0 * systems[0].retained[0], 100.0 * systems[1].retained[0]);
+
+  // --- A client job: 12 cores + 50 kIOPS, coupled, plus 2 Gbps of network. --
+  // Couple cpu+db-io into an "app server" bundle (1 unit = 1 core + 4 kIOPS).
+  const agree::AgreementSystem bundle = alloc::make_bundle({systems[0], systems[1]}, {1.0, 4.0});
+  alloc::MultiResourceAllocator mra({bundle, systems[2]}, {"app-bundle", "net"});
+
+  alloc::MultiRequest job;
+  job.principal = 1;             // acme
+  job.amounts = {12.0, 2.0};     // 12 bundle units (=12 cores + 48 kIOPS), 2 Gbps
+  const alloc::MultiPlan plan = mra.allocate(job);
+  std::printf("\nacme requests 12 app-bundle units + 2 Gbps: %s\n",
+              plan.satisfied() ? "GRANTED" : "DENIED");
+  if (plan.satisfied()) {
+    for (std::size_t r = 0; r < plan.per_resource.size(); ++r)
+      for (std::size_t k = 0; k < 3; ++k)
+        if (plan.per_resource[r].draw[k] > 1e-9)
+          std::printf("  %6.2f %s from %s\n", plan.per_resource[r].draw[k],
+                      mra.resource_name(r).c_str(), kNames[k]);
+    mra.apply(plan);
+  }
+
+  // A second, oversized job must be rejected atomically (all-or-nothing).
+  alloc::MultiRequest big;
+  big.principal = 2;             // globex
+  big.amounts = {40.0, 1.0};     // more bundles than its grant covers
+  const alloc::MultiPlan plan2 = mra.allocate(big);
+  std::printf("\nglobex requests 40 app-bundle units + 1 Gbps: %s\n",
+              plan2.satisfied() ? "GRANTED" : "DENIED (atomic multi-resource check)");
+  std::printf("  (bundle availability for globex right now: %.2f units)\n",
+              mra.allocator(0).available_to(2));
+  return 0;
+}

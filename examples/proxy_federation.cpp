@@ -1,0 +1,60 @@
+// proxy_federation -- a compact version of the paper's case study: four
+// ISP-level web proxies in different time zones, run once without sharing
+// and once with a complete sharing-agreement graph enforced by the LP
+// scheduler, printing the side-by-side waiting-time profile.
+//
+// Build & run:  ./build/examples/proxy_federation
+#include <cstdio>
+
+#include "agree/topology.h"
+#include "proxysim/simulator.h"
+#include "trace/generator.h"
+
+using namespace agora;
+
+int main() {
+  constexpr std::size_t kProxies = 4;
+  constexpr double kGap = 6.0 * 3600.0;  // six time zones apart
+
+  // Synthetic Berkeley-like diurnal workload, moderately overloaded at peak.
+  trace::GeneratorConfig gc;
+  gc.peak_rate = 9.5;
+  const trace::Generator gen(gc, trace::DiurnalProfile::berkeley_like());
+  std::vector<std::vector<trace::TraceRequest>> traces;
+  for (std::size_t p = 0; p < kProxies; ++p)
+    traces.push_back(gen.generate(1 + p, kGap * static_cast<double>(p)));
+
+  const auto simulate = [&](proxysim::SchedulerKind kind) {
+    proxysim::SimConfig cfg;
+    cfg.num_proxies = kProxies;
+    cfg.scheduler = kind;
+    if (kind != proxysim::SchedulerKind::None)
+      cfg.agreements = agree::complete_graph(kProxies, 0.20);
+    cfg.redirect_cost = 0.1;  // realistic redirection overhead
+    proxysim::Simulator sim(cfg);
+    return sim.run(traces);
+  };
+
+  std::printf("simulating %zu proxies, 24h each, %0.0fh apart...\n\n", kProxies, kGap / 3600.0);
+  const proxysim::SimMetrics isolated = simulate(proxysim::SchedulerKind::None);
+  const proxysim::SimMetrics shared = simulate(proxysim::SchedulerKind::Lp);
+
+  std::printf("%-6s  %18s  %18s\n", "hour", "isolated wait (s)", "shared wait (s)");
+  for (std::size_t h = 0; h < 24; ++h) {
+    StreamingStats iso, shr;
+    for (std::size_t s = h * 6; s < (h + 1) * 6; ++s) {
+      iso.merge(isolated.wait_by_slot.slot(s));
+      shr.merge(shared.wait_by_slot.slot(s));
+    }
+    std::printf("%-6zu  %18.2f  %18.2f\n", h, iso.mean(), shr.mean());
+  }
+
+  std::printf(
+      "\nmean wait: %.2f s isolated vs %.3f s shared (%.0fx better)\n"
+      "peak-slot wait: %.1f s vs %.2f s; %.2f%% of requests were redirected\n"
+      "(paying 0.1 s each), via %llu scheduler consults.\n",
+      isolated.mean_wait(), shared.mean_wait(), isolated.mean_wait() / shared.mean_wait(),
+      isolated.peak_slot_wait(), shared.peak_slot_wait(), 100.0 * shared.redirected_fraction(),
+      static_cast<unsigned long long>(shared.scheduler_consults));
+  return 0;
+}

@@ -1,0 +1,34 @@
+#include "agree/capacity.h"
+
+#include <algorithm>
+
+namespace agora::agree {
+
+CapacityReport compute_capacities(const AgreementSystem& sys, const TransitiveOptions& opts) {
+  sys.validate(/*allow_overdraft=*/true);
+  const std::size_t n = sys.size();
+
+  CapacityReport rep;
+  rep.shares = overdraft_clamp(transitive_shares(sys.relative, opts));
+  rep.entitlement = Matrix(n, n);
+  rep.capacity.assign(n, 0.0);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    const double vk = sys.capacity[k];
+    rep.entitlement(k, k) = sys.retained[k] * vk;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == k) continue;
+      const double flow = vk * rep.shares(k, i) + sys.absolute(k, i);
+      rep.entitlement(k, i) = std::min(flow, vk);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    double c = rep.entitlement(i, i);
+    for (std::size_t k = 0; k < n; ++k)
+      if (k != i) c += rep.entitlement(k, i);
+    rep.capacity[i] = c;
+  }
+  return rep;
+}
+
+}  // namespace agora::agree

@@ -1,0 +1,30 @@
+// capacity.h -- dynamic resource availability under agreements: the paper's
+// C_i computation, combining transitive relative flows, absolute agreements,
+// the overdraft clamp K, and the absolute-agreement clamp U (Section 3.1-3.2):
+//
+//     K_ki = min(T_ki, 1)
+//     U_ki = min(V_k * K_ki + A_ki, V_k)          (never draw more than V_k)
+//     C_i  = retained_i * V_i + sum_{k != i} U_ki
+#pragma once
+
+#include "agree/matrices.h"
+#include "agree/transitive.h"
+
+namespace agora::agree {
+
+struct CapacityReport {
+  /// Clamped transitive share matrix K (n x n, zero diagonal).
+  Matrix shares;
+  /// Entitlements: entitlement(k, i) = U_ki, the amount principal i may
+  /// draw from k's capacity (diagonal: retained_k * V_k, i.e. own use).
+  Matrix entitlement;
+  /// Total availability C_i per principal.
+  std::vector<double> capacity;
+};
+
+/// Compute availability for every principal. `opts.max_level` limits the
+/// transitivity level (Figures 8-11 sweep this); the default is the full
+/// closure. Overdraft economies are supported: shares are clamped by K.
+CapacityReport compute_capacities(const AgreementSystem& sys, const TransitiveOptions& opts = {});
+
+}  // namespace agora::agree

@@ -1,0 +1,109 @@
+#include "agree/from_economy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace agora::agree {
+
+namespace {
+
+using core::CurrencyId;
+using core::Economy;
+using core::PrincipalId;
+using core::ResourceTypeId;
+using core::SharingMode;
+using core::Ticket;
+using core::TicketKind;
+
+bool conveys(const Ticket& t, ResourceTypeId r) {
+  return !t.resource.valid() || t.resource == r;
+}
+
+}  // namespace
+
+AgreementSystem from_economy(const Economy& e, ResourceTypeId resource) {
+  e.check_consistency();
+  const std::size_t np = e.num_principals();
+  const std::size_t nc = e.num_currencies();
+  AgreementSystem sys(np);
+
+  // Owner of each currency.
+  std::vector<std::size_t> owner(nc);
+  for (std::size_t c = 0; c < nc; ++c) owner[c] = e.currency(CurrencyId(c)).owner.value;
+
+  // Per-currency base capacity for this resource, and per-principal totals.
+  std::vector<double> base(nc, 0.0);
+  for (std::size_t ti = 0; ti < e.num_tickets(); ++ti) {
+    const Ticket& t = e.ticket(core::TicketId(ti));
+    if (t.revoked) continue;
+    if (t.kind == TicketKind::BaseResource && t.resource == resource)
+      base[t.target.value] += t.face;
+    if (t.kind == TicketKind::Absolute && t.resource == resource &&
+        owner[t.issuer.value] != owner[t.target.value])
+      sys.absolute(owner[t.issuer.value], owner[t.target.value]) += t.face;
+  }
+  for (std::size_t c = 0; c < nc; ++c) sys.capacity[owner[c]] += base[c];
+
+  // Relative share edges between currencies: share[c][d] and the
+  // granting-only subset.
+  Matrix share(nc, nc);
+  Matrix grant_share(nc, nc);
+  for (std::size_t ti = 0; ti < e.num_tickets(); ++ti) {
+    const Ticket& t = e.ticket(core::TicketId(ti));
+    if (t.revoked || t.kind != TicketKind::Relative || !conveys(t, resource)) continue;
+    const double f = e.currency(t.issuer).face_value;
+    const double s = t.face / f;
+    share(t.issuer.value, t.target.value) += s;
+    if (t.mode == SharingMode::Granting) grant_share(t.issuer.value, t.target.value) += s;
+  }
+
+  // Per principal: fold chains through own currencies, absorb at others.
+  for (std::size_t p = 0; p < np; ++p) {
+    // Currencies owned by p.
+    std::vector<std::size_t> own;
+    for (std::size_t c = 0; c < nc; ++c)
+      if (owner[c] == p) own.push_back(c);
+    const std::size_t k = own.size();
+    std::vector<std::size_t> local(nc, k);  // currency -> local index
+    for (std::size_t l = 0; l < k; ++l) local[own[l]] = l;
+
+    // Start weights: capacity distribution across p's currencies, or the
+    // default currency when p owns no capacity.
+    std::vector<double> w(k, 0.0);
+    const double vp = sys.capacity[p];
+    if (vp > 0.0) {
+      for (std::size_t l = 0; l < k; ++l) w[l] = base[own[l]] / vp;
+    } else {
+      w[local[e.default_currency(PrincipalId(p)).value]] = 1.0;
+    }
+
+    // Solve y = w + R_own^T y where R_own are share edges within p's
+    // currencies: y_l is the total flow passing through own currency l.
+    Matrix system = Matrix::identity(k);
+    for (std::size_t a = 0; a < k; ++a)
+      for (std::size_t b = 0; b < k; ++b)
+        system(b, a) -= share(own[a], own[b]);  // (I - R^T)
+    LuFactorization lu(system);
+    AGORA_REQUIRE(!lu.singular(),
+                  "cyclic 100% relative shares among one principal's currencies");
+    const std::vector<double> y = lu.solve(w);
+
+    // Absorb outgoing flow at other principals' currencies.
+    for (std::size_t l = 0; l < k; ++l) {
+      if (y[l] == 0.0) continue;
+      for (std::size_t d = 0; d < nc; ++d) {
+        if (owner[d] == p) continue;
+        const double s = share(own[l], d);
+        if (s > 0.0) sys.relative(p, owner[d]) += y[l] * s;
+        const double g = grant_share(own[l], d);
+        if (g > 0.0) sys.retained[p] -= y[l] * g;
+      }
+    }
+    sys.retained[p] = std::clamp(sys.retained[p], 0.0, 1.0);
+  }
+
+  return sys;
+}
+
+}  // namespace agora::agree

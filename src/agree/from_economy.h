@@ -1,0 +1,37 @@
+// from_economy.h -- bridge from the ticket/currency expression layer
+// (src/core) to the matrix enforcement layer (src/agree).
+//
+// The enforcement model (Section 3) works on principal-level matrices V, S,
+// A, while agreements are expressed as tickets between currencies -- possibly
+// routed through *virtual* currencies (Example 2). This bridge collapses
+// each principal's internal currency structure:
+//
+//   * V_i  = live BaseResource faces across all currencies owned by i.
+//   * S_ij = fraction of i's capacity conveyed to currencies owned by j via
+//            relative tickets, where chains through i's *own* currencies
+//            (default or virtual) are folded in, and flow absorbs as soon as
+//            it reaches another principal. Chains continuing *through* other
+//            principals are deliberately NOT folded -- that is exactly the
+//            transitive-agreement computation (transitive.h) and folding it
+//            here would double-count it.
+//   * A_ij = live absolute agreement faces from i's currencies to j's.
+//   * retained_i = 1 - granted-away fraction (Granting-mode tickets only);
+//            pure sharing economies get retained_i = 1.
+//
+// Capacity weighting: when a principal's base funding is spread over several
+// of its currencies, shares are combined weighted by each currency's share
+// of the principal's capacity; with no capacity the default currency is
+// used as the reference point.
+#pragma once
+
+#include "agree/matrices.h"
+#include "core/economy.h"
+
+namespace agora::agree {
+
+/// Extract the agreement system for one resource type. Relative tickets
+/// typed to a different resource are ignored; untyped relative tickets
+/// convey every resource and are included.
+AgreementSystem from_economy(const core::Economy& e, core::ResourceTypeId resource);
+
+}  // namespace agora::agree

@@ -1,0 +1,38 @@
+#include "agree/matrices.h"
+
+#include <cmath>
+
+namespace agora::agree {
+
+double AgreementSystem::share_out(std::size_t i) const {
+  AGORA_REQUIRE(i < size(), "principal index out of range");
+  double s = 0.0;
+  for (std::size_t j = 0; j < size(); ++j) s += relative(i, j);
+  return s;
+}
+
+void AgreementSystem::validate(bool allow_overdraft) const {
+  const std::size_t n = size();
+  AGORA_REQUIRE(relative.rows() == n && relative.cols() == n, "S shape mismatch");
+  AGORA_REQUIRE(absolute.rows() == n && absolute.cols() == n, "A shape mismatch");
+  AGORA_REQUIRE(retained.size() == n, "retained length mismatch");
+  for (std::size_t i = 0; i < n; ++i) {
+    AGORA_REQUIRE(capacity[i] >= 0.0 && std::isfinite(capacity[i]),
+                  "capacity must be non-negative and finite");
+    AGORA_REQUIRE(retained[i] >= 0.0 && retained[i] <= 1.0 + 1e-12,
+                  "retained fraction must lie in [0, 1]");
+    AGORA_REQUIRE(relative(i, i) == 0.0, "S must have a zero diagonal");
+    AGORA_REQUIRE(absolute(i, i) == 0.0, "A must have a zero diagonal");
+    double row = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      AGORA_REQUIRE(relative(i, j) >= 0.0, "S entries must be non-negative");
+      AGORA_REQUIRE(absolute(i, j) >= 0.0, "A entries must be non-negative");
+      row += relative(i, j);
+    }
+    if (!allow_overdraft)
+      AGORA_REQUIRE(row <= 1.0 + 1e-9,
+                    "row sum of S exceeds 1 (overdraft); pass allow_overdraft to permit");
+  }
+}
+
+}  // namespace agora::agree

@@ -1,0 +1,96 @@
+#include "agree/topology.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace agora::agree {
+
+Matrix complete_graph(std::size_t n, double share) {
+  AGORA_REQUIRE(share >= 0.0, "share must be non-negative");
+  AGORA_REQUIRE(n < 2 || share * static_cast<double>(n - 1) <= 1.0 + 1e-9,
+                "complete graph would exceed 100% shared out per principal");
+  Matrix s(n, n, share);
+  for (std::size_t i = 0; i < n; ++i) s(i, i) = 0.0;
+  return s;
+}
+
+Matrix ring(std::size_t n, double share, std::size_t skip) {
+  AGORA_REQUIRE(share >= 0.0 && share <= 1.0, "share must lie in [0, 1]");
+  AGORA_REQUIRE(n == 0 || (skip >= 1 && skip < n), "skip must lie in [1, n)");
+  Matrix s(n, n);
+  for (std::size_t i = 0; i < n; ++i) s(i, (i + skip) % n) = share;
+  return s;
+}
+
+Matrix distance_decay(std::size_t n, const std::vector<double>& share_by_distance) {
+  AGORA_REQUIRE(!share_by_distance.empty(), "need at least one distance share");
+  Matrix s(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const std::size_t fwd = (j + n - i) % n;
+      const std::size_t d = std::min(fwd, n - fwd);  // ring distance
+      const std::size_t idx = std::min(d - 1, share_by_distance.size() - 1);
+      s(i, j) = share_by_distance[idx];
+    }
+  }
+  return s;
+}
+
+Matrix sparse_random(std::size_t n, std::size_t degree, double share, std::uint64_t seed) {
+  AGORA_REQUIRE(n == 0 || degree < n, "degree must be < n");
+  AGORA_REQUIRE(share * static_cast<double>(degree) <= 1.0 + 1e-9,
+                "sparse graph would exceed 100% shared out per principal");
+  Matrix s(n, n);
+  Pcg32 rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t placed = 0;
+    while (placed < degree) {
+      const std::size_t j = rng.uniform_u32(static_cast<std::uint32_t>(n));
+      if (j == i || s(i, j) > 0.0) continue;
+      s(i, j) = share;
+      ++placed;
+    }
+  }
+  return s;
+}
+
+std::vector<std::size_t> hierarchical_groups(std::size_t n, std::size_t groups) {
+  AGORA_REQUIRE(groups >= 1 && groups <= std::max<std::size_t>(n, 1),
+                "group count must lie in [1, n]");
+  std::vector<std::size_t> g(n);
+  const std::size_t per = (n + groups - 1) / groups;
+  for (std::size_t i = 0; i < n; ++i) g[i] = std::min(i / per, groups - 1);
+  return g;
+}
+
+Matrix hierarchical(std::size_t n, std::size_t groups, double intra_share, double inter_share) {
+  const std::vector<std::size_t> g = hierarchical_groups(n, groups);
+  Matrix s(n, n);
+  // Complete sharing inside each group.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j && g[i] == g[j]) s(i, j) = intra_share;
+  // Gateways: first member of each group, ring-connected at the top level.
+  std::vector<std::size_t> gateway(groups, n);
+  for (std::size_t i = 0; i < n; ++i)
+    if (gateway[g[i]] == n) gateway[g[i]] = i;
+  for (std::size_t k = 0; k < groups; ++k) {
+    if (gateway[k] == n) continue;
+    const std::size_t next = (k + 1) % groups;
+    if (next == k || gateway[next] == n) continue;
+    s(gateway[k], gateway[next]) = inter_share;
+    s(gateway[next], gateway[k]) = inter_share;
+  }
+  // Validate row budgets.
+  for (std::size_t i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < n; ++j) row += s(i, j);
+    AGORA_REQUIRE(row <= 1.0 + 1e-9, "hierarchical shares exceed 100% for a gateway");
+  }
+  return s;
+}
+
+}  // namespace agora::agree

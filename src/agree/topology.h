@@ -1,0 +1,43 @@
+// topology.h -- builders for the agreement graph structures the paper
+// identifies (Section 2.2: complete, sparse, hierarchical) plus the specific
+// shapes its evaluation uses (loops with a time-zone skip, distance-decayed
+// complete graphs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace agora::agree {
+
+/// Complete graph: every principal shares `share` with every other
+/// (Figure 6/8: 10 ISPs sharing 10% with everyone else).
+Matrix complete_graph(std::size_t n, double share);
+
+/// Loop: principal i shares `share` with principal (i + skip) mod n
+/// (Figures 9-11: share=0.8, skip in {1, 3, 7}). skip must be coprime-ish
+/// only for the loop to be a single cycle; any skip in [1, n) is accepted.
+Matrix ring(std::size_t n, double share, std::size_t skip = 1);
+
+/// Distance-decayed complete graph on a ring of time zones (Figure 13):
+/// share_by_distance[d-1] is given to both neighbors at ring distance d;
+/// distances beyond the vector get its last entry.
+Matrix distance_decay(std::size_t n, const std::vector<double>& share_by_distance);
+
+/// Sparse random graph: each principal shares with `degree` distinct others
+/// chosen uniformly (without self-loops), `share` each. Deterministic in
+/// `seed`.
+Matrix sparse_random(std::size_t n, std::size_t degree, double share, std::uint64_t seed);
+
+/// Hierarchical: principals are split into `groups` contiguous groups;
+/// complete sharing at `intra_share` within a group, and each group's
+/// designated gateway (its first member) shares `inter_share` with the
+/// gateways of adjacent groups (a sparse upper level), mirroring the
+/// paper's hierarchical structure.
+Matrix hierarchical(std::size_t n, std::size_t groups, double intra_share, double inter_share);
+
+/// Group index per principal for the hierarchical topology above.
+std::vector<std::size_t> hierarchical_groups(std::size_t n, std::size_t groups);
+
+}  // namespace agora::agree

@@ -1,0 +1,106 @@
+#include "agree/transitive.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace agora::agree {
+
+namespace {
+
+/// One outgoing agreement edge.
+struct Edge {
+  std::uint32_t to;
+  double share;
+};
+
+/// DFS state for enumerating simple paths out of one source node. The
+/// graph is held as adjacency lists so that sparse agreement structures
+/// (the paper's expected common case at scale, Section 3.2: "one can use
+/// faster algorithms to deal with sparse matrices") cost O(paths * degree)
+/// rather than O(paths * n).
+struct PathSearch {
+  const std::vector<std::vector<Edge>>& adj;
+  std::size_t max_level;
+  double prune_below;
+  std::uint64_t paths_left;
+  std::vector<bool> visited;
+  double* trow;  // T row for the current source
+
+  void run(std::size_t source, std::size_t n) {
+    visited.assign(n, false);
+    visited[source] = true;
+    descend(source, 1.0, 0);
+  }
+
+  void descend(std::size_t at, double product, std::size_t depth) {
+    if (depth >= max_level) return;
+    for (const Edge& e : adj[at]) {
+      if (visited[e.to]) continue;
+      const double p = product * e.share;
+      if (p < prune_below) continue;
+      if (paths_left-- == 0)
+        throw PreconditionError(
+            "transitive_shares: simple-path budget exhausted (factorially many "
+            "paths in a dense agreement graph); set TransitiveOptions::prune_below, "
+            "cap max_level, or raise max_paths");
+      trow[e.to] += p;
+      visited[e.to] = true;
+      descend(e.to, p, depth + 1);
+      visited[e.to] = false;
+    }
+  }
+};
+
+std::vector<std::vector<Edge>> build_adjacency(const Matrix& s) {
+  const std::size_t n = s.rows();
+  std::vector<std::vector<Edge>> adj(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      const double v = s.at_unchecked(i, j);
+      if (v > 0.0) adj[i].push_back(Edge{static_cast<std::uint32_t>(j), v});
+    }
+  return adj;
+}
+
+}  // namespace
+
+Matrix transitive_shares(const Matrix& s, const TransitiveOptions& opts) {
+  AGORA_REQUIRE(s.rows() == s.cols(), "S must be square");
+  const std::size_t n = s.rows();
+  Matrix t(n, n);
+  if (n == 0 || opts.max_level == 0) return t;
+  const std::size_t level = std::min(opts.max_level, n > 0 ? n - 1 : 0);
+
+  const std::vector<std::vector<Edge>> adj = build_adjacency(s);
+  PathSearch search{adj, level, opts.prune_below, opts.max_paths, {}, nullptr};
+  for (std::size_t i = 0; i < n; ++i) {
+    search.trow = t.row(i).data();
+    search.run(i, n);
+  }
+  return t;
+}
+
+Matrix transitive_shares_walks(const Matrix& s, std::size_t max_level) {
+  AGORA_REQUIRE(s.rows() == s.cols(), "S must be square");
+  const std::size_t n = s.rows();
+  Matrix total(n, n);
+  if (n == 0 || max_level == 0) return total;
+  const std::size_t level = std::min(max_level, n - 1);
+
+  Matrix power = s;
+  total += power;
+  for (std::size_t l = 2; l <= level; ++l) {
+    power = power * s;
+    total += power;
+  }
+  for (std::size_t i = 0; i < n; ++i) total(i, i) = 0.0;
+  return total;
+}
+
+Matrix overdraft_clamp(Matrix t) {
+  for (double& v : t.flat()) v = std::min(v, 1.0);
+  return t;
+}
+
+}  // namespace agora::agree

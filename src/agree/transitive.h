@@ -1,0 +1,53 @@
+// transitive.h -- transitive agreement flows (Section 3.1).
+//
+// The paper defines the resource flow from node i to node j through at most
+// m levels of chained agreements as I_ij^(m) = V_i * T_ij^(m), where
+//
+//     T_ij^(m) = sum over *simple* paths i -> k_1 -> ... -> k_{l-1} -> j
+//                (l <= m, all k_p distinct and different from i and j)
+//                of S_{i k_1} S_{k_1 k_2} ... S_{k_{l-1} j}
+//
+// The no-cycle constraint makes this a sum over simple paths, which we
+// enumerate exactly with a depth-first search (every prefix of a simple
+// path from i ending at v contributes to T_iv, so one DFS per source
+// computes a whole row). `prune_below` optionally abandons branches whose
+// accumulated product can no longer matter -- an approximation knob the
+// micro_transitive bench quantifies.
+//
+// A cheaper matrix-power variant (sums over *walks*, revisits allowed) is
+// provided for large sparse systems; it upper-bounds the exact T.
+#pragma once
+
+#include <cstddef>
+
+#include "agree/matrices.h"
+#include "util/matrix.h"
+
+namespace agora::agree {
+
+struct TransitiveOptions {
+  /// Maximum chain length m. 1 = direct agreements only; 0 = no sharing at
+  /// all; n-1 (the default, expressed as SIZE_MAX) = full transitive closure.
+  std::size_t max_level = static_cast<std::size_t>(-1);
+  /// Abandon DFS branches whose path product drops below this (0 = exact).
+  double prune_below = 0.0;
+  /// Guard rail: the number of simple paths is factorial in dense graphs
+  /// (a complete graph on 14 nodes already has ~10^10 of them), so the DFS
+  /// aborts with a PreconditionError after enumerating this many paths
+  /// rather than silently running for hours. The default admits a complete
+  /// graph up to n = 11 (~10^8 paths, a few seconds); raise it, set
+  /// `prune_below`, or cap `max_level` for larger dense systems.
+  std::uint64_t max_paths = 400'000'000;
+};
+
+/// Exact T^(m) over simple paths. T has a zero diagonal.
+Matrix transitive_shares(const Matrix& s, const TransitiveOptions& opts = {});
+
+/// Walk-based approximation: sum_{l=1..m} S^l with the diagonal zeroed.
+/// Coincides with the exact T on forests; upper-bounds it in general.
+Matrix transitive_shares_walks(const Matrix& s, std::size_t max_level);
+
+/// The paper's overdraft clamp (Section 3.2): K_ij = min(T_ij, 1).
+Matrix overdraft_clamp(Matrix t);
+
+}  // namespace agora::agree

@@ -1,0 +1,244 @@
+#include "alloc/allocator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lp/model_builder.h"
+#include "lp/presolve.h"
+#include "lp/revised.h"
+#include "lp/simplex.h"
+
+namespace agora::alloc {
+
+namespace {
+constexpr double kFeasTol = 1e-9;
+}
+
+Allocator::Allocator(agree::AgreementSystem sys, AllocatorOptions opts)
+    : sys_(std::move(sys)), opts_(opts) {
+  sys_.validate(/*allow_overdraft=*/true);
+  // The expensive part (simple-path enumeration) depends only on S; do it
+  // once and keep the K matrix cached across capacity updates.
+  report_.shares = agree::overdraft_clamp(agree::transitive_shares(sys_.relative, opts_.transitive));
+  refresh_availability();
+}
+
+void Allocator::refresh_availability() {
+  const std::size_t n = sys_.size();
+  report_.entitlement = Matrix(n, n);
+  report_.capacity.assign(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double vk = sys_.capacity[k];
+    report_.entitlement(k, k) = sys_.retained[k] * vk;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == k) continue;
+      report_.entitlement(k, i) = std::min(vk * report_.shares(k, i) + sys_.absolute(k, i), vk);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    double c = report_.entitlement(i, i);
+    for (std::size_t k = 0; k < n; ++k)
+      if (k != i) c += report_.entitlement(k, i);
+    report_.capacity[i] = c;
+  }
+}
+
+lp::SolveResult Allocator::run_solver(const lp::Problem& p) const {
+  const auto solve = [this](const lp::Problem& q) {
+    if (opts_.engine == LpEngine::Revised)
+      return lp::RevisedSimplexSolver(opts_.solver).solve(q);
+    return lp::SimplexSolver(opts_.solver).solve(q);
+  };
+  if (opts_.presolve) return lp::solve_with_presolve(p, solve);
+  return solve(p);
+}
+
+AllocationPlan Allocator::allocate(std::size_t a, double amount) const {
+  AGORA_REQUIRE(a < sys_.size(), "unknown principal");
+  AGORA_REQUIRE(amount >= 0.0 && std::isfinite(amount), "request must be non-negative");
+
+  const bool exact = opts_.equality == EqualityMode::Exact;
+  AllocationPlan plan = opts_.formulation == Formulation::Compact
+                            ? solve_compact(a, amount, exact)
+                            : solve_full(a, amount, exact);
+  if (exact && plan.status == PlanStatus::Insufficient &&
+      report_.capacity[a] >= amount - kFeasTol) {
+    // Constraint (3) made the paper-exact program infeasible even though
+    // capacity suffices; fall back to the relaxed model (see DESIGN.md).
+    plan = opts_.formulation == Formulation::Compact ? solve_compact(a, amount, false)
+                                                     : solve_full(a, amount, false);
+    plan.exact_mode_fell_back = true;
+  }
+  return plan;
+}
+
+AllocationPlan Allocator::solve_compact(std::size_t a, double amount, bool exact) const {
+  const std::size_t n = sys_.size();
+  AllocationPlan plan;
+  plan.capacity_before = report_.capacity;
+
+  lp::ModelBuilder mb(lp::Sense::Minimize);
+  // Draw variables bounded by A's entitlement at each node (U_kA; the own
+  // node's bound is retained_a * V_a, i.e. entitlement(a, a)).
+  std::vector<lp::Var> d(n);
+  for (std::size_t k = 0; k < n; ++k)
+    d[k] = mb.add_var("d[" + std::to_string(k) + "]", 0.0, report_.entitlement(k, a));
+  const lp::Var theta = mb.add_var("theta", 0.0);
+
+  mb.add(lp::sum(d) == amount, "demand");
+
+  // Capacity drop at each principal i:  sum_k d_k * That_ki <= theta.
+  for (std::size_t i = 0; i < n; ++i) {
+    lp::LinExpr drop;
+    for (std::size_t k = 0; k < n; ++k) {
+      const double coeff = k == i ? sys_.retained[i] : report_.shares(k, i);
+      if (coeff > 0.0) drop += coeff * d[k];
+    }
+    mb.add(drop - 1.0 * theta <= 0.0, "perturb[" + std::to_string(i) + "]");
+  }
+
+  if (exact) {
+    // Paper constraint (3): the requester's capacity drops by exactly x.
+    lp::LinExpr drop_a;
+    for (std::size_t k = 0; k < n; ++k) {
+      const double coeff = k == a ? sys_.retained[a] : report_.shares(k, a);
+      if (coeff > 0.0) drop_a += coeff * d[k];
+    }
+    mb.add(drop_a == amount, "exact_drop_at_requester");
+  }
+
+  mb.minimize(lp::LinExpr(theta));
+
+  const lp::SolveResult r = run_solver(mb.problem());
+  plan.lp_iterations = r.iterations;
+  if (r.status == lp::Status::IterationLimit) {
+    plan.status = PlanStatus::SolverFailed;
+    return plan;
+  }
+  if (r.status != lp::Status::Optimal) {
+    plan.status = PlanStatus::Insufficient;
+    return plan;
+  }
+
+  plan.status = PlanStatus::Satisfied;
+  plan.draw.assign(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) plan.draw[k] = std::max(0.0, r.x[d[k].index]);
+  plan.theta = r.x[theta.index];
+  plan.capacity_after.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double drop = 0.0;
+    for (std::size_t k = 0; k < n; ++k)
+      drop += plan.draw[k] * (k == i ? sys_.retained[i] : report_.shares(k, i));
+    plan.capacity_after[i] = report_.capacity[i] - drop;
+  }
+  return plan;
+}
+
+AllocationPlan Allocator::solve_full(std::size_t a, double amount, bool exact) const {
+  const std::size_t n = sys_.size();
+  AllocationPlan plan;
+  plan.capacity_before = report_.capacity;
+
+  // The paper's variable set: V'_i, C'_i, I'_ij (i != j), theta
+  // -- n^2 + n + 1 variables total (C' counts into the paper's n^2 + n + 1
+  // as the I' matrix has n(n-1) entries).
+  lp::ModelBuilder mb(lp::Sense::Minimize);
+  std::vector<lp::Var> vprime(n), cprime(n);
+  Matrix that = report_.shares;  // K_ki with zero diagonal
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Constraint (4): 0 <= V_i - V'_i <= I_iA (own node: <= V_A).
+    const double max_draw = i == a ? sys_.capacity[a] : report_.entitlement(i, a);
+    vprime[i] = mb.add_var("V'[" + std::to_string(i) + "]",
+                           std::max(0.0, sys_.capacity[i] - max_draw), sys_.capacity[i]);
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    cprime[i] = mb.add_var("C'[" + std::to_string(i) + "]", 0.0, lp::kInfinity);
+  const lp::Var theta = mb.add_var("theta", 0.0);
+
+  // I'_ij variables plus constraint (1): I'_ij = V'_i * T_ij.
+  std::vector<std::vector<lp::Var>> iprime(n, std::vector<lp::Var>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      iprime[i][j] =
+          mb.add_var("I'[" + std::to_string(i) + "][" + std::to_string(j) + "]", 0.0,
+                     lp::kInfinity);
+      mb.add(1.0 * iprime[i][j] - that(i, j) * vprime[i] == 0.0, "flow");
+    }
+  }
+
+  // Constraint (2): C'_i = retained_i * V'_i + sum_{k != i} I'_ki.
+  for (std::size_t i = 0; i < n; ++i) {
+    lp::LinExpr rhs = sys_.retained[i] * vprime[i];
+    for (std::size_t k = 0; k < n; ++k)
+      if (k != i) rhs += lp::LinExpr(iprime[k][i]);
+    mb.add(1.0 * cprime[i] - rhs == 0.0, "capacity");
+  }
+
+  // Constraint (3), exact mode only.
+  if (exact) mb.add(1.0 * cprime[a] == report_.capacity[a] - amount, "exact");
+
+  // Constraint (5): sum_i (V_i - V'_i) = x.
+  lp::LinExpr drawn;
+  for (std::size_t i = 0; i < n; ++i) drawn += -1.0 * vprime[i];
+  mb.add(drawn == amount - sum(sys_.capacity), "demand");
+
+  // Constraint (6): C_i - theta <= C'_i <= C_i.
+  for (std::size_t i = 0; i < n; ++i) {
+    mb.add(1.0 * cprime[i] + 1.0 * theta >= report_.capacity[i], "lower");
+    mb.add(1.0 * cprime[i] <= report_.capacity[i], "upper");
+  }
+
+  mb.minimize(lp::LinExpr(theta));
+
+  const lp::SolveResult r = run_solver(mb.problem());
+  plan.lp_iterations = r.iterations;
+  if (r.status == lp::Status::IterationLimit) {
+    plan.status = PlanStatus::SolverFailed;
+    return plan;
+  }
+  if (r.status != lp::Status::Optimal) {
+    plan.status = PlanStatus::Insufficient;
+    return plan;
+  }
+
+  plan.status = PlanStatus::Satisfied;
+  plan.draw.assign(n, 0.0);
+  plan.capacity_after.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    plan.draw[i] = std::max(0.0, sys_.capacity[i] - r.x[vprime[i].index]);
+    plan.capacity_after[i] = r.x[cprime[i].index];
+  }
+  plan.theta = r.x[theta.index];
+  return plan;
+}
+
+void Allocator::apply(const AllocationPlan& plan) {
+  AGORA_REQUIRE(plan.satisfied(), "cannot apply an unsatisfied plan");
+  AGORA_REQUIRE(plan.draw.size() == sys_.size(), "plan size mismatch");
+  for (std::size_t i = 0; i < sys_.size(); ++i) {
+    AGORA_REQUIRE(plan.draw[i] <= sys_.capacity[i] + 1e-7,
+                  "plan draws more than a principal owns");
+    sys_.capacity[i] = std::max(0.0, sys_.capacity[i] - plan.draw[i]);
+  }
+  refresh_availability();
+}
+
+void Allocator::release(const std::vector<double>& give_back) {
+  AGORA_REQUIRE(give_back.size() == sys_.size(), "release size mismatch");
+  for (std::size_t i = 0; i < sys_.size(); ++i) {
+    AGORA_REQUIRE(give_back[i] >= 0.0, "release must be non-negative");
+    sys_.capacity[i] += give_back[i];
+  }
+  refresh_availability();
+}
+
+void Allocator::set_capacities(std::vector<double> v) {
+  AGORA_REQUIRE(v.size() == sys_.size(), "capacity vector size mismatch");
+  for (double x : v) AGORA_REQUIRE(x >= 0.0 && std::isfinite(x), "capacities must be >= 0");
+  sys_.capacity = std::move(v);
+  refresh_availability();
+}
+
+}  // namespace agora::alloc

@@ -1,0 +1,97 @@
+// allocator.h -- LP-based enforcement of sharing agreements (Section 3).
+//
+// Given an AgreementSystem and a request (principal A wants amount x of the
+// resource), the allocator decides which principals' physical capacity to
+// draw on, such that
+//
+//   * every draw is covered by a (possibly transitive) agreement:
+//       0 <= d_k <= U_kA (entitlement of A at k; own node bounded by V_A),
+//   * the request is met:  sum_k d_k = x,
+//   * the *global perturbation* theta = max_i (C_i - C'_i) is minimized,
+//     leaving the system maximally able to serve future requests from any
+//     principal (the paper's optimization criterion).
+//
+// Two formulations are provided and cross-checked in tests:
+//
+//   * Compact: n draw variables + theta. The capacity drop at i is the
+//     linear map  drop_i = sum_k d_k * That_ki  with That_ii = retained_i
+//     and That_ki = K_ki, so the whole model is (n+1) variables and (n+1)
+//     rows. This is what the simulator uses.
+//   * FullPaper: the paper's verbatim variable set -- I'_ij, C'_i, V'_i and
+//     theta, i.e. n^2 + n + 1 variables with constraints (1)-(6). Useful
+//     for fidelity and as a stress test for the LP substrate.
+//
+// Constraint (3) of the paper, C'_A = C_A - x, conflicts with constraint
+// (5) whenever capacity is drawn over an agreement with share < 1 (see
+// DESIGN.md). EqualityMode::Relaxed (default) drops (3); Exact keeps it and
+// falls back to Relaxed when it renders the program infeasible.
+#pragma once
+
+#include <cstddef>
+
+#include "agree/capacity.h"
+#include "agree/matrices.h"
+#include "alloc/plan.h"
+#include "lp/problem.h"
+#include "lp/result.h"
+
+namespace agora::alloc {
+
+enum class Formulation { Compact, FullPaper };
+enum class EqualityMode { Relaxed, Exact };
+enum class LpEngine { Tableau, Revised };
+
+struct AllocatorOptions {
+  agree::TransitiveOptions transitive;  ///< level limit etc. (Figs 8-11)
+  Formulation formulation = Formulation::Compact;
+  EqualityMode equality = EqualityMode::Relaxed;
+  LpEngine engine = LpEngine::Tableau;
+  /// Run the lightweight LP presolve (fixed variables, singleton rows, row
+  /// scaling) before the simplex. Mostly useful for the FullPaper
+  /// formulation, whose flow equalities presolve can collapse.
+  bool presolve = false;
+  lp::SolverOptions solver;
+};
+
+class Allocator {
+ public:
+  Allocator(agree::AgreementSystem sys, AllocatorOptions opts = {});
+
+  /// Availability report (T/K shares, entitlements U, capacities C).
+  const agree::CapacityReport& capacities() const { return report_; }
+  const agree::AgreementSystem& system() const { return sys_; }
+  std::size_t size() const { return sys_.size(); }
+
+  /// Decide an allocation for principal `a` requesting `amount`. Does not
+  /// mutate the system; call apply() to commit the plan.
+  AllocationPlan allocate(std::size_t a, double amount) const;
+
+  /// Largest request principal `a` could have satisfied right now (C_a).
+  double available_to(std::size_t a) const { return report_.capacity.at(a); }
+
+  /// Commit a plan: subtract draws from capacities and recompute the
+  /// availability report.
+  void apply(const AllocationPlan& plan);
+
+  /// Return capacity to principals (e.g. when borrowed work completes).
+  void release(const std::vector<double>& give_back);
+
+  /// Replace all capacities (the simulator refreshes V_i each epoch from
+  /// LRM reports) without touching the agreement matrices.
+  void set_capacities(std::vector<double> v);
+
+ private:
+  AllocationPlan solve_compact(std::size_t a, double amount, bool exact) const;
+  AllocationPlan solve_full(std::size_t a, double amount, bool exact) const;
+  lp::SolveResult run_solver(const lp::Problem& p) const;
+  /// Refresh entitlements/capacities from the cached share matrix. The
+  /// transitive closure depends only on S, so capacity updates (which the
+  /// simulator performs every scheduling epoch) stay O(n^2).
+  void refresh_availability();
+
+  agree::AgreementSystem sys_;
+  AllocatorOptions opts_;
+  agree::CapacityReport report_;
+};
+
+}  // namespace agora::alloc

@@ -1,0 +1,29 @@
+// endpoint.h -- the paper's baseline: end-point (non-LP) enforcement.
+//
+// "The basic scheme we used redistributes requests queued up at a proxy's
+// front-end to all other ISPs. The number of requests redistributed is
+// proportional to the quantity of sharing agreements with other ISPs."
+// (Section 4.2, Figure 13.)
+//
+// Each endpoint knows only its *direct* agreements; it splits overflow
+// proportionally to the direct shares S_Ak, capping each lane at the direct
+// entitlement V_k * S_Ak + A_Ak... from k's perspective: what k agreed to
+// provide to A, i.e. V_k * S_kA + A_kA. Capacity that does not fit under the
+// caps (after proportional refilling) stays local. No global availability
+// information and no transitive agreements are used -- that is the point of
+// the comparison.
+#pragma once
+
+#include <cstddef>
+
+#include "agree/matrices.h"
+#include "alloc/plan.h"
+
+namespace agora::alloc {
+
+/// Decide a proportional endpoint allocation for principal `a` requesting
+/// `amount`. `draw[a]` holds whatever could not be pushed to neighbors.
+AllocationPlan endpoint_allocate(const agree::AgreementSystem& sys, std::size_t a,
+                                 double amount);
+
+}  // namespace agora::alloc

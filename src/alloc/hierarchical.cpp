@@ -1,0 +1,196 @@
+#include "alloc/hierarchical.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lp/model_builder.h"
+#include "lp/simplex.h"
+
+namespace agora::alloc {
+
+HierarchicalAllocator::HierarchicalAllocator(agree::AgreementSystem sys,
+                                             std::vector<std::size_t> group_of,
+                                             AllocatorOptions opts)
+    : sys_(std::move(sys)), group_of_(std::move(group_of)), opts_(opts) {
+  sys_.validate(/*allow_overdraft=*/true);
+  AGORA_REQUIRE(group_of_.size() == sys_.size(), "group assignment size mismatch");
+  std::size_t ng = 0;
+  for (std::size_t g : group_of_) ng = std::max(ng, g + 1);
+  groups_.resize(ng);
+  for (std::size_t i = 0; i < group_of_.size(); ++i) {
+    AGORA_REQUIRE(group_of_[i] < ng, "bad group index");
+    groups_[group_of_[i]].members.push_back(i);
+  }
+  for (std::size_t g = 0; g < ng; ++g)
+    AGORA_REQUIRE(!groups_[g].members.empty(), "empty group " + std::to_string(g));
+  rebuild();
+}
+
+void HierarchicalAllocator::rebuild() {
+  full_report_ = agree::compute_capacities(sys_, opts_.transitive);
+}
+
+agree::AgreementSystem HierarchicalAllocator::group_system(std::size_t g) const {
+  const auto& members = groups_[g].members;
+  agree::AgreementSystem sub(members.size());
+  for (std::size_t a = 0; a < members.size(); ++a) {
+    sub.capacity[a] = sys_.capacity[members[a]];
+    sub.retained[a] = sys_.retained[members[a]];
+    for (std::size_t b = 0; b < members.size(); ++b) {
+      if (a == b) continue;
+      sub.relative(a, b) = sys_.relative(members[a], members[b]);
+      sub.absolute(a, b) = sys_.absolute(members[a], members[b]);
+    }
+  }
+  return sub;
+}
+
+agree::AgreementSystem HierarchicalAllocator::coarse_system() const {
+  const std::size_t ng = groups_.size();
+  agree::AgreementSystem coarse(ng);
+  for (std::size_t g = 0; g < ng; ++g) {
+    double cap = 0.0;
+    for (std::size_t m : groups_[g].members) cap += sys_.capacity[m];
+    coarse.capacity[g] = cap;
+  }
+  // Inter-group share: capacity-weighted member shares crossing the
+  // boundary; with zero group capacity fall back to a plain average.
+  for (std::size_t g = 0; g < ng; ++g) {
+    for (std::size_t h = 0; h < ng; ++h) {
+      if (g == h) continue;
+      double share = 0.0, abs_amount = 0.0;
+      for (std::size_t i : groups_[g].members) {
+        double out = 0.0;
+        for (std::size_t j : groups_[h].members) {
+          out += sys_.relative(i, j);
+          abs_amount += sys_.absolute(i, j);
+        }
+        // Each member can give at most `out` of its own capacity to group h.
+        const double weight = coarse.capacity[g] > 0.0
+                                  ? sys_.capacity[i] / coarse.capacity[g]
+                                  : 1.0 / static_cast<double>(groups_[g].members.size());
+        share += std::min(out, 1.0) * weight;
+      }
+      coarse.relative(g, h) = std::min(share, 1.0);
+      coarse.absolute(g, h) = abs_amount;
+    }
+    // Keep the coarse system valid even if member rows sum close to 1.
+    double row = 0.0;
+    for (std::size_t h = 0; h < ng; ++h) row += coarse.relative(g, h);
+    if (row > 1.0) {
+      for (std::size_t h = 0; h < ng; ++h) coarse.relative(g, h) /= row;
+    }
+  }
+  return coarse;
+}
+
+AllocationPlan HierarchicalAllocator::allocate(std::size_t a, double amount) const {
+  AGORA_REQUIRE(a < sys_.size(), "unknown principal");
+  AGORA_REQUIRE(amount >= 0.0 && std::isfinite(amount), "request must be non-negative");
+  const std::size_t n = sys_.size();
+  const std::size_t ga = group_of_[a];
+
+  AllocationPlan plan;
+  plan.capacity_before = full_report_.capacity;
+  plan.draw.assign(n, 0.0);
+
+  // --- Fast path: the requester's own group can satisfy the request. ------
+  {
+    const agree::AgreementSystem sub = group_system(ga);
+    std::size_t local_a = 0;
+    for (std::size_t m = 0; m < groups_[ga].members.size(); ++m)
+      if (groups_[ga].members[m] == a) local_a = m;
+    Allocator group_alloc(sub, opts_);
+    if (group_alloc.available_to(local_a) >= amount - 1e-9) {
+      const AllocationPlan sub_plan = group_alloc.allocate(local_a, amount);
+      if (sub_plan.satisfied()) {
+        for (std::size_t m = 0; m < groups_[ga].members.size(); ++m)
+          plan.draw[groups_[ga].members[m]] = sub_plan.draw[m];
+        plan.status = PlanStatus::Satisfied;
+        plan.lp_iterations = sub_plan.lp_iterations;
+        plan.capacity_after = plan.capacity_before;
+        // Report theta with the same meaning as the flat allocator: the
+        // largest *global* availability drop (the group LP's theta only
+        // covers the subgroup).
+        plan.theta = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          double drop = 0.0;
+          for (std::size_t k = 0; k < n; ++k)
+            drop += plan.draw[k] * (k == i ? sys_.retained[i] : full_report_.shares(k, i));
+          plan.capacity_after[i] = plan.capacity_before[i] - drop;
+          plan.theta = std::max(plan.theta, drop);
+        }
+        return plan;
+      }
+    }
+  }
+
+  // --- Coarse level: distribute the request across groups. -----------------
+  Allocator coarse_alloc(coarse_system(), opts_);
+  const AllocationPlan coarse_plan = coarse_alloc.allocate(ga, amount);
+  plan.lp_iterations += coarse_plan.lp_iterations;
+  if (!coarse_plan.satisfied()) {
+    // The coarse model under-approximates reachable capacity (it collapses
+    // member-level detail); fall back to the flat LP before giving up.
+    Allocator flat(sys_, opts_);
+    AllocationPlan flat_plan = flat.allocate(a, amount);
+    flat_plan.lp_iterations += plan.lp_iterations;
+    return flat_plan;
+  }
+
+  // --- Fine level: split each group's contribution among its members. -----
+  double total_theta = 0.0;
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    const double x_g = coarse_plan.draw[g];
+    if (x_g <= 1e-12) continue;
+    const auto& members = groups_[g].members;
+
+    // Distribute x_g among members: minimize the max member draw subject to
+    // each member's entitlement toward the requester in the full system.
+    lp::ModelBuilder mb(lp::Sense::Minimize);
+    std::vector<lp::Var> d(members.size());
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      const std::size_t i = members[m];
+      const double cap = i == a ? sys_.capacity[a] : full_report_.entitlement(i, a);
+      d[m] = mb.add_var("d", 0.0, cap);
+    }
+    const lp::Var t = mb.add_var("t", 0.0);
+    mb.add(lp::sum(d) == x_g);
+    for (std::size_t m = 0; m < members.size(); ++m) mb.add(1.0 * d[m] - 1.0 * t <= 0.0);
+    mb.minimize(lp::LinExpr(t));
+    const lp::SolveResult r = lp::SimplexSolver(opts_.solver).solve(mb.problem());
+    plan.lp_iterations += r.iterations;
+    if (r.status != lp::Status::Optimal) {
+      // Member entitlements cannot cover the coarse assignment; flat solve.
+      Allocator flat(sys_, opts_);
+      AllocationPlan flat_plan = flat.allocate(a, amount);
+      flat_plan.lp_iterations += plan.lp_iterations;
+      return flat_plan;
+    }
+    for (std::size_t m = 0; m < members.size(); ++m) plan.draw[members[m]] = r.x[d[m].index];
+    total_theta = std::max(total_theta, r.x[t.index]);
+  }
+
+  plan.status = PlanStatus::Satisfied;
+  (void)total_theta;  // fine-level balance metric; global theta reported below
+  plan.capacity_after = plan.capacity_before;
+  plan.theta = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double drop = 0.0;
+    for (std::size_t k = 0; k < n; ++k)
+      drop += plan.draw[k] * (k == i ? sys_.retained[i] : full_report_.shares(k, i));
+    plan.capacity_after[i] = plan.capacity_before[i] - drop;
+    plan.theta = std::max(plan.theta, drop);
+  }
+  return plan;
+}
+
+void HierarchicalAllocator::apply(const AllocationPlan& plan) {
+  AGORA_REQUIRE(plan.satisfied(), "cannot apply an unsatisfied plan");
+  AGORA_REQUIRE(plan.draw.size() == sys_.size(), "plan size mismatch");
+  for (std::size_t i = 0; i < sys_.size(); ++i)
+    sys_.capacity[i] = std::max(0.0, sys_.capacity[i] - plan.draw[i]);
+  rebuild();
+}
+
+}  // namespace agora::alloc

@@ -1,0 +1,45 @@
+// plan.h -- the outcome of one allocation decision.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace agora::alloc {
+
+enum class PlanStatus {
+  Satisfied,     ///< the full requested amount was allocated
+  Insufficient,  ///< the requester's capacity C_A is below the request
+  SolverFailed,  ///< the LP solver gave up (iteration limit); should not
+                 ///< happen on well-formed systems
+};
+
+struct AllocationPlan {
+  PlanStatus status = PlanStatus::Insufficient;
+
+  /// Physical amount drawn from each principal's capacity (d_k in DESIGN.md;
+  /// V_k - V'_k in the paper). Sums to the request when Satisfied.
+  std::vector<double> draw;
+
+  /// Optimal global perturbation theta = max_i (C_i - C'_i).
+  double theta = 0.0;
+
+  /// Availability before and after the allocation.
+  std::vector<double> capacity_before;
+  std::vector<double> capacity_after;
+
+  /// Simplex iterations spent.
+  std::uint64_t lp_iterations = 0;
+
+  /// True when the paper-exact equality C'_A = C_A - x was requested but
+  /// infeasible, and the allocator fell back to the relaxed model.
+  bool exact_mode_fell_back = false;
+
+  bool satisfied() const { return status == PlanStatus::Satisfied; }
+  double total_drawn() const {
+    double s = 0.0;
+    for (double d : draw) s += d;
+    return s;
+  }
+};
+
+}  // namespace agora::alloc

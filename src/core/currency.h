@@ -1,0 +1,50 @@
+// currency.h -- currencies denominate tickets (Section 2.2).
+//
+// Every principal gets a *default* currency representing its resources;
+// additional *virtual* currencies (Example 2, Fig. 2) let a principal
+// decouple one subset of its agreements from fluctuations in another.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ids.h"
+
+namespace agora::core {
+
+enum class CurrencyKind {
+  Default,  ///< the per-principal currency created with the principal
+  Virtual,  ///< created explicitly to partition agreements
+};
+
+struct Currency {
+  CurrencyId id;
+  CurrencyKind kind = CurrencyKind::Default;
+  std::string name;
+  /// Owning principal (for virtual currencies: the creator).
+  PrincipalId owner;
+
+  /// Face value: the number of units this currency is divided into. A
+  /// relative ticket of face f issued here conveys f / face_value of the
+  /// currency's (dynamic) value. Inflation/deflation changes this number.
+  double face_value = 0.0;
+
+  /// Tickets backing (funding) this currency.
+  std::vector<TicketId> backing;
+  /// Tickets issued by this currency.
+  std::vector<TicketId> issued;
+};
+
+struct Principal {
+  PrincipalId id;
+  std::string name;
+  CurrencyId default_currency;
+};
+
+struct ResourceType {
+  ResourceTypeId id;
+  std::string name;
+  std::string unit;
+};
+
+}  // namespace agora::core

@@ -1,0 +1,215 @@
+#include "core/economy.h"
+
+#include <cmath>
+
+namespace agora::core {
+
+ResourceTypeId Economy::add_resource_type(const std::string& name, const std::string& unit) {
+  AGORA_REQUIRE(!name.empty(), "resource type needs a name");
+  AGORA_REQUIRE(!find_resource_type(name).valid(), "duplicate resource type: " + name);
+  ResourceType r;
+  r.id = ResourceTypeId(resources_.size());
+  r.name = name;
+  r.unit = unit;
+  resources_.push_back(std::move(r));
+  return resources_.back().id;
+}
+
+PrincipalId Economy::add_principal(const std::string& name, double currency_face_value) {
+  AGORA_REQUIRE(!name.empty(), "principal needs a name");
+  AGORA_REQUIRE(!find_principal(name).valid(), "duplicate principal: " + name);
+  AGORA_REQUIRE(currency_face_value > 0.0, "currency face value must be positive");
+
+  Currency c;
+  c.id = CurrencyId(currencies_.size());
+  c.kind = CurrencyKind::Default;
+  c.name = name;
+  c.face_value = currency_face_value;
+
+  Principal p;
+  p.id = PrincipalId(principals_.size());
+  p.name = name;
+  p.default_currency = c.id;
+  c.owner = p.id;
+
+  currencies_.push_back(std::move(c));
+  principals_.push_back(std::move(p));
+  return principals_.back().id;
+}
+
+CurrencyId Economy::create_virtual_currency(PrincipalId owner, const std::string& name,
+                                            double face_value) {
+  AGORA_REQUIRE(owner.value < principals_.size(), "unknown principal");
+  AGORA_REQUIRE(!name.empty(), "currency needs a name");
+  AGORA_REQUIRE(!find_currency(name).valid(), "duplicate currency: " + name);
+  AGORA_REQUIRE(face_value > 0.0, "currency face value must be positive");
+  Currency c;
+  c.id = CurrencyId(currencies_.size());
+  c.kind = CurrencyKind::Virtual;
+  c.name = name;
+  c.owner = owner;
+  c.face_value = face_value;
+  currencies_.push_back(std::move(c));
+  return currencies_.back().id;
+}
+
+TicketId Economy::fund_with_resource(CurrencyId target, ResourceTypeId resource, double amount,
+                                     const std::string& name) {
+  AGORA_REQUIRE(target.value < currencies_.size(), "unknown target currency");
+  AGORA_REQUIRE(resource.value < resources_.size(), "unknown resource type");
+  AGORA_REQUIRE(amount >= 0.0 && std::isfinite(amount), "capacity must be non-negative");
+  Ticket t;
+  t.kind = TicketKind::BaseResource;
+  t.resource = resource;
+  t.target = target;
+  t.face = amount;
+  t.name = name;
+  return new_ticket(std::move(t));
+}
+
+TicketId Economy::issue_absolute(CurrencyId issuer, CurrencyId target, ResourceTypeId resource,
+                                 double amount, SharingMode mode, const std::string& name) {
+  AGORA_REQUIRE(issuer.value < currencies_.size(), "unknown issuing currency");
+  AGORA_REQUIRE(target.value < currencies_.size(), "unknown target currency");
+  AGORA_REQUIRE(issuer != target, "a currency cannot back itself");
+  AGORA_REQUIRE(resource.value < resources_.size(), "unknown resource type");
+  AGORA_REQUIRE(amount >= 0.0 && std::isfinite(amount), "agreement amount must be non-negative");
+  Ticket t;
+  t.kind = TicketKind::Absolute;
+  t.mode = mode;
+  t.resource = resource;
+  t.issuer = issuer;
+  t.target = target;
+  t.face = amount;
+  t.name = name;
+  return new_ticket(std::move(t));
+}
+
+TicketId Economy::issue_relative(CurrencyId issuer, CurrencyId target, double face,
+                                 ResourceTypeId resource, SharingMode mode,
+                                 const std::string& name) {
+  AGORA_REQUIRE(issuer.value < currencies_.size(), "unknown issuing currency");
+  AGORA_REQUIRE(target.value < currencies_.size(), "unknown target currency");
+  AGORA_REQUIRE(issuer != target, "a currency cannot back itself");
+  AGORA_REQUIRE(face >= 0.0 && std::isfinite(face), "ticket face must be non-negative");
+  if (resource.valid())
+    AGORA_REQUIRE(resource.value < resources_.size(), "unknown resource type");
+  Ticket t;
+  t.kind = TicketKind::Relative;
+  t.mode = mode;
+  t.resource = resource;
+  t.issuer = issuer;
+  t.target = target;
+  t.face = face;
+  t.name = name;
+  return new_ticket(std::move(t));
+}
+
+void Economy::revoke(TicketId id) {
+  AGORA_REQUIRE(id.value < tickets_.size(), "unknown ticket");
+  AGORA_REQUIRE(!tickets_[id.value].revoked, "ticket already revoked");
+  tickets_[id.value].revoked = true;
+}
+
+void Economy::set_ticket_face(TicketId id, double face) {
+  AGORA_REQUIRE(id.value < tickets_.size(), "unknown ticket");
+  AGORA_REQUIRE(!tickets_[id.value].revoked, "cannot modify a revoked ticket");
+  AGORA_REQUIRE(face >= 0.0 && std::isfinite(face), "ticket face must be non-negative");
+  tickets_[id.value].face = face;
+}
+
+void Economy::set_face_value(CurrencyId id, double face_value) {
+  AGORA_REQUIRE(id.value < currencies_.size(), "unknown currency");
+  AGORA_REQUIRE(face_value > 0.0 && std::isfinite(face_value),
+                "currency face value must be positive");
+  currencies_[id.value].face_value = face_value;
+}
+
+const Principal& Economy::principal(PrincipalId id) const {
+  AGORA_REQUIRE(id.value < principals_.size(), "unknown principal");
+  return principals_[id.value];
+}
+
+const Currency& Economy::currency(CurrencyId id) const {
+  AGORA_REQUIRE(id.value < currencies_.size(), "unknown currency");
+  return currencies_[id.value];
+}
+
+const Ticket& Economy::ticket(TicketId id) const {
+  AGORA_REQUIRE(id.value < tickets_.size(), "unknown ticket");
+  return tickets_[id.value];
+}
+
+const ResourceType& Economy::resource_type(ResourceTypeId id) const {
+  AGORA_REQUIRE(id.value < resources_.size(), "unknown resource type");
+  return resources_[id.value];
+}
+
+PrincipalId Economy::find_principal(const std::string& name) const {
+  for (const auto& p : principals_)
+    if (p.name == name) return p.id;
+  return {};
+}
+
+CurrencyId Economy::find_currency(const std::string& name) const {
+  for (const auto& c : currencies_)
+    if (c.name == name) return c.id;
+  return {};
+}
+
+ResourceTypeId Economy::find_resource_type(const std::string& name) const {
+  for (const auto& r : resources_)
+    if (r.name == name) return r.id;
+  return {};
+}
+
+double Economy::issued_relative_face(CurrencyId id) const {
+  const Currency& c = currency(id);
+  double total = 0.0;
+  for (TicketId tid : c.issued) {
+    const Ticket& t = tickets_[tid.value];
+    if (!t.revoked && t.kind == TicketKind::Relative) total += t.face;
+  }
+  return total;
+}
+
+bool Economy::overdrafted(CurrencyId id) const {
+  return issued_relative_face(id) > currency(id).face_value + 1e-12;
+}
+
+TicketId Economy::new_ticket(Ticket t) {
+  t.id = TicketId(tickets_.size());
+  currencies_[t.target.value].backing.push_back(t.id);
+  if (t.issuer.valid()) currencies_[t.issuer.value].issued.push_back(t.id);
+  tickets_.push_back(std::move(t));
+  return tickets_.back().id;
+}
+
+void Economy::check_consistency() const {
+  for (const auto& c : currencies_) {
+    AGORA_INVARIANT(c.owner.value < principals_.size(), "currency with dangling owner");
+    AGORA_INVARIANT(c.face_value > 0.0, "currency with non-positive face value");
+    for (TicketId tid : c.backing) {
+      AGORA_INVARIANT(tid.value < tickets_.size(), "dangling backing ticket");
+      AGORA_INVARIANT(tickets_[tid.value].target == c.id, "backing list mismatch");
+    }
+    for (TicketId tid : c.issued) {
+      AGORA_INVARIANT(tid.value < tickets_.size(), "dangling issued ticket");
+      AGORA_INVARIANT(tickets_[tid.value].issuer == c.id, "issued list mismatch");
+    }
+  }
+  for (const auto& t : tickets_) {
+    AGORA_INVARIANT(t.face >= 0.0, "ticket with negative face");
+    AGORA_INVARIANT(t.target.value < currencies_.size(), "ticket with dangling target");
+    if (t.kind == TicketKind::BaseResource) {
+      AGORA_INVARIANT(!t.issuer.valid(), "base resource ticket with an issuer");
+      AGORA_INVARIANT(t.resource.value < resources_.size(), "base ticket without resource");
+    } else {
+      AGORA_INVARIANT(t.issuer.valid() && t.issuer.value < currencies_.size(),
+                      "agreement ticket without issuer");
+      AGORA_INVARIANT(t.issuer != t.target, "self-backing ticket");
+    }
+  }
+}
+
+}  // namespace agora::core

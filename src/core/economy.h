@@ -1,0 +1,113 @@
+// economy.h -- the registry of principals, currencies, resource types and
+// tickets, with the mutation operations the paper describes: funding
+// currencies with capacity, issuing/revoking agreement tickets, creating
+// virtual currencies, and inflating/deflating currency face values.
+//
+// The Economy is a passive data structure; pricing lives in valuation.h and
+// enforcement in src/agree + src/alloc.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/currency.h"
+#include "core/ids.h"
+#include "core/ticket.h"
+#include "util/error.h"
+
+namespace agora::core {
+
+class Economy {
+ public:
+  // --- registration -------------------------------------------------------
+
+  /// Register a resource type ("disk", "TB"). Names must be unique.
+  ResourceTypeId add_resource_type(const std::string& name, const std::string& unit = "");
+
+  /// Register a principal; its default currency is created automatically
+  /// with face value `currency_face_value`.
+  PrincipalId add_principal(const std::string& name, double currency_face_value = 100.0);
+
+  /// Create a virtual currency owned by `owner` (Example 2).
+  CurrencyId create_virtual_currency(PrincipalId owner, const std::string& name,
+                                     double face_value);
+
+  // --- funding and agreements ---------------------------------------------
+
+  /// Fund a currency with actual capacity: an absolute BaseResource ticket
+  /// with no issuer (A-Ticket1/A-Ticket2 in Fig. 1).
+  TicketId fund_with_resource(CurrencyId target, ResourceTypeId resource, double amount,
+                              const std::string& name = "");
+
+  /// Issue an absolute agreement ticket: `issuer` shares a fixed `amount`
+  /// of `resource` with `target` (R-Ticket3 in Fig. 1).
+  TicketId issue_absolute(CurrencyId issuer, CurrencyId target, ResourceTypeId resource,
+                          double amount, SharingMode mode = SharingMode::Sharing,
+                          const std::string& name = "");
+
+  /// Issue a relative agreement ticket of the given `face` denomination:
+  /// `target` receives face / face_value(issuer) of the issuer's value
+  /// (R-Ticket4/5 in Fig. 1). When `resource` is invalid the share applies
+  /// to every resource backing the issuer.
+  TicketId issue_relative(CurrencyId issuer, CurrencyId target, double face,
+                          ResourceTypeId resource = {}, SharingMode mode = SharingMode::Sharing,
+                          const std::string& name = "");
+
+  /// Revoke a ticket: the agreement ends (granted resources return to the
+  /// grantor). BaseResource tickets may also be revoked, modeling capacity
+  /// leaving the system.
+  void revoke(TicketId id);
+
+  /// Change a live ticket's face value in place: renegotiating an agreement
+  /// (or resizing contributed capacity) without tearing it down. The paper
+  /// singles out that Condor's classads cannot even be changed once posted;
+  /// tickets can.
+  void set_ticket_face(TicketId id, double face);
+
+  // --- inflation / deflation ----------------------------------------------
+
+  /// Change a currency's face value (the paper's "printing more money").
+  /// Outstanding relative tickets keep their face, so their conveyed share
+  /// shrinks (inflation) or grows (deflation).
+  void set_face_value(CurrencyId id, double face_value);
+
+  // --- accessors -----------------------------------------------------------
+
+  std::size_t num_principals() const { return principals_.size(); }
+  std::size_t num_currencies() const { return currencies_.size(); }
+  std::size_t num_resource_types() const { return resources_.size(); }
+  std::size_t num_tickets() const { return tickets_.size(); }
+
+  const Principal& principal(PrincipalId id) const;
+  const Currency& currency(CurrencyId id) const;
+  const Ticket& ticket(TicketId id) const;
+  const ResourceType& resource_type(ResourceTypeId id) const;
+
+  CurrencyId default_currency(PrincipalId id) const { return principal(id).default_currency; }
+
+  /// Find by name; returns an invalid id when absent.
+  PrincipalId find_principal(const std::string& name) const;
+  CurrencyId find_currency(const std::string& name) const;
+  ResourceTypeId find_resource_type(const std::string& name) const;
+
+  /// Sum of relative faces issued by a currency (live tickets only).
+  double issued_relative_face(CurrencyId id) const;
+
+  /// True when the currency issues more relative face than its face value
+  /// (the paper's "overdraft" situation, Section 3.2).
+  bool overdrafted(CurrencyId id) const;
+
+  /// Structural validation: dangling ids, negative faces, self-backing
+  /// tickets. Throws InternalError on corruption.
+  void check_consistency() const;
+
+ private:
+  TicketId new_ticket(Ticket t);
+
+  std::vector<Principal> principals_;
+  std::vector<Currency> currencies_;
+  std::vector<Ticket> tickets_;
+  std::vector<ResourceType> resources_;
+};
+
+}  // namespace agora::core

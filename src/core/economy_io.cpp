@@ -1,0 +1,146 @@
+#include "core/economy_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/error.h"
+
+namespace agora::core {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& msg) {
+  throw IoError("economy spec line " + std::to_string(line) + ": " + msg);
+}
+
+CurrencyId need_currency(const Economy& e, const std::string& name, std::size_t line) {
+  const CurrencyId id = e.find_currency(name);
+  if (!id.valid()) fail(line, "unknown currency: " + name);
+  return id;
+}
+
+ResourceTypeId need_resource(const Economy& e, const std::string& name, std::size_t line) {
+  const ResourceTypeId id = e.find_resource_type(name);
+  if (!id.valid()) fail(line, "unknown resource: " + name);
+  return id;
+}
+
+}  // namespace
+
+Economy read_economy(std::istream& is) {
+  Economy e;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream ss(line);
+    std::string directive;
+    if (!(ss >> directive)) continue;  // blank line
+
+    std::vector<std::string> args;
+    std::string tok;
+    while (ss >> tok) args.push_back(tok);
+
+    try {
+      if (directive == "resource") {
+        if (args.empty()) fail(lineno, "resource needs a name");
+        e.add_resource_type(args[0], args.size() > 1 ? args[1] : "");
+      } else if (directive == "principal") {
+        if (args.empty()) fail(lineno, "principal needs a name");
+        e.add_principal(args[0], args.size() > 1 ? std::stod(args[1]) : 100.0);
+      } else if (directive == "virtual") {
+        if (args.size() < 2) fail(lineno, "virtual needs: owner name [face]");
+        const PrincipalId owner = e.find_principal(args[0]);
+        if (!owner.valid()) fail(lineno, "unknown principal: " + args[0]);
+        e.create_virtual_currency(owner, args[1], args.size() > 2 ? std::stod(args[2]) : 100.0);
+      } else if (directive == "fund") {
+        if (args.size() < 3) fail(lineno, "fund needs: currency resource amount");
+        e.fund_with_resource(need_currency(e, args[0], lineno),
+                             need_resource(e, args[1], lineno), std::stod(args[2]));
+      } else if (directive == "abs") {
+        if (args.size() < 4) fail(lineno, "abs needs: from to resource amount [grant]");
+        const SharingMode mode = args.size() > 4 && args[4] == "grant"
+                                     ? SharingMode::Granting
+                                     : SharingMode::Sharing;
+        e.issue_absolute(need_currency(e, args[0], lineno), need_currency(e, args[1], lineno),
+                         need_resource(e, args[2], lineno), std::stod(args[3]), mode);
+      } else if (directive == "rel") {
+        if (args.size() < 3) fail(lineno, "rel needs: from to face [resource|*] [grant]");
+        ResourceTypeId resource;  // invalid => all resources
+        SharingMode mode = SharingMode::Sharing;
+        for (std::size_t i = 3; i < args.size(); ++i) {
+          if (args[i] == "grant") mode = SharingMode::Granting;
+          else if (args[i] != "*") resource = need_resource(e, args[i], lineno);
+        }
+        e.issue_relative(need_currency(e, args[0], lineno), need_currency(e, args[1], lineno),
+                         std::stod(args[2]), resource, mode);
+      } else {
+        fail(lineno, "unknown directive: " + directive);
+      }
+    } catch (const PreconditionError& err) {
+      fail(lineno, err.what());
+    } catch (const std::invalid_argument&) {
+      fail(lineno, "malformed number");
+    }
+  }
+  return e;
+}
+
+Economy load_economy(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw IoError("cannot open economy spec: " + path);
+  return read_economy(f);
+}
+
+void write_economy(std::ostream& os, const Economy& e) {
+  os << "# agora economy spec v1\n";
+  for (std::size_t r = 0; r < e.num_resource_types(); ++r) {
+    const ResourceType& rt = e.resource_type(ResourceTypeId(r));
+    os << "resource " << rt.name;
+    if (!rt.unit.empty()) os << " " << rt.unit;
+    os << "\n";
+  }
+  for (std::size_t p = 0; p < e.num_principals(); ++p) {
+    const Principal& pr = e.principal(PrincipalId(p));
+    os << "principal " << pr.name << " " << e.currency(pr.default_currency).face_value << "\n";
+  }
+  for (std::size_t c = 0; c < e.num_currencies(); ++c) {
+    const Currency& cur = e.currency(CurrencyId(c));
+    if (cur.kind != CurrencyKind::Virtual) continue;
+    os << "virtual " << e.principal(cur.owner).name << " " << cur.name << " "
+       << cur.face_value << "\n";
+  }
+  for (std::size_t t = 0; t < e.num_tickets(); ++t) {
+    const Ticket& tk = e.ticket(TicketId(t));
+    if (tk.revoked) continue;
+    const std::string target = e.currency(tk.target).name;
+    switch (tk.kind) {
+      case TicketKind::BaseResource:
+        os << "fund " << target << " " << e.resource_type(tk.resource).name << " " << tk.face
+           << "\n";
+        break;
+      case TicketKind::Absolute:
+        os << "abs " << e.currency(tk.issuer).name << " " << target << " "
+           << e.resource_type(tk.resource).name << " " << tk.face
+           << (tk.mode == SharingMode::Granting ? " grant" : "") << "\n";
+        break;
+      case TicketKind::Relative:
+        os << "rel " << e.currency(tk.issuer).name << " " << target << " " << tk.face << " "
+           << (tk.resource.valid() ? e.resource_type(tk.resource).name : std::string("*"))
+           << (tk.mode == SharingMode::Granting ? " grant" : "") << "\n";
+        break;
+    }
+  }
+}
+
+void save_economy(const std::string& path, const Economy& e) {
+  std::ofstream f(path);
+  if (!f) throw IoError("cannot open for writing: " + path);
+  write_economy(f, e);
+  if (!f) throw IoError("write failed: " + path);
+}
+
+}  // namespace agora::core

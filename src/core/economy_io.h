@@ -1,0 +1,47 @@
+// economy_io.h -- a human-writable text format for economies, so agreements
+// can be inspected, versioned and fed to the tools without writing C++.
+//
+// Format: one directive per line, '#' comments. Names are unqualified
+// identifiers (no spaces). All directives:
+//
+//   resource  <name> [unit]
+//   principal <name> [currency_face_value=100]
+//   virtual   <owner> <currency_name> [face_value=100]
+//   fund      <currency> <resource> <amount>
+//   abs       <from_currency> <to_currency> <resource> <amount> [grant]
+//   rel       <from_currency> <to_currency> <face> [resource|*] [grant]
+//
+// `rel ... *` (or omitting the resource) conveys every resource. Appending
+// `grant` makes the agreement Granting rather than Sharing. Example 1 of
+// the paper:
+//
+//   resource disk TB
+//   principal A 1000
+//   principal B 100
+//   principal C
+//   principal D
+//   fund A disk 10
+//   fund B disk 15
+//   abs A C disk 3
+//   rel A B 500 disk
+//   rel B D 60 disk
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/economy.h"
+
+namespace agora::core {
+
+/// Parse an economy from the text format. Throws IoError with a line number
+/// on malformed input.
+Economy read_economy(std::istream& is);
+Economy load_economy(const std::string& path);
+
+/// Serialize (round-trips through read_economy; revoked tickets are
+/// omitted).
+void write_economy(std::ostream& os, const Economy& e);
+void save_economy(const std::string& path, const Economy& e);
+
+}  // namespace agora::core

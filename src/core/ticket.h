@@ -1,0 +1,60 @@
+// ticket.h -- tickets: the paper's uniform representation of both resource
+// capacity and sharing agreements.
+//
+// Three ticket roles exist in an economy (Section 2.2 of the paper):
+//
+//   * BaseResource -- an absolute ticket representing actual capacity, e.g.
+//     "10 TB of disk", funding the owner's currency (A-Ticket1/2 in Fig. 1).
+//   * Absolute agreement -- a fixed-quantity ticket issued by one currency
+//     and backing another (R-Ticket3: A shares 3 TB with C).
+//   * Relative agreement -- a ticket whose real value floats with the value
+//     of the issuing currency (R-Ticket4: A shares 50% with B).
+//
+// Agreements additionally carry the paper's taxonomy dimension of
+// *sharing* vs *granting*: under sharing both grantor and grantee may use
+// the capacity; under granting the grantor relinquishes it until revocation.
+#pragma once
+
+#include <string>
+
+#include "core/ids.h"
+
+namespace agora::core {
+
+enum class TicketKind {
+  BaseResource,  ///< absolute capacity owned outright, no issuer
+  Absolute,      ///< agreement for a fixed quantity
+  Relative,      ///< agreement for a share of the issuing currency's value
+};
+
+enum class SharingMode {
+  Sharing,   ///< grantor retains the right to use the resource too
+  Granting,  ///< grantor gives the resource up while the agreement stands
+};
+
+struct Ticket {
+  TicketId id;
+  TicketKind kind = TicketKind::BaseResource;
+  SharingMode mode = SharingMode::Sharing;
+  std::string name;
+
+  /// Resource this ticket is denominated in. For Relative tickets this may
+  /// be invalid(), meaning the ticket conveys a share of *every* resource
+  /// backing the issuing currency.
+  ResourceTypeId resource;
+
+  /// Issuing currency; invalid() for BaseResource tickets.
+  CurrencyId issuer;
+  /// Currency this ticket funds (backs).
+  CurrencyId target;
+
+  /// Face value: actual quantity for BaseResource/Absolute tickets, the
+  /// issued denomination (out of the issuer's face value) for Relative.
+  double face = 0.0;
+
+  bool revoked = false;
+
+  bool is_agreement() const { return kind != TicketKind::BaseResource; }
+};
+
+}  // namespace agora::core

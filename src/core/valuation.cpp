@@ -1,0 +1,125 @@
+#include "core/valuation.h"
+
+#include <cmath>
+
+namespace agora::core {
+
+namespace {
+
+/// Share of the issuer's value conveyed by a live relative ticket.
+double ticket_share(const Economy& e, const Ticket& t) {
+  const double f = e.currency(t.issuer).face_value;
+  AGORA_INVARIANT(f > 0.0, "currency face value must be positive");
+  return t.face / f;
+}
+
+/// True when ticket t conveys resource r.
+bool conveys(const Ticket& t, ResourceTypeId r) {
+  return !t.resource.valid() || t.resource == r;
+}
+
+}  // namespace
+
+double Valuation::currency_total(CurrencyId c) const {
+  double s = 0.0;
+  for (std::size_t r = 0; r < values_.cols(); ++r) s += values_(c.value, r);
+  return s;
+}
+
+Valuation value_economy(const Economy& e, const ValuationOptions& opts) {
+  const std::size_t nc = e.num_currencies();
+  const std::size_t nr = e.num_resource_types();
+  const std::size_t nt = e.num_tickets();
+
+  Valuation val;
+  val.values_ = Matrix(nc, nr);
+  val.ticket_values_ = Matrix(nt, nr);
+  if (nc == 0 || nr == 0) return val;
+
+  // Constant part a (base + absolute backing) and share matrix M, built
+  // once; M is resource-independent except for resource-typed relative
+  // tickets, so build a per-resource mask lazily only if any exist.
+  Matrix a(nc, nr);
+  for (std::size_t ti = 0; ti < nt; ++ti) {
+    const Ticket& t = e.ticket(TicketId(ti));
+    if (t.revoked) continue;
+    switch (t.kind) {
+      case TicketKind::BaseResource:
+      case TicketKind::Absolute:
+        a(t.target.value, t.resource.value) += t.face;
+        break;
+      case TicketKind::Relative:
+        break;  // handled per-resource below
+    }
+  }
+
+  for (std::size_t r = 0; r < nr; ++r) {
+    const ResourceTypeId rid{r};
+    // M for this resource: M[target][issuer] += share.
+    Matrix m(nc, nc);
+    for (std::size_t ti = 0; ti < nt; ++ti) {
+      const Ticket& t = e.ticket(TicketId(ti));
+      if (t.revoked || t.kind != TicketKind::Relative) continue;
+      if (!conveys(t, rid)) continue;
+      m(t.target.value, t.issuer.value) += ticket_share(e, t);
+    }
+
+    std::vector<double> ar(nc);
+    for (std::size_t c = 0; c < nc; ++c) ar[c] = a(c, r);
+
+    std::vector<double> v;
+    if (opts.method == ValuationMethod::Direct) {
+      Matrix system = Matrix::identity(nc) - m;
+      LuFactorization lu(system);
+      if (lu.singular())
+        throw InternalError(
+            "currency valuation has no unique fix point (relative shares sum to "
+            ">= 1 around a cycle)");
+      v = lu.solve(ar);
+    } else {
+      v.assign(nc, 0.0);
+      std::vector<double> next(nc);
+      std::uint32_t it = 0;
+      for (;; ++it) {
+        if (it >= opts.max_iterations)
+          throw InternalError("currency valuation fix-point iteration did not converge");
+        for (std::size_t c = 0; c < nc; ++c) {
+          double s = ar[c];
+          for (std::size_t i = 0; i < nc; ++i) {
+            const double mc = m.at_unchecked(c, i);
+            if (mc != 0.0) s += mc * v[i];
+          }
+          next[c] = s;
+        }
+        const double diff = linf_distance(v, next);
+        v = next;
+        if (diff < opts.tolerance) break;
+      }
+    }
+
+    for (std::size_t c = 0; c < nc; ++c) {
+      // Negative values can only arise from numerical noise; clamp.
+      val.values_(c, r) = v[c] < 0.0 && v[c] > -1e-9 ? 0.0 : v[c];
+      AGORA_INVARIANT(val.values_(c, r) >= 0.0, "negative currency value");
+    }
+
+    // Ticket real values for this resource.
+    for (std::size_t ti = 0; ti < nt; ++ti) {
+      const Ticket& t = e.ticket(TicketId(ti));
+      if (t.revoked) continue;
+      switch (t.kind) {
+        case TicketKind::BaseResource:
+        case TicketKind::Absolute:
+          if (t.resource == rid) val.ticket_values_(ti, r) = t.face;
+          break;
+        case TicketKind::Relative:
+          if (conveys(t, rid))
+            val.ticket_values_(ti, r) = ticket_share(e, t) * v[t.issuer.value];
+          break;
+      }
+    }
+  }
+  return val;
+}
+
+}  // namespace agora::core

@@ -1,0 +1,74 @@
+// valuation.h -- pricing the economy: compute the dynamic value of every
+// currency and the real value of every ticket (Section 2.2).
+//
+// Per resource type r, currency values satisfy the linear fix-point
+//
+//     v_r(c) = base_r(c) + abs_r(c) + sum over live relative tickets t
+//              backing c of  v_r(issuer(t)) * face(t) / face_value(issuer(t))
+//
+// i.e. v_r = a_r + M v_r with M the share matrix. We solve (I - M) v = a
+// directly by LU factorization (Direct), or by damped fix-point iteration
+// (FixPoint) -- the latter exists both as a scalability escape hatch and as
+// an independent implementation the tests cross-check against.
+//
+// Currency values are *claims*: with sharing semantics (both parties may use
+// the resource) the sum of currency values legitimately exceeds the physical
+// capacity. Enforcement against physical capacity is the allocator's job
+// (src/agree, src/alloc).
+#pragma once
+
+#include <cstdint>
+
+#include "core/economy.h"
+#include "util/matrix.h"
+
+namespace agora::core {
+
+enum class ValuationMethod {
+  Direct,    ///< LU solve of (I - M) v = a; exact
+  FixPoint,  ///< Jacobi iteration v <- a + M v until convergence
+};
+
+struct ValuationOptions {
+  ValuationMethod method = ValuationMethod::Direct;
+  /// FixPoint: stop when successive iterates differ by less than this.
+  double tolerance = 1e-12;
+  /// FixPoint: iteration cap (exceeded => InternalError; indicates shares
+  /// summing to >= 1 around a cycle).
+  std::uint32_t max_iterations = 100000;
+};
+
+/// A snapshot of currency and ticket values at one instant. Invalidated by
+/// any Economy mutation; recompute via value_economy().
+class Valuation {
+ public:
+  /// Value of `currency` in terms of `resource`.
+  double currency_value(CurrencyId c, ResourceTypeId r) const {
+    return values_(c.value, r.value);
+  }
+
+  /// Real value of a ticket in terms of `resource` (0 for revoked tickets
+  /// and for resources the ticket does not convey).
+  double ticket_value(TicketId t, ResourceTypeId r) const {
+    return ticket_values_(t.value, r.value);
+  }
+
+  /// Sum of a currency's value across all resources (meaningful when the
+  /// economy collapses everything into one "general" resource, as the
+  /// paper's case study does).
+  double currency_total(CurrencyId c) const;
+
+  std::size_t num_currencies() const { return values_.rows(); }
+  std::size_t num_resources() const { return values_.cols(); }
+
+ private:
+  friend Valuation value_economy(const Economy&, const ValuationOptions&);
+  Matrix values_;         // currencies x resources
+  Matrix ticket_values_;  // tickets x resources
+};
+
+/// Price the economy. Throws InternalError when the relative-share structure
+/// has no finite fix point (shares around a cycle summing to >= 1).
+Valuation value_economy(const Economy& e, const ValuationOptions& opts = {});
+
+}  // namespace agora::core

@@ -1,0 +1,137 @@
+#include "fluid/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+namespace agora::fluid {
+
+double FluidResult::peak_wait() const {
+  double peak = 0.0;
+  for (double w : wait_estimate.flat()) peak = std::max(peak, w);
+  return peak;
+}
+
+double FluidResult::mean_wait(const std::vector<std::vector<double>>& demand) const {
+  double weighted = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < demand.size(); ++i) {
+    for (std::size_t t = 0; t < demand[i].size() && t < wait_estimate.rows(); ++t) {
+      weighted += demand[i][t] * wait_estimate(t, i);
+      total += demand[i][t];
+    }
+  }
+  return total > 0.0 ? weighted / total : 0.0;
+}
+
+FluidResult plan(const FluidConfig& cfg, const std::vector<std::vector<double>>& demand) {
+  const std::size_t n = demand.size();
+  const std::size_t slots = cfg.num_slots();
+  AGORA_REQUIRE(n > 0, "fluid planner needs at least one proxy");
+  AGORA_REQUIRE(cfg.power.empty() || cfg.power.size() == n,
+                "power vector must match proxy count");
+  std::vector<double> power = cfg.power.empty() ? std::vector<double>(n, 1.0) : cfg.power;
+  for (const auto& d : demand) {
+    AGORA_REQUIRE(d.size() == slots, "demand series length must equal num_slots()");
+    for (double v : d) AGORA_REQUIRE(v >= 0.0 && std::isfinite(v), "demand must be >= 0");
+  }
+
+  const bool sharing = cfg.agreements.rows() == n && cfg.agreements.cols() == n;
+  // One allocator reused across slots; capacities refresh per slot.
+  std::unique_ptr<alloc::Allocator> allocator;
+  if (sharing) {
+    agree::AgreementSystem sys(n);
+    sys.relative = cfg.agreements;
+    allocator = std::make_unique<alloc::Allocator>(std::move(sys), cfg.alloc_opts);
+  }
+
+  FluidResult res;
+  res.backlog = Matrix(slots, n);
+  res.moved = Matrix(slots, n);
+  res.received = Matrix(slots, n);
+  res.wait_estimate = Matrix(slots, n);
+
+  std::vector<double> backlog(n, 0.0);
+  for (std::size_t t = 0; t < slots; ++t) {
+    // Work present this slot and capacity available.
+    std::vector<double> inflow(n), capacity(n), spare(n), surplus(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      inflow[i] = backlog[i] + demand[i][t];
+      capacity[i] = power[i] * cfg.slot_width;
+      surplus[i] = inflow[i] - capacity[i];
+      spare[i] = std::max(0.0, -surplus[i]);
+    }
+
+    if (sharing) {
+      // Redistribute overloaded proxies' overflow (largest first) via the
+      // allocation LP against the remaining spares; repeat a few passes so
+      // work can *relay* through moderately busy intermediaries the way it
+      // does in the discrete simulator.
+      for (std::size_t pass = 0; pass < std::max<std::size_t>(1, cfg.relay_passes); ++pass) {
+        double moved_this_pass = 0.0;
+        std::vector<std::size_t> order(n);
+        std::iota(order.begin(), order.end(), 0);
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) { return surplus[a] > surplus[b]; });
+        for (std::size_t idx : order) {
+          const double overflow = surplus[idx] - cfg.backlog_threshold;
+          if (overflow <= 0.0) continue;
+          // The origin itself has no spare (it is overloaded); exclude it
+          // so the LP draws only on remote spare.
+          std::vector<double> remote_spare = spare;
+          remote_spare[idx] = 0.0;
+          allocator->set_capacities(remote_spare);
+          const double reachable = allocator->available_to(idx);
+          // Work placed remotely inflates by the overhead fraction.
+          const double x = std::min(overflow / (1.0 + cfg.overhead_fraction),
+                                    reachable * (1.0 - 1e-9));
+          if (x <= 1e-12) continue;
+          const alloc::AllocationPlan plan_result = allocator->allocate(idx, x);
+          if (!plan_result.satisfied()) continue;
+          for (std::size_t k = 0; k < n; ++k) {
+            const double landed = plan_result.draw[k] * (1.0 + cfg.overhead_fraction);
+            if (k == idx || landed <= 0.0) continue;
+            spare[k] = std::max(0.0, spare[k] - landed);
+            inflow[k] += landed;
+            surplus[k] += landed;
+            res.received(t, k) += landed;
+          }
+          inflow[idx] -= x;
+          surplus[idx] -= x;
+          res.moved(t, idx) += x;
+          moved_this_pass += x;
+        }
+        if (moved_this_pass <= 1e-9) break;
+      }
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const double served = std::min(inflow[i], capacity[i]);
+      const double end_backlog = inflow[i] - served;
+      // Mean wait for this slot's demand: average of start/end backlog over
+      // the service rate (fluid FIFO delay).
+      const double start_backlog = backlog[i];
+      res.wait_estimate(t, i) =
+          0.5 * (start_backlog + end_backlog) / (power[i] > 0.0 ? power[i] : 1.0);
+      backlog[i] = end_backlog;
+      res.backlog(t, i) = end_backlog;
+    }
+  }
+  return res;
+}
+
+std::vector<double> expected_demand_per_slot(double peak_rate, double mean_request_demand,
+                                             const std::vector<double>& slot_weights,
+                                             double slot_width, std::size_t shift_slots) {
+  AGORA_REQUIRE(!slot_weights.empty(), "need slot weights");
+  const std::size_t s = slot_weights.size();
+  std::vector<double> out(s);
+  for (std::size_t t = 0; t < s; ++t) {
+    const std::size_t src = (t + s - (shift_slots % s)) % s;
+    out[t] = peak_rate * slot_weights[src] * slot_width * mean_request_demand;
+  }
+  return out;
+}
+
+}  // namespace agora::fluid

@@ -1,0 +1,88 @@
+// planner.h -- a fluid (deterministic) approximation of the proxy case
+// study for fast what-if analysis.
+//
+// Where the discrete-event simulator (src/proxysim) tracks every request,
+// the fluid planner works on *work rates*: per 10-minute slot, each proxy
+// receives a known amount of demand (unit-power service seconds), serves up
+// to its capacity, and carries the rest as backlog. When a proxy's backlog
+// exceeds its threshold, the same Section-3 allocation LP used by the
+// simulator redistributes the overflow to proxies with spare slot capacity
+// -- so agreement topologies, transitivity levels, and overheads can be
+// compared in milliseconds instead of seconds (micro_fluid quantifies both
+// the speedup and the approximation error against the simulator).
+//
+// This is the "planning" use of the paper's model: ISPs know their diurnal
+// demand curves, so next-day contracts can be evaluated offline.
+//
+// Approximation limits: the fluid recursion moves overflow within a slot in
+// `relay_passes` sweeps, so multi-hop relief that the discrete simulator
+// achieves by *displacement over time* (a moderately busy intermediary
+// sheds its own forecast arrivals to make room) is only partially captured
+// under direct-only (level 1) enforcement on sparse topologies. The fluid
+// estimate is conservative there: it overstates congestion, never hides it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "util/matrix.h"
+
+namespace agora::fluid {
+
+struct FluidConfig {
+  double horizon = 86400.0;
+  double slot_width = 600.0;
+  /// Relative agreement matrix between proxies (empty = no sharing).
+  Matrix agreements;
+  alloc::AllocatorOptions alloc_opts;
+  /// Per-proxy processing power (empty = all 1.0).
+  std::vector<double> power;
+  /// Backlog (unit-power seconds) a proxy tolerates before redistributing.
+  double backlog_threshold = 5.0;
+  /// Fraction of moved work added as redirection overhead
+  /// (= redirect_cost / mean request demand in the discrete model).
+  double overhead_fraction = 0.0;
+  /// Redistribution sweeps per slot. One pass moves each proxy's overflow
+  /// once; additional passes model the *relay* effect the discrete
+  /// simulator exhibits (a donor that received work sheds its own fresh
+  /// arrivals onward within the same slot). Work is fungible in the fluid
+  /// view, so relaying is displacement, not re-redirection of a request.
+  std::size_t relay_passes = 8;
+
+  std::size_t num_slots() const {
+    return static_cast<std::size_t>(horizon / slot_width + 0.5);
+  }
+};
+
+struct FluidResult {
+  /// backlog(t, i): unserved work at proxy i at the END of slot t.
+  Matrix backlog;
+  /// moved(t, i): work moved AWAY from proxy i during slot t.
+  Matrix moved;
+  /// received(t, i): work moved TO proxy i during slot t (incl. overhead).
+  Matrix received;
+  /// Estimated mean wait for demand arriving in slot t at proxy i
+  /// (fluid approximation: average backlog over the slot / service rate).
+  Matrix wait_estimate;
+
+  /// Largest per-slot wait estimate across proxies and slots.
+  double peak_wait() const;
+  /// Demand-weighted mean wait estimate given the demand matrix used.
+  double mean_wait(const std::vector<std::vector<double>>& demand) const;
+};
+
+/// Run the fluid recursion. `demand[i][t]` is the work (unit-power seconds)
+/// arriving at proxy i during slot t; each proxy needs `num_slots()` entries.
+/// The final backlogs drain in-place over extra virtual slots so totals
+/// balance.
+FluidResult plan(const FluidConfig& cfg, const std::vector<std::vector<double>>& demand);
+
+/// Convenience: expected per-slot demand implied by a trace generator
+/// profile (rate * mean demand per request, per slot), for `proxy_shift`
+/// slots of cyclic time shift.
+std::vector<double> expected_demand_per_slot(double peak_rate, double mean_request_demand,
+                                             const std::vector<double>& slot_weights,
+                                             double slot_width, std::size_t shift_slots);
+
+}  // namespace agora::fluid

@@ -1,0 +1,27 @@
+// brute_force.h -- exhaustive basic-solution enumeration for tiny LPs.
+//
+// The fundamental theorem of LP says an optimum (when one exists) is attained
+// at a basic feasible solution, i.e. at some choice of m basis columns of the
+// standard-form matrix. Enumerating all C(n, m) bases is exponential but
+// exact, which makes it the perfect oracle for testing the simplex solvers
+// on small random instances.
+#pragma once
+
+#include "lp/problem.h"
+#include "lp/result.h"
+
+namespace agora::lp {
+
+struct BruteForceOptions {
+  /// Give up (throw PreconditionError) if the number of bases exceeds this.
+  std::uint64_t max_bases = 5'000'000;
+  double tol = 1e-9;
+};
+
+/// Exact solve by basis enumeration. Distinguishes Infeasible (no basic
+/// feasible solution) from Optimal. NOTE: cannot detect unboundedness -- it
+/// reports the best *basic* solution, so only use it on problems known to be
+/// bounded (tests arrange this).
+SolveResult brute_force_solve(const Problem& p, BruteForceOptions opts = {});
+
+}  // namespace agora::lp

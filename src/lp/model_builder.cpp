@@ -1,0 +1,67 @@
+#include "lp/model_builder.h"
+
+#include <algorithm>
+
+namespace agora::lp {
+
+void LinExpr::add_term(Var v, double coeff) {
+  AGORA_REQUIRE(v.valid(), "expression uses an invalid variable handle");
+  terms_.emplace_back(v.index, coeff);
+}
+
+LinExpr& LinExpr::operator+=(const LinExpr& o) {
+  terms_.insert(terms_.end(), o.terms_.begin(), o.terms_.end());
+  constant_ += o.constant_;
+  return *this;
+}
+
+LinExpr& LinExpr::operator-=(const LinExpr& o) {
+  for (const auto& [idx, c] : o.terms_) terms_.emplace_back(idx, -c);
+  constant_ -= o.constant_;
+  return *this;
+}
+
+LinExpr& LinExpr::operator*=(double s) {
+  for (auto& [idx, c] : terms_) c *= s;
+  constant_ *= s;
+  return *this;
+}
+
+LinExpr sum(const std::vector<Var>& vars) {
+  LinExpr e;
+  for (Var v : vars) e.add_term(v, 1.0);
+  return e;
+}
+
+Var ModelBuilder::add_var(const std::string& name, double lo, double hi) {
+  return Var{problem_.add_variable(name, lo, hi, 0.0)};
+}
+
+std::vector<Var> ModelBuilder::add_vars(const std::string& prefix, std::size_t n, double lo,
+                                        double hi) {
+  std::vector<Var> vs;
+  vs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    vs.push_back(add_var(prefix + "[" + std::to_string(i) + "]", lo, hi));
+  return vs;
+}
+
+std::size_t ModelBuilder::add(const RelExpr& rel, const std::string& name) {
+  // rel.lhs holds (lhs - rhs); the constraint is lhs_terms REL -constant.
+  std::vector<std::pair<std::size_t, double>> terms = rel.lhs.terms();
+  return problem_.add_constraint_sparse(terms, rel.rel, -rel.lhs.constant(), name);
+}
+
+void ModelBuilder::set_objective(const LinExpr& e, Sense sense) {
+  problem_.set_sense(sense);
+  // Reset then accumulate (expressions may mention a variable twice).
+  for (std::size_t j = 0; j < problem_.num_variables(); ++j) problem_.set_objective_coeff(j, 0.0);
+  for (const auto& [idx, c] : e.terms())
+    problem_.set_objective_coeff(idx, problem_.objective_coeff(idx) + c);
+  obj_constant_ = e.constant();
+}
+
+void ModelBuilder::minimize(const LinExpr& e) { set_objective(e, Sense::Minimize); }
+void ModelBuilder::maximize(const LinExpr& e) { set_objective(e, Sense::Maximize); }
+
+}  // namespace agora::lp

@@ -1,0 +1,108 @@
+// model_builder.h -- a small algebraic modeling layer over lp::Problem.
+//
+// Lets the allocation engine write constraints the way the paper writes
+// them:
+//
+//   ModelBuilder mb(Sense::Minimize);
+//   Var theta = mb.add_var("theta", 0.0);
+//   std::vector<Var> d = mb.add_vars("d", n, 0.0);
+//   mb.add(sum(d) == x);
+//   for (...) mb.add(expr <= cap);
+//   mb.minimize(theta);
+//
+// Expressions are dense over the variables added so far; fine for the model
+// sizes agora builds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lp/problem.h"
+
+namespace agora::lp {
+
+class ModelBuilder;
+
+/// Handle to a model variable.
+struct Var {
+  std::size_t index = static_cast<std::size_t>(-1);
+  bool valid() const { return index != static_cast<std::size_t>(-1); }
+};
+
+/// A linear expression: coefficient per variable index plus a constant.
+class LinExpr {
+ public:
+  LinExpr() = default;
+  /*implicit*/ LinExpr(double constant) : constant_(constant) {}
+  /*implicit*/ LinExpr(Var v) { add_term(v, 1.0); }
+
+  void add_term(Var v, double coeff);
+  double constant() const { return constant_; }
+  const std::vector<std::pair<std::size_t, double>>& terms() const { return terms_; }
+
+  LinExpr& operator+=(const LinExpr& o);
+  LinExpr& operator-=(const LinExpr& o);
+  LinExpr& operator*=(double s);
+
+  friend LinExpr operator+(LinExpr a, const LinExpr& b) { return a += b; }
+  friend LinExpr operator-(LinExpr a, const LinExpr& b) { return a -= b; }
+  friend LinExpr operator*(LinExpr a, double s) { return a *= s; }
+  friend LinExpr operator*(double s, LinExpr a) { return a *= s; }
+  friend LinExpr operator-(LinExpr a) { return a *= -1.0; }
+
+ private:
+  std::vector<std::pair<std::size_t, double>> terms_;
+  double constant_ = 0.0;
+};
+
+inline LinExpr operator*(Var v, double s) { return LinExpr(v) * s; }
+inline LinExpr operator*(double s, Var v) { return LinExpr(v) * s; }
+
+/// A relational expression awaiting ModelBuilder::add.
+struct RelExpr {
+  LinExpr lhs;
+  Relation rel;
+  // rhs folded into lhs constant; kept implicit.
+};
+
+inline RelExpr operator<=(LinExpr a, const LinExpr& b) {
+  return RelExpr{a -= b, Relation::LessEqual};
+}
+inline RelExpr operator>=(LinExpr a, const LinExpr& b) {
+  return RelExpr{a -= b, Relation::GreaterEqual};
+}
+inline RelExpr operator==(LinExpr a, const LinExpr& b) {
+  return RelExpr{a -= b, Relation::Equal};
+}
+
+/// Sum of a vector of variables.
+LinExpr sum(const std::vector<Var>& vars);
+
+class ModelBuilder {
+ public:
+  explicit ModelBuilder(Sense sense = Sense::Minimize) : problem_(sense) {}
+
+  Var add_var(const std::string& name, double lo = 0.0, double hi = kInfinity);
+  std::vector<Var> add_vars(const std::string& prefix, std::size_t n, double lo = 0.0,
+                            double hi = kInfinity);
+
+  /// Add a relational constraint built from expressions.
+  std::size_t add(const RelExpr& rel, const std::string& name = "");
+
+  /// Set the objective from an expression (constant part is remembered and
+  /// added back to reported objectives by the caller if needed).
+  void minimize(const LinExpr& e);
+  void maximize(const LinExpr& e);
+
+  Problem& problem() { return problem_; }
+  const Problem& problem() const { return problem_; }
+  double objective_constant() const { return obj_constant_; }
+
+ private:
+  void set_objective(const LinExpr& e, Sense sense);
+
+  Problem problem_;
+  double obj_constant_ = 0.0;
+};
+
+}  // namespace agora::lp

@@ -1,0 +1,176 @@
+#include "lp/presolve.h"
+
+#include <cmath>
+
+namespace agora::lp {
+
+namespace {
+
+constexpr double kTol = 1e-11;
+
+/// Working copy of the problem with erasable rows/vars.
+struct Work {
+  Sense sense;
+  std::vector<double> cost, lo, hi;
+  std::vector<std::string> names;
+  std::vector<Constraint> rows;
+  std::vector<bool> var_alive, row_alive;
+  std::vector<double> fixed_at;  // valid where !var_alive
+  bool infeasible = false;
+
+  explicit Work(const Problem& p) : sense(p.sense()) {
+    const std::size_t nv = p.num_variables();
+    cost.resize(nv);
+    lo.resize(nv);
+    hi.resize(nv);
+    names.resize(nv);
+    for (std::size_t j = 0; j < nv; ++j) {
+      cost[j] = p.objective_coeff(j);
+      lo[j] = p.lower_bound(j);
+      hi[j] = p.upper_bound(j);
+      names[j] = p.variable_name(j);
+    }
+    rows.reserve(p.num_constraints());
+    for (std::size_t i = 0; i < p.num_constraints(); ++i) rows.push_back(p.constraint(i));
+    var_alive.assign(nv, true);
+    row_alive.assign(rows.size(), true);
+    fixed_at.assign(nv, 0.0);
+  }
+
+  void fix_variable(std::size_t j, double v) {
+    var_alive[j] = false;
+    fixed_at[j] = v;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (!row_alive[i]) continue;
+      const double a = rows[i].coeffs[j];
+      if (a == 0.0) continue;
+      rows[i].rhs -= a * v;
+      rows[i].coeffs[j] = 0.0;
+    }
+  }
+
+  bool tighten(std::size_t j, Relation rel, double bound) {
+    switch (rel) {
+      case Relation::LessEqual: hi[j] = std::min(hi[j], bound); break;
+      case Relation::GreaterEqual: lo[j] = std::max(lo[j], bound); break;
+      case Relation::Equal:
+        lo[j] = std::max(lo[j], bound);
+        hi[j] = std::min(hi[j], bound);
+        break;
+    }
+    return lo[j] <= hi[j] + kTol;
+  }
+};
+
+}  // namespace
+
+std::vector<double> PresolveOutcome::postsolve(const std::vector<double>& reduced_x) const {
+  AGORA_REQUIRE(reduced_x.size() == var_origin.size(), "reduced solution has wrong dimension");
+  std::vector<double> x(original_vars, 0.0);
+  for (std::size_t j = 0; j < reduced_x.size(); ++j) x[var_origin[j]] = reduced_x[j];
+  for (const auto& [idx, v] : fixed_values) x[idx] = v;
+  return x;
+}
+
+PresolveOutcome presolve(const Problem& p) {
+  p.validate();
+  Work w(p);
+  PresolveOutcome out;
+  out.original_vars = p.num_variables();
+
+  bool changed = true;
+  while (changed && !w.infeasible) {
+    changed = false;
+
+    // 1. Fixed variables.
+    for (std::size_t j = 0; j < w.var_alive.size(); ++j) {
+      if (!w.var_alive[j]) continue;
+      if (std::isfinite(w.lo[j]) && std::fabs(w.hi[j] - w.lo[j]) <= kTol) {
+        w.fix_variable(j, w.lo[j]);
+        changed = true;
+      }
+    }
+
+    // 2 & 3. Empty and singleton rows.
+    for (std::size_t i = 0; i < w.rows.size(); ++i) {
+      if (!w.row_alive[i]) continue;
+      std::size_t nnz = 0;
+      std::size_t last = 0;
+      for (std::size_t j = 0; j < w.rows[i].coeffs.size(); ++j) {
+        if (w.var_alive[j] && std::fabs(w.rows[i].coeffs[j]) > kTol) {
+          ++nnz;
+          last = j;
+        }
+      }
+      if (nnz == 0) {
+        const double r = w.rows[i].rhs;
+        const bool ok = (w.rows[i].rel == Relation::LessEqual && 0.0 <= r + 1e-9) ||
+                        (w.rows[i].rel == Relation::GreaterEqual && 0.0 >= r - 1e-9) ||
+                        (w.rows[i].rel == Relation::Equal && std::fabs(r) <= 1e-9);
+        if (!ok) w.infeasible = true;
+        w.row_alive[i] = false;
+        changed = true;
+      } else if (nnz == 1) {
+        const double a = w.rows[i].coeffs[last];
+        const double bound = w.rows[i].rhs / a;
+        Relation rel = w.rows[i].rel;
+        if (a < 0.0) {
+          if (rel == Relation::LessEqual) rel = Relation::GreaterEqual;
+          else if (rel == Relation::GreaterEqual) rel = Relation::LessEqual;
+        }
+        if (!w.tighten(last, rel, bound)) w.infeasible = true;
+        w.row_alive[i] = false;
+        changed = true;
+      }
+    }
+  }
+
+  if (w.infeasible) {
+    SolveResult r;
+    r.status = Status::Infeasible;
+    out.decided = r;
+    return out;
+  }
+
+  // Record eliminated variables.
+  for (std::size_t j = 0; j < w.var_alive.size(); ++j)
+    if (!w.var_alive[j]) out.fixed_values.emplace_back(j, w.fixed_at[j]);
+
+  // Rebuild the reduced problem over surviving variables/rows.
+  Problem reduced(w.sense);
+  std::vector<std::size_t> new_index(w.var_alive.size(), static_cast<std::size_t>(-1));
+  for (std::size_t j = 0; j < w.var_alive.size(); ++j) {
+    if (!w.var_alive[j]) continue;
+    new_index[j] = reduced.add_variable(w.names[j], w.lo[j], w.hi[j], w.cost[j]);
+    out.var_origin.push_back(j);
+  }
+
+  if (reduced.num_variables() == 0) {
+    SolveResult r;
+    r.status = Status::Optimal;
+    r.x = out.postsolve({});
+    r.objective = p.objective_value(r.x);
+    // Residual rows were all verified consistent above.
+    out.decided = r;
+    return out;
+  }
+
+  for (std::size_t i = 0; i < w.rows.size(); ++i) {
+    if (!w.row_alive[i]) continue;
+    // 4. Row scaling by the largest surviving coefficient.
+    double scale = 0.0;
+    for (std::size_t j = 0; j < w.rows[i].coeffs.size(); ++j)
+      if (w.var_alive[j]) scale = std::max(scale, std::fabs(w.rows[i].coeffs[j]));
+    AGORA_INVARIANT(scale > 0.0, "empty rows were removed above");
+    std::vector<double> coeffs(reduced.num_variables(), 0.0);
+    for (std::size_t j = 0; j < w.rows[i].coeffs.size(); ++j)
+      if (w.var_alive[j]) coeffs[new_index[j]] = w.rows[i].coeffs[j] / scale;
+    reduced.add_constraint(std::move(coeffs), w.rows[i].rel, w.rows[i].rhs / scale,
+                           w.rows[i].name);
+  }
+
+  out.reduced = std::move(reduced);
+  return out;
+}
+
+}  // namespace agora::lp

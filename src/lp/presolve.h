@@ -1,0 +1,57 @@
+// presolve.h -- lightweight LP presolve: removes trivially determined
+// structure before the simplex sees the problem, and maps solutions back.
+//
+// Reductions applied (in a loop until a fixed point):
+//   1. fixed variables (lo == hi) are substituted out,
+//   2. empty constraint rows are checked for consistency and dropped,
+//   3. singleton rows (one nonzero coefficient) are folded into bounds,
+//   4. rows are scaled by their largest |coefficient| (numerical hygiene).
+//
+// The paper notes that "the complexity of the linear programming model can
+// be reduced by exploiting additional structure in commonly encountered
+// agreement graphs"; presolve is the generic half of that observation (the
+// hierarchical multi-grid allocator in src/alloc is the structured half).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "lp/problem.h"
+#include "lp/result.h"
+
+namespace agora::lp {
+
+struct PresolveOutcome {
+  /// Set when presolve alone decided the problem (infeasible, or every
+  /// variable fixed).
+  std::optional<SolveResult> decided;
+  /// The reduced problem (valid when !decided).
+  Problem reduced;
+  /// reduced variable index -> original variable index.
+  std::vector<std::size_t> var_origin;
+  /// Values of variables eliminated during presolve (by original index).
+  std::vector<std::pair<std::size_t, double>> fixed_values;
+  /// Original variable count.
+  std::size_t original_vars = 0;
+
+  /// Map a solution of `reduced` back to the original variable space.
+  std::vector<double> postsolve(const std::vector<double>& reduced_x) const;
+};
+
+PresolveOutcome presolve(const Problem& p);
+
+/// Convenience: presolve, solve the reduced problem with the given solver
+/// callable (Problem -> SolveResult), postsolve the answer.
+template <typename Solver>
+SolveResult solve_with_presolve(const Problem& p, const Solver& solver) {
+  PresolveOutcome out = presolve(p);
+  if (out.decided) return *out.decided;
+  SolveResult r = solver(out.reduced);
+  if (r.status == Status::Optimal) {
+    r.x = out.postsolve(r.x);
+    r.objective = p.objective_value(r.x);
+  }
+  return r;
+}
+
+}  // namespace agora::lp

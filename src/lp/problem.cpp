@@ -1,0 +1,97 @@
+#include "lp/problem.h"
+
+#include <cmath>
+
+namespace agora::lp {
+
+std::size_t Problem::add_variable(const std::string& name, double lo, double hi, double cost) {
+  AGORA_REQUIRE(!(lo > hi), "variable bounds inverted: " + name);
+  AGORA_REQUIRE(!std::isnan(lo) && !std::isnan(hi) && !std::isnan(cost),
+                "NaN in variable definition: " + name);
+  lo_.push_back(lo);
+  hi_.push_back(hi);
+  cost_.push_back(cost);
+  var_names_.push_back(name.empty() ? "x" + std::to_string(lo_.size() - 1) : name);
+  // Pad existing constraints so their coefficient vectors stay dense.
+  for (auto& c : constraints_) c.coeffs.resize(lo_.size(), 0.0);
+  return lo_.size() - 1;
+}
+
+std::size_t Problem::add_constraint(std::vector<double> coeffs, Relation rel, double rhs,
+                                    const std::string& name) {
+  AGORA_REQUIRE(coeffs.size() <= num_variables(), "constraint has more coefficients than variables");
+  AGORA_REQUIRE(!std::isnan(rhs), "NaN rhs in constraint " + name);
+  for (double c : coeffs) AGORA_REQUIRE(!std::isnan(c), "NaN coefficient in constraint " + name);
+  coeffs.resize(num_variables(), 0.0);
+  constraints_.push_back(Constraint{std::move(coeffs), rel, rhs,
+                                    name.empty() ? "c" + std::to_string(constraints_.size()) : name});
+  return constraints_.size() - 1;
+}
+
+std::size_t Problem::add_constraint_sparse(
+    const std::vector<std::pair<std::size_t, double>>& terms, Relation rel, double rhs,
+    const std::string& name) {
+  std::vector<double> coeffs(num_variables(), 0.0);
+  for (const auto& [idx, v] : terms) {
+    AGORA_REQUIRE(idx < num_variables(), "sparse term references unknown variable");
+    coeffs[idx] += v;
+  }
+  return add_constraint(std::move(coeffs), rel, rhs, name);
+}
+
+void Problem::set_objective_coeff(std::size_t var, double cost) {
+  AGORA_REQUIRE(var < num_variables(), "objective coefficient for unknown variable");
+  cost_[var] = cost;
+}
+
+double Problem::objective_coeff(std::size_t var) const {
+  AGORA_REQUIRE(var < num_variables(), "objective coefficient for unknown variable");
+  return cost_[var];
+}
+
+void Problem::set_bounds(std::size_t var, double lo, double hi) {
+  AGORA_REQUIRE(var < num_variables(), "bounds for unknown variable");
+  AGORA_REQUIRE(!(lo > hi), "variable bounds inverted");
+  lo_[var] = lo;
+  hi_[var] = hi;
+}
+
+double Problem::objective_value(const std::vector<double>& x) const {
+  AGORA_REQUIRE(x.size() == num_variables(), "point has wrong dimension");
+  double v = 0.0;
+  for (std::size_t j = 0; j < x.size(); ++j) v += cost_[j] * x[j];
+  return v;
+}
+
+double Problem::max_violation(const std::vector<double>& x) const {
+  AGORA_REQUIRE(x.size() == num_variables(), "point has wrong dimension");
+  double viol = 0.0;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    if (x[j] < lo_[j]) viol = std::max(viol, lo_[j] - x[j]);
+    if (x[j] > hi_[j]) viol = std::max(viol, x[j] - hi_[j]);
+  }
+  for (const auto& c : constraints_) {
+    double lhs = 0.0;
+    for (std::size_t j = 0; j < x.size(); ++j) lhs += c.coeffs[j] * x[j];
+    switch (c.rel) {
+      case Relation::LessEqual: viol = std::max(viol, lhs - c.rhs); break;
+      case Relation::GreaterEqual: viol = std::max(viol, c.rhs - lhs); break;
+      case Relation::Equal: viol = std::max(viol, std::fabs(lhs - c.rhs)); break;
+    }
+  }
+  return viol;
+}
+
+void Problem::validate() const {
+  for (std::size_t j = 0; j < num_variables(); ++j) {
+    AGORA_REQUIRE(!(lo_[j] > hi_[j]), "inverted bounds on " + var_names_[j]);
+    AGORA_REQUIRE(std::isfinite(cost_[j]), "non-finite objective coefficient on " + var_names_[j]);
+  }
+  for (const auto& c : constraints_) {
+    AGORA_REQUIRE(std::isfinite(c.rhs), "non-finite rhs in " + c.name);
+    AGORA_REQUIRE(c.coeffs.size() == num_variables(), "stale constraint width in " + c.name);
+    for (double v : c.coeffs) AGORA_REQUIRE(std::isfinite(v), "non-finite coefficient in " + c.name);
+  }
+}
+
+}  // namespace agora::lp

@@ -1,0 +1,89 @@
+// problem.h -- declaration of a linear program in natural ("modeler") form:
+//
+//     min / max  c' x
+//     subject to a_i' x {<=, =, >=} b_i      for each constraint i
+//                lo_j <= x_j <= hi_j         for each variable j
+//
+// Bounds may be infinite on either side. The solvers convert this form to a
+// canonical standard form internally (see standard_form.h).
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace agora::lp {
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+enum class Sense { Minimize, Maximize };
+enum class Relation { LessEqual, Equal, GreaterEqual };
+
+/// One linear constraint: coefficients over *all* variables (dense),
+/// a relation, and a right-hand side.
+struct Constraint {
+  std::vector<double> coeffs;
+  Relation rel = Relation::LessEqual;
+  double rhs = 0.0;
+  std::string name;
+};
+
+/// A linear program under construction. Add variables first, then
+/// constraints (constraint coefficient vectors are sized to the variable
+/// count at the time they are added and padded with zeros afterwards).
+class Problem {
+ public:
+  explicit Problem(Sense sense = Sense::Minimize) : sense_(sense) {}
+
+  Sense sense() const { return sense_; }
+  void set_sense(Sense s) { sense_ = s; }
+
+  /// Add a variable with bounds [lo, hi] and objective coefficient `cost`.
+  /// Returns the variable's index.
+  std::size_t add_variable(const std::string& name, double lo = 0.0, double hi = kInfinity,
+                           double cost = 0.0);
+
+  /// Add a constraint with a dense coefficient vector. The vector may be
+  /// shorter than the current variable count; missing entries are zero.
+  std::size_t add_constraint(std::vector<double> coeffs, Relation rel, double rhs,
+                             const std::string& name = "");
+
+  /// Add a sparse constraint given (variable index, coefficient) terms.
+  std::size_t add_constraint_sparse(const std::vector<std::pair<std::size_t, double>>& terms,
+                                    Relation rel, double rhs, const std::string& name = "");
+
+  void set_objective_coeff(std::size_t var, double cost);
+  double objective_coeff(std::size_t var) const;
+
+  void set_bounds(std::size_t var, double lo, double hi);
+  double lower_bound(std::size_t var) const { return lo_.at(var); }
+  double upper_bound(std::size_t var) const { return hi_.at(var); }
+
+  std::size_t num_variables() const { return lo_.size(); }
+  std::size_t num_constraints() const { return constraints_.size(); }
+
+  const Constraint& constraint(std::size_t i) const { return constraints_.at(i); }
+  const std::string& variable_name(std::size_t j) const { return var_names_.at(j); }
+  const std::vector<double>& objective() const { return cost_; }
+
+  /// Evaluate the objective at a point.
+  double objective_value(const std::vector<double>& x) const;
+
+  /// Maximum constraint/bound violation at a point (0 means feasible).
+  double max_violation(const std::vector<double>& x) const;
+
+  /// Sanity checks (NaN coefficients, inverted bounds). Throws on failure.
+  void validate() const;
+
+ private:
+  Sense sense_;
+  std::vector<double> cost_;
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+  std::vector<std::string> var_names_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace agora::lp

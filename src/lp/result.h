@@ -1,0 +1,55 @@
+// result.h -- outcome of an LP solve. Infeasible/unbounded are *expected*
+// outcomes, reported in-band rather than thrown.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace agora::lp {
+
+enum class Status {
+  Optimal,
+  Infeasible,
+  Unbounded,
+  IterationLimit,
+};
+
+inline const char* to_string(Status s) {
+  switch (s) {
+    case Status::Optimal: return "optimal";
+    case Status::Infeasible: return "infeasible";
+    case Status::Unbounded: return "unbounded";
+    case Status::IterationLimit: return "iteration-limit";
+  }
+  return "unknown";
+}
+
+struct SolveResult {
+  Status status = Status::Infeasible;
+  /// Objective value in the problem's own sense (only valid when Optimal).
+  double objective = 0.0;
+  /// Primal solution in the problem's original variables.
+  std::vector<double> x;
+  /// Shadow prices: duals[i] is the rate of change of the optimal objective
+  /// (in the problem's own sense) per unit increase of constraint i's rhs.
+  /// Valid only when Optimal; empty if the solver did not compute them.
+  std::vector<double> duals;
+  /// Simplex iterations across both phases.
+  std::uint64_t iterations = 0;
+
+  bool optimal() const { return status == Status::Optimal; }
+};
+
+/// Solver tuning knobs shared by both simplex implementations.
+struct SolverOptions {
+  /// Feasibility / reduced-cost tolerance.
+  double tol = 1e-9;
+  /// Hard cap on simplex iterations per phase.
+  std::uint64_t max_iterations = 100000;
+  /// After this many consecutive degenerate pivots, switch to Bland's rule
+  /// (guarantees termination at the cost of speed).
+  std::uint64_t stall_threshold = 64;
+};
+
+}  // namespace agora::lp

@@ -1,0 +1,244 @@
+#include "lp/revised.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "lp/standard_form.h"
+#include "util/matrix.h"
+
+namespace agora::lp {
+
+namespace {
+
+struct RevisedState {
+  const StandardForm* sf = nullptr;
+  std::vector<std::size_t> basis;  // length m
+  Matrix binv;                     // m x m basis inverse
+  std::vector<double> xb;          // current basic solution B^-1 b
+
+  std::size_t m() const { return basis.size(); }
+  std::size_t n() const { return sf->cols(); }
+
+  /// Rebuild binv and xb from the basis via LU factorization.
+  bool refactorize() {
+    const std::size_t mm = m();
+    Matrix bmat(mm, mm);
+    for (std::size_t i = 0; i < mm; ++i)
+      for (std::size_t r = 0; r < mm; ++r)
+        bmat.at_unchecked(r, i) = sf->a.at_unchecked(r, basis[i]);
+    LuFactorization lu(bmat);
+    if (lu.singular()) return false;
+    binv = Matrix(mm, mm);
+    std::vector<double> e(mm, 0.0);
+    for (std::size_t col = 0; col < mm; ++col) {
+      e[col] = 1.0;
+      const std::vector<double> x = lu.solve(e);
+      e[col] = 0.0;
+      for (std::size_t r = 0; r < mm; ++r) binv.at_unchecked(r, col) = x[r];
+    }
+    xb = binv * std::span<const double>(sf->b);
+    for (double& v : xb)
+      if (std::fabs(v) < 1e-12) v = 0.0;
+    return true;
+  }
+
+  /// w = B^-1 * A_col.
+  std::vector<double> ftran(std::size_t col) const {
+    const std::size_t mm = m();
+    std::vector<double> w(mm, 0.0);
+    for (std::size_t k = 0; k < mm; ++k) {
+      const double a = sf->a.at_unchecked(k, col);
+      if (a == 0.0) continue;
+      for (std::size_t r = 0; r < mm; ++r) w[r] += binv.at_unchecked(r, k) * a;
+    }
+    return w;
+  }
+
+  /// y' = c_b' B^-1.
+  std::vector<double> btran(const std::vector<double>& cb) const {
+    const std::size_t mm = m();
+    std::vector<double> y(mm, 0.0);
+    for (std::size_t r = 0; r < mm; ++r) {
+      const double c = cb[r];
+      if (c == 0.0) continue;
+      for (std::size_t k = 0; k < mm; ++k) y[k] += c * binv.at_unchecked(r, k);
+    }
+    return y;
+  }
+
+  /// Elementary update of binv and xb after column `enter` (with tableau
+  /// column w) replaces the basic variable of row `leave`.
+  void update(std::size_t leave, std::size_t enter, const std::vector<double>& w) {
+    const std::size_t mm = m();
+    const double pivot = w[leave];
+    const double inv = 1.0 / pivot;
+    for (std::size_t k = 0; k < mm; ++k) binv.at_unchecked(leave, k) *= inv;
+    xb[leave] *= inv;
+    for (std::size_t r = 0; r < mm; ++r) {
+      if (r == leave) continue;
+      const double f = w[r];
+      if (f == 0.0) continue;
+      for (std::size_t k = 0; k < mm; ++k)
+        binv.at_unchecked(r, k) -= f * binv.at_unchecked(leave, k);
+      xb[r] -= f * xb[leave];
+      if (std::fabs(xb[r]) < 1e-12) xb[r] = 0.0;
+    }
+    basis[leave] = enter;
+  }
+};
+
+enum class PhaseOutcome { Optimal, Unbounded, IterationLimit, NumericalFailure };
+
+PhaseOutcome run_phase(RevisedState& st, const std::vector<double>& cost,
+                       const std::vector<bool>& allowed, const SolverOptions& opts,
+                       std::uint64_t& iterations) {
+  std::uint64_t degenerate_streak = 0;
+  std::uint64_t since_refactor = 0;
+  const std::size_t n = st.n();
+  std::vector<bool> in_basis(n, false);
+  for (std::size_t b : st.basis) in_basis[b] = true;
+
+  for (std::uint64_t it = 0; it < opts.max_iterations; ++it) {
+    if (since_refactor >= RevisedSimplexSolver::kRefactorInterval) {
+      if (!st.refactorize()) return PhaseOutcome::NumericalFailure;
+      since_refactor = 0;
+    }
+    // Price: y = c_B' B^-1, then reduced costs d_j = c_j - y' A_j.
+    std::vector<double> cb(st.m());
+    for (std::size_t r = 0; r < st.m(); ++r) cb[r] = cost[st.basis[r]];
+    const std::vector<double> y = st.btran(cb);
+
+    const bool bland = degenerate_streak >= opts.stall_threshold;
+    std::size_t enter = n;
+    double best = -opts.tol;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!allowed[j] || in_basis[j]) continue;
+      double d = cost[j];
+      for (std::size_t r = 0; r < st.m(); ++r) {
+        const double a = st.sf->a.at_unchecked(r, j);
+        if (a != 0.0) d -= y[r] * a;
+      }
+      if (d < (bland ? -opts.tol : best)) {
+        enter = j;
+        if (bland) break;
+        best = d;
+      }
+    }
+    if (enter == n) return PhaseOutcome::Optimal;
+
+    const std::vector<double> w = st.ftran(enter);
+    std::size_t leave = st.m();
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < st.m(); ++r) {
+      if (w[r] <= opts.tol) continue;
+      const double ratio = st.xb[r] / w[r];
+      const bool better = ratio < best_ratio - opts.tol ||
+                          (ratio < best_ratio + opts.tol && leave < st.m() &&
+                           st.basis[r] < st.basis[leave]);
+      if (better) {
+        best_ratio = ratio;
+        leave = r;
+      }
+    }
+    if (leave == st.m()) return PhaseOutcome::Unbounded;
+
+    degenerate_streak = best_ratio <= opts.tol ? degenerate_streak + 1 : 0;
+    in_basis[st.basis[leave]] = false;
+    in_basis[enter] = true;
+    st.update(leave, enter, w);
+    ++iterations;
+    ++since_refactor;
+  }
+  return PhaseOutcome::IterationLimit;
+}
+
+}  // namespace
+
+SolveResult RevisedSimplexSolver::solve(const Problem& p) const {
+  SolveResult res;
+  if (p.num_variables() == 0) {
+    res.status = Status::Optimal;
+    for (std::size_t i = 0; i < p.num_constraints(); ++i) {
+      const auto& c = p.constraint(i);
+      const bool ok = (c.rel == Relation::LessEqual && 0.0 <= c.rhs + 1e-12) ||
+                      (c.rel == Relation::GreaterEqual && 0.0 >= c.rhs - 1e-12) ||
+                      (c.rel == Relation::Equal && std::fabs(c.rhs) <= 1e-12);
+      if (!ok) res.status = Status::Infeasible;
+    }
+    return res;
+  }
+
+  StandardForm sf = build_standard_form(p);
+  RevisedState st;
+  st.sf = &sf;
+  st.basis = sf.initial_basis;
+  if (!st.refactorize()) {
+    // The initial slack/artificial basis is an identity; failure here would
+    // be a construction bug.
+    res.status = Status::Infeasible;
+    return res;
+  }
+
+  const std::size_t n = sf.cols();
+  std::vector<bool> allow_all(n, true);
+
+  if (sf.has_artificials()) {
+    std::vector<double> phase1(n, 0.0);
+    for (std::size_t j = 0; j < n; ++j)
+      if (sf.is_artificial[j]) phase1[j] = 1.0;
+    const PhaseOutcome out = run_phase(st, phase1, allow_all, opts_, res.iterations);
+    if (out == PhaseOutcome::IterationLimit || out == PhaseOutcome::NumericalFailure) {
+      res.status = Status::IterationLimit;
+      return res;
+    }
+    double art_sum = 0.0;
+    for (std::size_t r = 0; r < st.m(); ++r)
+      if (sf.is_artificial[st.basis[r]]) art_sum += st.xb[r];
+    if (art_sum > 1e-7) {
+      res.status = Status::Infeasible;
+      return res;
+    }
+  }
+
+  std::vector<bool> allowed(n, true);
+  for (std::size_t j = 0; j < n; ++j)
+    if (sf.is_artificial[j]) allowed[j] = false;
+
+  const PhaseOutcome out = run_phase(st, sf.c, allowed, opts_, res.iterations);
+  switch (out) {
+    case PhaseOutcome::IterationLimit:
+    case PhaseOutcome::NumericalFailure:
+      res.status = Status::IterationLimit;
+      return res;
+    case PhaseOutcome::Unbounded:
+      res.status = Status::Unbounded;
+      return res;
+    case PhaseOutcome::Optimal:
+      break;
+  }
+
+  std::vector<double> ysol(n, 0.0);
+  for (std::size_t r = 0; r < st.m(); ++r) ysol[st.basis[r]] = st.xb[r];
+  res.x = recover_solution(sf, ysol, p.num_variables());
+  double obj = sf.c0;
+  for (std::size_t j = 0; j < n; ++j) obj += sf.c[j] * ysol[j];
+  res.objective = sf.obj_scale * obj;
+
+  // Shadow prices: y = c_B' B^{-1}, mapped through row negation and sense.
+  {
+    std::vector<double> cb(st.m());
+    for (std::size_t r = 0; r < st.m(); ++r) cb[r] = sf.c[st.basis[r]];
+    const std::vector<double> y = st.btran(cb);
+    res.duals.assign(p.num_constraints(), 0.0);
+    for (std::size_t r = 0; r < st.m(); ++r) {
+      const std::size_t origin = sf.row_origin[r];
+      if (origin == static_cast<std::size_t>(-1)) continue;
+      res.duals[origin] = sf.obj_scale * (sf.row_negated[r] ? -y[r] : y[r]);
+    }
+  }
+  res.status = Status::Optimal;
+  return res;
+}
+
+}  // namespace agora::lp

@@ -1,0 +1,229 @@
+#include "lp/simplex.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "lp/standard_form.h"
+#include "util/matrix.h"
+
+namespace agora::lp {
+
+namespace {
+
+/// Mutable tableau state for one solve.
+struct Tableau {
+  Matrix a;                      // m x n working matrix
+  std::vector<double> rhs;       // length m, kept >= 0 (up to tolerance)
+  std::vector<double> cost;      // reduced-cost row, length n
+  double cost_rhs = 0.0;         // negative of current objective value
+  std::vector<std::size_t> basis;  // length m: basic column per row
+
+  std::size_t rows() const { return rhs.size(); }
+  std::size_t cols() const { return cost.size(); }
+
+  /// Pivot on (prow, pcol): make column pcol basic in row prow.
+  void pivot(std::size_t prow, std::size_t pcol) {
+    const std::size_t n = cols();
+    const double pv = a.at_unchecked(prow, pcol);
+    double* prow_ptr = a.row(prow).data();
+    const double inv = 1.0 / pv;
+    for (std::size_t j = 0; j < n; ++j) prow_ptr[j] *= inv;
+    rhs[prow] *= inv;
+    prow_ptr[pcol] = 1.0;  // kill round-off on the pivot element
+
+    for (std::size_t i = 0; i < rows(); ++i) {
+      if (i == prow) continue;
+      const double f = a.at_unchecked(i, pcol);
+      if (f == 0.0) continue;
+      double* rowi = a.row(i).data();
+      for (std::size_t j = 0; j < n; ++j) rowi[j] -= f * prow_ptr[j];
+      rowi[pcol] = 0.0;
+      rhs[i] -= f * rhs[prow];
+      if (std::fabs(rhs[i]) < 1e-12) rhs[i] = 0.0;
+    }
+    const double cf = cost[pcol];
+    if (cf != 0.0) {
+      for (std::size_t j = 0; j < n; ++j) cost[j] -= cf * prow_ptr[j];
+      cost[pcol] = 0.0;
+      cost_rhs -= cf * rhs[prow];
+    }
+    basis[prow] = pcol;
+  }
+
+  /// Rebuild the cost row for objective `c` by pricing out basic columns.
+  void load_objective(const std::vector<double>& c) {
+    cost = c;
+    cost_rhs = 0.0;
+    for (std::size_t i = 0; i < rows(); ++i) {
+      const double cb = c[basis[i]];
+      if (cb == 0.0) continue;
+      const double* rowi = a.row(i).data();
+      for (std::size_t j = 0; j < cols(); ++j) cost[j] -= cb * rowi[j];
+      cost_rhs -= cb * rhs[i];
+    }
+    for (std::size_t i = 0; i < rows(); ++i) cost[basis[i]] = 0.0;
+  }
+};
+
+enum class PhaseOutcome { Optimal, Unbounded, IterationLimit };
+
+/// Run simplex iterations until optimality (no negative reduced cost) or
+/// failure. `allowed` masks which columns may enter (artificials are barred
+/// from re-entering in phase 2).
+PhaseOutcome run_phase(Tableau& t, const std::vector<bool>& allowed, const SolverOptions& opts,
+                       std::uint64_t& iterations) {
+  std::uint64_t degenerate_streak = 0;
+  for (std::uint64_t it = 0; it < opts.max_iterations; ++it) {
+    const bool bland = degenerate_streak >= opts.stall_threshold;
+
+    // --- Entering variable -------------------------------------------------
+    std::size_t enter = t.cols();
+    if (bland) {
+      for (std::size_t j = 0; j < t.cols(); ++j) {
+        if (allowed[j] && t.cost[j] < -opts.tol) {
+          enter = j;
+          break;
+        }
+      }
+    } else {
+      double best = -opts.tol;
+      for (std::size_t j = 0; j < t.cols(); ++j) {
+        if (allowed[j] && t.cost[j] < best) {
+          best = t.cost[j];
+          enter = j;
+        }
+      }
+    }
+    if (enter == t.cols()) return PhaseOutcome::Optimal;
+
+    // --- Ratio test ---------------------------------------------------------
+    std::size_t leave_row = t.rows();
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < t.rows(); ++i) {
+      const double aij = t.a.at_unchecked(i, enter);
+      if (aij <= opts.tol) continue;
+      const double ratio = t.rhs[i] / aij;
+      const bool better =
+          ratio < best_ratio - opts.tol ||
+          // Tie-break on smallest basic index: Bland's rule when stalling,
+          // and a deterministic choice otherwise.
+          (ratio < best_ratio + opts.tol && leave_row < t.rows() &&
+           t.basis[i] < t.basis[leave_row]);
+      if (better) {
+        best_ratio = ratio;
+        leave_row = i;
+      }
+    }
+    if (leave_row == t.rows()) return PhaseOutcome::Unbounded;
+
+    degenerate_streak = best_ratio <= opts.tol ? degenerate_streak + 1 : 0;
+    t.pivot(leave_row, enter);
+    ++iterations;
+  }
+  return PhaseOutcome::IterationLimit;
+}
+
+}  // namespace
+
+SolveResult SimplexSolver::solve(const Problem& p) const {
+  SolveResult res;
+  if (p.num_variables() == 0) {
+    // Degenerate but legal: feasibility depends only on constant constraints.
+    res.status = Status::Optimal;
+    res.objective = 0.0;
+    for (std::size_t i = 0; i < p.num_constraints(); ++i) {
+      const auto& c = p.constraint(i);
+      const bool ok = (c.rel == Relation::LessEqual && 0.0 <= c.rhs + 1e-12) ||
+                      (c.rel == Relation::GreaterEqual && 0.0 >= c.rhs - 1e-12) ||
+                      (c.rel == Relation::Equal && std::fabs(c.rhs) <= 1e-12);
+      if (!ok) res.status = Status::Infeasible;
+    }
+    return res;
+  }
+
+  StandardForm sf = build_standard_form(p);
+  const std::size_t m = sf.rows();
+  const std::size_t n = sf.cols();
+
+  Tableau t;
+  t.a = sf.a;
+  t.rhs = sf.b;
+  t.basis = sf.initial_basis;
+  t.cost.assign(n, 0.0);
+
+  std::vector<bool> allow_all(n, true);
+
+  // --- Phase 1: drive artificials to zero. ---------------------------------
+  if (sf.has_artificials()) {
+    std::vector<double> phase1_cost(n, 0.0);
+    for (std::size_t j = 0; j < n; ++j)
+      if (sf.is_artificial[j]) phase1_cost[j] = 1.0;
+    t.load_objective(phase1_cost);
+
+    const PhaseOutcome out = run_phase(t, allow_all, opts_, res.iterations);
+    if (out == PhaseOutcome::IterationLimit) {
+      res.status = Status::IterationLimit;
+      return res;
+    }
+    AGORA_INVARIANT(out != PhaseOutcome::Unbounded, "phase-1 objective is bounded below by 0");
+    const double art_sum = -t.cost_rhs;  // cost_rhs holds -objective
+    if (art_sum > 1e-7) {
+      res.status = Status::Infeasible;
+      return res;
+    }
+    // Pivot remaining basic artificials (at zero level) out of the basis
+    // where possible; rows where no structural pivot exists are redundant
+    // and harmless (the artificial stays basic at zero and is barred from
+    // growing because phase 2 forbids artificial entry and rhs stays >= 0).
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!sf.is_artificial[t.basis[i]]) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (sf.is_artificial[j]) continue;
+        if (std::fabs(t.a.at_unchecked(i, j)) > 1e-7) {
+          t.pivot(i, j);
+          break;
+        }
+      }
+    }
+  }
+
+  // --- Phase 2: optimize the real objective. --------------------------------
+  std::vector<bool> allowed(n, true);
+  for (std::size_t j = 0; j < n; ++j)
+    if (sf.is_artificial[j]) allowed[j] = false;
+  t.load_objective(sf.c);
+
+  const PhaseOutcome out = run_phase(t, allowed, opts_, res.iterations);
+  switch (out) {
+    case PhaseOutcome::IterationLimit:
+      res.status = Status::IterationLimit;
+      return res;
+    case PhaseOutcome::Unbounded:
+      res.status = Status::Unbounded;
+      return res;
+    case PhaseOutcome::Optimal:
+      break;
+  }
+
+  std::vector<double> y(n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) y[t.basis[i]] = t.rhs[i];
+  res.x = recover_solution(sf, y, p.num_variables());
+  res.objective = sf.obj_scale * (-t.cost_rhs + sf.c0);
+
+  // Shadow prices: the final reduced cost of row i's *initial* basic column
+  // (slack or artificial, both with coefficient +e_i and phase-2 cost 0) is
+  // -y_i where y = c_B B^{-1} is the standard-form dual. Map back through
+  // row negation and the objective sense.
+  res.duals.assign(p.num_constraints(), 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t origin = sf.row_origin[i];
+    if (origin == static_cast<std::size_t>(-1)) continue;  // bound row
+    const double y_std = -t.cost[sf.initial_basis[i]];
+    res.duals[origin] = sf.obj_scale * (sf.row_negated[i] ? -y_std : y_std);
+  }
+  res.status = Status::Optimal;
+  return res;
+}
+
+}  // namespace agora::lp

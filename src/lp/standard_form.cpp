@@ -1,0 +1,197 @@
+#include "lp/standard_form.h"
+
+#include <cmath>
+
+namespace agora::lp {
+
+namespace {
+
+/// Intermediate row during construction: dense structural coefficients,
+/// relation, rhs.
+struct Row {
+  std::vector<double> coeffs;  // over structural columns
+  Relation rel;
+  double rhs;
+  std::size_t origin;  // original constraint index, SIZE_MAX for bound rows
+  bool negated = false;
+};
+
+}  // namespace
+
+bool StandardForm::has_artificials() const {
+  for (bool a : is_artificial)
+    if (a) return true;
+  return false;
+}
+
+StandardForm build_standard_form(const Problem& p) {
+  p.validate();
+  const std::size_t nv = p.num_variables();
+
+  StandardForm sf;
+  sf.obj_scale = p.sense() == Sense::Minimize ? 1.0 : -1.0;
+  sf.var_map.resize(nv);
+
+  // --- 1. Lay out structural columns and the variable mapping. ------------
+  std::size_t ncols = 0;
+  std::vector<double> struct_cost;  // minimization cost per structural column
+  for (std::size_t j = 0; j < nv; ++j) {
+    const double lo = p.lower_bound(j);
+    const double hi = p.upper_bound(j);
+    const double cost = sf.obj_scale * p.objective_coeff(j);
+    auto& vm = sf.var_map[j];
+    if (std::isfinite(lo)) {
+      vm.kind = StandardForm::VarMap::Kind::Shifted;
+      vm.col = ncols++;
+      vm.offset = lo;
+      struct_cost.push_back(cost);
+      sf.c0 += cost * lo;
+    } else if (std::isfinite(hi)) {
+      vm.kind = StandardForm::VarMap::Kind::Mirrored;
+      vm.col = ncols++;
+      vm.offset = hi;
+      struct_cost.push_back(-cost);
+      sf.c0 += cost * hi;
+    } else {
+      vm.kind = StandardForm::VarMap::Kind::Split;
+      vm.col = ncols++;
+      vm.neg_col = ncols++;
+      struct_cost.push_back(cost);
+      struct_cost.push_back(-cost);
+    }
+  }
+  sf.num_structural = ncols;
+
+  // --- 2. Collect rows: original constraints, then finite-range bound rows.
+  std::vector<Row> rows;
+  rows.reserve(p.num_constraints() + nv);
+  for (std::size_t i = 0; i < p.num_constraints(); ++i) {
+    const Constraint& con = p.constraint(i);
+    Row r;
+    r.coeffs.assign(ncols, 0.0);
+    r.rel = con.rel;
+    r.rhs = con.rhs;
+    r.origin = i;
+    for (std::size_t j = 0; j < nv; ++j) {
+      const double a = con.coeffs[j];
+      if (a == 0.0) continue;
+      const auto& vm = sf.var_map[j];
+      switch (vm.kind) {
+        case StandardForm::VarMap::Kind::Shifted:
+          r.coeffs[vm.col] += a;
+          r.rhs -= a * vm.offset;
+          break;
+        case StandardForm::VarMap::Kind::Mirrored:
+          r.coeffs[vm.col] -= a;
+          r.rhs -= a * vm.offset;
+          break;
+        case StandardForm::VarMap::Kind::Split:
+          r.coeffs[vm.col] += a;
+          r.coeffs[vm.neg_col] -= a;
+          break;
+      }
+    }
+    rows.push_back(std::move(r));
+  }
+  // Finite [lo, hi] ranges on shifted variables become y <= hi - lo rows.
+  for (std::size_t j = 0; j < nv; ++j) {
+    const auto& vm = sf.var_map[j];
+    if (vm.kind != StandardForm::VarMap::Kind::Shifted) continue;
+    const double hi = p.upper_bound(j);
+    if (!std::isfinite(hi)) continue;
+    Row r;
+    r.coeffs.assign(ncols, 0.0);
+    r.coeffs[vm.col] = 1.0;
+    r.rel = Relation::LessEqual;
+    r.rhs = hi - p.lower_bound(j);
+    r.origin = static_cast<std::size_t>(-1);
+    rows.push_back(std::move(r));
+  }
+
+  // --- 3. Normalize rhs signs and count auxiliary columns. ----------------
+  const std::size_t m = rows.size();
+  std::size_t n_slack = 0;
+  std::size_t n_art = 0;
+  for (auto& r : rows) {
+    if (r.rhs < 0.0) {
+      for (double& v : r.coeffs) v = -v;
+      r.rhs = -r.rhs;
+      r.negated = true;
+      if (r.rel == Relation::LessEqual) r.rel = Relation::GreaterEqual;
+      else if (r.rel == Relation::GreaterEqual) r.rel = Relation::LessEqual;
+    }
+    if (r.rel != Relation::Equal) ++n_slack;
+    if (r.rel != Relation::LessEqual) ++n_art;
+  }
+
+  const std::size_t total = ncols + n_slack + n_art;
+  sf.a = Matrix(m, total);
+  sf.b.resize(m);
+  sf.c.assign(total, 0.0);
+  for (std::size_t j = 0; j < ncols; ++j) sf.c[j] = struct_cost[j];
+  sf.is_artificial.assign(total, false);
+  sf.initial_basis.resize(m);
+  sf.row_origin.resize(m);
+  sf.row_negated.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    sf.row_origin[i] = rows[i].origin;
+    sf.row_negated[i] = rows[i].negated;
+  }
+
+  // --- 4. Fill the matrix and pick the starting basis. --------------------
+  std::size_t next_aux = ncols;
+  for (std::size_t i = 0; i < m; ++i) {
+    const Row& r = rows[i];
+    for (std::size_t j = 0; j < ncols; ++j) sf.a.at_unchecked(i, j) = r.coeffs[j];
+    sf.b[i] = r.rhs;
+    switch (r.rel) {
+      case Relation::LessEqual: {
+        const std::size_t s = next_aux++;
+        sf.a.at_unchecked(i, s) = 1.0;
+        sf.initial_basis[i] = s;
+        break;
+      }
+      case Relation::GreaterEqual: {
+        const std::size_t s = next_aux++;   // surplus
+        sf.a.at_unchecked(i, s) = -1.0;
+        const std::size_t art = next_aux++;  // artificial
+        sf.a.at_unchecked(i, art) = 1.0;
+        sf.is_artificial[art] = true;
+        sf.initial_basis[i] = art;
+        break;
+      }
+      case Relation::Equal: {
+        const std::size_t art = next_aux++;
+        sf.a.at_unchecked(i, art) = 1.0;
+        sf.is_artificial[art] = true;
+        sf.initial_basis[i] = art;
+        break;
+      }
+    }
+  }
+  AGORA_INVARIANT(next_aux == total, "auxiliary column accounting mismatch");
+  return sf;
+}
+
+std::vector<double> recover_solution(const StandardForm& sf, const std::vector<double>& y,
+                                     std::size_t num_original_vars) {
+  AGORA_REQUIRE(num_original_vars == sf.var_map.size(), "variable count mismatch");
+  std::vector<double> x(num_original_vars, 0.0);
+  for (std::size_t j = 0; j < num_original_vars; ++j) {
+    const auto& vm = sf.var_map[j];
+    switch (vm.kind) {
+      case StandardForm::VarMap::Kind::Shifted:
+        x[j] = vm.offset + y.at(vm.col);
+        break;
+      case StandardForm::VarMap::Kind::Mirrored:
+        x[j] = vm.offset - y.at(vm.col);
+        break;
+      case StandardForm::VarMap::Kind::Split:
+        x[j] = y.at(vm.col) - y.at(vm.neg_col);
+        break;
+    }
+  }
+  return x;
+}
+
+}  // namespace agora::lp

@@ -1,0 +1,64 @@
+// standard_form.h -- conversion of a natural-form Problem into the canonical
+// computational form shared by both simplex implementations:
+//
+//     min c' y + c0    subject to  A y = b,  y >= 0,  b >= 0
+//
+// Variable handling:
+//   * finite lower bound:            x = lo + y          (shift)
+//   * lower bound -inf, finite hi:   x = hi - y          (mirror)
+//   * free (both infinite):          x = y_pos - y_neg   (split)
+//   * finite upper bound on shifted variables becomes an explicit <= row.
+//
+// Rows gain slack (<=), surplus (>=) and artificial (>=, =) columns; rows
+// with negative rhs are negated first. The initial basis is the slack or
+// artificial column of each row, which is feasible by construction for
+// phase 1.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lp/problem.h"
+#include "util/matrix.h"
+
+namespace agora::lp {
+
+struct StandardForm {
+  Matrix a;                 ///< m x n constraint matrix.
+  std::vector<double> b;    ///< length m, all entries >= 0.
+  std::vector<double> c;    ///< length n, phase-2 objective (minimization).
+  double c0 = 0.0;          ///< objective constant from shifting/mirroring.
+  double obj_scale = 1.0;   ///< +1 for Minimize problems, -1 for Maximize.
+
+  /// How each original variable maps back from y.
+  struct VarMap {
+    enum class Kind { Shifted, Mirrored, Split } kind = Kind::Shifted;
+    std::size_t col = 0;      ///< primary column (pos part for Split).
+    std::size_t neg_col = 0;  ///< negative part for Split.
+    double offset = 0.0;      ///< lo (Shifted) or hi (Mirrored).
+  };
+  std::vector<VarMap> var_map;
+
+  std::size_t num_structural = 0;        ///< columns representing original vars.
+  std::vector<bool> is_artificial;       ///< per column.
+  std::vector<std::size_t> initial_basis;  ///< per row: the starting basic column.
+
+  /// Original constraint index per row, or SIZE_MAX for synthetic bound
+  /// rows; with `row_negated`, lets solvers map standard-form duals back to
+  /// shadow prices of the original constraints.
+  std::vector<std::size_t> row_origin;
+  std::vector<bool> row_negated;
+
+  std::size_t rows() const { return b.size(); }
+  std::size_t cols() const { return c.size(); }
+  bool has_artificials() const;
+};
+
+/// Build the standard form. Throws PreconditionError on invalid problems.
+StandardForm build_standard_form(const Problem& p);
+
+/// Map a standard-form point y back to the original variable space.
+std::vector<double> recover_solution(const StandardForm& sf, const std::vector<double>& y,
+                                     std::size_t num_original_vars);
+
+}  // namespace agora::lp

@@ -1,0 +1,74 @@
+#include "proxysim/scheduler_bridge.h"
+
+#include <algorithm>
+
+namespace agora::proxysim {
+
+SchedulerBridge::SchedulerBridge(const SimConfig& cfg)
+    : kind_(cfg.scheduler), n_(cfg.num_proxies), agreements_(cfg.agreements),
+      retained_(cfg.num_proxies, 1.0) {
+  // Static per-epoch processing budget per proxy: the only capacity view
+  // the *endpoint* scheme is allowed to use (it has no availability
+  // information -- that is the point of the Figure 13 comparison).
+  static_budget_.resize(n_);
+  for (std::size_t k = 0; k < n_; ++k)
+    static_budget_[k] = cfg.planning_window * cfg.proxy_power(k);
+  AGORA_REQUIRE(kind_ == SchedulerKind::None ||
+                    (agreements_.rows() == n_ && agreements_.cols() == n_),
+                "agreement matrix must be num_proxies x num_proxies");
+  if (kind_ == SchedulerKind::Lp) {
+    agree::AgreementSystem sys(n_);
+    sys.relative = agreements_;
+    allocator_ = std::make_unique<alloc::Allocator>(std::move(sys), cfg.alloc_opts);
+  }
+}
+
+RedirectDecision SchedulerBridge::plan(std::size_t origin, double overflow,
+                                       const std::vector<double>& spare) {
+  AGORA_REQUIRE(origin < n_, "unknown proxy");
+  AGORA_REQUIRE(spare.size() == n_, "spare capacity vector size mismatch");
+  RedirectDecision dec;
+  dec.absorb.assign(n_, 0.0);
+  if (overflow <= 0.0 || kind_ == SchedulerKind::None) {
+    dec.absorb[origin] = std::max(0.0, overflow);
+    return dec;
+  }
+
+  if (kind_ == SchedulerKind::Lp) {
+    allocator_->set_capacities(spare);
+    // Partial redirection: place as much of the overflow as transitive
+    // agreements allow; the LP decides the local/remote split (the origin's
+    // own spare enters as d_origin) and minimizes the global perturbation.
+    const double reachable = allocator_->available_to(origin);
+    const double x = std::min(overflow, reachable * (1.0 - 1e-9));
+    if (x <= 1e-12) {
+      dec.absorb[origin] = overflow;
+      return dec;
+    }
+    alloc::AllocationPlan plan = allocator_->allocate(origin, x);
+    dec.lp_iterations = plan.lp_iterations;
+    if (!plan.satisfied()) {
+      dec.absorb[origin] = overflow;
+      return dec;
+    }
+    dec.absorb = plan.draw;
+    // Whatever the plan placed "at the origin itself" plus the unplaceable
+    // remainder stays local.
+    dec.absorb[origin] += overflow - x;
+    return dec;
+  }
+
+  // Endpoint baseline: proportional split over direct shares against the
+  // *static* per-epoch budgets -- deliberately blind to current load, as in
+  // the paper ("the non-linear scheme tends to redistribute requests to
+  // nearby ISPs no matter whether they are busy or not"). Remainder stays
+  // local (endpoint_allocate puts it into draw[origin]).
+  agree::AgreementSystem sys(n_);
+  sys.relative = agreements_;
+  sys.capacity = static_budget_;
+  const alloc::AllocationPlan plan = alloc::endpoint_allocate(sys, origin, overflow);
+  dec.absorb = plan.draw;
+  return dec;
+}
+
+}  // namespace agora::proxysim

@@ -1,0 +1,48 @@
+// scheduler_bridge.h -- the simulator's view of the global resource
+// scheduler: given an overloaded proxy and the current spare capacities of
+// all proxies, decide how much queued work each other proxy should absorb.
+//
+// The bridge owns an Allocator (transitive closure precomputed once; only
+// capacities refresh each consult) for the LP scheme, and falls back to the
+// proportional endpoint split for the baseline.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "alloc/endpoint.h"
+#include "proxysim/config.h"
+
+namespace agora::proxysim {
+
+struct RedirectDecision {
+  /// Demand (unit-power service seconds) each proxy should absorb;
+  /// entry [origin] is work that stays local.
+  std::vector<double> absorb;
+  std::uint64_t lp_iterations = 0;
+};
+
+class SchedulerBridge {
+ public:
+  SchedulerBridge(const SimConfig& cfg);
+
+  /// Plan redirection of up to `overflow` demand away from `origin`,
+  /// given per-proxy spare capacity over the planning window.
+  RedirectDecision plan(std::size_t origin, double overflow,
+                        const std::vector<double>& spare);
+
+  SchedulerKind kind() const { return kind_; }
+
+ private:
+  SchedulerKind kind_;
+  std::size_t n_;
+  Matrix agreements_;
+  std::vector<double> retained_;
+  std::vector<double> static_budget_;
+  /// LP scheme state (unused for Endpoint).
+  std::unique_ptr<alloc::Allocator> allocator_;
+};
+
+}  // namespace agora::proxysim

@@ -1,0 +1,297 @@
+#include "proxysim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <queue>
+
+#include "proxysim/scheduler_bridge.h"
+#include "util/error.h"
+
+namespace agora::proxysim {
+
+namespace {
+
+struct Job {
+  double arrival = 0.0;  ///< original arrival time (for wait attribution)
+  double demand = 0.0;   ///< unit-power service seconds (incl. redirect cost)
+  std::uint32_t origin = 0;
+  bool redirected = false;
+};
+
+struct ProxyState {
+  std::deque<Job> queue;
+  double queued_demand = 0.0;  ///< sum of demands in queue
+  bool busy = false;
+  double busy_until = 0.0;
+  double last_consult = -std::numeric_limits<double>::infinity();
+
+  void push(Job j) {
+    queued_demand += j.demand;
+    queue.push_back(j);
+  }
+  Job pop_front() {
+    Job j = queue.front();
+    queue.pop_front();
+    queued_demand -= j.demand;
+    return j;
+  }
+  Job pop_back() {
+    Job j = queue.back();
+    queue.pop_back();
+    queued_demand -= j.demand;
+    return j;
+  }
+};
+
+enum class EventKind : std::uint8_t { Completion = 0, Arrival = 1, Decision = 2 };
+
+struct Event {
+  double time;
+  EventKind kind;
+  std::uint32_t proxy;
+  std::uint64_t seq;  ///< tie-break for determinism
+  Job job;            ///< valid for Arrival
+  std::vector<double> absorb;  ///< valid for Decision: per-proxy budgets
+
+  bool operator>(const Event& o) const {
+    if (time != o.time) return time > o.time;
+    if (kind != o.kind) return kind > o.kind;  // completions first
+    return seq > o.seq;
+  }
+};
+
+}  // namespace
+
+Simulator::Simulator(SimConfig cfg) : cfg_(std::move(cfg)) {
+  AGORA_REQUIRE(cfg_.num_proxies > 0, "need at least one proxy");
+  AGORA_REQUIRE(cfg_.horizon > 0.0 && cfg_.slot_width > 0.0, "bad horizon/slot width");
+  AGORA_REQUIRE(cfg_.power.empty() || cfg_.power.size() == cfg_.num_proxies,
+                "power vector must match proxy count");
+  AGORA_REQUIRE(cfg_.redirect_cost >= 0.0, "redirect cost must be non-negative");
+}
+
+SimMetrics Simulator::run(const std::vector<std::vector<trace::TraceRequest>>& traces) {
+  AGORA_REQUIRE(traces.size() == cfg_.num_proxies, "one trace per proxy required");
+  const std::size_t n = cfg_.num_proxies;
+
+  SimMetrics metrics(cfg_.horizon, cfg_.slot_width, n);
+  SchedulerBridge scheduler(cfg_);
+  std::vector<ProxyState> proxies(n);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  std::uint64_t seq = 0;
+
+  // Seed arrival events, the per-slot request counts, and each proxy's
+  // known demand curve (cumulative arriving work over time, used to report
+  // honest spare capacity to the scheduler).
+  const std::size_t num_slots = metrics.requests_by_slot.size();
+  std::vector<std::vector<double>> work_prefix(n, std::vector<double>(num_slots + 1, 0.0));
+  for (std::size_t p = 0; p < n; ++p) {
+    double prev = -1.0;
+    for (const auto& r : traces[p]) {
+      AGORA_REQUIRE(r.arrival >= prev, "trace must be sorted by arrival");
+      prev = r.arrival;
+      Job j;
+      j.arrival = r.arrival;
+      j.demand = cfg_.cost.demand(r.response_bytes);
+      j.origin = static_cast<std::uint32_t>(p);
+      events.push(Event{r.arrival, EventKind::Arrival, static_cast<std::uint32_t>(p), seq++, j, {}});
+      auto slot = static_cast<std::size_t>(r.arrival / cfg_.slot_width);
+      if (slot >= num_slots) slot = num_slots - 1;
+      ++metrics.requests_by_slot[slot];
+      ++metrics.total_requests;
+      work_prefix[p][slot + 1] += j.demand;
+    }
+    for (std::size_t s = 0; s < num_slots; ++s) work_prefix[p][s + 1] += work_prefix[p][s];
+  }
+
+  // Expected demand arriving at proxy p during [t0, t1), interpolating the
+  // per-slot demand curve (zero past the horizon -- the trace is known).
+  const auto expected_work = [&](std::size_t p, double t0, double t1) {
+    const auto cum = [&](double t) {
+      if (t <= 0.0) return 0.0;
+      if (t >= cfg_.horizon) return work_prefix[p][num_slots];
+      const double pos = t / cfg_.slot_width;
+      const auto s = std::min(static_cast<std::size_t>(pos), num_slots - 1);
+      const double frac = pos - static_cast<double>(s);
+      return work_prefix[p][s] + frac * (work_prefix[p][s + 1] - work_prefix[p][s]);
+    };
+    return std::max(0.0, cum(t1) - cum(t0));
+  };
+
+  const auto record_wait = [&](const Job& j, double start_time) {
+    const double wait = start_time - j.arrival;
+    metrics.wait_by_slot.add(j.arrival, wait);
+    metrics.wait_by_slot_per_proxy[j.origin].add(j.arrival, wait);
+    metrics.wait_overall.add(wait);
+    metrics.per_proxy_wait[j.origin].add(wait);
+    metrics.wait_histogram.add(wait);
+  };
+
+  const auto try_start = [&](std::size_t p, double now) {
+    ProxyState& st = proxies[p];
+    if (st.busy || st.queue.empty()) return;
+    const Job j = st.pop_front();
+    record_wait(j, now);
+    st.busy = true;
+    st.busy_until = now + j.demand / cfg_.proxy_power(p);
+    events.push(Event{st.busy_until, EventKind::Completion, static_cast<std::uint32_t>(p),
+                      seq++, Job{}, {}});
+  };
+
+  // Spare capacity over the scheduling epoch, in unit-power demand seconds:
+  // the window's processing budget minus the current backlog minus the
+  // proxy's own expected arrivals within the window.
+  const auto spare_capacity = [&](double now) {
+    std::vector<double> spare(n, 0.0);
+    for (std::size_t k = 0; k < n; ++k) {
+      const double busy_left = proxies[k].busy ? std::max(0.0, proxies[k].busy_until - now) : 0.0;
+      double committed = proxies[k].queued_demand + busy_left * cfg_.proxy_power(k);
+      if (cfg_.spare_includes_forecast)
+        committed += expected_work(k, now, now + cfg_.planning_window);
+      spare[k] = std::max(0.0, cfg_.planning_window * cfg_.proxy_power(k) - committed);
+    }
+    return spare;
+  };
+
+  std::function<void(std::size_t, const std::vector<double>&, double)> apply_decision;
+
+  const auto maybe_consult = [&](std::size_t p, double now) {
+    if (scheduler.kind() == SchedulerKind::None) return;
+    ProxyState& st = proxies[p];
+    const double power = cfg_.proxy_power(p);
+    if (st.queued_demand / power <= cfg_.queue_threshold) return;
+    if (now - st.last_consult < cfg_.consult_cooldown) return;
+    st.last_consult = now;
+    ++metrics.scheduler_consults;
+
+    const double keep = cfg_.keep_local_fraction * cfg_.queue_threshold * power;
+    const double overflow = st.queued_demand - keep;
+    if (overflow <= 0.0) return;
+
+    // The origin's reported spare must exclude the overflow it is trying to
+    // shed (but keep its expected arrivals), otherwise the LP sees the
+    // origin as saturated and dumps the whole overflow remotely instead of
+    // balancing local vs remote load.
+    std::vector<double> spare = spare_capacity(now);
+    const double busy_left = st.busy ? std::max(0.0, st.busy_until - now) : 0.0;
+    spare[p] = std::max(
+        0.0, cfg_.planning_window * power - keep - busy_left * power -
+                 (cfg_.spare_includes_forecast
+                      ? expected_work(p, now, now + cfg_.planning_window)
+                      : 0.0));
+
+    RedirectDecision dec = scheduler.plan(p, overflow, spare);
+    metrics.lp_iterations += dec.lp_iterations;
+
+    if (cfg_.decision_latency > 0.0) {
+      // Centralized scheduling has a round trip: the decision was computed
+      // against now-current state but takes effect only after the latency.
+      Event ev{now + cfg_.decision_latency, EventKind::Decision,
+               static_cast<std::uint32_t>(p), seq++, Job{}, std::move(dec.absorb)};
+      events.push(std::move(ev));
+      return;
+    }
+    apply_decision(p, dec.absorb, now);
+  };
+
+  // Defined below as a std::function so maybe_consult (above) and the event
+  // loop can both call it.
+  apply_decision = [&](std::size_t p, const std::vector<double>& absorb, double now) {
+    ProxyState& st = proxies[p];
+    const double power = cfg_.proxy_power(p);
+
+    // Move jobs from the back of the queue (the ones that would wait the
+    // longest) to the absorbing proxies, never re-redirecting a job. Each
+    // donor's budget is additionally capped by the *wait benefit*: moving
+    // more than equalizes the two backlogs (net of the redirection cost)
+    // makes the moved request worse off -- the paper's justification for
+    // redirection is precisely that "without redirection this request would
+    // suffer much longer delay". Without this cap a saturated system churns
+    // work between equally busy proxies, paying the overhead every time.
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k == p) continue;
+      double budget = absorb[k];
+      if (budget <= 1e-12) continue;
+      if (scheduler.kind() == SchedulerKind::Lp && cfg_.wait_benefit_cap) {
+        // Only the centralized scheme knows donor backlogs; the endpoint
+        // baseline redirects blindly (that asymmetry is Figure 13's point).
+        const double donor_power = cfg_.proxy_power(k);
+        const double donor_busy_left =
+            proxies[k].busy ? std::max(0.0, proxies[k].busy_until - now) : 0.0;
+        const double wait_p = st.queued_demand / power;
+        const double wait_k = proxies[k].queued_demand / donor_power + donor_busy_left;
+        const double equalize = 0.5 * (wait_p - wait_k - cfg_.redirect_cost);
+        budget = std::min(budget, std::max(0.0, equalize * donor_power));
+        if (budget <= 1e-12) continue;
+      }
+      // Scan from the back for movable jobs.
+      std::deque<Job> skipped;
+      while (budget > 1e-12 && !st.queue.empty()) {
+        Job j = st.pop_back();
+        // The redirection overhead is work the donor must perform too, so
+        // it counts against the granted budget -- otherwise donors receive
+        // (1 + cost/mean_demand) times what the scheduler allotted and the
+        // whole system spirals into overload.
+        const double landed_demand = j.demand + cfg_.redirect_cost;
+        // The LP scheme never needs to move a request twice (it placed it
+        // where capacity provably existed); the blind endpoint scheme has
+        // no such knowledge, so a misdirected request may be redistributed
+        // again -- and keeps paying the cost each hop.
+        const bool movable =
+            !j.redirected || scheduler.kind() == SchedulerKind::Endpoint;
+        if (!movable || landed_demand > budget + 1e-9) {
+          skipped.push_front(j);
+          continue;
+        }
+        budget -= landed_demand;
+        j.redirected = true;
+        j.demand += cfg_.redirect_cost;
+        ++metrics.redirected_requests;
+        metrics.redirected_demand += j.demand;
+        auto slot = static_cast<std::size_t>(
+            std::min(j.arrival, cfg_.horizon - 1e-9) / cfg_.slot_width);
+        if (slot >= metrics.redirected_by_slot.size())
+          slot = metrics.redirected_by_slot.size() - 1;
+        ++metrics.redirected_by_slot[slot];
+        proxies[k].push(j);
+        try_start(k, now);
+      }
+      for (Job& j : skipped) st.push(j);
+    }
+  };
+
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    switch (ev.kind) {
+      case EventKind::Arrival: {
+        proxies[ev.proxy].push(ev.job);
+        try_start(ev.proxy, ev.time);
+        maybe_consult(ev.proxy, ev.time);
+        break;
+      }
+      case EventKind::Completion: {
+        proxies[ev.proxy].busy = false;
+        try_start(ev.proxy, ev.time);
+        // Re-check the backlog: without this, a proxy whose arrivals have
+        // stopped would never consult again no matter how long its queue is.
+        maybe_consult(ev.proxy, ev.time);
+        break;
+      }
+      case EventKind::Decision: {
+        apply_decision(ev.proxy, ev.absorb, ev.time);
+        break;
+      }
+    }
+  }
+
+  for (const auto& st : proxies)
+    AGORA_INVARIANT(st.queue.empty() && !st.busy, "simulation ended with unserved work");
+  return metrics;
+}
+
+}  // namespace agora::proxysim

@@ -1,0 +1,51 @@
+#include "rms/bus.h"
+
+#include <limits>
+
+namespace agora::rms {
+
+EndpointId MessageBus::add_endpoint(Handler handler) {
+  AGORA_REQUIRE(handler != nullptr, "endpoint needs a handler");
+  endpoints_.push_back(std::move(handler));
+  return endpoints_.size() - 1;
+}
+
+void MessageBus::post(EndpointId from, EndpointId to, Payload payload, double latency) {
+  AGORA_REQUIRE(from < endpoints_.size() && to < endpoints_.size(), "unknown endpoint");
+  AGORA_REQUIRE(latency >= 0.0, "latency must be non-negative");
+  queue_.push(Envelope{now_ + latency, seq_++, from, to, std::move(payload)});
+}
+
+bool MessageBus::step() {
+  if (queue_.empty()) return false;
+  Envelope env = queue_.top();
+  queue_.pop();
+  now_ = env.deliver_at;
+  ++delivered_;
+  endpoints_[env.to](env);
+  return true;
+}
+
+std::size_t MessageBus::run_until(double t) {
+  std::size_t count = 0;
+  while (!queue_.empty() && queue_.top().deliver_at <= t) {
+    step();
+    ++count;
+  }
+  return count;
+}
+
+double MessageBus::next_time() const {
+  return queue_.empty() ? std::numeric_limits<double>::quiet_NaN() : queue_.top().deliver_at;
+}
+
+std::size_t MessageBus::run_until_idle(std::size_t max_messages) {
+  std::size_t count = 0;
+  while (step()) {
+    if (++count > max_messages)
+      throw InternalError("message bus did not quiesce (possible message loop)");
+  }
+  return count;
+}
+
+}  // namespace agora::rms

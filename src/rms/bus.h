@@ -1,0 +1,71 @@
+// bus.h -- an in-process, virtual-time message bus connecting GRMs, LRMs
+// and clients. Messages are delivered in timestamp order with configurable
+// latency, which is what makes the GRM/LRM interaction a *simulation* of the
+// distributed deployment the paper sketches rather than a thin function
+// call: availability reports can be stale, decisions can cross in flight.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "rms/messages.h"
+#include "util/error.h"
+
+namespace agora::rms {
+
+using EndpointId = std::size_t;
+
+struct Envelope {
+  double deliver_at = 0.0;
+  std::uint64_t seq = 0;
+  EndpointId from = 0;
+  EndpointId to = 0;
+  Payload payload;
+};
+
+class MessageBus {
+ public:
+  using Handler = std::function<void(const Envelope&)>;
+
+  /// Register an endpoint; the handler runs when messages are delivered.
+  EndpointId add_endpoint(Handler handler);
+
+  /// Post a message for delivery after `latency` seconds of virtual time.
+  void post(EndpointId from, EndpointId to, Payload payload, double latency = 0.0);
+
+  /// Deliver the next message (advancing virtual time). False when idle.
+  bool step();
+
+  /// Deliver until the queue drains. Returns messages delivered. Throws
+  /// InternalError past `max_messages` (runaway protection).
+  std::size_t run_until_idle(std::size_t max_messages = 1000000);
+
+  /// Deliver every message scheduled at or before virtual time `t`.
+  /// Returns messages delivered; leaves later messages queued.
+  std::size_t run_until(double t);
+
+  /// Delivery time of the next queued message (NaN when idle).
+  double next_time() const;
+
+  double now() const { return now_; }
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t delivered() const { return delivered_; }
+
+ private:
+  struct Later {
+    bool operator()(const Envelope& a, const Envelope& b) const {
+      if (a.deliver_at != b.deliver_at) return a.deliver_at > b.deliver_at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::vector<Handler> endpoints_;
+  std::priority_queue<Envelope, std::vector<Envelope>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace agora::rms

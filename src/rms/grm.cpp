@@ -1,0 +1,157 @@
+#include "rms/grm.h"
+
+#include <algorithm>
+
+namespace agora::rms {
+
+Grm::Grm(MessageBus& bus, std::vector<agree::AgreementSystem> systems,
+         alloc::AllocatorOptions opts, double decision_latency)
+    : bus_(bus), decision_latency_(decision_latency), opts_(opts) {
+  AGORA_REQUIRE(!systems.empty(), "GRM needs at least one resource system");
+  const std::size_t n = systems[0].size();
+  for (const auto& s : systems)
+    AGORA_REQUIRE(s.size() == n, "all resource systems must cover the same sites");
+  allocators_.reserve(systems.size());
+  for (auto& s : systems) {
+    known_.emplace_back(s.capacity);  // seed with declared capacities
+    allocators_.emplace_back(std::move(s), opts);
+  }
+  lrm_endpoints_.assign(n, 0);
+  lrm_known_.assign(n, false);
+  endpoint_ = bus_.add_endpoint([this](const Envelope& env) { handle(env); });
+}
+
+void Grm::register_lrm(std::size_t site, EndpointId lrm) {
+  AGORA_REQUIRE(site < lrm_endpoints_.size(), "unknown site");
+  lrm_endpoints_[site] = lrm;
+  lrm_known_[site] = true;
+}
+
+void Grm::set_scope(std::vector<std::size_t> sites, EndpointId parent) {
+  scope_.assign(lrm_endpoints_.size(), false);
+  for (std::size_t s : sites) {
+    AGORA_REQUIRE(s < scope_.size(), "scope site out of range");
+    scope_[s] = true;
+  }
+  parent_ = parent;
+}
+
+bool Grm::in_scope(std::size_t site) const { return scope_.empty() || scope_.at(site); }
+
+void Grm::update_agreement(std::size_t resource, std::size_t from, std::size_t to,
+                           double share) {
+  AGORA_REQUIRE(resource < allocators_.size(), "unknown resource");
+  // Rebuild the allocator with the updated matrix (agreement changes are
+  // rare control-plane events; the closure recomputation is acceptable).
+  agree::AgreementSystem sys = allocators_[resource].system();
+  AGORA_REQUIRE(from < sys.size() && to < sys.size() && from != to, "bad agreement endpoints");
+  AGORA_REQUIRE(share >= 0.0, "share must be non-negative");
+  sys.relative(from, to) = share;
+  allocators_[resource] = alloc::Allocator(std::move(sys), opts_);
+}
+
+double Grm::known_available(std::size_t site, std::size_t resource) const {
+  AGORA_REQUIRE(resource < known_.size() && site < known_[resource].size(),
+                "unknown site/resource");
+  return known_[resource][site];
+}
+
+void Grm::handle(const Envelope& env) {
+  if (const auto* rep = std::get_if<AvailabilityReport>(&env.payload)) {
+    AGORA_REQUIRE(rep->available.size() == allocators_.size(),
+                  "availability report resource count mismatch");
+    for (std::size_t r = 0; r < allocators_.size(); ++r)
+      known_[r][rep->lrm] = rep->available[r];
+    return;
+  }
+  if (const auto* req = std::get_if<AllocationRequest>(&env.payload)) {
+    decide(*req, env.from);
+    return;
+  }
+  if (const auto* reply = std::get_if<AllocationReply>(&env.payload)) {
+    // A reply from our parent for a forwarded request: relay it.
+    const auto it = forwarded_.find(reply->request_id);
+    if (it != forwarded_.end()) {
+      bus_.post(endpoint_, it->second, *reply, decision_latency_);
+      forwarded_.erase(it);
+    }
+    return;
+  }
+  if (const auto* upd = std::get_if<AgreementUpdate>(&env.payload)) {
+    update_agreement(upd->resource, upd->from, upd->to, upd->share);
+    return;
+  }
+  // ReleaseNotice sent to a GRM is informational; availability arrives via
+  // the LRM's follow-up report.
+}
+
+void Grm::decide(const AllocationRequest& req, EndpointId reply_to) {
+  ++decisions_;
+  AGORA_REQUIRE(req.amounts.size() == allocators_.size(),
+                "request must name an amount per resource");
+  AGORA_REQUIRE(req.principal < lrm_endpoints_.size(), "unknown principal");
+
+  // Refresh allocators with the latest availability, masking out-of-scope
+  // sites (a child GRM cannot spend capacity it does not manage).
+  std::vector<std::vector<double>> caps(allocators_.size());
+  for (std::size_t r = 0; r < allocators_.size(); ++r) {
+    caps[r] = known_[r];
+    if (!scope_.empty())
+      for (std::size_t s = 0; s < caps[r].size(); ++s)
+        if (!scope_[s]) caps[r][s] = 0.0;
+    allocators_[r].set_capacities(caps[r]);
+  }
+
+  // Solve the per-resource LPs.
+  std::vector<alloc::AllocationPlan> plans(allocators_.size());
+  bool ok = true;
+  for (std::size_t r = 0; r < allocators_.size(); ++r) {
+    plans[r] = allocators_[r].allocate(req.principal, req.amounts[r]);
+    ok = ok && plans[r].satisfied();
+  }
+
+  if (!ok) {
+    if (parent_) {
+      // Escalate: the parent sees the full system.
+      ++forwards_;
+      forwarded_[req.request_id] = reply_to;
+      bus_.post(endpoint_, *parent_, req, decision_latency_);
+      return;
+    }
+    AllocationReply reply;
+    reply.request_id = req.request_id;
+    reply.granted = false;
+    reply.reason = "insufficient capacity under agreements";
+    bus_.post(endpoint_, reply_to, reply, decision_latency_);
+    return;
+  }
+
+  // Commit: instruct every contributing LRM and update our book-keeping.
+  ++grants_;
+  const std::size_t n = lrm_endpoints_.size();
+  for (std::size_t s = 0; s < n; ++s) {
+    std::vector<double> amounts(allocators_.size(), 0.0);
+    double total = 0.0;
+    for (std::size_t r = 0; r < allocators_.size(); ++r) {
+      amounts[r] = plans[r].draw[s];
+      total += amounts[r];
+    }
+    if (total <= 1e-12) continue;
+    AGORA_REQUIRE(lrm_known_[s], "allocation draws on an unregistered LRM");
+    ReserveCommand cmd;
+    cmd.request_id = req.request_id;
+    cmd.amounts = amounts;
+    cmd.duration = req.duration;
+    bus_.post(endpoint_, lrm_endpoints_[s], cmd, decision_latency_);
+    for (std::size_t r = 0; r < allocators_.size(); ++r) known_[r][s] -= amounts[r];
+  }
+
+  AllocationReply reply;
+  reply.request_id = req.request_id;
+  reply.granted = true;
+  reply.draws.resize(allocators_.size());
+  for (std::size_t r = 0; r < allocators_.size(); ++r) reply.draws[r] = plans[r].draw;
+  bus_.post(endpoint_, reply_to, reply, decision_latency_);
+}
+
+}  // namespace agora::rms

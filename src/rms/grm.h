@@ -1,0 +1,81 @@
+// grm.h -- Global Resource Manager: the centralized scheduler holding the
+// sharing agreements and the latest availability reports, deciding
+// allocations with the Section-3 LP model.
+//
+// The GRM is an endpoint on the message bus. It supports:
+//   * agreement management (AgreementUpdate messages and direct API),
+//   * availability tracking (AvailabilityReport from LRMs),
+//   * allocation (AllocationRequest -> LP decision -> ReserveCommands to
+//     the contributing LRMs -> AllocationReply to the requesting client).
+//
+// GRMs can form a hierarchy ("the architecture also permits splitting of
+// the GRMs into multiple levels, each responsible for a subset of the
+// LRMs"): a child GRM that cannot satisfy a request within its subset
+// forwards it to its parent, which sees the whole system.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "rms/bus.h"
+#include "rms/messages.h"
+
+namespace agora::rms {
+
+class Grm {
+ public:
+  /// One AgreementSystem per resource; all must cover the same principals.
+  /// `decision_latency` models GRM compute + network delay per decision.
+  Grm(MessageBus& bus, std::vector<agree::AgreementSystem> systems,
+      alloc::AllocatorOptions opts = {}, double decision_latency = 0.0);
+
+  EndpointId endpoint() const { return endpoint_; }
+  std::size_t num_resources() const { return allocators_.size(); }
+  std::size_t num_sites() const { return lrm_endpoints_.size(); }
+
+  /// Wire up an LRM to a principal index.
+  void register_lrm(std::size_t site, EndpointId lrm);
+
+  /// Restrict this GRM to a subset of sites and give it a parent to
+  /// escalate to. Requests involving capacity outside the subset are
+  /// forwarded to the parent.
+  void set_scope(std::vector<std::size_t> sites, EndpointId parent);
+
+  /// Agreement management service (also reachable via AgreementUpdate).
+  void update_agreement(std::size_t resource, std::size_t from, std::size_t to, double share);
+
+  /// Latest known availability of site `i` for resource r.
+  double known_available(std::size_t site, std::size_t resource) const;
+
+  /// Statistics.
+  std::uint64_t decisions() const { return decisions_; }
+  std::uint64_t grants() const { return grants_; }
+  std::uint64_t forwards() const { return forwards_; }
+
+ private:
+  void handle(const Envelope& env);
+  void decide(const AllocationRequest& req, EndpointId reply_to);
+  bool in_scope(std::size_t site) const;
+
+  MessageBus& bus_;
+  EndpointId endpoint_;
+  double decision_latency_;
+  alloc::AllocatorOptions opts_;
+  std::vector<alloc::Allocator> allocators_;
+  std::vector<std::vector<double>> known_;  ///< [resource][site]
+  std::vector<EndpointId> lrm_endpoints_;
+  std::vector<bool> lrm_known_;
+  /// Hierarchy.
+  std::vector<bool> scope_;  ///< empty = all sites
+  std::optional<EndpointId> parent_;
+  /// Requests forwarded to the parent: remember who to reply to.
+  std::unordered_map<std::uint64_t, EndpointId> forwarded_;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t grants_ = 0;
+  std::uint64_t forwards_ = 0;
+};
+
+}  // namespace agora::rms

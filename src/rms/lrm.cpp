@@ -1,0 +1,69 @@
+#include "rms/lrm.h"
+
+#include <algorithm>
+
+namespace agora::rms {
+
+Lrm::Lrm(MessageBus& bus, std::vector<double> capacity, double report_latency)
+    : bus_(bus), report_latency_(report_latency), capacity_(std::move(capacity)),
+      available_(capacity_) {
+  AGORA_REQUIRE(!capacity_.empty(), "LRM needs at least one resource");
+  for (double c : capacity_) AGORA_REQUIRE(c >= 0.0, "capacity must be non-negative");
+  AGORA_REQUIRE(report_latency_ >= 0.0, "latency must be non-negative");
+  endpoint_ = bus_.add_endpoint([this](const Envelope& env) { handle(env); });
+}
+
+void Lrm::attach(EndpointId grm, std::size_t site_index) {
+  grm_ = grm;
+  site_ = site_index;
+  attached_ = true;
+  report();
+}
+
+void Lrm::adjust_capacity(std::size_t resource, double delta) {
+  AGORA_REQUIRE(resource < capacity_.size(), "unknown resource");
+  AGORA_REQUIRE(capacity_[resource] + delta >= -1e-12, "capacity cannot go negative");
+  capacity_[resource] += delta;
+  available_[resource] = std::max(0.0, available_[resource] + delta);
+  if (attached_) report();
+}
+
+void Lrm::report() {
+  AvailabilityReport rep;
+  rep.lrm = site_;
+  rep.available = available_;
+  bus_.post(endpoint_, grm_, rep, report_latency_);
+}
+
+void Lrm::handle(const Envelope& env) {
+  if (const auto* reserve = std::get_if<ReserveCommand>(&env.payload)) {
+    AGORA_REQUIRE(reserve->amounts.size() == available_.size(),
+                  "reserve command resource count mismatch");
+    // Fulfil the GRM's decision. A decision based on a stale report can
+    // overshoot; clamp and report the truth back (the GRM reconciles).
+    std::vector<double> taken(available_.size(), 0.0);
+    for (std::size_t r = 0; r < available_.size(); ++r) {
+      taken[r] = std::min(reserve->amounts[r], available_[r]);
+      available_[r] -= taken[r];
+    }
+    reservations_[reserve->request_id] = taken;
+    if (reserve->duration > 0.0) {
+      // Schedule our own release (self-message models the job finishing).
+      bus_.post(endpoint_, endpoint_, ReleaseNotice{reserve->request_id}, reserve->duration);
+    }
+    report();
+    return;
+  }
+  if (const auto* release = std::get_if<ReleaseNotice>(&env.payload)) {
+    const auto it = reservations_.find(release->request_id);
+    if (it == reservations_.end()) return;  // duplicate release: idempotent
+    for (std::size_t r = 0; r < available_.size(); ++r)
+      available_[r] = std::min(capacity_[r], available_[r] + it->second[r]);
+    reservations_.erase(it);
+    report();
+    return;
+  }
+  // Other payloads are not for LRMs; ignore (robustness to misrouting).
+}
+
+}  // namespace agora::rms

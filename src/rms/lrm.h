@@ -1,0 +1,48 @@
+// lrm.h -- Local Resource Manager: owns one site's physical capacity,
+// reports availability to its GRM, and fulfills reservations.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "rms/bus.h"
+#include "rms/messages.h"
+
+namespace agora::rms {
+
+class Lrm {
+ public:
+  /// `capacity[r]` is the site's physical capacity for resource r.
+  /// `report_latency` models the LRM -> GRM network delay.
+  Lrm(MessageBus& bus, std::vector<double> capacity, double report_latency = 0.0);
+
+  EndpointId endpoint() const { return endpoint_; }
+  std::size_t site_index() const { return site_; }
+
+  /// Bind to the GRM and announce the initial availability. `site_index`
+  /// is this LRM's principal index in the GRM's agreement system.
+  void attach(EndpointId grm, std::size_t site_index);
+
+  /// Currently unreserved capacity per resource.
+  const std::vector<double>& available() const { return available_; }
+  std::size_t active_reservations() const { return reservations_.size(); }
+
+  /// Grow/shrink physical capacity at runtime (reports the change).
+  void adjust_capacity(std::size_t resource, double delta);
+
+ private:
+  void handle(const Envelope& env);
+  void report();
+
+  MessageBus& bus_;
+  EndpointId endpoint_;
+  EndpointId grm_ = 0;
+  std::size_t site_ = 0;
+  bool attached_ = false;
+  double report_latency_;
+  std::vector<double> capacity_;
+  std::vector<double> available_;
+  std::unordered_map<std::uint64_t, std::vector<double>> reservations_;
+};
+
+}  // namespace agora::rms

@@ -1,0 +1,64 @@
+// messages.h -- the message vocabulary between Local Resource Managers and
+// the Global Resource Manager (Section 3.2, final paragraph):
+//
+//   "The GRM provides services to manage sharing agreements and to schedule
+//    resources among local resource managers. LRMs are responsible for
+//    providing resource availability information to the GRM dynamically,
+//    and fulfilling resource allocation according to the GRM's decisions."
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace agora::rms {
+
+/// LRM -> GRM: periodic/dirty availability report (one entry per resource).
+struct AvailabilityReport {
+  std::size_t lrm = 0;
+  std::vector<double> available;
+};
+
+/// Client -> GRM: allocate `amounts` (per resource) on behalf of the
+/// principal hosted at LRM `principal`, holding them for `duration` time.
+struct AllocationRequest {
+  std::uint64_t request_id = 0;
+  std::size_t principal = 0;
+  std::vector<double> amounts;
+  double duration = 0.0;
+};
+
+/// GRM -> client: the decision.
+struct AllocationReply {
+  std::uint64_t request_id = 0;
+  bool granted = false;
+  /// Per resource, per LRM: how much was drawn where (empty when denied).
+  std::vector<std::vector<double>> draws;
+  std::string reason;
+};
+
+/// GRM -> LRM: reserve local capacity for a request (per resource).
+struct ReserveCommand {
+  std::uint64_t request_id = 0;
+  std::vector<double> amounts;
+  double duration = 0.0;
+};
+
+/// LRM -> GRM (and internal): reservation expired / job finished.
+struct ReleaseNotice {
+  std::uint64_t request_id = 0;
+};
+
+/// Agreement management service (GRM): change a relative share at runtime.
+struct AgreementUpdate {
+  std::size_t resource = 0;
+  std::size_t from = 0;
+  std::size_t to = 0;
+  double share = 0.0;
+};
+
+using Payload = std::variant<AvailabilityReport, AllocationRequest, AllocationReply,
+                             ReserveCommand, ReleaseNotice, AgreementUpdate>;
+
+}  // namespace agora::rms

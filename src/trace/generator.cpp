@@ -1,0 +1,53 @@
+#include "trace/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace agora::trace {
+
+double expected_response_bytes(const GeneratorConfig& cfg) {
+  const double body_mean =
+      std::exp(cfg.body_log_median_bytes + cfg.body_sigma * cfg.body_sigma / 2.0);
+  // Pareto mean is finite only for alpha > 1.
+  const double tail_mean = cfg.tail_alpha > 1.0
+                               ? cfg.tail_scale_bytes * cfg.tail_alpha / (cfg.tail_alpha - 1.0)
+                               : cfg.tail_scale_bytes * 10.0;
+  return (1.0 - cfg.tail_probability) * body_mean + cfg.tail_probability * tail_mean;
+}
+
+std::vector<TraceRequest> Generator::generate(std::uint64_t seed, double time_shift) const {
+  Pcg32 rng(seed);
+  const double horizon = profile_.horizon();
+  const double width = profile_.slot_width();
+
+  std::vector<TraceRequest> out;
+  out.reserve(static_cast<std::size_t>(cfg_.peak_rate * profile_.mean_weight() * horizon * 1.1) +
+              16);
+
+  for (std::size_t s = 0; s < profile_.slots(); ++s) {
+    const double mean = cfg_.peak_rate * profile_.slot_weight(s) * width;
+    const std::uint64_t count = rng.poisson(mean);
+    const double slot_start = static_cast<double>(s) * width;
+    for (std::uint64_t k = 0; k < count; ++k) {
+      TraceRequest r;
+      double t = slot_start + rng.next_double() * width + time_shift;
+      t = std::fmod(t, horizon);
+      if (t < 0.0) t += horizon;
+      r.arrival = t;
+      if (rng.next_double() < cfg_.tail_probability) {
+        r.response_bytes = static_cast<std::uint64_t>(
+            rng.pareto(cfg_.tail_scale_bytes, cfg_.tail_alpha));
+      } else {
+        r.response_bytes = static_cast<std::uint64_t>(
+            rng.lognormal(cfg_.body_log_median_bytes, cfg_.body_sigma));
+      }
+      r.client = rng.uniform_u32(cfg_.num_clients);
+      out.push_back(r);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceRequest& a, const TraceRequest& b) { return a.arrival < b.arrival; });
+  return out;
+}
+
+}  // namespace agora::trace

@@ -1,0 +1,67 @@
+#include "trace/profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace agora::trace {
+
+DiurnalProfile::DiurnalProfile(std::vector<double> slot_weights, double horizon)
+    : weights_(std::move(slot_weights)), horizon_(horizon) {
+  AGORA_REQUIRE(!weights_.empty(), "profile needs at least one slot");
+  AGORA_REQUIRE(horizon_ > 0.0, "profile horizon must be positive");
+  for (double w : weights_)
+    AGORA_REQUIRE(w >= 0.0 && std::isfinite(w), "slot weights must be non-negative");
+}
+
+DiurnalProfile DiurnalProfile::berkeley_like(double horizon, std::size_t slots) {
+  // Hourly control points (hour 0 = midnight). Shape follows the paper's
+  // Figure 5: peak at midnight, trough around 5am, gradual recovery through
+  // the working day, climb through the evening back to the peak.
+  static constexpr double kHourly[24] = {
+      1.00, 0.93, 0.78, 0.55, 0.36, 0.25, 0.27, 0.32,  // 00..07
+      0.40, 0.48, 0.54, 0.58, 0.61, 0.60, 0.62, 0.65,  // 08..15
+      0.69, 0.72, 0.75, 0.79, 0.84, 0.89, 0.94, 0.98,  // 16..23
+  };
+  std::vector<double> w(slots);
+  for (std::size_t s = 0; s < slots; ++s) {
+    // Hour position of the slot midpoint, wrapped.
+    const double hour =
+        (static_cast<double>(s) + 0.5) * 24.0 / static_cast<double>(slots);
+    const std::size_t h0 = static_cast<std::size_t>(hour) % 24;
+    const std::size_t h1 = (h0 + 1) % 24;
+    const double frac = hour - std::floor(hour);
+    w[s] = kHourly[h0] * (1.0 - frac) + kHourly[h1] * frac;
+  }
+  return DiurnalProfile(std::move(w), horizon);
+}
+
+DiurnalProfile DiurnalProfile::flat(double weight, double horizon, std::size_t slots) {
+  return DiurnalProfile(std::vector<double>(slots, weight), horizon);
+}
+
+double DiurnalProfile::weight_at(double t) const {
+  // Wrap into [0, horizon).
+  t = std::fmod(t, horizon_);
+  if (t < 0.0) t += horizon_;
+  const double width = slot_width();
+  // Interpolate between slot midpoints (wrapping).
+  const double pos = t / width - 0.5;
+  const double base = std::floor(pos);
+  const double frac = pos - base;
+  const std::size_t n = weights_.size();
+  const std::size_t s0 = static_cast<std::size_t>((static_cast<long long>(base) % static_cast<long long>(n) + static_cast<long long>(n))) % n;
+  const std::size_t s1 = (s0 + 1) % n;
+  return weights_[s0] * (1.0 - frac) + weights_[s1] * frac;
+}
+
+double DiurnalProfile::mean_weight() const {
+  double s = 0.0;
+  for (double w : weights_) s += w;
+  return s / static_cast<double>(weights_.size());
+}
+
+double DiurnalProfile::peak_weight() const {
+  return *std::max_element(weights_.begin(), weights_.end());
+}
+
+}  // namespace agora::trace

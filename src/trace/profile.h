@@ -1,0 +1,62 @@
+// profile.h -- diurnal request-rate profiles.
+//
+// The paper drives its simulator from the UC Berkeley Home-IP traces
+// (Nov 1996), averaged into a single 24-hour period with 10-minute slots;
+// its Figure 5 shows the load heaviest around midnight and lightest in the
+// early morning hours. That trace is not redistributable, so agora ships a
+// synthetic profile with the same shape (see DESIGN.md, substitutions): a
+// per-hour weight curve peaking at midnight and bottoming out around 5am,
+// interpolated smoothly across 144 10-minute slots.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/error.h"
+
+namespace agora::trace {
+
+/// Piecewise-linear rate profile over a wrapping 24-hour day.
+class DiurnalProfile {
+ public:
+  /// Build from explicit per-slot weights covering [0, horizon).
+  DiurnalProfile(std::vector<double> slot_weights, double horizon);
+
+  /// The Berkeley-Home-IP-like shape: weight 1.0 at midnight falling to
+  /// ~0.25 at 5am and recovering through the day and evening.
+  /// `horizon` defaults to 24 hours with 10-minute slots.
+  static DiurnalProfile berkeley_like(double horizon = 86400.0, std::size_t slots = 144);
+
+  /// Constant load (useful in tests).
+  static DiurnalProfile flat(double weight = 1.0, double horizon = 86400.0,
+                             std::size_t slots = 144);
+
+  double horizon() const { return horizon_; }
+  std::size_t slots() const { return weights_.size(); }
+  double slot_width() const { return horizon_ / static_cast<double>(weights_.size()); }
+
+  /// Weight at time t (wrapped into the horizon), linearly interpolated
+  /// between slot midpoints.
+  double weight_at(double t) const;
+
+  /// Raw weight of slot s.
+  double slot_weight(std::size_t s) const { return weights_.at(s); }
+
+  /// Slot midpoint expressed as an hour-of-day in [0, 24) (the horizon is
+  /// mapped onto one day regardless of its length).
+  double slot_mid_hour(std::size_t s) const {
+    AGORA_REQUIRE(s < weights_.size(), "slot index out of range");
+    return (static_cast<double>(s) + 0.5) * 24.0 / static_cast<double>(weights_.size());
+  }
+
+  /// Mean weight across the day.
+  double mean_weight() const;
+  /// Largest slot weight.
+  double peak_weight() const;
+
+ private:
+  std::vector<double> weights_;
+  double horizon_;
+};
+
+}  // namespace agora::trace

@@ -1,0 +1,17 @@
+// request.h -- one HTTP request in a proxy workload trace.
+#pragma once
+
+#include <cstdint>
+
+namespace agora::trace {
+
+struct TraceRequest {
+  /// Arrival time in seconds from trace start (within [0, horizon)).
+  double arrival = 0.0;
+  /// Response length in bytes; drives the paper's a + b*x cost model.
+  std::uint64_t response_bytes = 0;
+  /// Synthetic client id (stable per generated client population).
+  std::uint32_t client = 0;
+};
+
+}  // namespace agora::trace

@@ -1,0 +1,46 @@
+#include "trace/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace agora::trace {
+
+void write_trace(std::ostream& os, const std::vector<TraceRequest>& reqs) {
+  os << "# agora trace v1: arrival_seconds response_bytes client_id\n";
+  for (const auto& r : reqs) os << r.arrival << " " << r.response_bytes << " " << r.client << "\n";
+}
+
+void save_trace(const std::string& path, const std::vector<TraceRequest>& reqs) {
+  std::ofstream f(path);
+  if (!f) throw IoError("cannot open for writing: " + path);
+  write_trace(f, reqs);
+  if (!f) throw IoError("write failed: " + path);
+}
+
+std::vector<TraceRequest> read_trace(std::istream& is) {
+  std::vector<TraceRequest> out;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    TraceRequest r;
+    if (!(ss >> r.arrival >> r.response_bytes >> r.client))
+      throw IoError("malformed trace line " + std::to_string(lineno) + ": " + line);
+    if (r.arrival < 0.0)
+      throw IoError("negative arrival at line " + std::to_string(lineno));
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<TraceRequest> load_trace(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw IoError("cannot open trace: " + path);
+  return read_trace(f);
+}
+
+}  // namespace agora::trace

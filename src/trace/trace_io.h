@@ -1,0 +1,24 @@
+// trace_io.h -- trace (de)serialization.
+//
+// Text format, one request per line: "<arrival> <response_bytes> <client>".
+// Lines beginning with '#' are comments. The format is deliberately simple
+// so real trace data (e.g. a preprocessed Berkeley Home-IP dump) can be
+// dropped in without code changes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/request.h"
+
+namespace agora::trace {
+
+void write_trace(std::ostream& os, const std::vector<TraceRequest>& reqs);
+void save_trace(const std::string& path, const std::vector<TraceRequest>& reqs);
+
+/// Parse a trace. Throws IoError on malformed lines or unreadable files.
+std::vector<TraceRequest> read_trace(std::istream& is);
+std::vector<TraceRequest> load_trace(const std::string& path);
+
+}  // namespace agora::trace

@@ -1,0 +1,83 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace agora {
+
+Table::Table(std::vector<std::string> columns) : header_(std::move(columns)) {
+  AGORA_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<double> values) {
+  AGORA_REQUIRE(values.size() == header_.size(), "row width mismatch");
+  rows_.push_back(std::move(values));
+}
+
+double Table::at(std::size_t row, std::size_t col) const {
+  AGORA_REQUIRE(row < rows_.size() && col < header_.size(), "table index out of range");
+  return rows_[row][col];
+}
+
+void Table::write_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << (c ? "," : "") << csv_escape(header_[c]);
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) os << (c ? "," : "") << row[c];
+    os << "\n";
+  }
+}
+
+void Table::save_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw IoError("cannot open for writing: " + path);
+  write_csv(f);
+  if (!f) throw IoError("write failed: " + path);
+}
+
+void Table::write_pretty(std::ostream& os, int precision) const {
+  // Render all cells first so the column widths are known.
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> line;
+    line.reserve(row.size());
+    for (double v : row) {
+      std::ostringstream ss;
+      ss << std::fixed << std::setprecision(precision) << v;
+      line.push_back(ss.str());
+    }
+    cells.push_back(std::move(line));
+  }
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+    for (const auto& line : cells) width[c] = std::max(width[c], line[c].size());
+  }
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << (c ? "  " : "") << std::setw(static_cast<int>(width[c])) << header_[c];
+  os << "\n";
+  for (const auto& line : cells) {
+    for (std::size_t c = 0; c < line.size(); ++c)
+      os << (c ? "  " : "") << std::setw(static_cast<int>(width[c])) << line[c];
+    os << "\n";
+  }
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace agora

@@ -1,0 +1,42 @@
+// csv.h -- tabular output for the benchmark harnesses: CSV files for plotting
+// and aligned text tables for the console.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace agora {
+
+/// Column-oriented table. Add named columns, then rows of values; render as
+/// CSV (machine-readable) or as an aligned console table (human-readable).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  std::size_t columns() const { return header_.size(); }
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Append a row. Must match the column count.
+  void add_row(std::vector<double> values);
+
+  /// Value accessors (used by tests that pin down harness output).
+  double at(std::size_t row, std::size_t col) const;
+  const std::string& column_name(std::size_t col) const { return header_.at(col); }
+
+  /// Write as CSV with the header row.
+  void write_csv(std::ostream& os) const;
+  /// Write to a file; throws IoError on failure.
+  void save_csv(const std::string& path) const;
+  /// Write as an aligned, human-readable table.
+  void write_pretty(std::ostream& os, int precision = 4) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<double>> rows_;
+};
+
+/// Escape a string for CSV (quotes and commas).
+std::string csv_escape(const std::string& s);
+
+}  // namespace agora

@@ -1,0 +1,63 @@
+// error.h -- error handling primitives shared by every agora module.
+//
+// We deliberately use exceptions for *programming errors and unsatisfiable
+// preconditions* (bad model construction, dimension mismatches) and status
+// enums for *expected outcomes* (an infeasible LP is not an error).
+#pragma once
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace agora {
+
+/// Thrown when a caller violates an API precondition (bad dimensions,
+/// out-of-range principal ids, malformed agreement matrices, ...).
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when an internal invariant is violated; indicates a bug in agora.
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown for I/O failures (trace files, CSV output).
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* cond, const char* file, int line,
+                                        const std::string& msg) {
+  std::string full = std::string("precondition failed: ") + cond + " at " + file + ":" +
+                     std::to_string(line);
+  if (!msg.empty()) full += " -- " + msg;
+  throw PreconditionError(full);
+}
+
+[[noreturn]] inline void invariant_failed(const char* cond, const char* file, int line,
+                                          const std::string& msg) {
+  std::string full = std::string("invariant violated: ") + cond + " at " + file + ":" +
+                     std::to_string(line);
+  if (!msg.empty()) full += " -- " + msg;
+  throw InternalError(full);
+}
+}  // namespace detail
+
+/// Precondition check: always on (cheap relative to the work the APIs do).
+#define AGORA_REQUIRE(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) ::agora::detail::require_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Internal invariant check.
+#define AGORA_INVARIANT(cond, msg)                                          \
+  do {                                                                      \
+    if (!(cond)) ::agora::detail::invariant_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+}  // namespace agora

@@ -1,0 +1,84 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace agora {
+
+void Flags::define(const std::string& name, const std::string& default_value,
+                   const std::string& doc) {
+  AGORA_REQUIRE(!name.empty() && name[0] != '-', "flag names are given without dashes");
+  AGORA_REQUIRE(defs_.find(name) == defs_.end(), "duplicate flag: " + name);
+  defs_[name] = Def{default_value, doc, default_value};
+}
+
+std::vector<std::string> Flags::parse(int argc, const char* const* argv) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    } else {
+      const auto it = defs_.find(arg);
+      AGORA_REQUIRE(it != defs_.end(), "unknown flag: --" + arg);
+      AGORA_REQUIRE(i + 1 < argc, "flag --" + arg + " expects a value");
+      value = argv[++i];
+    }
+    const auto it = defs_.find(arg);
+    AGORA_REQUIRE(it != defs_.end(), "unknown flag: --" + arg);
+    it->second.value = value;
+  }
+  return positional;
+}
+
+std::string Flags::help_text(const std::string& program_description) const {
+  std::ostringstream ss;
+  ss << program_description << "\n\nflags:\n";
+  for (const auto& [name, def] : defs_)
+    ss << "  --" << name << " (default: " << def.default_value << ")\n      " << def.doc
+       << "\n";
+  return ss.str();
+}
+
+std::string Flags::get(const std::string& name) const {
+  const auto it = defs_.find(name);
+  AGORA_REQUIRE(it != defs_.end(), "undeclared flag: " + name);
+  return it->second.value;
+}
+
+double Flags::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  char* end = nullptr;
+  const double d = std::strtod(v.c_str(), &end);
+  AGORA_REQUIRE(end != v.c_str() && *end == '\0', "flag --" + name + " is not a number: " + v);
+  return d;
+}
+
+std::int64_t Flags::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  char* end = nullptr;
+  const long long i = std::strtoll(v.c_str(), &end, 10);
+  AGORA_REQUIRE(end != v.c_str() && *end == '\0', "flag --" + name + " is not an integer: " + v);
+  return i;
+}
+
+bool Flags::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  if (v == "true" || v == "1" || v == "yes" || v.empty()) return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw PreconditionError("flag --" + name + " is not a boolean: " + v);
+}
+
+}  // namespace agora

@@ -1,0 +1,46 @@
+// flags.h -- a minimal command-line flag parser for agora's tools.
+//
+// Supports --name=value and --name value forms, typed accessors with
+// defaults, --help generation, and unknown-flag detection. Deliberately
+// tiny: the tools need a dozen scalar options, not a framework.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace agora {
+
+class Flags {
+ public:
+  /// Declare a flag before parsing. `doc` appears in help output.
+  void define(const std::string& name, const std::string& default_value,
+              const std::string& doc);
+
+  /// Parse argv. Throws PreconditionError on unknown or malformed flags.
+  /// Returns leftover positional arguments.
+  std::vector<std::string> parse(int argc, const char* const* argv);
+
+  bool help_requested() const { return help_; }
+  std::string help_text(const std::string& program_description) const;
+
+  std::string get(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+ private:
+  struct Def {
+    std::string value;
+    std::string doc;
+    std::string default_value;
+  };
+  std::map<std::string, Def> defs_;
+  bool help_ = false;
+};
+
+}  // namespace agora

@@ -1,0 +1,140 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace agora {
+
+void StreamingStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void StreamingStats::merge(const StreamingStats& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(o.n_);
+  const double delta = o.mean_ - mean_;
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += o.m2_ + delta * delta * na * nb / nt;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+  n_ += o.n_;
+}
+
+double StreamingStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)), counts_(buckets, 0) {
+  AGORA_REQUIRE(hi > lo, "histogram range must be non-empty");
+  AGORA_REQUIRE(buckets > 0, "histogram needs at least one bucket");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++under_;
+    return;
+  }
+  if (x >= hi_) {
+    ++over_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;  // FP edge at hi_.
+  ++counts_[idx];
+}
+
+double Histogram::quantile(double q) const {
+  AGORA_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q out of [0,1]");
+  AGORA_REQUIRE(total_ > 0, "quantile of empty histogram");
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(under_);
+  if (target <= cum) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (target <= next && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return bucket_low(i) + frac * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+SlottedSeries::SlottedSeries(double horizon, double slot_width) : slot_width_(slot_width) {
+  AGORA_REQUIRE(horizon > 0.0 && slot_width > 0.0, "horizon and slot width must be positive");
+  const auto n = static_cast<std::size_t>(std::ceil(horizon / slot_width - 1e-9));
+  slots_.resize(n);
+}
+
+void SlottedSeries::add(double t, double x) {
+  if (t < 0.0) t = 0.0;
+  auto idx = static_cast<std::size_t>(t / slot_width_);
+  if (idx >= slots_.size()) idx = slots_.size() - 1;
+  slots_[idx].add(x);
+}
+
+double SlottedSeries::overall_mean() const {
+  StreamingStats all;
+  for (const auto& s : slots_) all.merge(s);
+  return all.mean();
+}
+
+double SlottedSeries::peak_slot_mean() const {
+  double m = 0.0;
+  for (const auto& s : slots_)
+    if (s.count() > 0) m = std::max(m, s.mean());
+  return m;
+}
+
+std::size_t SlottedSeries::peak_slot() const {
+  std::size_t best = 0;
+  double m = -1.0;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].count() > 0 && slots_[i].mean() > m) {
+      m = slots_[i].mean();
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::uint64_t SlottedSeries::total_count() const {
+  std::uint64_t n = 0;
+  for (const auto& s : slots_) n += s.count();
+  return n;
+}
+
+double Percentiles::quantile(double q) const {
+  AGORA_REQUIRE(!xs_.empty(), "quantile of empty sample");
+  AGORA_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q out of [0,1]");
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+  const double pos = q * static_cast<double>(xs_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= xs_.size()) return xs_.back();
+  return xs_[lo] * (1.0 - frac) + xs_[lo + 1] * frac;
+}
+
+}  // namespace agora

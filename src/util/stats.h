@@ -1,0 +1,114 @@
+// stats.h -- streaming statistics, histograms, and time-sliced series used by
+// the proxy simulator's metrics pipeline and the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace agora {
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+class StreamingStats {
+ public:
+  void add(double x);
+  void merge(const StreamingStats& o);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+  double total() const { return n_ == 0 ? 0.0 : mean_ * static_cast<double>(n_); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bucket histogram over [lo, hi) with overflow/underflow buckets;
+/// supports quantile queries (linear interpolation within a bucket).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::uint64_t count() const { return total_; }
+
+  /// q in [0,1]; returns an interpolated quantile estimate.
+  double quantile(double q) const;
+
+  double underflow() const { return static_cast<double>(under_); }
+  double overflow() const { return static_cast<double>(over_); }
+  std::size_t buckets() const { return counts_.size(); }
+  std::uint64_t bucket_count(std::size_t i) const { return counts_.at(i); }
+  double bucket_low(std::size_t i) const { return lo_ + static_cast<double>(i) * width_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t under_ = 0;
+  std::uint64_t over_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Per-slot accumulator: partitions a [0, horizon) timeline into fixed-width
+/// slots and keeps a StreamingStats per slot. This is exactly the "average
+/// waiting time per 10-minute slot" series the paper's figures plot.
+class SlottedSeries {
+ public:
+  SlottedSeries(double horizon, double slot_width);
+
+  /// Record value `x` observed at time `t` (t is clamped into the horizon;
+  /// the paper's traces wrap a 24h day so callers wrap before recording).
+  void add(double t, double x);
+
+  std::size_t slots() const { return slots_.size(); }
+  double slot_width() const { return slot_width_; }
+  double slot_mid(std::size_t i) const {
+    return (static_cast<double>(i) + 0.5) * slot_width_;
+  }
+  const StreamingStats& slot(std::size_t i) const { return slots_.at(i); }
+
+  /// Mean over all samples in all slots.
+  double overall_mean() const;
+  /// Largest per-slot mean (the "worst-case waiting time" the paper quotes).
+  double peak_slot_mean() const;
+  /// Index of the slot with the largest mean.
+  std::size_t peak_slot() const;
+  /// Total number of samples.
+  std::uint64_t total_count() const;
+
+ private:
+  double slot_width_;
+  std::vector<StreamingStats> slots_;
+};
+
+/// Exact percentiles over a fully retained sample (used in tests and for the
+/// small per-run report; the simulator's hot path uses Histogram instead).
+class Percentiles {
+ public:
+  void add(double x) {
+    xs_.push_back(x);
+    sorted_ = false;
+  }
+  std::size_t count() const { return xs_.size(); }
+  /// q in [0,1]; nearest-rank with interpolation. Requires non-empty data.
+  double quantile(double q) const;
+
+ private:
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace agora

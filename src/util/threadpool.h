@@ -1,0 +1,63 @@
+// threadpool.h -- a small fixed-size worker pool with a parallel_for helper.
+//
+// agora uses the pool for embarrassingly parallel work: solving the k
+// independent LPs of a multi-resource request, and sweeping simulator
+// configurations in the benchmark harnesses. Tasks must not block on each
+// other (no nested submission from within a task waiting on the pool).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace agora {
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers (default: hardware concurrency, at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Submit a task; returns a future for its result.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Run f(i) for i in [0, n), partitioned into contiguous chunks across the
+  /// pool. Blocks until all iterations complete. Exceptions from f propagate
+  /// (the first one encountered is rethrown).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& f);
+
+  /// Process-wide shared pool (lazily constructed).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace agora

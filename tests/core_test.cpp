@@ -1,0 +1,276 @@
+// Unit tests for the ticket/currency economy and its valuation, including
+// the paper's worked Examples 1 and 2 (Figures 1 and 2).
+#include <gtest/gtest.h>
+
+#include "core/economy.h"
+#include "core/valuation.h"
+#include "util/error.h"
+
+namespace agora::core {
+namespace {
+
+/// The economy of Figure 1: A owns 10 TB, B owns 15 TB; A shares 3 TB with
+/// C absolutely and 50% with B relatively; B shares 60% with D relatively.
+struct Example1 {
+  Economy e;
+  ResourceTypeId disk;
+  PrincipalId a, b, c, d;
+  TicketId t_base_a, t_base_b, t3, t4, t5;
+
+  Example1() {
+    disk = e.add_resource_type("disk", "TB");
+    a = e.add_principal("A", 1000.0);  // currency A: face value 1000
+    b = e.add_principal("B", 100.0);   // currency B: face value 100
+    c = e.add_principal("C", 100.0);
+    d = e.add_principal("D", 100.0);
+    t_base_a = e.fund_with_resource(e.default_currency(a), disk, 10.0, "A-Ticket1");
+    t_base_b = e.fund_with_resource(e.default_currency(b), disk, 15.0, "A-Ticket2");
+    t3 = e.issue_absolute(e.default_currency(a), e.default_currency(c), disk, 3.0,
+                          SharingMode::Sharing, "R-Ticket3");
+    t4 = e.issue_relative(e.default_currency(a), e.default_currency(b), 500.0, disk,
+                          SharingMode::Sharing, "R-Ticket4");
+    t5 = e.issue_relative(e.default_currency(b), e.default_currency(d), 60.0, disk,
+                          SharingMode::Sharing, "R-Ticket5");
+  }
+};
+
+TEST(Economy, RegistrationBasics) {
+  Economy e;
+  const auto disk = e.add_resource_type("disk", "TB");
+  const auto p = e.add_principal("A", 50.0);
+  EXPECT_EQ(e.num_principals(), 1u);
+  EXPECT_EQ(e.num_currencies(), 1u);
+  EXPECT_EQ(e.resource_type(disk).unit, "TB");
+  EXPECT_EQ(e.currency(e.default_currency(p)).kind, CurrencyKind::Default);
+  EXPECT_DOUBLE_EQ(e.currency(e.default_currency(p)).face_value, 50.0);
+}
+
+TEST(Economy, DuplicateNamesRejected) {
+  Economy e;
+  e.add_resource_type("disk");
+  EXPECT_THROW(e.add_resource_type("disk"), PreconditionError);
+  e.add_principal("A");
+  EXPECT_THROW(e.add_principal("A"), PreconditionError);
+}
+
+TEST(Economy, FindByName) {
+  Economy e;
+  e.add_resource_type("cpu");
+  const auto p = e.add_principal("org");
+  EXPECT_EQ(e.find_principal("org"), p);
+  EXPECT_FALSE(e.find_principal("nope").valid());
+  EXPECT_TRUE(e.find_currency("org").valid());
+  EXPECT_TRUE(e.find_resource_type("cpu").valid());
+}
+
+TEST(Economy, SelfBackingRejected) {
+  Economy e;
+  const auto disk = e.add_resource_type("disk");
+  const auto p = e.add_principal("A");
+  const auto cur = e.default_currency(p);
+  EXPECT_THROW(e.issue_relative(cur, cur, 10.0, disk), PreconditionError);
+  EXPECT_THROW(e.issue_absolute(cur, cur, disk, 1.0), PreconditionError);
+}
+
+TEST(Economy, OverdraftDetection) {
+  Economy e;
+  e.add_resource_type("disk");
+  const auto a = e.add_principal("A", 100.0);
+  const auto b = e.add_principal("B");
+  const auto c = e.add_principal("C");
+  e.issue_relative(e.default_currency(a), e.default_currency(b), 60.0);
+  EXPECT_FALSE(e.overdrafted(e.default_currency(a)));
+  e.issue_relative(e.default_currency(a), e.default_currency(c), 60.0);
+  EXPECT_TRUE(e.overdrafted(e.default_currency(a)));
+  EXPECT_DOUBLE_EQ(e.issued_relative_face(e.default_currency(a)), 120.0);
+}
+
+TEST(Economy, ConsistencyCheckPasses) {
+  Example1 ex;
+  EXPECT_NO_THROW(ex.e.check_consistency());
+}
+
+// ------------------------------------------------------------- Valuation ---
+
+TEST(Valuation, Example1MatchesPaper) {
+  Example1 ex;
+  const Valuation v = value_economy(ex.e);
+  // Paper: value(A)=10, R-Ticket4 real value = 10*500/1000 = 5,
+  // value(B) = 15+5 = 20, R-Ticket5 real value = 20*60/100 = 12.
+  EXPECT_NEAR(v.currency_value(ex.e.default_currency(ex.a), ex.disk), 10.0, 1e-12);
+  EXPECT_NEAR(v.currency_value(ex.e.default_currency(ex.b), ex.disk), 20.0, 1e-12);
+  EXPECT_NEAR(v.currency_value(ex.e.default_currency(ex.c), ex.disk), 3.0, 1e-12);
+  EXPECT_NEAR(v.currency_value(ex.e.default_currency(ex.d), ex.disk), 12.0, 1e-12);
+  EXPECT_NEAR(v.ticket_value(ex.t4, ex.disk), 5.0, 1e-12);
+  EXPECT_NEAR(v.ticket_value(ex.t5, ex.disk), 12.0, 1e-12);
+  EXPECT_NEAR(v.ticket_value(ex.t3, ex.disk), 3.0, 1e-12);
+}
+
+TEST(Valuation, Example2VirtualCurrencies) {
+  // Figure 2: virtual currencies A1 (value 3) and A2 (value 5) partition
+  // A's agreements; A1 backs C, A2 backs D and B.
+  Economy e;
+  const auto disk = e.add_resource_type("disk", "TB");
+  const auto a = e.add_principal("A", 1000.0);
+  const auto b = e.add_principal("B", 100.0);
+  const auto c = e.add_principal("C", 100.0);
+  const auto d = e.add_principal("D", 100.0);
+  e.fund_with_resource(e.default_currency(a), disk, 10.0);
+  e.fund_with_resource(e.default_currency(b), disk, 15.0);
+  const auto a1 = e.create_virtual_currency(a, "A1", 100.0);
+  const auto a2 = e.create_virtual_currency(a, "A2", 100.0);
+  e.issue_relative(e.default_currency(a), a1, 300.0, disk, SharingMode::Sharing, "R-Ticket3");
+  e.issue_relative(e.default_currency(a), a2, 500.0, disk, SharingMode::Sharing, "R-Ticket4");
+  // A1 conveys everything to C; A2 splits 40/60 between D and B.
+  const auto t6 = e.issue_relative(a1, e.default_currency(c), 100.0, disk,
+                                   SharingMode::Sharing, "R-Ticket6");
+  const auto t7 = e.issue_relative(a2, e.default_currency(d), 40.0, disk,
+                                   SharingMode::Sharing, "R-Ticket7");
+  const auto t8 = e.issue_relative(a2, e.default_currency(b), 60.0, disk,
+                                   SharingMode::Sharing, "R-Ticket8");
+
+  const Valuation v = value_economy(e);
+  EXPECT_NEAR(v.currency_value(a1, disk), 3.0, 1e-12);  // paper: value(A1)=3
+  EXPECT_NEAR(v.currency_value(a2, disk), 5.0, 1e-12);  // paper: value(A2)=5
+  EXPECT_NEAR(v.currency_value(e.default_currency(c), disk), 3.0, 1e-12);
+  EXPECT_NEAR(v.currency_value(e.default_currency(d), disk), 2.0, 1e-12);
+  EXPECT_NEAR(v.currency_value(e.default_currency(b), disk), 18.0, 1e-12);
+  EXPECT_NEAR(v.ticket_value(t6, disk), 3.0, 1e-12);
+  EXPECT_NEAR(v.ticket_value(t7, disk), 2.0, 1e-12);
+  EXPECT_NEAR(v.ticket_value(t8, disk), 3.0, 1e-12);
+
+  // Decoupling: inflating A1 (changing the C agreement subset) must not
+  // move anything funded through A2.
+  e.set_face_value(a1, 200.0);  // R-Ticket6 now conveys only half of A1
+  const Valuation v2 = value_economy(e);
+  EXPECT_NEAR(v2.currency_value(e.default_currency(c), disk), 1.5, 1e-12);
+  EXPECT_NEAR(v2.currency_value(e.default_currency(d), disk), 2.0, 1e-12);
+  EXPECT_NEAR(v2.currency_value(e.default_currency(b), disk), 18.0, 1e-12);
+}
+
+TEST(Valuation, RevocationRemovesValue) {
+  Example1 ex;
+  ex.e.revoke(ex.t4);
+  const Valuation v = value_economy(ex.e);
+  EXPECT_NEAR(v.currency_value(ex.e.default_currency(ex.b), ex.disk), 15.0, 1e-12);
+  // D's transitive benefit shrinks accordingly: 15 * 0.6 = 9.
+  EXPECT_NEAR(v.currency_value(ex.e.default_currency(ex.d), ex.disk), 9.0, 1e-12);
+  EXPECT_DOUBLE_EQ(v.ticket_value(ex.t4, ex.disk), 0.0);
+}
+
+TEST(Valuation, TicketRenegotiationReprices) {
+  // Renegotiate R-Ticket4 from 50% (face 500/1000) to 20% without tearing
+  // the agreement down; B's and (transitively) D's values follow.
+  Example1 ex;
+  ex.e.set_ticket_face(ex.t4, 200.0);
+  const Valuation v = value_economy(ex.e);
+  EXPECT_NEAR(v.ticket_value(ex.t4, ex.disk), 2.0, 1e-12);
+  EXPECT_NEAR(v.currency_value(ex.e.default_currency(ex.b), ex.disk), 17.0, 1e-12);
+  EXPECT_NEAR(v.currency_value(ex.e.default_currency(ex.d), ex.disk), 10.2, 1e-12);
+  // Guard rails.
+  EXPECT_THROW(ex.e.set_ticket_face(ex.t4, -1.0), PreconditionError);
+  ex.e.revoke(ex.t4);
+  EXPECT_THROW(ex.e.set_ticket_face(ex.t4, 100.0), PreconditionError);
+}
+
+TEST(Valuation, InflationDilutesOutstandingTickets) {
+  Example1 ex;
+  // Doubling currency A's face value halves R-Ticket4's conveyed share.
+  ex.e.set_face_value(ex.e.default_currency(ex.a), 2000.0);
+  const Valuation v = value_economy(ex.e);
+  EXPECT_NEAR(v.ticket_value(ex.t4, ex.disk), 2.5, 1e-12);
+  EXPECT_NEAR(v.currency_value(ex.e.default_currency(ex.b), ex.disk), 17.5, 1e-12);
+}
+
+TEST(Valuation, DynamicGrowthPropagates) {
+  // "the real value of relative tickets can change dynamically as more
+  // supporting tickets join the issuing currency".
+  Example1 ex;
+  ex.e.fund_with_resource(ex.e.default_currency(ex.a), ex.disk, 10.0, "new-capacity");
+  const Valuation v = value_economy(ex.e);
+  EXPECT_NEAR(v.currency_value(ex.e.default_currency(ex.a), ex.disk), 20.0, 1e-12);
+  EXPECT_NEAR(v.ticket_value(ex.t4, ex.disk), 10.0, 1e-12);
+  EXPECT_NEAR(v.currency_value(ex.e.default_currency(ex.b), ex.disk), 25.0, 1e-12);
+  EXPECT_NEAR(v.currency_value(ex.e.default_currency(ex.d), ex.disk), 15.0, 1e-12);
+}
+
+TEST(Valuation, FixPointMatchesDirect) {
+  Example1 ex;
+  const Valuation direct = value_economy(ex.e, {ValuationMethod::Direct});
+  ValuationOptions fp;
+  fp.method = ValuationMethod::FixPoint;
+  const Valuation iter = value_economy(ex.e, fp);
+  for (std::size_t c = 0; c < ex.e.num_currencies(); ++c)
+    EXPECT_NEAR(direct.currency_value(CurrencyId(c), ex.disk),
+                iter.currency_value(CurrencyId(c), ex.disk), 1e-9);
+}
+
+TEST(Valuation, CyclicAgreementsConverge) {
+  // A and B back each other with 50%: values solve v_a = 10 + .5 v_b,
+  // v_b = 20 + .5 v_a  =>  v_a = 80/3, v_b = 100/3.
+  Economy e;
+  const auto r = e.add_resource_type("cpu");
+  const auto a = e.add_principal("A", 100.0);
+  const auto b = e.add_principal("B", 100.0);
+  e.fund_with_resource(e.default_currency(a), r, 10.0);
+  e.fund_with_resource(e.default_currency(b), r, 20.0);
+  e.issue_relative(e.default_currency(a), e.default_currency(b), 50.0);
+  e.issue_relative(e.default_currency(b), e.default_currency(a), 50.0);
+  for (ValuationMethod m : {ValuationMethod::Direct, ValuationMethod::FixPoint}) {
+    ValuationOptions o;
+    o.method = m;
+    const Valuation v = value_economy(e, o);
+    EXPECT_NEAR(v.currency_value(e.default_currency(a), r), 80.0 / 3.0, 1e-9);
+    EXPECT_NEAR(v.currency_value(e.default_currency(b), r), 100.0 / 3.0, 1e-9);
+  }
+}
+
+TEST(Valuation, DivergentCycleReported) {
+  // 100% shares around a cycle: no finite fix point.
+  Economy e;
+  const auto r = e.add_resource_type("cpu");
+  const auto a = e.add_principal("A", 100.0);
+  const auto b = e.add_principal("B", 100.0);
+  e.fund_with_resource(e.default_currency(a), r, 10.0);
+  e.issue_relative(e.default_currency(a), e.default_currency(b), 100.0);
+  e.issue_relative(e.default_currency(b), e.default_currency(a), 100.0);
+  EXPECT_THROW(value_economy(e), InternalError);
+}
+
+TEST(Valuation, ResourceTypedRelativeTicketsSelectResources) {
+  Economy e;
+  const auto cpu = e.add_resource_type("cpu");
+  const auto disk = e.add_resource_type("disk");
+  const auto a = e.add_principal("A", 100.0);
+  const auto b = e.add_principal("B", 100.0);
+  e.fund_with_resource(e.default_currency(a), cpu, 8.0);
+  e.fund_with_resource(e.default_currency(a), disk, 6.0);
+  // Share 50% of the CPU only.
+  e.issue_relative(e.default_currency(a), e.default_currency(b), 50.0, cpu);
+  const Valuation v = value_economy(e);
+  EXPECT_NEAR(v.currency_value(e.default_currency(b), cpu), 4.0, 1e-12);
+  EXPECT_NEAR(v.currency_value(e.default_currency(b), disk), 0.0, 1e-12);
+}
+
+TEST(Valuation, UntypedRelativeTicketConveysAllResources) {
+  Economy e;
+  const auto cpu = e.add_resource_type("cpu");
+  const auto disk = e.add_resource_type("disk");
+  const auto a = e.add_principal("A", 100.0);
+  const auto b = e.add_principal("B", 100.0);
+  e.fund_with_resource(e.default_currency(a), cpu, 8.0);
+  e.fund_with_resource(e.default_currency(a), disk, 6.0);
+  e.issue_relative(e.default_currency(a), e.default_currency(b), 25.0);
+  const Valuation v = value_economy(e);
+  EXPECT_NEAR(v.currency_value(e.default_currency(b), cpu), 2.0, 1e-12);
+  EXPECT_NEAR(v.currency_value(e.default_currency(b), disk), 1.5, 1e-12);
+}
+
+TEST(Valuation, EmptyEconomy) {
+  Economy e;
+  const Valuation v = value_economy(e);
+  EXPECT_EQ(v.num_currencies(), 0u);
+}
+
+}  // namespace
+}  // namespace agora::core

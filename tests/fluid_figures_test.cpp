@@ -1,0 +1,112 @@
+// Figure-regression tests: the paper's qualitative claims, checked through
+// the fluid planner (which runs the full-day scenario in ~100 ms, unlike
+// the discrete simulator). These guard the reproduction itself: if a change
+// to the allocator or the agreement algebra broke a figure, one of these
+// fails long before anyone re-runs the bench harness.
+#include <gtest/gtest.h>
+
+#include "agree/topology.h"
+#include "fluid/planner.h"
+#include "trace/generator.h"
+
+namespace agora::fluid {
+namespace {
+
+constexpr std::size_t kProxies = 10;
+constexpr std::size_t kSlotsPerHour = 6;
+
+std::vector<std::vector<double>> diurnal_demand(double gap_hours) {
+  const trace::DiurnalProfile profile = trace::DiurnalProfile::berkeley_like();
+  trace::GeneratorConfig gc;
+  gc.peak_rate = 9.5;
+  const double mean_demand = 0.1 + 1e-6 * trace::expected_response_bytes(gc);
+  std::vector<double> weights(profile.slots());
+  for (std::size_t s = 0; s < profile.slots(); ++s) weights[s] = profile.slot_weight(s);
+  std::vector<std::vector<double>> demand;
+  for (std::size_t p = 0; p < kProxies; ++p)
+    demand.push_back(expected_demand_per_slot(
+        gc.peak_rate, mean_demand, weights, 600.0,
+        static_cast<std::size_t>(gap_hours * kSlotsPerHour * static_cast<double>(p) + 0.5)));
+  return demand;
+}
+
+double peak_with(const Matrix& agreements, double gap_hours, std::size_t level = 0) {
+  FluidConfig cfg;
+  cfg.power.assign(kProxies, 1.0);
+  cfg.agreements = agreements;
+  if (level > 0) cfg.alloc_opts.transitive.max_level = level;
+  return plan(cfg, diurnal_demand(gap_hours)).peak_wait();
+}
+
+TEST(FluidFigures, Fig5NoSharingPeaksInHundredsOfSeconds) {
+  const double peak = peak_with(Matrix(), 1.0);
+  EXPECT_GT(peak, 100.0);
+  EXPECT_LT(peak, 1500.0);
+}
+
+TEST(FluidFigures, Fig6SharingCollapsesWaitsWithSkew) {
+  const Matrix s = agree::complete_graph(kProxies, 0.10);
+  const double none = peak_with(Matrix(), 1.0);
+  const double gap0 = peak_with(s, 0.0);
+  const double gap1h = peak_with(s, 1.0);
+  // With zero skew everyone peaks together: sharing cannot help much.
+  EXPECT_GT(gap0, none * 0.5);
+  // With one-hour skew the peak wait collapses by >10x.
+  EXPECT_LT(gap1h, none / 10.0);
+}
+
+TEST(FluidFigures, Fig8TransitivityAddsLittleOnCompleteGraph) {
+  const Matrix s = agree::complete_graph(kProxies, 0.10);
+  const double level1 = peak_with(s, 1.0, 1);
+  const double full = peak_with(s, 1.0, 0);
+  // Direct agreements already reach everyone; additional levels must not
+  // change the picture by more than ~2x.
+  EXPECT_LT(full, level1 * 1.0 + 1e-9);  // more reach can only help
+  EXPECT_GT(full, level1 * 0.3);
+}
+
+TEST(FluidFigures, Fig9to11LoopOrderingAtLevelOne) {
+  const double skip1 = peak_with(agree::ring(kProxies, 0.8, 1), 1.0, 1);
+  const double skip3 = peak_with(agree::ring(kProxies, 0.8, 3), 1.0, 1);
+  const double skip7 = peak_with(agree::ring(kProxies, 0.8, 7), 1.0, 1);
+  // A donor in an adjacent time zone is nearly as busy as the origin:
+  // skip=1 must be far worse than the offset loops. (The fluid model is
+  // conservative about skip=7, where 7 of the 10 proxies have a donor at
+  // effective offset -3h and relief flows via the relay effect the fluid
+  // recursion only partially captures -- the discrete simulator, and the
+  // paper, have skip7 slightly better than skip3; see EXPERIMENTS.md.)
+  EXPECT_GT(skip1, skip3 * 5.0);
+  EXPECT_GT(skip1, skip7 * 2.0);
+}
+
+TEST(FluidFigures, Fig9TransitivityRescuesTheTightLoop) {
+  const Matrix ring1 = agree::ring(kProxies, 0.8, 1);
+  const double level1 = peak_with(ring1, 1.0, 1);
+  const double level3 = peak_with(ring1, 1.0, 3);
+  EXPECT_LT(level3, level1 / 3.0);
+}
+
+TEST(FluidFigures, Fig12OverheadHasModestImpact) {
+  FluidConfig cfg;
+  cfg.power.assign(kProxies, 1.0);
+  cfg.agreements = agree::complete_graph(kProxies, 0.10);
+  const auto demand = diurnal_demand(1.0);
+  const double base = plan(cfg, demand).peak_wait();
+  cfg.overhead_fraction = 2.0;  // ~cost 0.2s / mean demand 0.11s
+  const double costly = plan(cfg, demand).peak_wait();
+  EXPECT_GE(costly + 1e-9, base);
+  const double none = peak_with(Matrix(), 1.0);
+  EXPECT_LT(costly, none / 4.0);  // still far better than no sharing
+}
+
+TEST(FluidFigures, Fig7SharingWorthACapacityIncrement) {
+  // Sharing at 1.0x capacity must beat no-sharing at 1.05x capacity.
+  const double shared = peak_with(agree::complete_graph(kProxies, 0.10), 1.0);
+  FluidConfig cfg;
+  cfg.power.assign(kProxies, 1.05);
+  const double bigger = plan(cfg, diurnal_demand(1.0)).peak_wait();
+  EXPECT_LT(shared, bigger);
+}
+
+}  // namespace
+}  // namespace agora::fluid

@@ -1,0 +1,175 @@
+// Tests for the fluid planner: exact backlog recursion without sharing,
+// conservation with sharing, overhead accounting, and agreement between the
+// fluid approximation and the discrete-event simulator on the case-study
+// scenario.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "agree/topology.h"
+#include "fluid/planner.h"
+#include "proxysim/simulator.h"
+#include "trace/generator.h"
+
+namespace agora::fluid {
+namespace {
+
+TEST(Fluid, NoShardingBacklogRecursionIsExact) {
+  FluidConfig cfg;
+  cfg.horizon = 3000.0;
+  cfg.slot_width = 1000.0;
+  // One proxy, capacity 1000 s of work per slot; demand 1500, 800, 200.
+  const std::vector<std::vector<double>> demand{{1500.0, 800.0, 200.0}};
+  const FluidResult r = plan(cfg, demand);
+  EXPECT_NEAR(r.backlog(0, 0), 500.0, 1e-9);   // 1500 - 1000
+  EXPECT_NEAR(r.backlog(1, 0), 300.0, 1e-9);   // 500 + 800 - 1000
+  EXPECT_NEAR(r.backlog(2, 0), 0.0, 1e-9);     // 300 + 200 - 1000 < 0
+  // Wait estimate: mean of slot-start/end backlog.
+  EXPECT_NEAR(r.wait_estimate(0, 0), 250.0, 1e-9);
+  EXPECT_NEAR(r.wait_estimate(1, 0), 400.0, 1e-9);
+}
+
+TEST(Fluid, PowerScalesCapacity) {
+  FluidConfig cfg;
+  cfg.horizon = 1000.0;
+  cfg.slot_width = 1000.0;
+  cfg.power = {2.0};
+  const FluidResult r = plan(cfg, {{1500.0}});
+  EXPECT_NEAR(r.backlog(0, 0), 0.0, 1e-9);  // capacity 2000 >= 1500
+}
+
+TEST(Fluid, SharingMovesOverflowToIdleProxy) {
+  FluidConfig cfg;
+  cfg.horizon = 1000.0;
+  cfg.slot_width = 1000.0;
+  cfg.agreements = agree::complete_graph(2, 0.5);
+  cfg.backlog_threshold = 0.0;
+  cfg.relay_passes = 1;
+  const FluidResult r = plan(cfg, {{1400.0}, {200.0}});
+  // Proxy 0 overflows by 400; proxy 1 has 800 spare, entitled 50%: all 400
+  // fits. Both end the slot without backlog.
+  EXPECT_NEAR(r.moved(0, 0), 400.0, 1e-6);
+  EXPECT_NEAR(r.received(0, 1), 400.0, 1e-6);
+  EXPECT_NEAR(r.backlog(0, 0), 0.0, 1e-6);
+  EXPECT_NEAR(r.backlog(0, 1), 0.0, 1e-6);
+}
+
+TEST(Fluid, EntitlementLimitsMovedWorkPerPass) {
+  FluidConfig cfg;
+  cfg.horizon = 1000.0;
+  cfg.slot_width = 1000.0;
+  cfg.agreements = agree::complete_graph(2, 0.1);  // only 10% entitled
+  cfg.backlog_threshold = 0.0;
+  cfg.relay_passes = 1;
+  const FluidResult r = plan(cfg, {{1400.0}, {200.0}});
+  // Spare at proxy 1 is 800; one pass may draw at most 10% of it. (Like the
+  // discrete simulator's repeated consults, additional passes re-grant 10%
+  // of the *remaining* spare -- agreements cap rates, not slot totals.)
+  EXPECT_NEAR(r.moved(0, 0), 80.0, 1e-6);
+  EXPECT_NEAR(r.backlog(0, 0), 320.0, 1e-6);
+
+  cfg.relay_passes = 3;
+  const FluidResult r3 = plan(cfg, {{1400.0}, {200.0}});
+  EXPECT_NEAR(r3.moved(0, 0), 80.0 + 72.0 + 64.8, 1e-6);
+}
+
+TEST(Fluid, OverheadInflatesLandedWork) {
+  FluidConfig cfg;
+  cfg.horizon = 1000.0;
+  cfg.slot_width = 1000.0;
+  cfg.agreements = agree::complete_graph(2, 0.5);
+  cfg.backlog_threshold = 0.0;
+  cfg.relay_passes = 1;
+  cfg.overhead_fraction = 0.5;
+  const FluidResult r = plan(cfg, {{1400.0}, {200.0}});
+  // Moved x lands as 1.5x at the donor.
+  EXPECT_NEAR(r.received(0, 1), r.moved(0, 0) * 1.5, 1e-6);
+}
+
+TEST(Fluid, ConservationWithSharing) {
+  FluidConfig cfg;
+  cfg.horizon = 6000.0;
+  cfg.slot_width = 1000.0;
+  cfg.agreements = agree::complete_graph(3, 0.3);
+  const std::vector<std::vector<double>> demand{
+      {2000, 0, 0, 500, 1500, 0}, {0, 1800, 0, 0, 0, 900}, {100, 100, 100, 100, 100, 100}};
+  const FluidResult r = plan(cfg, demand);
+  // served + final backlog == total demand (overhead 0).
+  double total_demand = 0.0;
+  for (const auto& d : demand)
+    for (double v : d) total_demand += v;
+  double final_backlog = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) final_backlog += r.backlog(5, i);
+  // Served work = sum over slots of min(inflow, capacity); infer it from
+  // the backlog recursion instead: demand - final backlog must equal served.
+  EXPECT_GE(total_demand + 1e-6, final_backlog);
+  // Moved and received must match (overhead 0).
+  double moved = 0.0, received = 0.0;
+  for (double v : r.moved.flat()) moved += v;
+  for (double v : r.received.flat()) received += v;
+  EXPECT_NEAR(moved, received, 1e-6);
+}
+
+TEST(Fluid, ExpectedDemandHelper) {
+  const std::vector<double> weights{1.0, 0.5};
+  const auto d0 = expected_demand_per_slot(10.0, 0.1, weights, 600.0, 0);
+  EXPECT_NEAR(d0[0], 10.0 * 1.0 * 600.0 * 0.1, 1e-9);
+  EXPECT_NEAR(d0[1], 10.0 * 0.5 * 600.0 * 0.1, 1e-9);
+  // Shift by one slot rotates the profile.
+  const auto d1 = expected_demand_per_slot(10.0, 0.1, weights, 600.0, 1);
+  EXPECT_NEAR(d1[1], d0[0], 1e-9);
+  EXPECT_NEAR(d1[0], d0[1], 1e-9);
+}
+
+TEST(Fluid, TracksDiscreteSimulatorOnCaseStudy) {
+  // Same scenario both ways: 4 proxies, complete graph 25%, 6h skew,
+  // diurnal profile. The fluid estimate should land within a factor ~2 of
+  // the discrete simulator for both the no-sharing and sharing cases.
+  const trace::DiurnalProfile profile = trace::DiurnalProfile::berkeley_like();
+  trace::GeneratorConfig gc;
+  gc.peak_rate = 9.5;
+  const trace::Generator gen(gc, profile);
+  const double mean_demand =
+      std::min(30.0, 0.1 + 1e-6 * trace::expected_response_bytes(gc));
+
+  std::vector<std::vector<trace::TraceRequest>> traces;
+  std::vector<std::vector<double>> demand;
+  std::vector<double> weights(profile.slots());
+  for (std::size_t s = 0; s < profile.slots(); ++s) weights[s] = profile.slot_weight(s);
+  for (std::size_t p = 0; p < 4; ++p) {
+    traces.push_back(gen.generate(100 + p, 21600.0 * static_cast<double>(p)));
+    demand.push_back(expected_demand_per_slot(gc.peak_rate, mean_demand, weights, 600.0,
+                                              p * 36));  // 6h = 36 slots
+  }
+
+  for (bool sharing : {false, true}) {
+    proxysim::SimConfig scfg;
+    scfg.num_proxies = 4;
+    scfg.scheduler = sharing ? proxysim::SchedulerKind::Lp : proxysim::SchedulerKind::None;
+    if (sharing) scfg.agreements = agree::complete_graph(4, 0.25);
+    const proxysim::SimMetrics sim = proxysim::Simulator(scfg).run(traces);
+
+    FluidConfig fcfg;
+    fcfg.power.assign(4, 1.0);
+    if (sharing) fcfg.agreements = agree::complete_graph(4, 0.25);
+    const FluidResult fluid = plan(fcfg, demand);
+
+    // fluid.peak_wait() is the worst per-proxy slot estimate; compare with
+    // the simulator's worst per-proxy slot mean (not the fleet average,
+    // which mixes peaking and idle proxies).
+    double sim_peak = 0.0;
+    for (const auto& s : sim.wait_by_slot_per_proxy)
+      sim_peak = std::max(sim_peak, s.peak_slot_mean());
+    const double fluid_peak = fluid.peak_wait();
+    if (sim_peak > 5.0) {
+      EXPECT_GT(fluid_peak, sim_peak * 0.4) << "sharing=" << sharing;
+      EXPECT_LT(fluid_peak, sim_peak * 2.5) << "sharing=" << sharing;
+    } else {
+      // Both should agree that the system is essentially uncongested.
+      EXPECT_LT(fluid_peak, 30.0) << "sharing=" << sharing;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace agora::fluid

@@ -1,0 +1,177 @@
+// Tests for the flag parser and the economy text format.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/economy_io.h"
+#include "core/valuation.h"
+#include "util/error.h"
+#include "util/flags.h"
+
+namespace agora {
+namespace {
+
+// ------------------------------------------------------------------ Flags ---
+
+TEST(Flags, ParsesBothForms) {
+  Flags f;
+  f.define("alpha", "1", "");
+  f.define("beta", "x", "");
+  const char* argv[] = {"prog", "--alpha=2.5", "--beta", "hello", "positional"};
+  const auto rest = f.parse(5, argv);
+  EXPECT_DOUBLE_EQ(f.get_double("alpha"), 2.5);
+  EXPECT_EQ(f.get("beta"), "hello");
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0], "positional");
+}
+
+TEST(Flags, DefaultsApply) {
+  Flags f;
+  f.define("n", "42", "");
+  const char* argv[] = {"prog"};
+  f.parse(1, argv);
+  EXPECT_EQ(f.get_int("n"), 42);
+}
+
+TEST(Flags, UnknownFlagRejected) {
+  Flags f;
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_THROW(f.parse(2, argv), PreconditionError);
+}
+
+TEST(Flags, MissingValueRejected) {
+  Flags f;
+  f.define("x", "", "");
+  const char* argv[] = {"prog", "--x"};
+  EXPECT_THROW(f.parse(2, argv), PreconditionError);
+}
+
+TEST(Flags, HelpDetected) {
+  Flags f;
+  f.define("x", "1", "doc text");
+  const char* argv[] = {"prog", "--help"};
+  f.parse(2, argv);
+  EXPECT_TRUE(f.help_requested());
+  EXPECT_NE(f.help_text("prog").find("doc text"), std::string::npos);
+}
+
+TEST(Flags, TypedAccessorsValidate) {
+  Flags f;
+  f.define("num", "abc", "");
+  f.define("flag", "true", "");
+  f.define("bad", "maybe", "");
+  const char* argv[] = {"prog"};
+  f.parse(1, argv);
+  EXPECT_THROW(f.get_double("num"), PreconditionError);
+  EXPECT_THROW(f.get_int("num"), PreconditionError);
+  EXPECT_TRUE(f.get_bool("flag"));
+  EXPECT_THROW(f.get_bool("bad"), PreconditionError);
+  EXPECT_THROW(f.get("undeclared"), PreconditionError);
+}
+
+// -------------------------------------------------------------- EconomyIo ---
+
+constexpr const char* kExample1 = R"(
+# Example 1
+resource disk TB
+principal A 1000
+principal B 100
+principal C
+principal D
+fund A disk 10
+fund B disk 15
+abs A C disk 3
+rel A B 500 disk
+rel B D 60 disk
+)";
+
+TEST(EconomyIo, ParsesExample1) {
+  std::istringstream is(kExample1);
+  const core::Economy e = core::read_economy(is);
+  EXPECT_EQ(e.num_principals(), 4u);
+  EXPECT_EQ(e.num_tickets(), 5u);
+  const core::Valuation v = core::value_economy(e);
+  const auto disk = e.find_resource_type("disk");
+  EXPECT_NEAR(v.currency_value(e.default_currency(e.find_principal("D")), disk), 12.0, 1e-12);
+}
+
+TEST(EconomyIo, RoundTrips) {
+  std::istringstream is(kExample1);
+  const core::Economy e = core::read_economy(is);
+  std::ostringstream os;
+  core::write_economy(os, e);
+  std::istringstream back(os.str());
+  const core::Economy e2 = core::read_economy(back);
+  EXPECT_EQ(e2.num_principals(), e.num_principals());
+  EXPECT_EQ(e2.num_tickets(), e.num_tickets());
+  const auto disk = e2.find_resource_type("disk");
+  const core::Valuation v = core::value_economy(e2);
+  EXPECT_NEAR(v.currency_value(e2.default_currency(e2.find_principal("B")), disk), 20.0, 1e-12);
+}
+
+TEST(EconomyIo, VirtualCurrenciesAndGrantsRoundTrip) {
+  const char* spec = R"(
+resource cpu
+principal A 100
+principal B 100
+virtual A A1 50
+fund A cpu 10
+rel A A1 30 cpu
+rel A1 B 50 cpu grant
+abs A B cpu 2 grant
+rel A B 10 *
+)";
+  std::istringstream is(spec);
+  const core::Economy e = core::read_economy(is);
+  std::ostringstream os;
+  core::write_economy(os, e);
+  std::istringstream back(os.str());
+  const core::Economy e2 = core::read_economy(back);
+  EXPECT_EQ(e2.num_currencies(), 3u);
+  // Grant flags survive.
+  bool found_grant_rel = false, found_grant_abs = false, found_untyped = false;
+  for (std::size_t t = 0; t < e2.num_tickets(); ++t) {
+    const core::Ticket& tk = e2.ticket(core::TicketId(t));
+    if (tk.kind == core::TicketKind::Relative && tk.mode == core::SharingMode::Granting)
+      found_grant_rel = true;
+    if (tk.kind == core::TicketKind::Absolute && tk.mode == core::SharingMode::Granting)
+      found_grant_abs = true;
+    if (tk.kind == core::TicketKind::Relative && !tk.resource.valid()) found_untyped = true;
+  }
+  EXPECT_TRUE(found_grant_rel);
+  EXPECT_TRUE(found_grant_abs);
+  EXPECT_TRUE(found_untyped);
+}
+
+TEST(EconomyIo, RevokedTicketsOmitted) {
+  std::istringstream is(kExample1);
+  core::Economy e = core::read_economy(is);
+  e.revoke(core::TicketId(2));  // the absolute A->C agreement
+  std::ostringstream os;
+  core::write_economy(os, e);
+  std::istringstream back(os.str());
+  const core::Economy e2 = core::read_economy(back);
+  EXPECT_EQ(e2.num_tickets(), 4u);
+}
+
+TEST(EconomyIo, ReportsLineNumbers) {
+  std::istringstream bad("resource disk\nprincipal A\nfund A nope 3\n");
+  try {
+    core::read_economy(bad);
+    FAIL() << "expected IoError";
+  } catch (const IoError& err) {
+    EXPECT_NE(std::string(err.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(EconomyIo, RejectsUnknownDirective) {
+  std::istringstream bad("frobnicate x y\n");
+  EXPECT_THROW(core::read_economy(bad), IoError);
+}
+
+TEST(EconomyIo, MissingFileReported) {
+  EXPECT_THROW(core::load_economy("/nonexistent/economy.txt"), IoError);
+}
+
+}  // namespace
+}  // namespace agora

@@ -1,0 +1,377 @@
+// Unit tests for the LP substrate: standard-form conversion, both simplex
+// implementations on known problems, presolve, and the model builder.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/brute_force.h"
+#include "lp/model_builder.h"
+#include "lp/presolve.h"
+#include "lp/problem.h"
+#include "lp/revised.h"
+#include "lp/simplex.h"
+#include "lp/standard_form.h"
+
+namespace agora::lp {
+namespace {
+
+// ---------------------------------------------------------------- Problem ---
+
+TEST(Problem, VariableAndConstraintBookkeeping) {
+  Problem p;
+  const auto x = p.add_variable("x", 0, 10, 1.0);
+  const auto y = p.add_variable("y", -5, kInfinity, 2.0);
+  EXPECT_EQ(p.num_variables(), 2u);
+  EXPECT_DOUBLE_EQ(p.objective_coeff(x), 1.0);
+  EXPECT_DOUBLE_EQ(p.lower_bound(y), -5.0);
+  p.add_constraint({1.0, 1.0}, Relation::LessEqual, 4.0, "cap");
+  EXPECT_EQ(p.num_constraints(), 1u);
+  EXPECT_EQ(p.constraint(0).name, "cap");
+}
+
+TEST(Problem, ConstraintsPadWhenVariablesAdded) {
+  Problem p;
+  p.add_variable("x");
+  p.add_constraint({1.0}, Relation::LessEqual, 1.0);
+  p.add_variable("y");
+  EXPECT_EQ(p.constraint(0).coeffs.size(), 2u);
+  EXPECT_DOUBLE_EQ(p.constraint(0).coeffs[1], 0.0);
+}
+
+TEST(Problem, InvertedBoundsThrow) {
+  Problem p;
+  EXPECT_THROW(p.add_variable("x", 2.0, 1.0), PreconditionError);
+}
+
+TEST(Problem, SparseConstraintAccumulatesDuplicates) {
+  Problem p;
+  const auto x = p.add_variable("x");
+  p.add_constraint_sparse({{x, 1.0}, {x, 2.0}}, Relation::Equal, 3.0);
+  EXPECT_DOUBLE_EQ(p.constraint(0).coeffs[x], 3.0);
+}
+
+TEST(Problem, MaxViolation) {
+  Problem p;
+  p.add_variable("x", 0, 1);
+  p.add_constraint({1.0}, Relation::LessEqual, 0.5);
+  EXPECT_DOUBLE_EQ(p.max_violation({0.75}), 0.25);
+  EXPECT_DOUBLE_EQ(p.max_violation({0.25}), 0.0);
+}
+
+// ---------------------------------------------------------- StandardForm ---
+
+TEST(StandardForm, ShiftedVariableRoundTrip) {
+  Problem p;
+  p.add_variable("x", 2.0, 5.0, 1.0);
+  StandardForm sf = build_standard_form(p);
+  // One bound row (x <= 5 becomes y <= 3), one structural column + slack.
+  EXPECT_EQ(sf.rows(), 1u);
+  const auto x = recover_solution(sf, {1.5, 0.0}, 1);
+  EXPECT_DOUBLE_EQ(x[0], 3.5);
+}
+
+TEST(StandardForm, MirroredVariable) {
+  Problem p;
+  p.add_variable("x", -kInfinity, 4.0, 1.0);
+  StandardForm sf = build_standard_form(p);
+  const auto x = recover_solution(sf, {1.0}, 1);
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+}
+
+TEST(StandardForm, FreeVariableSplit) {
+  Problem p;
+  p.add_variable("x", -kInfinity, kInfinity, 1.0);
+  StandardForm sf = build_standard_form(p);
+  EXPECT_EQ(sf.num_structural, 2u);
+  const auto x = recover_solution(sf, {1.0, 4.0}, 1);
+  EXPECT_DOUBLE_EQ(x[0], -3.0);
+}
+
+TEST(StandardForm, NegativeRhsNormalized) {
+  Problem p;
+  p.add_variable("x", 0.0, kInfinity, 1.0);
+  p.add_constraint({-1.0}, Relation::LessEqual, -2.0);  // -x <= -2  <=>  x >= 2
+  StandardForm sf = build_standard_form(p);
+  for (double b : sf.b) EXPECT_GE(b, 0.0);
+  EXPECT_TRUE(sf.has_artificials());  // the >= row needs one
+}
+
+TEST(StandardForm, MaximizeFlipsSign) {
+  Problem p(Sense::Maximize);
+  p.add_variable("x", 0.0, kInfinity, 3.0);
+  StandardForm sf = build_standard_form(p);
+  EXPECT_DOUBLE_EQ(sf.obj_scale, -1.0);
+  EXPECT_DOUBLE_EQ(sf.c[0], -3.0);
+}
+
+// ------------------------------------------------- solvers on known LPs ---
+
+/// Classic production-planning LP with a known optimum.
+Problem classic_lp() {
+  // max 3x + 5y  s.t. x <= 4; 2y <= 12; 3x + 2y <= 18; x,y >= 0.
+  // Optimum: x=2, y=6, obj=36 (Dantzig's textbook example).
+  Problem p(Sense::Maximize);
+  p.add_variable("x", 0, kInfinity, 3.0);
+  p.add_variable("y", 0, kInfinity, 5.0);
+  p.add_constraint({1, 0}, Relation::LessEqual, 4);
+  p.add_constraint({0, 2}, Relation::LessEqual, 12);
+  p.add_constraint({3, 2}, Relation::LessEqual, 18);
+  return p;
+}
+
+template <typename Solver>
+class SolverTest : public ::testing::Test {
+ public:
+  Solver solver;
+};
+
+using SolverTypes = ::testing::Types<SimplexSolver, RevisedSimplexSolver>;
+TYPED_TEST_SUITE(SolverTest, SolverTypes);
+
+TYPED_TEST(SolverTest, ClassicMaximization) {
+  const SolveResult r = this->solver.solve(classic_lp());
+  ASSERT_EQ(r.status, Status::Optimal);
+  EXPECT_NEAR(r.objective, 36.0, 1e-7);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-7);
+  EXPECT_NEAR(r.x[1], 6.0, 1e-7);
+}
+
+TYPED_TEST(SolverTest, EqualityConstraints) {
+  // min x + y  s.t. x + y = 5, x - y = 1  ->  x=3, y=2, obj=5.
+  Problem p;
+  p.add_variable("x", 0, kInfinity, 1.0);
+  p.add_variable("y", 0, kInfinity, 1.0);
+  p.add_constraint({1, 1}, Relation::Equal, 5);
+  p.add_constraint({1, -1}, Relation::Equal, 1);
+  const SolveResult r = this->solver.solve(p);
+  ASSERT_EQ(r.status, Status::Optimal);
+  EXPECT_NEAR(r.objective, 5.0, 1e-7);
+  EXPECT_NEAR(r.x[0], 3.0, 1e-7);
+  EXPECT_NEAR(r.x[1], 2.0, 1e-7);
+}
+
+TYPED_TEST(SolverTest, DetectsInfeasible) {
+  Problem p;
+  p.add_variable("x", 0, 1, 1.0);
+  p.add_constraint({1}, Relation::GreaterEqual, 2.0);
+  EXPECT_EQ(this->solver.solve(p).status, Status::Infeasible);
+}
+
+TYPED_TEST(SolverTest, DetectsUnbounded) {
+  Problem p(Sense::Maximize);
+  p.add_variable("x", 0, kInfinity, 1.0);
+  p.add_constraint({-1}, Relation::LessEqual, 0.0);  // vacuous
+  EXPECT_EQ(this->solver.solve(p).status, Status::Unbounded);
+}
+
+TYPED_TEST(SolverTest, RespectsVariableBounds) {
+  Problem p(Sense::Maximize);
+  p.add_variable("x", 1.0, 3.0, 1.0);
+  const SolveResult r = this->solver.solve(p);
+  ASSERT_EQ(r.status, Status::Optimal);
+  EXPECT_NEAR(r.x[0], 3.0, 1e-8);
+}
+
+TYPED_TEST(SolverTest, NegativeLowerBounds) {
+  // min x s.t. x >= -4 -> x = -4.
+  Problem p;
+  p.add_variable("x", -4.0, kInfinity, 1.0);
+  const SolveResult r = this->solver.solve(p);
+  ASSERT_EQ(r.status, Status::Optimal);
+  EXPECT_NEAR(r.x[0], -4.0, 1e-8);
+}
+
+TYPED_TEST(SolverTest, FreeVariable) {
+  // min |free var shape|: min y s.t. y >= x - 2, y >= -x + 2, x free, y >= 0.
+  // Optimum y = 0 at x = 2.
+  Problem p;
+  const auto x = p.add_variable("x", -kInfinity, kInfinity, 0.0);
+  const auto y = p.add_variable("y", 0.0, kInfinity, 1.0);
+  p.add_constraint_sparse({{y, 1.0}, {x, -1.0}}, Relation::GreaterEqual, -2.0);
+  p.add_constraint_sparse({{y, 1.0}, {x, 1.0}}, Relation::GreaterEqual, 2.0);
+  const SolveResult r = this->solver.solve(p);
+  ASSERT_EQ(r.status, Status::Optimal);
+  EXPECT_NEAR(r.objective, 0.0, 1e-7);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-6);
+}
+
+TYPED_TEST(SolverTest, DegenerateLpTerminates) {
+  // Beale's cycling example (classic): cycles under naive Dantzig rule
+  // without anti-cycling. min -0.75x4 + 150x5 - 0.02x6 + 6x7 ...
+  Problem p;
+  p.add_variable("x4", 0, kInfinity, -0.75);
+  p.add_variable("x5", 0, kInfinity, 150.0);
+  p.add_variable("x6", 0, kInfinity, -0.02);
+  p.add_variable("x7", 0, kInfinity, 6.0);
+  p.add_constraint({0.25, -60.0, -0.04, 9.0}, Relation::LessEqual, 0.0);
+  p.add_constraint({0.5, -90.0, -0.02, 3.0}, Relation::LessEqual, 0.0);
+  p.add_constraint({0.0, 0.0, 1.0, 0.0}, Relation::LessEqual, 1.0);
+  const SolveResult r = this->solver.solve(p);
+  ASSERT_EQ(r.status, Status::Optimal);
+  EXPECT_NEAR(r.objective, -0.05, 1e-7);
+}
+
+TYPED_TEST(SolverTest, EmptyProblem) {
+  Problem p;
+  const SolveResult r = this->solver.solve(p);
+  EXPECT_EQ(r.status, Status::Optimal);
+  EXPECT_DOUBLE_EQ(r.objective, 0.0);
+}
+
+TYPED_TEST(SolverTest, RedundantEqualities) {
+  // x + y = 2 stated twice: redundant rows must not break phase 1 cleanup.
+  Problem p;
+  p.add_variable("x", 0, kInfinity, 1.0);
+  p.add_variable("y", 0, kInfinity, 2.0);
+  p.add_constraint({1, 1}, Relation::Equal, 2);
+  p.add_constraint({1, 1}, Relation::Equal, 2);
+  const SolveResult r = this->solver.solve(p);
+  ASSERT_EQ(r.status, Status::Optimal);
+  EXPECT_NEAR(r.objective, 2.0, 1e-7);  // all weight on x
+  EXPECT_NEAR(r.x[0], 2.0, 1e-7);
+}
+
+TYPED_TEST(SolverTest, SolutionSatisfiesConstraints) {
+  const Problem p = classic_lp();
+  const SolveResult r = this->solver.solve(p);
+  ASSERT_EQ(r.status, Status::Optimal);
+  EXPECT_LE(p.max_violation(r.x), 1e-7);
+}
+
+// ------------------------------------------------------------ BruteForce ---
+
+TEST(BruteForce, MatchesSimplexOnClassic) {
+  const Problem p = classic_lp();
+  const SolveResult bf = brute_force_solve(p);
+  const SolveResult sx = SimplexSolver().solve(p);
+  ASSERT_EQ(bf.status, Status::Optimal);
+  EXPECT_NEAR(bf.objective, sx.objective, 1e-7);
+}
+
+TEST(BruteForce, DetectsInfeasible) {
+  Problem p;
+  p.add_variable("x", 0, 1, 1.0);
+  p.add_constraint({1}, Relation::GreaterEqual, 2.0);
+  EXPECT_EQ(brute_force_solve(p).status, Status::Infeasible);
+}
+
+TEST(BruteForce, RefusesHugeProblems) {
+  Problem p;
+  for (int i = 0; i < 40; ++i) p.add_variable("x" + std::to_string(i), 0, 1, 1.0);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> c(40, 1.0);
+    p.add_constraint(std::move(c), Relation::LessEqual, 10.0);
+  }
+  EXPECT_THROW(brute_force_solve(p), PreconditionError);
+}
+
+// -------------------------------------------------------------- Presolve ---
+
+TEST(Presolve, SubstitutesFixedVariables) {
+  Problem p;
+  p.add_variable("x", 3.0, 3.0, 1.0);  // fixed
+  p.add_variable("y", 0.0, kInfinity, 1.0);
+  p.add_constraint({1.0, 1.0}, Relation::LessEqual, 10.0);
+  const PresolveOutcome out = presolve(p);
+  ASSERT_FALSE(out.decided.has_value());
+  EXPECT_EQ(out.reduced.num_variables(), 1u);
+  // x+y <= 10 becomes the singleton y <= 7 after substitution, which the
+  // singleton-row pass then folds into y's upper bound.
+  EXPECT_EQ(out.reduced.num_constraints(), 0u);
+  EXPECT_DOUBLE_EQ(out.reduced.upper_bound(0), 7.0);
+  const auto x = out.postsolve({5.0});
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], 5.0);
+}
+
+TEST(Presolve, FoldsSingletonRows) {
+  Problem p;
+  p.add_variable("x", 0.0, kInfinity, 1.0);
+  p.add_variable("y", 0.0, kInfinity, 1.0);
+  p.add_constraint({2.0, 0.0}, Relation::LessEqual, 6.0);  // x <= 3
+  p.add_constraint({1.0, 1.0}, Relation::LessEqual, 10.0);
+  const PresolveOutcome out = presolve(p);
+  ASSERT_FALSE(out.decided.has_value());
+  EXPECT_EQ(out.reduced.num_constraints(), 1u);
+  EXPECT_DOUBLE_EQ(out.reduced.upper_bound(0), 3.0);
+}
+
+TEST(Presolve, DetectsTrivialInfeasibility) {
+  Problem p;
+  p.add_variable("x", 0.0, 1.0, 1.0);
+  p.add_constraint({1.0}, Relation::GreaterEqual, 5.0);  // x >= 5 vs x <= 1
+  const PresolveOutcome out = presolve(p);
+  ASSERT_TRUE(out.decided.has_value());
+  EXPECT_EQ(out.decided->status, Status::Infeasible);
+}
+
+TEST(Presolve, DecidesFullyFixedProblems) {
+  Problem p;
+  p.add_variable("x", 2.0, 2.0, 3.0);
+  const PresolveOutcome out = presolve(p);
+  ASSERT_TRUE(out.decided.has_value());
+  EXPECT_EQ(out.decided->status, Status::Optimal);
+  EXPECT_DOUBLE_EQ(out.decided->objective, 6.0);
+}
+
+TEST(Presolve, SolveWithPresolveMatchesDirect) {
+  const Problem p = classic_lp();
+  const SolveResult direct = SimplexSolver().solve(p);
+  const SolveResult via = solve_with_presolve(
+      p, [](const Problem& q) { return SimplexSolver().solve(q); });
+  ASSERT_EQ(via.status, Status::Optimal);
+  EXPECT_NEAR(via.objective, direct.objective, 1e-7);
+}
+
+// ---------------------------------------------------------- ModelBuilder ---
+
+TEST(ModelBuilder, BuildsClassicLp) {
+  ModelBuilder mb(Sense::Maximize);
+  const Var x = mb.add_var("x");
+  const Var y = mb.add_var("y");
+  mb.add(LinExpr(x) <= 4.0);
+  mb.add(2.0 * y <= 12.0);
+  mb.add(3.0 * x + 2.0 * y <= 18.0);
+  mb.maximize(3.0 * x + 5.0 * y);
+  const SolveResult r = SimplexSolver().solve(mb.problem());
+  ASSERT_EQ(r.status, Status::Optimal);
+  EXPECT_NEAR(r.objective, 36.0, 1e-7);
+}
+
+TEST(ModelBuilder, SumAndEquality) {
+  ModelBuilder mb;
+  const auto xs = mb.add_vars("x", 3);
+  mb.add(sum(xs) == 6.0);
+  mb.minimize(1.0 * xs[0] + 2.0 * xs[1] + 3.0 * xs[2]);
+  const SolveResult r = SimplexSolver().solve(mb.problem());
+  ASSERT_EQ(r.status, Status::Optimal);
+  EXPECT_NEAR(r.objective, 6.0, 1e-7);  // all weight on x0
+  EXPECT_NEAR(r.x[0], 6.0, 1e-7);
+}
+
+TEST(ModelBuilder, ExpressionAlgebra) {
+  ModelBuilder mb;
+  const Var x = mb.add_var("x");
+  LinExpr e = 2.0 * x + 3.0;
+  e += 1.0 * x;
+  e *= 2.0;
+  // e = 6x + 6; constraint e >= 12 means x >= 1.
+  mb.add(e >= 12.0);
+  mb.minimize(LinExpr(x));
+  const SolveResult r = SimplexSolver().solve(mb.problem());
+  ASSERT_EQ(r.status, Status::Optimal);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-7);
+}
+
+TEST(ModelBuilder, GreaterEqualFoldsConstants) {
+  ModelBuilder mb;
+  const Var x = mb.add_var("x");
+  mb.add(1.0 * x - 5.0 >= 0.0);  // x >= 5
+  mb.minimize(LinExpr(x));
+  const SolveResult r = SimplexSolver().solve(mb.problem());
+  ASSERT_EQ(r.status, Status::Optimal);
+  EXPECT_NEAR(r.x[0], 5.0, 1e-7);
+}
+
+}  // namespace
+}  // namespace agora::lp

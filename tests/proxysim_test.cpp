@@ -1,0 +1,253 @@
+// Unit and invariant tests for the proxy case-study simulator: conservation,
+// determinism, the no-sharing baseline, LP vs endpoint redirection, redirect
+// costs and capacity scaling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "agree/topology.h"
+#include "proxysim/simulator.h"
+#include "trace/generator.h"
+#include "util/error.h"
+
+namespace agora::proxysim {
+namespace {
+
+using trace::DiurnalProfile;
+using trace::TraceRequest;
+
+/// Hand-built request with a fixed demand (response length chosen so that
+/// a + b*x equals `demand` under the default cost model).
+TraceRequest req_at(double t, double demand) {
+  TraceRequest r;
+  r.arrival = t;
+  r.response_bytes = static_cast<std::uint64_t>((demand - 0.1) / 1e-6);
+  return r;
+}
+
+SimConfig small_config(std::size_t proxies, double horizon = 1000.0) {
+  SimConfig cfg;
+  cfg.num_proxies = proxies;
+  cfg.horizon = horizon;
+  cfg.slot_width = horizon / 10.0;
+  return cfg;
+}
+
+// ------------------------------------------------------------ basic queue ---
+
+TEST(Simulator, SingleRequestZeroWait) {
+  Simulator sim(small_config(1));
+  const auto m = sim.run({{req_at(10.0, 1.0)}});
+  EXPECT_EQ(m.total_requests, 1u);
+  EXPECT_EQ(m.wait_overall.count(), 1u);
+  EXPECT_NEAR(m.mean_wait(), 0.0, 1e-12);
+}
+
+TEST(Simulator, FifoQueueingWaits) {
+  // Two back-to-back 2s jobs arriving together: the second waits 2s.
+  Simulator sim(small_config(1));
+  const auto m = sim.run({{req_at(10.0, 2.0), req_at(10.0, 2.0)}});
+  EXPECT_EQ(m.wait_overall.count(), 2u);
+  EXPECT_NEAR(m.wait_overall.max(), 2.0, 1e-9);
+  EXPECT_NEAR(m.mean_wait(), 1.0, 1e-9);
+}
+
+TEST(Simulator, PowerScalesServiceTime) {
+  SimConfig cfg = small_config(1);
+  cfg.power = {2.0};  // double-speed proxy
+  Simulator sim(cfg);
+  const auto m = sim.run({{req_at(10.0, 2.0), req_at(10.0, 2.0)}});
+  EXPECT_NEAR(m.wait_overall.max(), 1.0, 1e-9);  // 2s demand / power 2
+}
+
+TEST(Simulator, CostModelCapsDemand) {
+  CostModel cost;
+  EXPECT_NEAR(cost.demand(0), 0.1, 1e-12);
+  EXPECT_NEAR(cost.demand(1000000), 1.1, 1e-12);
+  EXPECT_NEAR(cost.demand(1000000000), 30.0, 1e-12);  // capped at c
+}
+
+TEST(Simulator, ConservationEveryRequestServedOnce) {
+  trace::GeneratorConfig gc;
+  gc.peak_rate = 5.0;
+  trace::Generator gen(gc, DiurnalProfile::flat(1.0, 2000.0, 10));
+  SimConfig cfg = small_config(3, 2000.0);
+  cfg.scheduler = SchedulerKind::Lp;
+  cfg.agreements = agree::complete_graph(3, 0.3);
+  Simulator sim(cfg);
+  const auto m = sim.run({gen.generate(1), gen.generate(2), gen.generate(3)});
+  EXPECT_EQ(m.wait_overall.count(), m.total_requests);
+  std::uint64_t per_proxy = 0;
+  for (const auto& s : m.per_proxy_wait) per_proxy += s.count();
+  EXPECT_EQ(per_proxy, m.total_requests);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  trace::GeneratorConfig gc;
+  gc.peak_rate = 4.0;
+  trace::Generator gen(gc, DiurnalProfile::flat(1.0, 2000.0, 10));
+  SimConfig cfg = small_config(2, 2000.0);
+  cfg.scheduler = SchedulerKind::Lp;
+  cfg.agreements = agree::complete_graph(2, 0.5);
+  const auto traces = {gen.generate(1), gen.generate(2)};
+  std::vector<std::vector<TraceRequest>> ts(traces);
+  const auto a = Simulator(cfg).run(ts);
+  const auto b = Simulator(cfg).run(ts);
+  EXPECT_DOUBLE_EQ(a.mean_wait(), b.mean_wait());
+  EXPECT_EQ(a.redirected_requests, b.redirected_requests);
+  EXPECT_EQ(a.scheduler_consults, b.scheduler_consults);
+}
+
+TEST(Simulator, RequestCountsPerSlot) {
+  Simulator sim(small_config(1, 1000.0));  // 10 slots of 100s
+  const auto m = sim.run({{req_at(50.0, 0.5), req_at(150.0, 0.5), req_at(155.0, 0.5)}});
+  EXPECT_EQ(m.requests_by_slot[0], 1u);
+  EXPECT_EQ(m.requests_by_slot[1], 2u);
+  EXPECT_EQ(m.requests_by_slot[2], 0u);
+}
+
+TEST(Simulator, RejectsUnsortedTraces) {
+  Simulator sim(small_config(1));
+  EXPECT_THROW(sim.run({{req_at(10.0, 1.0), req_at(5.0, 1.0)}}), PreconditionError);
+}
+
+TEST(Simulator, RejectsWrongTraceCount) {
+  Simulator sim(small_config(2));
+  EXPECT_THROW(sim.run({{req_at(1.0, 1.0)}}), PreconditionError);
+}
+
+// -------------------------------------------------------------- redirection ---
+
+/// One overloaded proxy (burst of work) next to an idle one.
+std::vector<std::vector<TraceRequest>> burst_and_idle() {
+  std::vector<TraceRequest> burst;
+  for (int i = 0; i < 40; ++i) burst.push_back(req_at(10.0 + 0.01 * i, 1.0));
+  return {burst, {}};
+}
+
+TEST(Simulator, NoSchedulerMeansNoRedirection) {
+  SimConfig cfg = small_config(2);
+  cfg.scheduler = SchedulerKind::None;
+  const auto m = Simulator(cfg).run(burst_and_idle());
+  EXPECT_EQ(m.redirected_requests, 0u);
+  // 40 jobs of 1s each arriving at once: the last waits ~39s.
+  EXPECT_NEAR(m.wait_overall.max(), 39.0, 0.5);
+}
+
+TEST(Simulator, LpSchedulerRedirectsUnderOverload) {
+  SimConfig cfg = small_config(2);
+  cfg.scheduler = SchedulerKind::Lp;
+  cfg.agreements = agree::complete_graph(2, 0.5);
+  cfg.queue_threshold = 4.0;
+  cfg.consult_cooldown = 1.0;
+  cfg.planning_window = 60.0;
+  const auto m = Simulator(cfg).run(burst_and_idle());
+  EXPECT_GT(m.redirected_requests, 0u);
+  EXPECT_GT(m.scheduler_consults, 0u);
+  // Offloading halves the backlog; worst wait clearly below no-sharing's 39.
+  EXPECT_LT(m.wait_overall.max(), 30.0);
+}
+
+TEST(Simulator, ZeroAgreementsBehaveLikeNoSharing) {
+  SimConfig none = small_config(2);
+  none.scheduler = SchedulerKind::None;
+  SimConfig lp = small_config(2);
+  lp.scheduler = SchedulerKind::Lp;
+  lp.agreements = Matrix(2, 2);  // all-zero shares
+  const auto a = Simulator(none).run(burst_and_idle());
+  const auto b = Simulator(lp).run(burst_and_idle());
+  EXPECT_EQ(b.redirected_requests, 0u);
+  EXPECT_DOUBLE_EQ(a.mean_wait(), b.mean_wait());
+}
+
+TEST(Simulator, RedirectCostAddsDemand) {
+  SimConfig cheap = small_config(2);
+  cheap.scheduler = SchedulerKind::Lp;
+  cheap.agreements = agree::complete_graph(2, 0.5);
+  cheap.queue_threshold = 4.0;
+  cheap.consult_cooldown = 1.0;
+  SimConfig costly = cheap;
+  costly.redirect_cost = 0.5;  // half the job size: clearly visible
+  const auto a = Simulator(cheap).run(burst_and_idle());
+  const auto b = Simulator(costly).run(burst_and_idle());
+  ASSERT_GT(a.redirected_requests, 0u);
+  ASSERT_GT(b.redirected_requests, 0u);
+  // The redirected work carries extra demand, so total busy time grows and
+  // mean wait cannot improve.
+  EXPECT_GE(b.mean_wait(), a.mean_wait() - 1e-9);
+}
+
+TEST(Simulator, EndpointSchedulerAlsoRedirects) {
+  SimConfig cfg = small_config(2);
+  cfg.scheduler = SchedulerKind::Endpoint;
+  cfg.agreements = agree::complete_graph(2, 0.5);
+  cfg.queue_threshold = 4.0;
+  cfg.consult_cooldown = 1.0;
+  const auto m = Simulator(cfg).run(burst_and_idle());
+  EXPECT_GT(m.redirected_requests, 0u);
+  EXPECT_LT(m.wait_overall.max(), 39.0);
+}
+
+TEST(Simulator, LpBeatsEndpointWhenNeighborsAreBusy) {
+  // Three proxies: 0 overloaded, 1 also busy, 2 idle. Agreements are
+  // distance-decayed (0 shares more with 1 than with 2), so the endpoint
+  // scheme pushes work to the *busy* neighbor 1 while the LP scheme sees
+  // availability and prefers 2.
+  std::vector<TraceRequest> burst0, busy1;
+  for (int i = 0; i < 40; ++i) burst0.push_back(req_at(10.0 + 0.01 * i, 1.0));
+  for (int i = 0; i < 200; ++i) busy1.push_back(req_at(5.0 + 0.5 * i, 0.5));
+  const std::vector<std::vector<TraceRequest>> traces{burst0, busy1, {}};
+
+  SimConfig base = small_config(3);
+  base.agreements = Matrix{{0.0, 0.3, 0.1}, {0.3, 0.0, 0.1}, {0.1, 0.1, 0.0}};
+  base.queue_threshold = 4.0;
+  base.consult_cooldown = 1.0;
+
+  SimConfig lp = base;
+  lp.scheduler = SchedulerKind::Lp;
+  SimConfig ep = base;
+  ep.scheduler = SchedulerKind::Endpoint;
+
+  const auto ml = Simulator(lp).run(traces);
+  const auto me = Simulator(ep).run(traces);
+  // Origin-0 clients should fare better under the LP scheme.
+  EXPECT_LT(ml.per_proxy_wait[0].mean(), me.per_proxy_wait[0].mean());
+}
+
+TEST(Simulator, RedirectedFractionSmallUnderMildLoad) {
+  trace::GeneratorConfig gc;
+  gc.peak_rate = 6.0;  // moderate utilization
+  trace::Generator gen(gc, DiurnalProfile::flat(1.0, 3000.0, 10));
+  SimConfig cfg = small_config(3, 3000.0);
+  cfg.scheduler = SchedulerKind::Lp;
+  cfg.agreements = agree::complete_graph(3, 0.2);
+  Simulator sim(cfg);
+  const auto m = sim.run({gen.generate(1), gen.generate(2), gen.generate(3)});
+  EXPECT_LT(m.redirected_fraction(), 0.2);
+}
+
+TEST(Simulator, WaitQuantilesTrackDistribution) {
+  Simulator sim(small_config(1));
+  // Ten simultaneous 1 s jobs: waits are exactly 0,1,...,9 seconds.
+  std::vector<TraceRequest> jobs;
+  for (int i = 0; i < 10; ++i) jobs.push_back(req_at(10.0, 1.0));
+  const auto m = sim.run({jobs});
+  EXPECT_NEAR(m.wait_quantile(0.5), 4.5, 0.6);
+  EXPECT_NEAR(m.wait_quantile(1.0), 9.0, 0.2);
+  EXPECT_LE(m.wait_quantile(0.1), m.wait_quantile(0.9));
+}
+
+TEST(Simulator, PerProxySeriesSumToGlobal) {
+  trace::GeneratorConfig gc;
+  gc.peak_rate = 3.0;
+  trace::Generator gen(gc, DiurnalProfile::flat(1.0, 2000.0, 10));
+  SimConfig cfg = small_config(2, 2000.0);
+  Simulator sim(cfg);
+  const auto m = sim.run({gen.generate(5), gen.generate(6)});
+  std::uint64_t total = 0;
+  for (const auto& s : m.wait_by_slot_per_proxy) total += s.total_count();
+  EXPECT_EQ(total, m.wait_by_slot.total_count());
+}
+
+}  // namespace
+}  // namespace agora::proxysim

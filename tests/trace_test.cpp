@@ -1,0 +1,192 @@
+// Unit tests for the trace substrate: diurnal profiles, the synthetic
+// generator, and trace (de)serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "trace/generator.h"
+#include "trace/profile.h"
+#include "trace/trace_io.h"
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace agora::trace {
+namespace {
+
+// ---------------------------------------------------------------- profile ---
+
+TEST(Profile, BerkeleyShapePeaksAtMidnightTroughsEarlyMorning) {
+  const DiurnalProfile p = DiurnalProfile::berkeley_like();
+  EXPECT_EQ(p.slots(), 144u);
+  EXPECT_DOUBLE_EQ(p.horizon(), 86400.0);
+  // Peak within an hour of midnight.
+  double peak = 0.0;
+  std::size_t peak_slot = 0;
+  for (std::size_t s = 0; s < p.slots(); ++s)
+    if (p.slot_weight(s) > peak) {
+      peak = p.slot_weight(s);
+      peak_slot = s;
+    }
+  const double peak_hour = p.slot_mid_hour(peak_slot);
+  EXPECT_TRUE(peak_hour < 1.0 || peak_hour > 23.0) << "peak at hour " << peak_hour;
+  // Trough in the early morning (4-7am), well below half the peak.
+  double trough = 1e9;
+  std::size_t trough_slot = 0;
+  for (std::size_t s = 0; s < p.slots(); ++s)
+    if (p.slot_weight(s) < trough) {
+      trough = p.slot_weight(s);
+      trough_slot = s;
+    }
+  const double trough_hour = p.slot_mid_hour(trough_slot);
+  EXPECT_GE(trough_hour, 4.0);
+  EXPECT_LE(trough_hour, 7.0);
+  EXPECT_LT(trough, 0.5 * peak);
+}
+
+TEST(Profile, WeightAtInterpolatesAndWraps) {
+  const DiurnalProfile p({1.0, 3.0}, 100.0);
+  // Slot mids at t=25 (w=1) and t=75 (w=3); halfway between: 2.
+  EXPECT_NEAR(p.weight_at(25.0), 1.0, 1e-12);
+  EXPECT_NEAR(p.weight_at(75.0), 3.0, 1e-12);
+  EXPECT_NEAR(p.weight_at(50.0), 2.0, 1e-12);
+  // Wrap: t=0 is halfway between slot 1 (t=75, w=3) and slot 0 (t=125->25, w=1).
+  EXPECT_NEAR(p.weight_at(0.0), 2.0, 1e-12);
+  EXPECT_NEAR(p.weight_at(100.0), p.weight_at(0.0), 1e-12);
+  EXPECT_NEAR(p.weight_at(-25.0), 3.0, 1e-12);
+}
+
+TEST(Profile, FlatProfile) {
+  const DiurnalProfile p = DiurnalProfile::flat(2.0, 1000.0, 10);
+  EXPECT_NEAR(p.mean_weight(), 2.0, 1e-12);
+  EXPECT_NEAR(p.peak_weight(), 2.0, 1e-12);
+  EXPECT_NEAR(p.weight_at(123.0), 2.0, 1e-12);
+}
+
+TEST(Profile, RejectsBadInput) {
+  EXPECT_THROW(DiurnalProfile({}, 100.0), PreconditionError);
+  EXPECT_THROW(DiurnalProfile({1.0}, -1.0), PreconditionError);
+  EXPECT_THROW(DiurnalProfile({-1.0}, 100.0), PreconditionError);
+}
+
+// -------------------------------------------------------------- generator ---
+
+TEST(Generator, DeterministicInSeed) {
+  GeneratorConfig cfg;
+  cfg.peak_rate = 2.0;
+  Generator gen(cfg, DiurnalProfile::flat(1.0, 3600.0, 6));
+  const auto a = gen.generate(7);
+  const auto b = gen.generate(7);
+  const auto c = gen.generate(8);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].response_bytes, b[i].response_bytes);
+  }
+  EXPECT_NE(a.size(), c.size());
+}
+
+TEST(Generator, RateMatchesProfile) {
+  GeneratorConfig cfg;
+  cfg.peak_rate = 5.0;
+  Generator gen(cfg, DiurnalProfile::flat(1.0, 36000.0, 10));
+  const auto reqs = gen.generate(1);
+  // Expect ~ rate * horizon = 180000 arrivals, Poisson noise ~ +-0.5%.
+  EXPECT_NEAR(static_cast<double>(reqs.size()), 180000.0, 3000.0);
+}
+
+TEST(Generator, ArrivalsSortedAndInHorizon) {
+  GeneratorConfig cfg;
+  cfg.peak_rate = 3.0;
+  Generator gen(cfg, DiurnalProfile::berkeley_like(7200.0, 12));
+  const auto reqs = gen.generate(3);
+  double prev = 0.0;
+  for (const auto& r : reqs) {
+    EXPECT_GE(r.arrival, prev);
+    EXPECT_LT(r.arrival, 7200.0);
+    prev = r.arrival;
+  }
+}
+
+TEST(Generator, TimeShiftWrapsCyclically) {
+  GeneratorConfig cfg;
+  cfg.peak_rate = 2.0;
+  // Strongly asymmetric profile: all load in the first half.
+  Generator gen(cfg, DiurnalProfile({1.0, 0.0}, 1000.0));
+  const auto base = gen.generate(5, 0.0);
+  const auto shifted = gen.generate(5, 500.0);
+  ASSERT_EQ(base.size(), shifted.size());
+  for (const auto& r : base) EXPECT_LT(r.arrival, 500.0);
+  for (const auto& r : shifted) EXPECT_GE(r.arrival, 500.0);
+}
+
+TEST(Generator, ResponseSizeDistributionSane) {
+  GeneratorConfig cfg;
+  cfg.peak_rate = 20.0;
+  Generator gen(cfg, DiurnalProfile::flat(1.0, 10000.0, 10));
+  const auto reqs = gen.generate(11);
+  StreamingStats bytes;
+  for (const auto& r : reqs) bytes.add(static_cast<double>(r.response_bytes));
+  // Empirical mean should be near the analytic expectation (heavy tail:
+  // generous tolerance).
+  const double expected = expected_response_bytes(cfg);
+  EXPECT_GT(bytes.mean(), expected * 0.6);
+  EXPECT_LT(bytes.mean(), expected * 1.7);
+  EXPECT_GT(bytes.max(), 10.0 * bytes.mean());  // tail present
+}
+
+TEST(Generator, ExpectedBytesFormula) {
+  GeneratorConfig cfg;
+  cfg.tail_probability = 0.0;
+  cfg.body_log_median_bytes = std::log(1000.0);
+  cfg.body_sigma = 0.0;
+  EXPECT_NEAR(expected_response_bytes(cfg), 1000.0, 1e-9);
+}
+
+// ---------------------------------------------------------------- trace_io ---
+
+TEST(TraceIo, RoundTrip) {
+  std::vector<TraceRequest> reqs{{1.5, 2048, 7}, {3.25, 100, 8}};
+  std::ostringstream os;
+  write_trace(os, reqs);
+  std::istringstream is(os.str());
+  const auto back = read_trace(is);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_DOUBLE_EQ(back[0].arrival, 1.5);
+  EXPECT_EQ(back[0].response_bytes, 2048u);
+  EXPECT_EQ(back[1].client, 8u);
+}
+
+TEST(TraceIo, SkipsCommentsAndBlankLines) {
+  std::istringstream is("# header\n\n1.0 10 2\n");
+  const auto reqs = read_trace(is);
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_DOUBLE_EQ(reqs[0].arrival, 1.0);
+}
+
+TEST(TraceIo, RejectsMalformedLines) {
+  std::istringstream is("not a trace line\n");
+  EXPECT_THROW(read_trace(is), IoError);
+  std::istringstream neg("-1.0 10 2\n");
+  EXPECT_THROW(read_trace(neg), IoError);
+}
+
+TEST(TraceIo, MissingFileReported) {
+  EXPECT_THROW(load_trace("/nonexistent/path/trace.txt"), IoError);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  GeneratorConfig cfg;
+  cfg.peak_rate = 1.0;
+  Generator gen(cfg, DiurnalProfile::flat(1.0, 600.0, 2));
+  const auto reqs = gen.generate(21);
+  const std::string path = ::testing::TempDir() + "/agora_trace_test.txt";
+  save_trace(path, reqs);
+  const auto back = load_trace(path);
+  ASSERT_EQ(back.size(), reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i)
+    EXPECT_EQ(back[i].response_bytes, reqs[i].response_bytes);
+}
+
+}  // namespace
+}  // namespace agora::trace
