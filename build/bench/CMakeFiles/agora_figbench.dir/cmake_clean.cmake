@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libagora_figbench.a"
+  "../lib/libagora_figbench.pdb"
+  "CMakeFiles/agora_figbench.dir/fig_common.cpp.o"
+  "CMakeFiles/agora_figbench.dir/fig_common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agora_figbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

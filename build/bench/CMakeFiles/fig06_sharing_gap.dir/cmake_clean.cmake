@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_sharing_gap.dir/fig06_sharing_gap.cpp.o"
+  "CMakeFiles/fig06_sharing_gap.dir/fig06_sharing_gap.cpp.o.d"
+  "fig06_sharing_gap"
+  "fig06_sharing_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_sharing_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

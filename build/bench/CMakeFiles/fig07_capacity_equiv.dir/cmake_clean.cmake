@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_capacity_equiv.dir/fig07_capacity_equiv.cpp.o"
+  "CMakeFiles/fig07_capacity_equiv.dir/fig07_capacity_equiv.cpp.o.d"
+  "fig07_capacity_equiv"
+  "fig07_capacity_equiv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_capacity_equiv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_transitivity_complete.dir/fig08_transitivity_complete.cpp.o"
+  "CMakeFiles/fig08_transitivity_complete.dir/fig08_transitivity_complete.cpp.o.d"
+  "fig08_transitivity_complete"
+  "fig08_transitivity_complete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_transitivity_complete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

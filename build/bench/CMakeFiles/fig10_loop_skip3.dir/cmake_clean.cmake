@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_loop_skip3.dir/fig10_loop_skip3.cpp.o"
+  "CMakeFiles/fig10_loop_skip3.dir/fig10_loop_skip3.cpp.o.d"
+  "fig10_loop_skip3"
+  "fig10_loop_skip3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_loop_skip3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

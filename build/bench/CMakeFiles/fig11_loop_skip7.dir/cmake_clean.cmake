@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_loop_skip7.dir/fig11_loop_skip7.cpp.o"
+  "CMakeFiles/fig11_loop_skip7.dir/fig11_loop_skip7.cpp.o.d"
+  "fig11_loop_skip7"
+  "fig11_loop_skip7.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_loop_skip7.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_lp_vs_endpoint.dir/fig13_lp_vs_endpoint.cpp.o"
+  "CMakeFiles/fig13_lp_vs_endpoint.dir/fig13_lp_vs_endpoint.cpp.o.d"
+  "fig13_lp_vs_endpoint"
+  "fig13_lp_vs_endpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_lp_vs_endpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_fluid.dir/micro_fluid.cpp.o"
+  "CMakeFiles/micro_fluid.dir/micro_fluid.cpp.o.d"
+  "micro_fluid"
+  "micro_fluid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_fluid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

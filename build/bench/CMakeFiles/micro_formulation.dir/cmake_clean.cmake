@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_formulation.dir/micro_formulation.cpp.o"
+  "CMakeFiles/micro_formulation.dir/micro_formulation.cpp.o.d"
+  "micro_formulation"
+  "micro_formulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_formulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_transitive.dir/micro_transitive.cpp.o"
+  "CMakeFiles/micro_transitive.dir/micro_transitive.cpp.o.d"
+  "micro_transitive"
+  "micro_transitive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_transitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

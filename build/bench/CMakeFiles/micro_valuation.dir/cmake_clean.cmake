@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_valuation.dir/micro_valuation.cpp.o"
+  "CMakeFiles/micro_valuation.dir/micro_valuation.cpp.o.d"
+  "micro_valuation"
+  "micro_valuation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_valuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

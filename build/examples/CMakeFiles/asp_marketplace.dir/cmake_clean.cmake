@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asp_marketplace.dir/asp_marketplace.cpp.o"
+  "CMakeFiles/asp_marketplace.dir/asp_marketplace.cpp.o.d"
+  "asp_marketplace"
+  "asp_marketplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asp_marketplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchical_sharing.dir/hierarchical_sharing.cpp.o"
+  "CMakeFiles/hierarchical_sharing.dir/hierarchical_sharing.cpp.o.d"
+  "hierarchical_sharing"
+  "hierarchical_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxy_federation.dir/proxy_federation.cpp.o"
+  "CMakeFiles/proxy_federation.dir/proxy_federation.cpp.o.d"
+  "proxy_federation"
+  "proxy_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxy_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

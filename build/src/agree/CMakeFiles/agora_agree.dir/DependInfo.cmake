@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agree/capacity.cpp" "src/agree/CMakeFiles/agora_agree.dir/capacity.cpp.o" "gcc" "src/agree/CMakeFiles/agora_agree.dir/capacity.cpp.o.d"
+  "/root/repo/src/agree/from_economy.cpp" "src/agree/CMakeFiles/agora_agree.dir/from_economy.cpp.o" "gcc" "src/agree/CMakeFiles/agora_agree.dir/from_economy.cpp.o.d"
+  "/root/repo/src/agree/matrices.cpp" "src/agree/CMakeFiles/agora_agree.dir/matrices.cpp.o" "gcc" "src/agree/CMakeFiles/agora_agree.dir/matrices.cpp.o.d"
+  "/root/repo/src/agree/topology.cpp" "src/agree/CMakeFiles/agora_agree.dir/topology.cpp.o" "gcc" "src/agree/CMakeFiles/agora_agree.dir/topology.cpp.o.d"
+  "/root/repo/src/agree/transitive.cpp" "src/agree/CMakeFiles/agora_agree.dir/transitive.cpp.o" "gcc" "src/agree/CMakeFiles/agora_agree.dir/transitive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/agora_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/agora_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agora_agree.dir/capacity.cpp.o"
+  "CMakeFiles/agora_agree.dir/capacity.cpp.o.d"
+  "CMakeFiles/agora_agree.dir/from_economy.cpp.o"
+  "CMakeFiles/agora_agree.dir/from_economy.cpp.o.d"
+  "CMakeFiles/agora_agree.dir/matrices.cpp.o"
+  "CMakeFiles/agora_agree.dir/matrices.cpp.o.d"
+  "CMakeFiles/agora_agree.dir/topology.cpp.o"
+  "CMakeFiles/agora_agree.dir/topology.cpp.o.d"
+  "CMakeFiles/agora_agree.dir/transitive.cpp.o"
+  "CMakeFiles/agora_agree.dir/transitive.cpp.o.d"
+  "libagora_agree.a"
+  "libagora_agree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agora_agree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/allocator.cpp" "src/alloc/CMakeFiles/agora_alloc.dir/allocator.cpp.o" "gcc" "src/alloc/CMakeFiles/agora_alloc.dir/allocator.cpp.o.d"
+  "/root/repo/src/alloc/endpoint.cpp" "src/alloc/CMakeFiles/agora_alloc.dir/endpoint.cpp.o" "gcc" "src/alloc/CMakeFiles/agora_alloc.dir/endpoint.cpp.o.d"
+  "/root/repo/src/alloc/hierarchical.cpp" "src/alloc/CMakeFiles/agora_alloc.dir/hierarchical.cpp.o" "gcc" "src/alloc/CMakeFiles/agora_alloc.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/alloc/multi_resource.cpp" "src/alloc/CMakeFiles/agora_alloc.dir/multi_resource.cpp.o" "gcc" "src/alloc/CMakeFiles/agora_alloc.dir/multi_resource.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/agora_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/agora_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/agree/CMakeFiles/agora_agree.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/agora_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agora_alloc.dir/allocator.cpp.o"
+  "CMakeFiles/agora_alloc.dir/allocator.cpp.o.d"
+  "CMakeFiles/agora_alloc.dir/endpoint.cpp.o"
+  "CMakeFiles/agora_alloc.dir/endpoint.cpp.o.d"
+  "CMakeFiles/agora_alloc.dir/hierarchical.cpp.o"
+  "CMakeFiles/agora_alloc.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/agora_alloc.dir/multi_resource.cpp.o"
+  "CMakeFiles/agora_alloc.dir/multi_resource.cpp.o.d"
+  "libagora_alloc.a"
+  "libagora_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agora_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/economy.cpp" "src/core/CMakeFiles/agora_core.dir/economy.cpp.o" "gcc" "src/core/CMakeFiles/agora_core.dir/economy.cpp.o.d"
+  "/root/repo/src/core/economy_io.cpp" "src/core/CMakeFiles/agora_core.dir/economy_io.cpp.o" "gcc" "src/core/CMakeFiles/agora_core.dir/economy_io.cpp.o.d"
+  "/root/repo/src/core/valuation.cpp" "src/core/CMakeFiles/agora_core.dir/valuation.cpp.o" "gcc" "src/core/CMakeFiles/agora_core.dir/valuation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/agora_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agora_core.dir/economy.cpp.o"
+  "CMakeFiles/agora_core.dir/economy.cpp.o.d"
+  "CMakeFiles/agora_core.dir/economy_io.cpp.o"
+  "CMakeFiles/agora_core.dir/economy_io.cpp.o.d"
+  "CMakeFiles/agora_core.dir/valuation.cpp.o"
+  "CMakeFiles/agora_core.dir/valuation.cpp.o.d"
+  "libagora_core.a"
+  "libagora_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agora_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

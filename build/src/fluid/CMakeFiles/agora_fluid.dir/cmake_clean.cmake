@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agora_fluid.dir/planner.cpp.o"
+  "CMakeFiles/agora_fluid.dir/planner.cpp.o.d"
+  "libagora_fluid.a"
+  "libagora_fluid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agora_fluid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

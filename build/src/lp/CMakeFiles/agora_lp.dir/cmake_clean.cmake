@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agora_lp.dir/brute_force.cpp.o"
+  "CMakeFiles/agora_lp.dir/brute_force.cpp.o.d"
+  "CMakeFiles/agora_lp.dir/model_builder.cpp.o"
+  "CMakeFiles/agora_lp.dir/model_builder.cpp.o.d"
+  "CMakeFiles/agora_lp.dir/presolve.cpp.o"
+  "CMakeFiles/agora_lp.dir/presolve.cpp.o.d"
+  "CMakeFiles/agora_lp.dir/problem.cpp.o"
+  "CMakeFiles/agora_lp.dir/problem.cpp.o.d"
+  "CMakeFiles/agora_lp.dir/revised.cpp.o"
+  "CMakeFiles/agora_lp.dir/revised.cpp.o.d"
+  "CMakeFiles/agora_lp.dir/simplex.cpp.o"
+  "CMakeFiles/agora_lp.dir/simplex.cpp.o.d"
+  "CMakeFiles/agora_lp.dir/standard_form.cpp.o"
+  "CMakeFiles/agora_lp.dir/standard_form.cpp.o.d"
+  "libagora_lp.a"
+  "libagora_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agora_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agora_proxysim.dir/scheduler_bridge.cpp.o"
+  "CMakeFiles/agora_proxysim.dir/scheduler_bridge.cpp.o.d"
+  "CMakeFiles/agora_proxysim.dir/simulator.cpp.o"
+  "CMakeFiles/agora_proxysim.dir/simulator.cpp.o.d"
+  "libagora_proxysim.a"
+  "libagora_proxysim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agora_proxysim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

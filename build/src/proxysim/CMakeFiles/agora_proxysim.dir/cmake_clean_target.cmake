@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libagora_proxysim.a"
+)

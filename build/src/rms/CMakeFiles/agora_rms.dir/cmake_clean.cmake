@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agora_rms.dir/bus.cpp.o"
+  "CMakeFiles/agora_rms.dir/bus.cpp.o.d"
+  "CMakeFiles/agora_rms.dir/grm.cpp.o"
+  "CMakeFiles/agora_rms.dir/grm.cpp.o.d"
+  "CMakeFiles/agora_rms.dir/lrm.cpp.o"
+  "CMakeFiles/agora_rms.dir/lrm.cpp.o.d"
+  "libagora_rms.a"
+  "libagora_rms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agora_rms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for agora_rms.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agora_trace.dir/generator.cpp.o"
+  "CMakeFiles/agora_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/agora_trace.dir/profile.cpp.o"
+  "CMakeFiles/agora_trace.dir/profile.cpp.o.d"
+  "CMakeFiles/agora_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/agora_trace.dir/trace_io.cpp.o.d"
+  "libagora_trace.a"
+  "libagora_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agora_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

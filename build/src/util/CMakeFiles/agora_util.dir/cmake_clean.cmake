@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agora_util.dir/csv.cpp.o"
+  "CMakeFiles/agora_util.dir/csv.cpp.o.d"
+  "CMakeFiles/agora_util.dir/flags.cpp.o"
+  "CMakeFiles/agora_util.dir/flags.cpp.o.d"
+  "CMakeFiles/agora_util.dir/matrix.cpp.o"
+  "CMakeFiles/agora_util.dir/matrix.cpp.o.d"
+  "CMakeFiles/agora_util.dir/stats.cpp.o"
+  "CMakeFiles/agora_util.dir/stats.cpp.o.d"
+  "CMakeFiles/agora_util.dir/threadpool.cpp.o"
+  "CMakeFiles/agora_util.dir/threadpool.cpp.o.d"
+  "libagora_util.a"
+  "libagora_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agora_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

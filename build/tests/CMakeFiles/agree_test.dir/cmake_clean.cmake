@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agree_test.dir/agree_test.cpp.o"
+  "CMakeFiles/agree_test.dir/agree_test.cpp.o.d"
+  "agree_test"
+  "agree_test.pdb"
+  "agree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluid_figures_test.dir/fluid_figures_test.cpp.o"
+  "CMakeFiles/fluid_figures_test.dir/fluid_figures_test.cpp.o.d"
+  "fluid_figures_test"
+  "fluid_figures_test.pdb"
+  "fluid_figures_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluid_figures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

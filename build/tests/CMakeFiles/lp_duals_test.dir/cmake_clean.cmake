@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_duals_test.dir/lp_duals_test.cpp.o"
+  "CMakeFiles/lp_duals_test.dir/lp_duals_test.cpp.o.d"
+  "lp_duals_test"
+  "lp_duals_test.pdb"
+  "lp_duals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_duals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

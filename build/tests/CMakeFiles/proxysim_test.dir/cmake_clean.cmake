@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxysim_test.dir/proxysim_test.cpp.o"
+  "CMakeFiles/proxysim_test.dir/proxysim_test.cpp.o.d"
+  "proxysim_test"
+  "proxysim_test.pdb"
+  "proxysim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxysim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

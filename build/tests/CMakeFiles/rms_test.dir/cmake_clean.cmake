@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rms_test.dir/rms_test.cpp.o"
+  "CMakeFiles/rms_test.dir/rms_test.cpp.o.d"
+  "rms_test"
+  "rms_test.pdb"
+  "rms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

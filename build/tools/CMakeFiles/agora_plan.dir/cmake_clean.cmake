@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agora_plan.dir/agora_plan.cpp.o"
+  "CMakeFiles/agora_plan.dir/agora_plan.cpp.o.d"
+  "agora_plan"
+  "agora_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agora_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agora_sim.dir/agora_sim.cpp.o"
+  "CMakeFiles/agora_sim.dir/agora_sim.cpp.o.d"
+  "agora_sim"
+  "agora_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agora_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

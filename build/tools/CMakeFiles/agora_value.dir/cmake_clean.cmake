@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agora_value.dir/agora_value.cpp.o"
+  "CMakeFiles/agora_value.dir/agora_value.cpp.o.d"
+  "agora_value"
+  "agora_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agora_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
