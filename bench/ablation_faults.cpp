@@ -1,0 +1,138 @@
+// Ablation: how the hardened GRM/LRM protocol degrades as the network gets
+// lossier. A 10-site ring (each site sharing 80% with its neighbor, the
+// Figure 9 topology) serves a fixed random request stream while the bus
+// drops an i.i.d. fraction of every message; clients retry with backoff
+// under a deadline and the GRM retries un-acked reserve commands. The
+// interesting outputs are the grant rate (how much work still lands) and
+// the p99 decision latency (what the retries cost the tail).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "agree/topology.h"
+#include "fig_common.h"
+#include "rms/bus.h"
+#include "rms/client.h"
+#include "rms/grm.h"
+#include "rms/lrm.h"
+#include "util/rng.h"
+
+using namespace agora;
+using namespace agora::figbench;
+
+namespace {
+
+struct FaultRunResult {
+  std::size_t requests = 0;
+  std::size_t granted = 0;
+  std::size_t denied_capacity = 0;
+  std::size_t denied_deadline = 0;
+  double p50_latency = 0.0;
+  double p99_latency = 0.0;
+  std::uint64_t client_retries = 0;
+  std::uint64_t bus_dropped = 0;
+};
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = static_cast<std::size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+FaultRunResult run_with_drop(double drop_prob) {
+  const std::size_t n = 10;
+  rms::MessageBus bus;
+
+  agree::AgreementSystem cpu(n);
+  cpu.relative = agree::ring(n, 0.80, 1);
+  cpu.capacity.assign(n, 10.0);
+
+  rms::GrmOptions gopts;
+  gopts.reserve_attempts = 6;
+  gopts.reserve_backoff = 0.1;
+  gopts.reserve_backoff_cap = 1.0;
+  rms::Grm grm(bus, {cpu}, {}, /*decision_latency=*/0.01, gopts);
+
+  std::vector<std::unique_ptr<rms::Lrm>> lrms;
+  for (std::size_t s = 0; s < n; ++s) {
+    lrms.push_back(std::make_unique<rms::Lrm>(bus, std::vector<double>{10.0}, 0.01));
+    grm.register_lrm(s, lrms.back()->endpoint());
+  }
+  for (std::size_t s = 0; s < n; ++s) lrms[s]->attach(grm.endpoint(), s);
+  bus.run_until_idle();
+
+  rms::FaultPlan plan;
+  plan.seed = 42;
+  plan.default_link.drop = drop_prob;
+  bus.set_fault_plan(plan);
+
+  rms::ClientOptions copts;
+  copts.max_attempts = 8;
+  copts.retry_backoff = 0.1;
+  copts.backoff_cap = 1.0;
+  copts.deadline = 30.0;
+  copts.send_latency = 0.01;
+  rms::RequestClient client(bus, grm.endpoint(), copts);
+
+  // The same workload at every drop probability: the request stream's RNG
+  // is independent of the fault plan's.
+  Pcg32 rng(7);
+  const std::size_t kRequests = 400;
+  for (std::uint64_t id = 1; id <= kRequests; ++id) {
+    rms::AllocationRequest req;
+    req.request_id = id;
+    req.principal = rng.uniform_u32(static_cast<std::uint32_t>(n));
+    req.amounts = {rng.uniform(1.0, 8.0)};
+    req.duration = rng.uniform(0.5, 2.0);
+    client.submit(req);
+    bus.run_until(bus.now() + rng.exponential(2.0));
+  }
+  bus.run_until_idle();
+
+  FaultRunResult res;
+  res.requests = client.outcomes().size();
+  std::vector<double> latencies;
+  for (const rms::RequestClient::Outcome& out : client.outcomes()) {
+    latencies.push_back(out.latency());
+    if (out.reply.granted)
+      ++res.granted;
+    else if (out.reply.reason.rfind("deadline", 0) == 0)
+      ++res.denied_deadline;
+    else
+      ++res.denied_capacity;
+  }
+  res.p50_latency = percentile(latencies, 0.50);
+  res.p99_latency = percentile(latencies, 0.99);
+  res.client_retries = client.retries();
+  res.bus_dropped = bus.dropped();
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  banner("Ablation: message loss vs. allocation service quality",
+         "10-site ring (80% neighbor shares), 400 random requests, clients\n"
+         "retrying under a 30 s deadline, GRM retrying un-acked reserves.\n"
+         "Sweep the i.i.d. per-message drop probability.");
+
+  Table t({"drop_prob", "requests", "granted", "grant_rate", "denied_capacity",
+           "denied_deadline", "p50_latency_s", "p99_latency_s", "retries", "bus_dropped"});
+  for (double drop : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+    const FaultRunResult r = run_with_drop(drop);
+    t.add_row({drop, static_cast<double>(r.requests), static_cast<double>(r.granted),
+               r.requests ? static_cast<double>(r.granted) / static_cast<double>(r.requests)
+                          : 0.0,
+               static_cast<double>(r.denied_capacity), static_cast<double>(r.denied_deadline),
+               r.p50_latency, r.p99_latency, static_cast<double>(r.client_retries),
+               static_cast<double>(r.bus_dropped)});
+    std::printf("  drop=%.2f: %zu/%zu granted, p50 %.3f s, p99 %.3f s, %llu retries\n", drop,
+                r.granted, r.requests, r.p50_latency, r.p99_latency,
+                static_cast<unsigned long long>(r.client_retries));
+  }
+  emit("ablation_faults", t);
+  std::printf("  -> every request resolves at every drop rate (no hangs); loss shows\n"
+              "     up as tail latency and deadline denials, not as lost requests.\n");
+  return 0;
+}

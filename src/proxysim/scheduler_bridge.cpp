@@ -25,8 +25,16 @@ SchedulerBridge::SchedulerBridge(const SimConfig& cfg)
 
 RedirectDecision SchedulerBridge::plan(std::size_t origin, double overflow,
                                        const std::vector<double>& spare) {
+  return plan(origin, overflow, spare, {});
+}
+
+RedirectDecision SchedulerBridge::plan(std::size_t origin, double overflow,
+                                       const std::vector<double>& spare,
+                                       const std::vector<bool>& reachable) {
   AGORA_REQUIRE(origin < n_, "unknown proxy");
   AGORA_REQUIRE(spare.size() == n_, "spare capacity vector size mismatch");
+  AGORA_REQUIRE(reachable.empty() || reachable.size() == n_,
+                "reachability mask size mismatch");
   RedirectDecision dec;
   dec.absorb.assign(n_, 0.0);
   if (overflow <= 0.0 || kind_ == SchedulerKind::None) {
@@ -34,8 +42,22 @@ RedirectDecision SchedulerBridge::plan(std::size_t origin, double overflow,
     return dec;
   }
 
+  // Graceful degradation: a proxy whose availability is stale/unreachable
+  // must not be planned as a donor -- its spare is treated as zero rather
+  // than trusting phantom capacity. The origin always plans itself.
+  std::vector<double> usable = spare;
+  std::vector<double> budget = static_budget_;
+  if (!reachable.empty()) {
+    for (std::size_t k = 0; k < n_; ++k) {
+      if (k == origin || reachable[k]) continue;
+      usable[k] = 0.0;
+      budget[k] = 0.0;
+      ++dec.masked_donors;
+    }
+  }
+
   if (kind_ == SchedulerKind::Lp) {
-    allocator_->set_capacities(spare);
+    allocator_->set_capacities(usable);
     // Partial redirection: place as much of the overflow as transitive
     // agreements allow; the LP decides the local/remote split (the origin's
     // own spare enters as d_origin) and minimizes the global perturbation.
@@ -65,7 +87,7 @@ RedirectDecision SchedulerBridge::plan(std::size_t origin, double overflow,
   // local (endpoint_allocate puts it into draw[origin]).
   agree::AgreementSystem sys(n_);
   sys.relative = agreements_;
-  sys.capacity = static_budget_;
+  sys.capacity = budget;
   const alloc::AllocationPlan plan = alloc::endpoint_allocate(sys, origin, overflow);
   dec.absorb = plan.draw;
   return dec;

@@ -22,6 +22,8 @@ struct RedirectDecision {
   /// entry [origin] is work that stays local.
   std::vector<double> absorb;
   std::uint64_t lp_iterations = 0;
+  /// Donors excluded because their availability was stale/unreachable.
+  std::size_t masked_donors = 0;
 };
 
 class SchedulerBridge {
@@ -32,6 +34,15 @@ class SchedulerBridge {
   /// given per-proxy spare capacity over the planning window.
   RedirectDecision plan(std::size_t origin, double overflow,
                         const std::vector<double>& spare);
+
+  /// Degradation-aware variant: `reachable[k]` false means proxy k's
+  /// availability report is stale or the proxy is unreachable, so it must
+  /// not be planned as a donor (its spare is treated as zero -- the same
+  /// graceful degradation the GRM applies under its staleness TTL). The
+  /// origin itself is always planned. An empty mask means all reachable.
+  RedirectDecision plan(std::size_t origin, double overflow,
+                        const std::vector<double>& spare,
+                        const std::vector<bool>& reachable);
 
   SchedulerKind kind() const { return kind_; }
 

@@ -1,0 +1,118 @@
+#include "rms/client.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace agora::rms {
+
+RequestClient::RequestClient(MessageBus& bus, EndpointId grm, ClientOptions opts)
+    : bus_(bus), grm_(grm), opts_(opts) {
+  AGORA_REQUIRE(opts_.max_attempts >= 1, "need at least one attempt");
+  AGORA_REQUIRE(opts_.retry_backoff > 0.0 && opts_.backoff_cap > 0.0,
+                "backoff must be positive");
+  AGORA_REQUIRE(opts_.deadline > 0.0, "deadline must be positive");
+  AGORA_REQUIRE(opts_.send_latency >= 0.0, "latency must be non-negative");
+  endpoint_ = bus_.add_endpoint([this](const Envelope& env) { handle(env); });
+}
+
+std::uint64_t RequestClient::submit(AllocationRequest req) {
+  AGORA_REQUIRE(pending_.count(req.request_id) == 0 && done_.count(req.request_id) == 0,
+                "request_id already in use");
+  const double now = bus_.now();
+  Pending p;
+  p.req = req;
+  p.submitted_at = now;
+  p.deadline_at = std::isfinite(opts_.deadline)
+                      ? now + opts_.deadline
+                      : std::numeric_limits<double>::infinity();
+  p.attempts = 1;
+  p.backoff = opts_.retry_backoff;
+  const std::uint64_t id = req.request_id;
+  pending_[id] = std::move(p);
+  bus_.post(endpoint_, grm_, std::move(req), opts_.send_latency);
+  // Wake up to retry or to enforce the deadline; a fire-and-forget client
+  // (no retries, no deadline) never needs a timer.
+  if (opts_.max_attempts > 1 || std::isfinite(opts_.deadline))
+    schedule_wakeup(id, std::min(opts_.retry_backoff, opts_.deadline));
+  return id;
+}
+
+bool RequestClient::resolved(std::uint64_t request_id) const {
+  return done_.count(request_id) != 0;
+}
+
+const RequestClient::Outcome& RequestClient::outcome(std::uint64_t request_id) const {
+  const auto it = done_.find(request_id);
+  AGORA_REQUIRE(it != done_.end(), "request not resolved");
+  return order_[it->second];
+}
+
+void RequestClient::schedule_wakeup(std::uint64_t request_id, double delay) {
+  const std::uint64_t token = next_token_++;
+  timer_targets_[token] = request_id;
+  bus_.post(endpoint_, endpoint_, Timer{token}, std::max(delay, 0.0));
+}
+
+void RequestClient::finalize(std::uint64_t request_id, AllocationReply reply) {
+  const auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  Outcome out;
+  out.reply = std::move(reply);
+  out.submitted_at = it->second.submitted_at;
+  out.resolved_at = bus_.now();
+  pending_.erase(it);
+  done_[request_id] = order_.size();
+  order_.push_back(std::move(out));
+}
+
+void RequestClient::handle(const Envelope& env) {
+  if (const auto* reply = std::get_if<AllocationReply>(&env.payload)) {
+    if (pending_.count(reply->request_id) == 0) {
+      // Late or duplicated reply for an already-resolved request.
+      ++duplicate_replies_;
+      return;
+    }
+    finalize(reply->request_id, *reply);
+    return;
+  }
+  if (const auto* timer = std::get_if<Timer>(&env.payload)) {
+    on_timer(timer->token);
+    return;
+  }
+}
+
+void RequestClient::on_timer(std::uint64_t token) {
+  const auto target = timer_targets_.find(token);
+  if (target == timer_targets_.end()) return;
+  const std::uint64_t id = target->second;
+  timer_targets_.erase(target);
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return;  // resolved while the timer was in flight
+  Pending& p = it->second;
+  const double now = bus_.now();
+
+  if (now >= p.deadline_at - 1e-12) {
+    // Deadline: resolve locally instead of hanging.
+    ++deadline_denials_;
+    AllocationReply reply;
+    reply.request_id = id;
+    reply.granted = false;
+    reply.reason = "deadline exceeded after " + std::to_string(p.attempts) + " attempt(s)";
+    finalize(id, std::move(reply));
+    return;
+  }
+  if (p.attempts < opts_.max_attempts) {
+    ++p.attempts;
+    ++retries_;
+    AllocationRequest retry = p.req;
+    retry.attempt = static_cast<std::uint32_t>(p.attempts - 1);
+    bus_.post(endpoint_, grm_, std::move(retry), opts_.send_latency);
+    p.backoff = std::min(p.backoff * 2.0, opts_.backoff_cap);
+    schedule_wakeup(id, std::min(p.backoff, p.deadline_at - now));
+    return;
+  }
+  // Attempts exhausted: nothing left to send, wait out the deadline.
+  if (std::isfinite(p.deadline_at)) schedule_wakeup(id, p.deadline_at - now);
+}
+
+}  // namespace agora::rms

@@ -1,0 +1,87 @@
+// client.h -- RequestClient: the client half of the hardened allocation
+// protocol. Wraps a bus endpoint that submits AllocationRequests to a GRM,
+// retries with exponential backoff while the network eats messages, and
+// guarantees exactly one final AllocationReply per request: either the
+// GRM's decision (duplicates from retries are suppressed) or, once the
+// request's deadline passes, a synthesized denial with a reason -- a
+// request never hangs.
+#pragma once
+
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "rms/bus.h"
+#include "rms/messages.h"
+
+namespace agora::rms {
+
+struct ClientOptions {
+  /// Total send attempts per request (1 = no retries, seed behavior).
+  int max_attempts = 1;
+  double retry_backoff = 0.5;   ///< initial spacing between attempts (doubles)
+  double backoff_cap = 4.0;     ///< backoff ceiling
+  /// Seconds after submission at which an unanswered request is resolved
+  /// locally as denied ("deadline exceeded"). Infinity = wait forever.
+  double deadline = std::numeric_limits<double>::infinity();
+  double send_latency = 0.0;    ///< client -> GRM network delay
+};
+
+class RequestClient {
+ public:
+  /// A resolved request: the final reply plus its timing, in virtual time.
+  struct Outcome {
+    AllocationReply reply;
+    double submitted_at = 0.0;
+    double resolved_at = 0.0;
+    double latency() const { return resolved_at - submitted_at; }
+  };
+
+  RequestClient(MessageBus& bus, EndpointId grm, ClientOptions opts = {});
+
+  EndpointId endpoint() const { return endpoint_; }
+
+  /// Submit a request (request_id must be unused). Returns the id.
+  std::uint64_t submit(AllocationRequest req);
+
+  bool resolved(std::uint64_t request_id) const;
+  /// The final outcome for a resolved request (throws if unresolved).
+  const Outcome& outcome(std::uint64_t request_id) const;
+  /// All outcomes in resolution order.
+  const std::vector<Outcome>& outcomes() const { return order_; }
+  std::size_t outstanding() const { return pending_.size(); }
+
+  /// Robustness statistics.
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t deadline_denials() const { return deadline_denials_; }
+  std::uint64_t duplicate_replies() const { return duplicate_replies_; }
+
+ private:
+  struct Pending {
+    AllocationRequest req;
+    double submitted_at = 0.0;
+    double deadline_at = 0.0;
+    int attempts = 0;
+    double backoff = 0.0;
+  };
+
+  void handle(const Envelope& env);
+  void on_timer(std::uint64_t token);
+  void schedule_wakeup(std::uint64_t request_id, double delay);
+  void finalize(std::uint64_t request_id, AllocationReply reply);
+
+  MessageBus& bus_;
+  EndpointId endpoint_;
+  EndpointId grm_;
+  ClientOptions opts_;
+  std::unordered_map<std::uint64_t, Pending> pending_;   ///< by request_id
+  std::unordered_map<std::uint64_t, std::uint64_t> timer_targets_;  ///< token -> id
+  std::unordered_map<std::uint64_t, std::size_t> done_;  ///< id -> order_ index
+  std::vector<Outcome> order_;
+  std::uint64_t next_token_ = 1;
+  std::uint64_t retries_ = 0;
+  std::uint64_t deadline_denials_ = 0;
+  std::uint64_t duplicate_replies_ = 0;
+};
+
+}  // namespace agora::rms

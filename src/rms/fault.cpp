@@ -1,0 +1,55 @@
+#include "rms/fault.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace agora::rms {
+
+bool FaultPlan::active() const {
+  if (default_link.any()) return true;
+  if (!partitions.empty() || !crashes.empty()) return true;
+  return std::any_of(per_link.begin(), per_link.end(),
+                     [](const auto& kv) { return kv.second.any(); });
+}
+
+const LinkFaults& FaultPlan::link(EndpointId from, EndpointId to) const {
+  const auto it = per_link.find({from, to});
+  return it == per_link.end() ? default_link : it->second;
+}
+
+bool FaultPlan::crashed(EndpointId e, double t) const {
+  for (const CrashWindow& w : crashes)
+    if (w.endpoint == e && t >= w.start && t < w.end) return true;
+  return false;
+}
+
+bool FaultPlan::severed(EndpointId a, EndpointId b, double t) const {
+  for (const Partition& p : partitions) {
+    if (t < p.start || t >= p.end) continue;
+    const bool a_in = std::find(p.group.begin(), p.group.end(), a) != p.group.end();
+    const bool b_in = std::find(p.group.begin(), p.group.end(), b) != p.group.end();
+    if (a_in != b_in) return true;
+  }
+  return false;
+}
+
+namespace {
+void check_link(const LinkFaults& lf) {
+  AGORA_REQUIRE(lf.drop >= 0.0 && lf.drop <= 1.0, "drop probability must be in [0, 1]");
+  AGORA_REQUIRE(lf.duplicate >= 0.0 && lf.duplicate <= 1.0,
+                "duplicate probability must be in [0, 1]");
+  AGORA_REQUIRE(lf.jitter >= 0.0, "jitter must be non-negative");
+}
+}  // namespace
+
+void FaultPlan::validate() const {
+  check_link(default_link);
+  for (const auto& [key, lf] : per_link) check_link(lf);
+  for (const Partition& p : partitions)
+    AGORA_REQUIRE(p.end >= p.start, "partition window must have end >= start");
+  for (const CrashWindow& w : crashes)
+    AGORA_REQUIRE(w.end >= w.start, "crash window must have end >= start");
+}
+
+}  // namespace agora::rms

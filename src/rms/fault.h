@@ -1,0 +1,72 @@
+// fault.h -- deterministic fault injection for the rms message bus.
+//
+// A FaultPlan describes everything that can go wrong on the simulated
+// network: per-link drop/duplicate probabilities and latency jitter
+// (which reorders), scheduled partitions, and endpoint crash/restart
+// windows. All randomness is drawn from a single seeded PCG32 stream at
+// post time, so a given (plan, workload) pair replays byte-identically --
+// the chaos tests depend on that.
+//
+// A default-constructed FaultPlan is inert: MessageBus treats it as "no
+// fault layer" and takes the exact same code path as the seed bus.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace agora::rms {
+
+using EndpointId = std::size_t;
+
+/// What a single directed link does to messages. Self-messages (timers,
+/// an LRM's own release schedule) model local clocks, not the network,
+/// and are never subject to link faults.
+struct LinkFaults {
+  double drop = 0.0;       ///< probability a message is silently lost
+  double duplicate = 0.0;  ///< probability a second copy is also delivered
+  double jitter = 0.0;     ///< extra latency uniform in [0, jitter) -- reorders
+
+  bool any() const { return drop > 0.0 || duplicate > 0.0 || jitter > 0.0; }
+};
+
+/// During [start, end) the endpoints in `group` cannot exchange messages
+/// with any endpoint outside the group (messages crossing the cut at
+/// delivery time are lost).
+struct Partition {
+  double start = 0.0;
+  double end = 0.0;
+  std::vector<EndpointId> group;
+};
+
+/// Endpoint `endpoint` is down during [start, end): messages addressed to
+/// it (and posted by it) are lost. At `end` the bus fires the endpoint's
+/// restart handler, which is how an LRM re-announces its state.
+struct CrashWindow {
+  EndpointId endpoint = 0;
+  double start = 0.0;
+  double end = 0.0;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  LinkFaults default_link;
+  /// Per-(from, to) overrides; absent links use `default_link`.
+  std::map<std::pair<EndpointId, EndpointId>, LinkFaults> per_link;
+  std::vector<Partition> partitions;
+  std::vector<CrashWindow> crashes;
+
+  /// True when any fault is configured (a default plan is inert).
+  bool active() const;
+  /// The fault profile of the directed link from -> to.
+  const LinkFaults& link(EndpointId from, EndpointId to) const;
+  /// Is `e` inside one of its crash windows at time `t`?
+  bool crashed(EndpointId e, double t) const;
+  /// Does a partition separate `a` from `b` at time `t`?
+  bool severed(EndpointId a, EndpointId b, double t) const;
+  /// Throws PreconditionError on malformed probabilities/windows.
+  void validate() const;
+};
+
+}  // namespace agora::rms

@@ -1,13 +1,18 @@
 #include "rms/grm.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace agora::rms {
 
 Grm::Grm(MessageBus& bus, std::vector<agree::AgreementSystem> systems,
-         alloc::AllocatorOptions opts, double decision_latency)
-    : bus_(bus), decision_latency_(decision_latency), opts_(opts) {
+         alloc::AllocatorOptions opts, double decision_latency, GrmOptions grm_opts)
+    : bus_(bus), decision_latency_(decision_latency), opts_(opts), grm_opts_(grm_opts) {
   AGORA_REQUIRE(!systems.empty(), "GRM needs at least one resource system");
+  AGORA_REQUIRE(grm_opts_.staleness_ttl > 0.0, "staleness TTL must be positive");
+  AGORA_REQUIRE(grm_opts_.reserve_attempts >= 1, "need at least one reserve attempt");
+  AGORA_REQUIRE(grm_opts_.reserve_backoff > 0.0 && grm_opts_.reserve_backoff_cap > 0.0,
+                "reserve backoff must be positive");
   const std::size_t n = systems[0].size();
   for (const auto& s : systems)
     AGORA_REQUIRE(s.size() == n, "all resource systems must cover the same sites");
@@ -18,6 +23,9 @@ Grm::Grm(MessageBus& bus, std::vector<agree::AgreementSystem> systems,
   }
   lrm_endpoints_.assign(n, 0);
   lrm_known_.assign(n, false);
+  reported_.assign(n, false);
+  report_time_.assign(n, 0.0);
+  report_seq_.assign(n, 0);
   endpoint_ = bus_.add_endpoint([this](const Envelope& env) { handle(env); });
 }
 
@@ -53,6 +61,10 @@ void Grm::update_agreement(std::size_t resource, std::size_t from, std::size_t t
 double Grm::known_available(std::size_t site, std::size_t resource) const {
   AGORA_REQUIRE(resource < known_.size() && site < known_[resource].size(),
                 "unknown site/resource");
+  if (!lrm_known_[site] || !reported_[site]) {
+    ++unknown_queries_;
+    return 0.0;
+  }
   return known_[resource][site];
 }
 
@@ -60,6 +72,16 @@ void Grm::handle(const Envelope& env) {
   if (const auto* rep = std::get_if<AvailabilityReport>(&env.payload)) {
     AGORA_REQUIRE(rep->available.size() == allocators_.size(),
                   "availability report resource count mismatch");
+    AGORA_REQUIRE(rep->lrm < lrm_endpoints_.size(), "availability report from unknown site");
+    // Sequenced reports deduplicate and reject reordered stale data; an
+    // unsequenced report (seq 0, e.g. hand-posted in tests) always lands.
+    if (rep->report_seq != 0 && rep->report_seq <= report_seq_[rep->lrm]) {
+      ++stale_reports_;
+      return;
+    }
+    report_seq_[rep->lrm] = rep->report_seq;
+    reported_[rep->lrm] = true;
+    report_time_[rep->lrm] = bus_.now();
     for (std::size_t r = 0; r < allocators_.size(); ++r)
       known_[r][rep->lrm] = rep->available[r];
     return;
@@ -69,12 +91,37 @@ void Grm::handle(const Envelope& env) {
     return;
   }
   if (const auto* reply = std::get_if<AllocationReply>(&env.payload)) {
-    // A reply from our parent for a forwarded request: relay it.
+    // A reply from our parent for a forwarded request: relay it (and cache
+    // it so a retried request is answered from here on).
     const auto it = forwarded_.find(reply->request_id);
     if (it != forwarded_.end()) {
+      decided_[reply->request_id] = *reply;
       bus_.post(endpoint_, it->second, *reply, decision_latency_);
       forwarded_.erase(it);
     }
+    return;
+  }
+  if (const auto* ack = std::get_if<Ack>(&env.payload)) {
+    const auto it = reserve_tokens_.find({ack->request_id, ack->site});
+    if (it != reserve_tokens_.end()) {
+      pending_reserves_.erase(it->second);
+      reserve_tokens_.erase(it);
+    }
+    return;
+  }
+  if (const auto* rs = std::get_if<LrmResync>(&env.payload)) {
+    AGORA_REQUIRE(rs->available.size() == allocators_.size(),
+                  "resync resource count mismatch");
+    AGORA_REQUIRE(rs->lrm < lrm_endpoints_.size(), "resync from unknown site");
+    ++resyncs_;
+    reported_[rs->lrm] = true;
+    report_time_[rs->lrm] = bus_.now();
+    for (std::size_t r = 0; r < allocators_.size(); ++r)
+      known_[r][rs->lrm] = rs->available[r];
+    return;
+  }
+  if (const auto* timer = std::get_if<Timer>(&env.payload)) {
+    on_timer(timer->token);
     return;
   }
   if (const auto* upd = std::get_if<AgreementUpdate>(&env.payload)) {
@@ -86,19 +133,45 @@ void Grm::handle(const Envelope& env) {
 }
 
 void Grm::decide(const AllocationRequest& req, EndpointId reply_to) {
+  // Idempotency: a retried request that was already decided gets the same
+  // reply again; one still in flight at the parent is simply ignored.
+  if (const auto done = decided_.find(req.request_id); done != decided_.end()) {
+    ++duplicate_requests_;
+    bus_.post(endpoint_, reply_to, done->second, decision_latency_);
+    return;
+  }
+  if (forwarded_.count(req.request_id) != 0) {
+    ++duplicate_requests_;
+    return;
+  }
+
   ++decisions_;
   AGORA_REQUIRE(req.amounts.size() == allocators_.size(),
                 "request must name an amount per resource");
   AGORA_REQUIRE(req.principal < lrm_endpoints_.size(), "unknown principal");
 
   // Refresh allocators with the latest availability, masking out-of-scope
-  // sites (a child GRM cannot spend capacity it does not manage).
+  // sites (a child GRM cannot spend capacity it does not manage) and --
+  // graceful degradation -- sites whose availability we cannot trust:
+  // never registered, or (under a finite staleness TTL) never reported or
+  // last reported too long ago. Such sites contribute zero capacity, which
+  // shrinks the LP's capacity bounds instead of allocating phantom
+  // resources or tripping invariants downstream.
+  const double now = bus_.now();
+  const bool ttl_active = std::isfinite(grm_opts_.staleness_ttl);
+  std::vector<bool> masked(lrm_endpoints_.size(), false);
+  for (std::size_t s = 0; s < lrm_endpoints_.size(); ++s) {
+    if (!lrm_known_[s]) masked[s] = true;
+    else if (ttl_active &&
+             (!reported_[s] || now - report_time_[s] > grm_opts_.staleness_ttl))
+      masked[s] = true;
+    if (masked[s]) ++stale_masked_;
+  }
   std::vector<std::vector<double>> caps(allocators_.size());
   for (std::size_t r = 0; r < allocators_.size(); ++r) {
     caps[r] = known_[r];
-    if (!scope_.empty())
-      for (std::size_t s = 0; s < caps[r].size(); ++s)
-        if (!scope_[s]) caps[r][s] = 0.0;
+    for (std::size_t s = 0; s < caps[r].size(); ++s)
+      if (masked[s] || (!scope_.empty() && !scope_[s])) caps[r][s] = 0.0;
     allocators_[r].set_capacities(caps[r]);
   }
 
@@ -122,7 +195,7 @@ void Grm::decide(const AllocationRequest& req, EndpointId reply_to) {
     reply.request_id = req.request_id;
     reply.granted = false;
     reply.reason = "insufficient capacity under agreements";
-    bus_.post(endpoint_, reply_to, reply, decision_latency_);
+    finish(req, reply_to, std::move(reply));
     return;
   }
 
@@ -142,7 +215,7 @@ void Grm::decide(const AllocationRequest& req, EndpointId reply_to) {
     cmd.request_id = req.request_id;
     cmd.amounts = amounts;
     cmd.duration = req.duration;
-    bus_.post(endpoint_, lrm_endpoints_[s], cmd, decision_latency_);
+    send_reserve(req.request_id, s, std::move(cmd));
     for (std::size_t r = 0; r < allocators_.size(); ++r) known_[r][s] -= amounts[r];
   }
 
@@ -151,7 +224,43 @@ void Grm::decide(const AllocationRequest& req, EndpointId reply_to) {
   reply.granted = true;
   reply.draws.resize(allocators_.size());
   for (std::size_t r = 0; r < allocators_.size(); ++r) reply.draws[r] = plans[r].draw;
-  bus_.post(endpoint_, reply_to, reply, decision_latency_);
+  finish(req, reply_to, std::move(reply));
+}
+
+void Grm::finish(const AllocationRequest& req, EndpointId reply_to, AllocationReply reply) {
+  decided_[req.request_id] = reply;
+  bus_.post(endpoint_, reply_to, std::move(reply), decision_latency_);
+}
+
+void Grm::send_reserve(std::uint64_t request_id, std::size_t site, ReserveCommand cmd) {
+  if (grm_opts_.reserve_attempts > 1) {
+    cmd.want_ack = true;
+    const std::uint64_t token = next_token_++;
+    pending_reserves_[token] =
+        PendingReserve{cmd, site, /*attempts=*/1, grm_opts_.reserve_backoff};
+    reserve_tokens_[{request_id, site}] = token;
+    bus_.post(endpoint_, endpoint_, Timer{token}, grm_opts_.reserve_backoff);
+  }
+  bus_.post(endpoint_, lrm_endpoints_[site], std::move(cmd), decision_latency_);
+}
+
+void Grm::on_timer(std::uint64_t token) {
+  const auto it = pending_reserves_.find(token);
+  if (it == pending_reserves_.end()) return;  // acked in the meantime
+  PendingReserve& pr = it->second;
+  if (pr.attempts >= grm_opts_.reserve_attempts) {
+    // Give up: the LRM is unreachable. The availability decrement stands
+    // until the site's next report/resync reconciles it; count the loss.
+    ++reserve_failures_;
+    reserve_tokens_.erase({pr.cmd.request_id, pr.site});
+    pending_reserves_.erase(it);
+    return;
+  }
+  ++pr.attempts;
+  ++reserve_retries_;
+  pr.backoff = std::min(pr.backoff * 2.0, grm_opts_.reserve_backoff_cap);
+  bus_.post(endpoint_, lrm_endpoints_[pr.site], pr.cmd, decision_latency_);
+  bus_.post(endpoint_, endpoint_, Timer{token}, pr.backoff);
 }
 
 }  // namespace agora::rms

@@ -12,8 +12,19 @@
 // the GRMs into multiple levels, each responsible for a subset of the
 // LRMs"): a child GRM that cannot satisfy a request within its subset
 // forwards it to its parent, which sees the whole system.
+//
+// Hardening against an unreliable bus (see fault.h / DESIGN.md "Failure
+// model"): requests are idempotent (decided replies are cached and
+// re-sent on duplicates), availability reports are deduplicated by
+// sequence number, reports older than a staleness TTL contribute zero
+// capacity (graceful degradation instead of allocating phantom
+// resources), and reserve commands can be retried with exponential
+// backoff until acknowledged. All of it is off by default: a
+// default-constructed GrmOptions reproduces the seed message trace.
 #pragma once
 
+#include <limits>
+#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -25,12 +36,28 @@
 
 namespace agora::rms {
 
+struct GrmOptions {
+  /// Availability reports older than this many bus-seconds are treated as
+  /// unknown: the site contributes zero capacity to decisions (shrinking
+  /// the LP's capacity bounds) until a fresh report or resync arrives.
+  /// Infinity disables staleness masking (seed behavior). A finite TTL
+  /// also masks sites that have never reported at all.
+  double staleness_ttl = std::numeric_limits<double>::infinity();
+  /// Delivery attempts per ReserveCommand. 1 = fire-and-forget with no
+  /// Ack traffic (seed behavior); >1 sets want_ack and retries with
+  /// exponential backoff until acknowledged or attempts are exhausted.
+  int reserve_attempts = 1;
+  double reserve_backoff = 0.25;     ///< initial retry spacing (doubles)
+  double reserve_backoff_cap = 2.0;  ///< backoff ceiling
+};
+
 class Grm {
  public:
   /// One AgreementSystem per resource; all must cover the same principals.
   /// `decision_latency` models GRM compute + network delay per decision.
   Grm(MessageBus& bus, std::vector<agree::AgreementSystem> systems,
-      alloc::AllocatorOptions opts = {}, double decision_latency = 0.0);
+      alloc::AllocatorOptions opts = {}, double decision_latency = 0.0,
+      GrmOptions grm_opts = {});
 
   EndpointId endpoint() const { return endpoint_; }
   std::size_t num_resources() const { return allocators_.size(); }
@@ -47,35 +74,76 @@ class Grm {
   /// Agreement management service (also reachable via AgreementUpdate).
   void update_agreement(std::size_t resource, std::size_t from, std::size_t to, double share);
 
-  /// Latest known availability of site `i` for resource r.
+  /// Latest known availability of site `i` for resource r. Returns 0 (and
+  /// counts the query) for a site that is unregistered or has never sent
+  /// an AvailabilityReport, instead of exposing the seeded declared
+  /// capacity as if it had been observed.
   double known_available(std::size_t site, std::size_t resource) const;
 
   /// Statistics.
   std::uint64_t decisions() const { return decisions_; }
   std::uint64_t grants() const { return grants_; }
   std::uint64_t forwards() const { return forwards_; }
+  /// Degradation/robustness statistics.
+  std::uint64_t unknown_queries() const { return unknown_queries_; }
+  std::uint64_t stale_masked() const { return stale_masked_; }
+  std::uint64_t duplicate_requests() const { return duplicate_requests_; }
+  std::uint64_t stale_reports() const { return stale_reports_; }
+  std::uint64_t reserve_retries() const { return reserve_retries_; }
+  std::uint64_t reserve_failures() const { return reserve_failures_; }
+  std::uint64_t resyncs() const { return resyncs_; }
 
  private:
   void handle(const Envelope& env);
   void decide(const AllocationRequest& req, EndpointId reply_to);
+  void finish(const AllocationRequest& req, EndpointId reply_to, AllocationReply reply);
+  void send_reserve(std::uint64_t request_id, std::size_t site, ReserveCommand cmd);
+  void on_timer(std::uint64_t token);
   bool in_scope(std::size_t site) const;
 
   MessageBus& bus_;
   EndpointId endpoint_;
   double decision_latency_;
   alloc::AllocatorOptions opts_;
+  GrmOptions grm_opts_;
   std::vector<alloc::Allocator> allocators_;
   std::vector<std::vector<double>> known_;  ///< [resource][site]
   std::vector<EndpointId> lrm_endpoints_;
   std::vector<bool> lrm_known_;
+  /// Report bookkeeping: has the site ever reported, when, and with what
+  /// sequence number (duplicate/reorder suppression).
+  std::vector<bool> reported_;
+  std::vector<double> report_time_;
+  std::vector<std::uint64_t> report_seq_;
   /// Hierarchy.
   std::vector<bool> scope_;  ///< empty = all sites
   std::optional<EndpointId> parent_;
   /// Requests forwarded to the parent: remember who to reply to.
   std::unordered_map<std::uint64_t, EndpointId> forwarded_;
+  /// Idempotency: every decided request keeps its final reply so retried
+  /// requests re-send it instead of re-deciding (prevents double grants).
+  std::unordered_map<std::uint64_t, AllocationReply> decided_;
+  /// Un-acked reserve commands awaiting retry (only when reserve_attempts
+  /// > 1): timer token -> command, plus a (request, site) -> token index.
+  struct PendingReserve {
+    ReserveCommand cmd;
+    std::size_t site = 0;
+    int attempts = 0;
+    double backoff = 0.0;
+  };
+  std::unordered_map<std::uint64_t, PendingReserve> pending_reserves_;
+  std::map<std::pair<std::uint64_t, std::size_t>, std::uint64_t> reserve_tokens_;
+  std::uint64_t next_token_ = 1;
   std::uint64_t decisions_ = 0;
   std::uint64_t grants_ = 0;
   std::uint64_t forwards_ = 0;
+  mutable std::uint64_t unknown_queries_ = 0;
+  std::uint64_t stale_masked_ = 0;
+  std::uint64_t duplicate_requests_ = 0;
+  std::uint64_t stale_reports_ = 0;
+  std::uint64_t reserve_retries_ = 0;
+  std::uint64_t reserve_failures_ = 0;
+  std::uint64_t resyncs_ = 0;
 };
 
 }  // namespace agora::rms

@@ -17,6 +17,7 @@ void Lrm::attach(EndpointId grm, std::size_t site_index) {
   grm_ = grm;
   site_ = site_index;
   attached_ = true;
+  bus_.set_restart_handler(endpoint_, [this] { resync(); });
   report();
 }
 
@@ -32,35 +33,141 @@ void Lrm::report() {
   AvailabilityReport rep;
   rep.lrm = site_;
   rep.available = available_;
+  rep.timestamp = bus_.now();
+  rep.report_seq = ++report_seq_;
   bus_.post(endpoint_, grm_, rep, report_latency_);
 }
 
-void Lrm::handle(const Envelope& env) {
-  if (const auto* reserve = std::get_if<ReserveCommand>(&env.payload)) {
-    AGORA_REQUIRE(reserve->amounts.size() == available_.size(),
-                  "reserve command resource count mismatch");
-    // Fulfil the GRM's decision. A decision based on a stale report can
-    // overshoot; clamp and report the truth back (the GRM reconciles).
-    std::vector<double> taken(available_.size(), 0.0);
-    for (std::size_t r = 0; r < available_.size(); ++r) {
-      taken[r] = std::min(reserve->amounts[r], available_[r]);
-      available_[r] -= taken[r];
-    }
-    reservations_[reserve->request_id] = taken;
-    if (reserve->duration > 0.0) {
-      // Schedule our own release (self-message models the job finishing).
-      bus_.post(endpoint_, endpoint_, ReleaseNotice{reserve->request_id}, reserve->duration);
-    }
-    report();
+void Lrm::resync() {
+  if (!attached_) return;
+  const double now = bus_.now();
+  // Expiries that passed while we were down: their scheduled release was
+  // lost with the crash, so release them here.
+  std::vector<std::uint64_t> overdue;
+  for (const auto& [id, hold] : reservations_)
+    if (hold.expires_at > 0.0 && hold.expires_at <= now) overdue.push_back(id);
+  for (std::uint64_t id : overdue) {
+    const auto it = reservations_.find(id);
+    for (std::size_t r = 0; r < available_.size(); ++r)
+      available_[r] = std::min(capacity_[r], available_[r] + it->second.amounts[r]);
+    released_.insert(id);
+    reservations_.erase(it);
+  }
+  LrmResync rs;
+  rs.lrm = site_;
+  rs.timestamp = now;
+  rs.available = available_;
+  for (const auto& [id, hold] : reservations_) {
+    rs.holds.push_back(LrmResync::Hold{id, hold.amounts, hold.expires_at});
+    // Re-schedule the expiry; the original self-release may have been lost
+    // while down, and a duplicate release is idempotent.
+    if (hold.expires_at > now)
+      bus_.post(endpoint_, endpoint_, ReleaseNotice{id}, hold.expires_at - now);
+  }
+  bus_.post(endpoint_, grm_, std::move(rs), report_latency_);
+}
+
+void Lrm::reserve(const ReserveCommand& cmd) {
+  AGORA_REQUIRE(cmd.amounts.size() == available_.size(),
+                "reserve command resource count mismatch");
+  // Idempotency: a retried command for a live or already-released
+  // reservation is acknowledged but never applied twice.
+  if (reservations_.count(cmd.request_id) != 0 || released_.count(cmd.request_id) != 0) {
+    ++duplicate_commands_;
+    if (cmd.want_ack) bus_.post(endpoint_, grm_, Ack{cmd.request_id, site_}, report_latency_);
     return;
   }
-  if (const auto* release = std::get_if<ReleaseNotice>(&env.payload)) {
-    const auto it = reservations_.find(release->request_id);
-    if (it == reservations_.end()) return;  // duplicate release: idempotent
+  // Fulfil the GRM's decision. A decision based on a stale report can
+  // overshoot; clamp and report the truth back (the GRM reconciles).
+  Hold hold;
+  hold.amounts.assign(available_.size(), 0.0);
+  for (std::size_t r = 0; r < available_.size(); ++r) {
+    hold.amounts[r] = std::min(cmd.amounts[r], available_[r]);
+    available_[r] -= hold.amounts[r];
+  }
+  if (cmd.duration > 0.0) {
+    hold.expires_at = bus_.now() + cmd.duration;
+    // Schedule our own release (self-message models the job finishing).
+    bus_.post(endpoint_, endpoint_, ReleaseNotice{cmd.request_id}, cmd.duration);
+  }
+  reservations_[cmd.request_id] = std::move(hold);
+  if (cmd.want_ack) bus_.post(endpoint_, grm_, Ack{cmd.request_id, site_}, report_latency_);
+  report();
+}
+
+void Lrm::release(std::uint64_t request_id) {
+  const auto it = reservations_.find(request_id);
+  if (it == reservations_.end()) return;  // duplicate release: idempotent
+  for (std::size_t r = 0; r < available_.size(); ++r)
+    available_[r] = std::min(capacity_[r], available_[r] + it->second.amounts[r]);
+  released_.insert(request_id);
+  reservations_.erase(it);
+  report();
+}
+
+void Lrm::serve_local(const AllocationRequest& req, EndpointId reply_to) {
+  // Local-only admission: the degraded mode for a site whose GRM is
+  // unreachable. Grants come strictly from this site's free capacity
+  // (no agreements, no borrowing); anything else is denied with a reason.
+  AllocationReply reply;
+  reply.request_id = req.request_id;
+  if (const auto it = reservations_.find(req.request_id); it != reservations_.end()) {
+    // Retried request already admitted: repeat the grant.
+    reply.granted = true;
+    reply.draws.assign(available_.size(), std::vector<double>(site_ + 1, 0.0));
     for (std::size_t r = 0; r < available_.size(); ++r)
-      available_[r] = std::min(capacity_[r], available_[r] + it->second[r]);
-    reservations_.erase(it);
-    report();
+      reply.draws[r][site_] = it->second.amounts[r];
+    bus_.post(endpoint_, reply_to, std::move(reply), report_latency_);
+    return;
+  }
+  if (released_.count(req.request_id) != 0) {
+    reply.granted = false;
+    reply.reason = "local-only admission: request already completed";
+    bus_.post(endpoint_, reply_to, std::move(reply), report_latency_);
+    return;
+  }
+  bool feasible = req.amounts.size() == available_.size();
+  if (feasible)
+    for (std::size_t r = 0; r < available_.size(); ++r)
+      feasible = feasible && req.amounts[r] <= available_[r] + 1e-12;
+  if (!feasible) {
+    ++local_denials_;
+    reply.granted = false;
+    reply.reason = "local-only admission: insufficient local capacity";
+    bus_.post(endpoint_, reply_to, std::move(reply), report_latency_);
+    return;
+  }
+  ++local_admissions_;
+  Hold hold;
+  hold.amounts.assign(available_.size(), 0.0);
+  for (std::size_t r = 0; r < available_.size(); ++r) {
+    hold.amounts[r] = std::min(req.amounts[r], available_[r]);
+    available_[r] -= hold.amounts[r];
+  }
+  if (req.duration > 0.0) {
+    hold.expires_at = bus_.now() + req.duration;
+    bus_.post(endpoint_, endpoint_, ReleaseNotice{req.request_id}, req.duration);
+  }
+  reply.granted = true;
+  reply.draws.assign(available_.size(), std::vector<double>(site_ + 1, 0.0));
+  for (std::size_t r = 0; r < available_.size(); ++r)
+    reply.draws[r][site_] = hold.amounts[r];
+  reservations_[req.request_id] = std::move(hold);
+  bus_.post(endpoint_, reply_to, std::move(reply), report_latency_);
+  if (attached_) report();
+}
+
+void Lrm::handle(const Envelope& env) {
+  if (const auto* cmd = std::get_if<ReserveCommand>(&env.payload)) {
+    reserve(*cmd);
+    return;
+  }
+  if (const auto* rel = std::get_if<ReleaseNotice>(&env.payload)) {
+    release(rel->request_id);
+    return;
+  }
+  if (const auto* req = std::get_if<AllocationRequest>(&env.payload)) {
+    serve_local(*req, env.from);
     return;
   }
   // Other payloads are not for LRMs; ignore (robustness to misrouting).

@@ -1,8 +1,18 @@
 // lrm.h -- Local Resource Manager: owns one site's physical capacity,
 // reports availability to its GRM, and fulfills reservations.
+//
+// Hardening against an unreliable bus: reports carry sequence numbers,
+// reserve commands are idempotent (a retried command is re-acked, never
+// re-applied), released request ids are remembered so late duplicates
+// cannot resurrect a reservation, and a restarted LRM resyncs its GRM
+// (re-announcing availability and outstanding holds, releasing holds
+// whose expiry was lost while the site was down). When the GRM is
+// unreachable an LRM can also serve AllocationRequests directly under
+// local-only admission: grant strictly from its own free capacity.
 #pragma once
 
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "rms/bus.h"
@@ -20,8 +30,17 @@ class Lrm {
   std::size_t site_index() const { return site_; }
 
   /// Bind to the GRM and announce the initial availability. `site_index`
-  /// is this LRM's principal index in the GRM's agreement system.
+  /// is this LRM's principal index in the GRM's agreement system. Also
+  /// registers the crash-recovery handler: if the fault plan restarts
+  /// this endpoint, it resyncs the GRM automatically.
   void attach(EndpointId grm, std::size_t site_index);
+
+  /// Re-announce availability and outstanding reservations to the GRM
+  /// (sent automatically after a crash-window restart). Holds whose
+  /// expiry passed while the site was down are released first, and
+  /// pending expiries are re-scheduled (the in-flight release may have
+  /// been lost); duplicate releases are idempotent.
+  void resync();
 
   /// Currently unreserved capacity per resource.
   const std::vector<double>& available() const { return available_; }
@@ -30,8 +49,21 @@ class Lrm {
   /// Grow/shrink physical capacity at runtime (reports the change).
   void adjust_capacity(std::size_t resource, double delta);
 
+  /// Robustness statistics.
+  std::uint64_t duplicate_commands() const { return duplicate_commands_; }
+  std::uint64_t local_admissions() const { return local_admissions_; }
+  std::uint64_t local_denials() const { return local_denials_; }
+
  private:
+  struct Hold {
+    std::vector<double> amounts;
+    double expires_at = 0.0;  ///< 0 = open-ended
+  };
+
   void handle(const Envelope& env);
+  void serve_local(const AllocationRequest& req, EndpointId reply_to);
+  void reserve(const ReserveCommand& cmd);
+  void release(std::uint64_t request_id);
   void report();
 
   MessageBus& bus_;
@@ -42,7 +74,14 @@ class Lrm {
   double report_latency_;
   std::vector<double> capacity_;
   std::vector<double> available_;
-  std::unordered_map<std::uint64_t, std::vector<double>> reservations_;
+  std::unordered_map<std::uint64_t, Hold> reservations_;
+  /// Ids already released: a late duplicate ReserveCommand for one of
+  /// these must not re-take capacity (it is acked as already done).
+  std::unordered_set<std::uint64_t> released_;
+  std::uint64_t report_seq_ = 0;
+  std::uint64_t duplicate_commands_ = 0;
+  std::uint64_t local_admissions_ = 0;
+  std::uint64_t local_denials_ = 0;
 };
 
 }  // namespace agora::rms

@@ -5,6 +5,11 @@
 //    resources among local resource managers. LRMs are responsible for
 //    providing resource availability information to the GRM dynamically,
 //    and fulfilling resource allocation according to the GRM's decisions."
+//
+// The vocabulary also carries the hardening metadata the protocol needs on
+// an unreliable bus: per-LRM report sequence numbers (duplicate/reorder
+// suppression), retry attempt counters, explicit acks for reserve commands,
+// a restart resync report, and a generic self-addressed timer tick.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +23,8 @@ namespace agora::rms {
 struct AvailabilityReport {
   std::size_t lrm = 0;
   std::vector<double> available;
+  double timestamp = 0.0;        ///< LRM-local bus time when measured
+  std::uint64_t report_seq = 0;  ///< per-LRM monotone counter; 0 = unsequenced
 };
 
 /// Client -> GRM: allocate `amounts` (per resource) on behalf of the
@@ -27,6 +34,7 @@ struct AllocationRequest {
   std::size_t principal = 0;
   std::vector<double> amounts;
   double duration = 0.0;
+  std::uint32_t attempt = 0;  ///< 0 for the first send, bumped per retry
 };
 
 /// GRM -> client: the decision.
@@ -43,11 +51,39 @@ struct ReserveCommand {
   std::uint64_t request_id = 0;
   std::vector<double> amounts;
   double duration = 0.0;
+  bool want_ack = false;  ///< set when the GRM retries until acknowledged
 };
 
 /// LRM -> GRM (and internal): reservation expired / job finished.
 struct ReleaseNotice {
   std::uint64_t request_id = 0;
+};
+
+/// LRM -> GRM: a ReserveCommand was applied (or was already applied --
+/// acks are idempotent, retried commands re-ack).
+struct Ack {
+  std::uint64_t request_id = 0;
+  std::size_t site = 0;
+};
+
+/// LRM -> GRM after a restart: authoritative availability plus every
+/// outstanding reservation, so the GRM can rebuild its view of the site.
+struct LrmResync {
+  struct Hold {
+    std::uint64_t request_id = 0;
+    std::vector<double> amounts;
+    double expires_at = 0.0;  ///< 0 = open-ended reservation
+  };
+  std::size_t lrm = 0;
+  double timestamp = 0.0;
+  std::vector<double> available;
+  std::vector<Hold> holds;
+};
+
+/// Self-addressed wake-up used for retry backoff and request deadlines.
+/// Timers model an endpoint's local clock: the fault layer never drops them.
+struct Timer {
+  std::uint64_t token = 0;
 };
 
 /// Agreement management service (GRM): change a relative share at runtime.
@@ -59,6 +95,7 @@ struct AgreementUpdate {
 };
 
 using Payload = std::variant<AvailabilityReport, AllocationRequest, AllocationReply,
-                             ReserveCommand, ReleaseNotice, AgreementUpdate>;
+                             ReserveCommand, ReleaseNotice, AgreementUpdate, Ack,
+                             LrmResync, Timer>;
 
 }  // namespace agora::rms

@@ -13,6 +13,10 @@
 #include "lp/revised.h"
 #include "lp/simplex.h"
 #include "proxysim/simulator.h"
+#include "rms/bus.h"
+#include "rms/client.h"
+#include "rms/grm.h"
+#include "rms/lrm.h"
 #include "trace/generator.h"
 #include "util/rng.h"
 
@@ -190,6 +194,83 @@ TEST_P(SimulatorFuzz, RandomConfigsConserveWork) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorFuzz, ::testing::Range<std::uint64_t>(500, 512));
+
+// ------------------------------------------------------------- rms chaos ---
+
+class RmsChaosFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Random envelope loss/duplication/reordering against a hardened
+// Grm + 2 LRM rig: whatever the network does, every request resolves,
+// granted draws never exceed physical capacity, and all capacity comes
+// back once the holds expire (conservation).
+TEST_P(RmsChaosFuzz, RandomFaultsPreserveConservation) {
+  Pcg32 rng(GetParam());
+  rms::MessageBus bus;
+  agree::AgreementSystem cpu(2);
+  cpu.capacity = {4.0, 12.0};
+  cpu.relative(1, 0) = 0.5;
+  rms::GrmOptions gopts;
+  gopts.reserve_attempts = 5;
+  gopts.reserve_backoff = 0.1;
+  gopts.reserve_backoff_cap = 1.0;
+  rms::Grm grm(bus, {cpu}, {}, /*decision_latency=*/0.01, gopts);
+  rms::Lrm lrm0(bus, {4.0}, 0.01), lrm1(bus, {12.0}, 0.01);
+  grm.register_lrm(0, lrm0.endpoint());
+  grm.register_lrm(1, lrm1.endpoint());
+  lrm0.attach(grm.endpoint(), 0);
+  lrm1.attach(grm.endpoint(), 1);
+  bus.run_until_idle();
+
+  rms::FaultPlan plan;
+  plan.seed = GetParam() * 977 + 13;
+  plan.default_link.drop = rng.uniform(0.0, 0.35);
+  plan.default_link.duplicate = rng.uniform(0.0, 0.35);
+  plan.default_link.jitter = rng.uniform(0.0, 0.5);
+  bus.set_fault_plan(plan);
+
+  rms::ClientOptions copts;
+  copts.max_attempts = 8;
+  copts.retry_backoff = 0.2;
+  copts.backoff_cap = 1.0;
+  copts.deadline = 30.0;
+  copts.send_latency = 0.01;
+  rms::RequestClient client(bus, grm.endpoint(), copts);
+
+  const std::size_t kRequests = 40;
+  for (std::uint64_t id = 1; id <= kRequests; ++id) {
+    rms::AllocationRequest req;
+    req.request_id = id;
+    req.principal = rng.uniform_u32(2);
+    req.amounts = {rng.uniform(0.5, 4.0)};
+    req.duration = rng.uniform(0.2, 2.0);
+    client.submit(req);
+    bus.run_until(bus.now() + rng.uniform(0.05, 0.6));
+  }
+  bus.run_until_idle();
+
+  EXPECT_EQ(client.outstanding(), 0u);
+  EXPECT_EQ(client.outcomes().size(), kRequests);
+  for (const rms::RequestClient::Outcome& out : client.outcomes()) {
+    EXPECT_LE(out.latency(), copts.deadline + 1e-9);
+    if (out.reply.granted) {
+      EXPECT_EQ(out.reply.draws.size(), 1u);
+      if (out.reply.draws.size() == 1) {
+        EXPECT_LE(out.reply.draws[0][0], 4.0 + 1e-9);
+        EXPECT_LE(out.reply.draws[0][1], 12.0 + 1e-9);
+      }
+    } else {
+      EXPECT_FALSE(out.reply.reason.empty());
+    }
+  }
+  // Conservation: everything granted was eventually released.
+  EXPECT_EQ(lrm0.active_reservations(), 0u);
+  EXPECT_EQ(lrm1.active_reservations(), 0u);
+  EXPECT_NEAR(lrm0.available()[0], 4.0, 1e-9);
+  EXPECT_NEAR(lrm1.available()[0], 12.0, 1e-9);
+  EXPECT_LE(grm.decisions(), kRequests);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RmsChaosFuzz, ::testing::Range<std::uint64_t>(900, 907));
 
 }  // namespace
 }  // namespace agora

@@ -1,0 +1,510 @@
+// Chaos tests for the hardened GRM/LRM protocol on an unreliable bus:
+// deterministic fault injection (drops, duplicates, jitter, partitions,
+// crash/restart windows), exactly-once request resolution under retries,
+// staleness-TTL degradation, crash-recovery resync, local-only admission,
+// and byte-identical replay for a fixed fault seed.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "agree/matrices.h"
+#include "rms/bus.h"
+#include "rms/client.h"
+#include "rms/grm.h"
+#include "rms/lrm.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace agora::rms {
+namespace {
+
+std::vector<agree::AgreementSystem> two_site_systems(double cap0 = 2.0, double cap1 = 10.0,
+                                                     double share10 = 0.5) {
+  agree::AgreementSystem cpu(2);
+  cpu.capacity = {cap0, cap1};
+  cpu.relative(1, 0) = share10;
+  return {cpu};
+}
+
+// ------------------------------------------------------------- fault plan ---
+
+TEST(FaultPlan, DefaultPlanIsInert) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.active());
+  plan.validate();  // must not throw
+}
+
+TEST(FaultPlan, ValidatesProbabilities) {
+  FaultPlan plan;
+  plan.default_link.drop = 1.5;
+  EXPECT_THROW(plan.validate(), PreconditionError);
+  MessageBus bus;
+  EXPECT_THROW(bus.set_fault_plan(plan), PreconditionError);
+}
+
+TEST(FaultPlan, PartitionSeversOnlyAcrossTheCut) {
+  FaultPlan plan;
+  plan.partitions.push_back(Partition{1.0, 2.0, {0, 1}});
+  EXPECT_TRUE(plan.severed(0, 2, 1.5));
+  EXPECT_FALSE(plan.severed(0, 1, 1.5));  // same side
+  EXPECT_FALSE(plan.severed(0, 2, 2.5));  // window over
+  EXPECT_TRUE(plan.active());
+}
+
+// -------------------------------------------------------------------- bus ---
+
+TEST(FaultBus, QuiesceStatsCountDropsAndDuplicates) {
+  MessageBus bus;
+  int received = 0;
+  const EndpointId a = bus.add_endpoint([&](const Envelope&) { ++received; });
+  const EndpointId b = bus.add_endpoint([&](const Envelope&) { ++received; });
+  FaultPlan plan;
+  plan.per_link[{a, b}] = LinkFaults{/*drop=*/1.0, 0.0, 0.0};
+  bus.set_fault_plan(plan);
+  for (int i = 0; i < 3; ++i) bus.post(a, b, ReleaseNotice{1});
+  bus.post(a, a, ReleaseNotice{2});  // self-message: bypasses link faults
+  const QuiesceStats q = bus.run_until_idle();
+  EXPECT_EQ(q.delivered, 1u);
+  EXPECT_EQ(q.dropped, 3u);
+  EXPECT_EQ(q.duplicated, 0u);
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(bus.dropped(), 3u);
+
+  FaultPlan dup;
+  dup.per_link[{a, b}] = LinkFaults{0.0, /*duplicate=*/1.0, 0.0};
+  bus.set_fault_plan(dup);
+  bus.post(a, b, ReleaseNotice{3});
+  const QuiesceStats q2 = bus.run_until_idle();
+  EXPECT_EQ(q2.delivered, 2u);  // original + duplicate
+  EXPECT_EQ(q2.dropped, 0u);
+  EXPECT_EQ(q2.duplicated, 1u);
+}
+
+TEST(FaultBus, NonQuiesceErrorIncludesDepthAndTime) {
+  MessageBus bus;
+  EndpointId a = 0;
+  a = bus.add_endpoint([&](const Envelope&) { bus.post(a, a, ReleaseNotice{0}, 1.0); });
+  bus.post(a, a, ReleaseNotice{0}, 0.0);
+  try {
+    bus.run_until_idle(50);
+    FAIL() << "expected InternalError";
+  } catch (const InternalError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("queue depth"), std::string::npos) << what;
+    EXPECT_NE(what.find("sim time"), std::string::npos) << what;
+    EXPECT_NE(what.find("dropped"), std::string::npos) << what;
+  }
+}
+
+TEST(FaultBus, CrashWindowLosesTrafficThenFiresRestartHandler) {
+  MessageBus bus;
+  int received = 0;
+  int restarts = 0;
+  const EndpointId a = bus.add_endpoint([&](const Envelope&) {});
+  const EndpointId b = bus.add_endpoint([&](const Envelope&) { ++received; });
+  bus.set_restart_handler(b, [&] { ++restarts; });
+  FaultPlan plan;
+  plan.crashes.push_back(CrashWindow{b, 1.0, 5.0});
+  bus.set_fault_plan(plan);
+  bus.post(a, b, ReleaseNotice{1}, 0.5);  // delivered before the crash
+  bus.post(a, b, ReleaseNotice{2}, 2.0);  // lost inside the window
+  bus.post(a, b, ReleaseNotice{3}, 6.0);  // delivered after restart
+  bus.run_until_idle();
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(restarts, 1);
+  EXPECT_EQ(bus.lost_to_crash(), 1u);
+  EXPECT_GE(bus.now(), 6.0);
+}
+
+// ------------------------------------------------- zero-cost default path ---
+
+struct Transcript {
+  std::string text;
+  std::uint64_t delivered = 0;
+  double now = 0.0;
+};
+
+/// Run a fixed two-site scenario and serialize everything observable.
+Transcript run_two_site_scenario(bool attach_inert_plan) {
+  MessageBus bus;
+  if (attach_inert_plan) bus.set_fault_plan(FaultPlan{});
+  Grm grm(bus, two_site_systems());
+  Lrm lrm0(bus, {2.0}), lrm1(bus, {10.0});
+  grm.register_lrm(0, lrm0.endpoint());
+  grm.register_lrm(1, lrm1.endpoint());
+  lrm0.attach(grm.endpoint(), 0);
+  lrm1.attach(grm.endpoint(), 1);
+  std::vector<AllocationReply> replies;
+  const EndpointId client = bus.add_endpoint([&](const Envelope& env) {
+    if (const auto* r = std::get_if<AllocationReply>(&env.payload)) replies.push_back(*r);
+  });
+  bus.run_until_idle();
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    AllocationRequest req;
+    req.request_id = id;
+    req.principal = id % 2;
+    req.amounts = {2.0 + static_cast<double>(id)};
+    req.duration = 4.0;
+    bus.post(client, grm.endpoint(), req);
+    bus.run_until_idle();
+  }
+  Transcript t;
+  for (const AllocationReply& r : replies) {
+    char buf[128];
+    double total = 0.0;
+    for (const auto& per_res : r.draws)
+      for (double d : per_res) total += d;
+    std::snprintf(buf, sizeof buf, "%llu:%d:%.12g:%s;",
+                  static_cast<unsigned long long>(r.request_id), r.granted ? 1 : 0, total,
+                  r.reason.c_str());
+    t.text += buf;
+  }
+  t.delivered = bus.delivered();
+  t.now = bus.now();
+  EXPECT_EQ(bus.dropped(), 0u);
+  EXPECT_EQ(bus.duplicated(), 0u);
+  return t;
+}
+
+TEST(ZeroCost, InertPlanLeavesTraceIdentical) {
+  const Transcript without = run_two_site_scenario(false);
+  const Transcript with = run_two_site_scenario(true);
+  EXPECT_EQ(without.text, with.text);
+  EXPECT_EQ(without.delivered, with.delivered);
+  EXPECT_DOUBLE_EQ(without.now, with.now);
+}
+
+// --------------------------------------------- chaos: drops with retries ---
+
+struct ChaosResult {
+  std::string transcript;
+  std::size_t granted = 0;
+  std::size_t denied = 0;
+  std::uint64_t grm_grants = 0;
+  std::uint64_t grm_decisions = 0;
+  std::uint64_t bus_dropped = 0;
+};
+
+/// 100 requests through a 20%-drop network with retries + deadline.
+ChaosResult run_drop_chaos(std::uint64_t fault_seed) {
+  MessageBus bus;
+  GrmOptions gopts;
+  gopts.reserve_attempts = 6;
+  gopts.reserve_backoff = 0.1;
+  gopts.reserve_backoff_cap = 1.0;
+  Grm grm(bus, two_site_systems(5.0, 10.0, 0.5), {}, /*decision_latency=*/0.01, gopts);
+  Lrm lrm0(bus, {5.0}, 0.01), lrm1(bus, {10.0}, 0.01);
+  grm.register_lrm(0, lrm0.endpoint());
+  grm.register_lrm(1, lrm1.endpoint());
+  lrm0.attach(grm.endpoint(), 0);
+  lrm1.attach(grm.endpoint(), 1);
+  bus.run_until_idle();
+
+  FaultPlan plan;
+  plan.seed = fault_seed;
+  plan.default_link.drop = 0.20;
+  bus.set_fault_plan(plan);
+
+  ClientOptions copts;
+  copts.max_attempts = 8;
+  copts.retry_backoff = 0.2;
+  copts.backoff_cap = 2.0;
+  copts.deadline = 30.0;
+  copts.send_latency = 0.01;
+  RequestClient client(bus, grm.endpoint(), copts);
+
+  Pcg32 rng(42);
+  const std::size_t kRequests = 100;
+  for (std::uint64_t id = 1; id <= kRequests; ++id) {
+    AllocationRequest req;
+    req.request_id = id;
+    req.principal = rng.uniform_u32(2);
+    req.amounts = {rng.uniform(0.5, 3.0)};
+    req.duration = rng.uniform(0.5, 3.0);
+    client.submit(req);
+    bus.run_until(bus.now() + 0.5);
+    // Conservation at every step: the LRMs never go negative and granted
+    // holds never exceed physical capacity.
+    for (const Lrm* l : {&lrm0, &lrm1})
+      for (double a : l->available()) EXPECT_GE(a, -1e-9);
+  }
+  bus.run_until_idle();
+
+  // Every request resolved exactly once, before its deadline, with a
+  // reason on denial.
+  EXPECT_EQ(client.outstanding(), 0u);
+  EXPECT_EQ(client.outcomes().size(), kRequests);
+  ChaosResult res;
+  for (const RequestClient::Outcome& out : client.outcomes()) {
+    EXPECT_LE(out.latency(), copts.deadline + 1e-9);
+    if (out.reply.granted) {
+      ++res.granted;
+      EXPECT_EQ(out.reply.draws.size(), 1u);
+      if (out.reply.draws.size() == 1) {
+        EXPECT_LE(out.reply.draws[0][0], 5.0 + 1e-9);
+        EXPECT_LE(out.reply.draws[0][1], 10.0 + 1e-9);
+      }
+    } else {
+      ++res.denied;
+      EXPECT_FALSE(out.reply.reason.empty());
+    }
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%llu:%d;",
+                  static_cast<unsigned long long>(out.reply.request_id),
+                  out.reply.granted ? 1 : 0);
+    res.transcript += buf;
+  }
+  // No double decisions / double grants: the GRM decided each id at most
+  // once (duplicates answered from the idempotency cache).
+  EXPECT_LE(grm.grants(), kRequests);
+  EXPECT_LE(grm.decisions(), kRequests);
+  // Everything released at the end: full capacity restored.
+  EXPECT_EQ(lrm0.active_reservations(), 0u);
+  EXPECT_EQ(lrm1.active_reservations(), 0u);
+  EXPECT_NEAR(lrm0.available()[0], 5.0, 1e-9);
+  EXPECT_NEAR(lrm1.available()[0], 10.0, 1e-9);
+  res.grm_grants = grm.grants();
+  res.grm_decisions = grm.decisions();
+  res.bus_dropped = bus.dropped();
+  return res;
+}
+
+TEST(Chaos, TwentyPercentDropEveryRequestResolves) {
+  const ChaosResult res = run_drop_chaos(777);
+  // The network really was lossy, yet work still flowed.
+  EXPECT_GT(res.bus_dropped, 0u);
+  EXPECT_GT(res.granted, 0u);
+  EXPECT_EQ(res.granted + res.denied, 100u);
+}
+
+TEST(Chaos, SameFaultSeedReplaysByteIdentically) {
+  const ChaosResult a = run_drop_chaos(2024);
+  const ChaosResult b = run_drop_chaos(2024);
+  EXPECT_EQ(a.transcript, b.transcript);
+  EXPECT_EQ(a.granted, b.granted);
+  EXPECT_EQ(a.grm_grants, b.grm_grants);
+  EXPECT_EQ(a.grm_decisions, b.grm_decisions);
+  EXPECT_EQ(a.bus_dropped, b.bus_dropped);
+}
+
+TEST(Chaos, DifferentFaultSeedsDiverge) {
+  // Not a hard guarantee for every seed pair, but these two differ; the
+  // test documents that the seed actually drives the fault stream.
+  const ChaosResult a = run_drop_chaos(1);
+  const ChaosResult b = run_drop_chaos(99991);
+  EXPECT_NE(a.bus_dropped, b.bus_dropped);
+}
+
+// ------------------------------------------------ staleness + partitions ---
+
+struct DegradeRig {
+  MessageBus bus;
+  Grm grm;
+  Lrm lrm0, lrm1;
+  EndpointId client;
+  std::vector<AllocationReply> replies;
+
+  explicit DegradeRig(GrmOptions gopts)
+      : grm(bus, two_site_systems(), {}, 0.01, gopts), lrm0(bus, {2.0}, 0.01),
+        lrm1(bus, {10.0}, 0.01) {
+    grm.register_lrm(0, lrm0.endpoint());
+    grm.register_lrm(1, lrm1.endpoint());
+    lrm0.attach(grm.endpoint(), 0);
+    lrm1.attach(grm.endpoint(), 1);
+    client = bus.add_endpoint([this](const Envelope& env) {
+      if (const auto* r = std::get_if<AllocationReply>(&env.payload)) replies.push_back(*r);
+    });
+    bus.run_until_idle();
+  }
+
+  void post_request(std::uint64_t id, std::size_t principal, double amount,
+                    double duration = 0.0) {
+    AllocationRequest req;
+    req.request_id = id;
+    req.principal = principal;
+    req.amounts = {amount};
+    req.duration = duration;
+    bus.post(client, grm.endpoint(), req);
+  }
+};
+
+TEST(Degradation, PartitionedSiteContributesZeroAfterTtl) {
+  GrmOptions gopts;
+  gopts.staleness_ttl = 2.0;
+  DegradeRig rig(gopts);
+  FaultPlan plan;
+  plan.partitions.push_back(Partition{1.0, 6.0, {rig.lrm1.endpoint()}});
+  rig.bus.set_fault_plan(plan);
+
+  // A report sent into the partition is lost.
+  rig.bus.run_until(2.99);
+  rig.lrm1.adjust_capacity(0, 0.0);
+  rig.bus.run_until(3.1);
+  EXPECT_EQ(rig.bus.lost_to_partition(), 1u);
+
+  // Keep site 0 fresh, then ask: transitive capacity through the stale
+  // site 1 must be gone, local capacity must still work.
+  rig.lrm0.adjust_capacity(0, 0.0);
+  rig.bus.run_until(3.5);
+  rig.post_request(1, 0, 4.0);  // needs site 1's share: degraded away
+  rig.post_request(2, 0, 1.5);  // site 0 alone can carry this
+  rig.bus.run_until(4.5);
+  ASSERT_EQ(rig.replies.size(), 2u);
+  EXPECT_FALSE(rig.replies[0].granted);
+  ASSERT_TRUE(rig.replies[1].granted);
+  EXPECT_NEAR(rig.replies[1].draws[0][1], 0.0, 1e-12);  // nothing from site 1
+  EXPECT_GT(rig.grm.stale_masked(), 0u);
+
+  // Partition heals; a fresh report restores full reach.
+  rig.bus.run_until(7.0);
+  rig.lrm1.adjust_capacity(0, 0.0);
+  rig.lrm0.adjust_capacity(0, 0.0);
+  rig.bus.run_until(7.5);
+  rig.post_request(3, 0, 4.0);
+  rig.bus.run_until_idle();
+  ASSERT_EQ(rig.replies.size(), 3u);
+  EXPECT_TRUE(rig.replies[2].granted);
+  EXPECT_GT(rig.replies[2].draws[0][1], 0.0);
+}
+
+// --------------------------------------------------- crash + resync ------
+
+TEST(CrashRecovery, RestartedLrmResyncsAndReleasesOverdueHolds) {
+  GrmOptions gopts;
+  gopts.staleness_ttl = 5.0;
+  gopts.reserve_attempts = 4;
+  gopts.reserve_backoff = 0.1;
+  DegradeRig rig(gopts);
+
+  // Reserve 8 on site 1 for 5 seconds; the release will fall inside the
+  // crash window and be lost with the site.
+  rig.post_request(1, 1, 8.0, /*duration=*/5.0);
+  rig.bus.run_until(0.5);
+  ASSERT_EQ(rig.replies.size(), 1u);
+  ASSERT_TRUE(rig.replies[0].granted);
+  EXPECT_NEAR(rig.lrm1.available()[0], 2.0, 1e-9);
+  EXPECT_EQ(rig.lrm1.active_reservations(), 1u);
+
+  FaultPlan plan;
+  plan.crashes.push_back(CrashWindow{rig.lrm1.endpoint(), 1.0, 10.0});
+  rig.bus.set_fault_plan(plan);
+
+  // While the site is down and stale, decisions degrade to what the rest
+  // of the system can carry.
+  rig.bus.run_until(7.0);
+  rig.lrm0.adjust_capacity(0, 0.0);  // keep site 0 fresh
+  rig.bus.run_until(7.5);
+  rig.post_request(2, 0, 4.0);  // would need site 1
+  rig.post_request(3, 0, 1.5);  // local
+  rig.bus.run_until(9.0);
+  ASSERT_EQ(rig.replies.size(), 3u);
+  EXPECT_FALSE(rig.replies[1].granted);
+  EXPECT_TRUE(rig.replies[2].granted);
+  // The scheduled release at t=5 was lost with the crash: the hold is
+  // still pinned.
+  EXPECT_EQ(rig.lrm1.active_reservations(), 1u);
+  EXPECT_GT(rig.bus.lost_to_crash(), 0u);
+
+  // Restart at t=10: the LRM releases the overdue hold and resyncs the
+  // GRM, restoring the site's full capacity to the decision process.
+  rig.bus.run_until(10.5);
+  EXPECT_EQ(rig.lrm1.active_reservations(), 0u);
+  EXPECT_NEAR(rig.lrm1.available()[0], 10.0, 1e-9);
+  EXPECT_EQ(rig.grm.resyncs(), 1u);
+  EXPECT_DOUBLE_EQ(rig.grm.known_available(1, 0), 10.0);
+
+  rig.post_request(4, 0, 4.0);
+  rig.bus.run_until_idle();
+  ASSERT_EQ(rig.replies.size(), 4u);
+  EXPECT_TRUE(rig.replies[3].granted);
+  EXPECT_GT(rig.replies[3].draws[0][1], 0.0);
+}
+
+// ------------------------------------------------- local-only admission ---
+
+TEST(LocalAdmission, LrmServesRequestsWithoutItsGrm) {
+  MessageBus bus;
+  Lrm lrm(bus, {4.0});
+  std::vector<AllocationReply> replies;
+  const EndpointId client = bus.add_endpoint([&](const Envelope& env) {
+    if (const auto* r = std::get_if<AllocationReply>(&env.payload)) replies.push_back(*r);
+  });
+
+  AllocationRequest req;
+  req.request_id = 1;
+  req.principal = 0;
+  req.amounts = {3.0};
+  req.duration = 2.0;
+  bus.post(client, lrm.endpoint(), req);
+  bus.run_until(1.0);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_TRUE(replies[0].granted);
+  EXPECT_NEAR(lrm.available()[0], 1.0, 1e-9);
+  EXPECT_EQ(lrm.local_admissions(), 1u);
+
+  // Beyond local capacity: denied with a reason (no borrowing without the
+  // GRM's agreement view).
+  req.request_id = 2;
+  req.amounts = {2.0};
+  bus.post(client, lrm.endpoint(), req);
+  bus.run_until(1.5);
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_FALSE(replies[1].granted);
+  EXPECT_NE(replies[1].reason.find("local-only"), std::string::npos);
+  EXPECT_EQ(lrm.local_denials(), 1u);
+
+  // The admitted job still expires.
+  bus.run_until_idle();
+  EXPECT_NEAR(lrm.available()[0], 4.0, 1e-9);
+  EXPECT_EQ(lrm.active_reservations(), 0u);
+}
+
+// -------------------------------------------- duplicate/reorder handling ---
+
+TEST(Idempotency, DuplicatedRequestsAndCommandsDoNotDoubleGrant) {
+  GrmOptions gopts;
+  gopts.reserve_attempts = 4;
+  gopts.reserve_backoff = 0.1;
+  DegradeRig rig(gopts);
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.default_link.duplicate = 1.0;  // every network message arrives twice
+  rig.bus.set_fault_plan(plan);
+
+  rig.post_request(1, 1, 8.0, /*duration=*/1.0);
+  rig.bus.run_until(0.8);
+  // Exactly one reservation despite duplicated request, duplicated
+  // reserve command and duplicated acks.
+  EXPECT_EQ(rig.lrm1.active_reservations(), 1u);
+  EXPECT_NEAR(rig.lrm1.available()[0], 2.0, 1e-9);
+  EXPECT_EQ(rig.grm.decisions(), 1u);
+  EXPECT_GE(rig.grm.duplicate_requests(), 1u);
+  EXPECT_GE(rig.lrm1.duplicate_commands(), 1u);
+  rig.bus.run_until_idle();
+  EXPECT_NEAR(rig.lrm1.available()[0], 10.0, 1e-9);
+  EXPECT_GT(rig.bus.duplicated(), 0u);
+}
+
+TEST(Idempotency, ReorderedStaleReportIsRejected) {
+  GrmOptions gopts;
+  DegradeRig rig(gopts);
+  // Simulate reordering directly: an old report (low seq) arriving after a
+  // newer one must not roll availability back.
+  AvailabilityReport fresh;
+  fresh.lrm = 1;
+  fresh.available = {3.0};
+  fresh.report_seq = 10;
+  AvailabilityReport stale;
+  stale.lrm = 1;
+  stale.available = {9.0};
+  stale.report_seq = 9;
+  rig.bus.post(rig.client, rig.grm.endpoint(), fresh);
+  rig.bus.post(rig.client, rig.grm.endpoint(), stale);
+  rig.bus.run_until_idle();
+  EXPECT_DOUBLE_EQ(rig.grm.known_available(1, 0), 3.0);
+  EXPECT_EQ(rig.grm.stale_reports(), 1u);
+}
+
+}  // namespace
+}  // namespace agora::rms

@@ -283,5 +283,34 @@ TEST(MultiLevel, RootDeniesImpossibleEscalation) {
   EXPECT_FALSE(rig.replies[0].granted);
 }
 
+// A GRM whose sites never registered or reported must not expose the
+// declared capacities as if they had been observed: known_available
+// answers zero (and counts the blind query), and a request is denied
+// cleanly instead of allocating phantom resources.
+TEST(Grm, NeverReportedSitesReadAsZero) {
+  MessageBus bus;
+  agree::AgreementSystem cpu(2);
+  cpu.capacity = {2.0, 10.0};
+  cpu.relative(1, 0) = 0.5;
+  Grm grm(bus, {cpu});
+  EXPECT_DOUBLE_EQ(grm.known_available(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(grm.known_available(1, 0), 0.0);
+  EXPECT_EQ(grm.unknown_queries(), 2u);
+
+  std::vector<AllocationReply> replies;
+  const EndpointId client = bus.add_endpoint([&](const Envelope& env) {
+    if (const auto* r = std::get_if<AllocationReply>(&env.payload)) replies.push_back(*r);
+  });
+  AllocationRequest req;
+  req.request_id = 1;
+  req.principal = 0;
+  req.amounts = {1.0};
+  bus.post(client, grm.endpoint(), req);
+  bus.run_until_idle();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_FALSE(replies[0].granted);
+  EXPECT_FALSE(replies[0].reason.empty());
+}
+
 }  // namespace
 }  // namespace agora::rms

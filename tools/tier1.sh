@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the full test suite, then
+# rebuild the rms/chaos-sensitive tests under ASan+UBSan and run them.
+# Usage: tools/tier1.sh   (from the repository root)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+# Sanitizer pass over the message-layer tests: the fault-injection code
+# paths (drops, duplicate frees of envelopes, restart handlers) are the
+# ones most likely to hide lifetime bugs.
+cmake -B build-asan -S . -DAGORA_SANITIZE=ON
+cmake --build build-asan -j --target rms_test rms_chaos_test fuzz_test
+./build-asan/tests/rms_test
+./build-asan/tests/rms_chaos_test
+./build-asan/tests/fuzz_test
+echo "tier1: all green"
