@@ -4,7 +4,38 @@
 #include <filesystem>
 #include <iostream>
 
+#include "agree/capacity.h"
+#include "agree/topology.h"
+#include "alloc/model_cache.h"
+#include "util/rng.h"
+
 namespace agora::figbench {
+
+agree::AgreementSystem complete_sharing_system(std::size_t n) {
+  Pcg32 rng(n * 7 + 1);
+  agree::AgreementSystem sys(n);
+  for (std::size_t i = 0; i < n; ++i) sys.capacity[i] = rng.uniform(5.0, 20.0);
+  sys.relative = agree::complete_graph(n, 0.8 / static_cast<double>(n));
+  return sys;
+}
+
+alloc::AllocatorOptions bench_alloc_options() {
+  alloc::AllocatorOptions opts;
+  // Exact simple-path enumeration is factorial on complete graphs; prune
+  // negligible path products so fixture setup stays tractable at n = 40.
+  opts.transitive.prune_below = 1e-8;
+  return opts;
+}
+
+lp::Problem compact_allocation_lp(std::size_t n) {
+  const agree::AgreementSystem sys = complete_sharing_system(n);
+  const agree::CapacityReport rep =
+      agree::compute_capacities(sys, bench_alloc_options().transitive);
+  alloc::AllocationModelCache cache;
+  cache.build(sys, rep);
+  cache.patch(rep, /*a=*/0, rep.capacity[0] * 0.5);
+  return std::move(cache.problem());
+}
 
 trace::Generator make_generator() {
   trace::GeneratorConfig cfg;

@@ -12,6 +12,9 @@
 #include <string>
 #include <vector>
 
+#include "agree/matrices.h"
+#include "alloc/allocator.h"
+#include "lp/problem.h"
 #include "proxysim/simulator.h"
 #include "trace/generator.h"
 #include "util/csv.h"
@@ -40,6 +43,24 @@ proxysim::SimMetrics run_sim(const proxysim::SimConfig& cfg,
 
 /// Mean wait per hour of day (24 entries) for a slotted series.
 std::vector<double> hourly_means(const SlottedSeries& s);
+
+// --- Shared LP / allocator fixtures (micro_lp, micro_warmstart) -----------
+
+/// Deterministic complete-graph sharing system: capacities uniform(5, 20)
+/// seeded by n, every pair sharing 0.8/n.
+agree::AgreementSystem complete_sharing_system(std::size_t n);
+
+/// Allocator options used by the LP micro-benchmarks: transitive closure
+/// with tiny path products pruned so fixture setup stays tractable on
+/// complete graphs at n = 40.
+alloc::AllocatorOptions bench_alloc_options();
+
+/// The compact allocation LP for complete_sharing_system(n), requester 0,
+/// amount = half of its available capacity. Built through the allocator's
+/// own AllocationModelCache, so the benchmark solves exactly the model
+/// Allocator::solve_compact solves (in particular the diagonal of the
+/// perturbation rows is retained_i, not 1.0).
+lp::Problem compact_allocation_lp(std::size_t n);
 
 /// Print the figure banner.
 void banner(const std::string& figure, const std::string& description);

@@ -1,50 +1,22 @@
 // Ablation: tableau simplex vs revised simplex (vs brute force on tiny
 // instances) on allocation-shaped LPs of growing size.
+//
+// The fixture is figbench::compact_allocation_lp -- the exact model the
+// Allocator's compact path solves (shared with micro_warmstart).
 #include <benchmark/benchmark.h>
 
-#include "agree/topology.h"
-#include "alloc/allocator.h"
+#include "fig_common.h"
 #include "lp/brute_force.h"
-#include "lp/model_builder.h"
 #include "lp/revised.h"
 #include "lp/simplex.h"
-#include "util/rng.h"
 
 namespace {
 
 using namespace agora;
-
-/// Build the compact allocation LP for a complete-graph system of size n.
-lp::Problem allocation_lp(std::size_t n) {
-  Pcg32 rng(n * 7 + 1);
-  agree::AgreementSystem sys(n);
-  for (std::size_t i = 0; i < n; ++i) sys.capacity[i] = rng.uniform(5.0, 20.0);
-  sys.relative = agree::complete_graph(n, 0.8 / static_cast<double>(n));
-  // Exact simple-path enumeration is factorial on complete graphs; prune
-  // negligible path products so fixture setup stays tractable at n = 40.
-  agree::TransitiveOptions topts;
-  topts.prune_below = 1e-8;
-  const agree::CapacityReport rep = agree::compute_capacities(sys, topts);
-
-  lp::ModelBuilder mb(lp::Sense::Minimize);
-  std::vector<lp::Var> d(n);
-  for (std::size_t k = 0; k < n; ++k) d[k] = mb.add_var("d", 0.0, rep.entitlement(k, 0));
-  const lp::Var theta = mb.add_var("theta", 0.0);
-  mb.add(lp::sum(d) == rep.capacity[0] * 0.5);
-  for (std::size_t i = 0; i < n; ++i) {
-    lp::LinExpr drop;
-    for (std::size_t k = 0; k < n; ++k) {
-      const double c = k == i ? 1.0 : rep.shares(k, i);
-      if (c > 0.0) drop += c * d[k];
-    }
-    mb.add(drop - 1.0 * theta <= 0.0);
-  }
-  mb.minimize(lp::LinExpr(theta));
-  return mb.problem();
-}
+using figbench::compact_allocation_lp;
 
 void BM_TableauSimplex(benchmark::State& state) {
-  const lp::Problem p = allocation_lp(static_cast<std::size_t>(state.range(0)));
+  const lp::Problem p = compact_allocation_lp(static_cast<std::size_t>(state.range(0)));
   lp::SimplexSolver solver;
   for (auto _ : state) {
     const lp::SolveResult r = solver.solve(p);
@@ -54,7 +26,7 @@ void BM_TableauSimplex(benchmark::State& state) {
 BENCHMARK(BM_TableauSimplex)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
 
 void BM_RevisedSimplex(benchmark::State& state) {
-  const lp::Problem p = allocation_lp(static_cast<std::size_t>(state.range(0)));
+  const lp::Problem p = compact_allocation_lp(static_cast<std::size_t>(state.range(0)));
   lp::RevisedSimplexSolver solver;
   for (auto _ : state) {
     const lp::SolveResult r = solver.solve(p);
@@ -63,8 +35,22 @@ void BM_RevisedSimplex(benchmark::State& state) {
 }
 BENCHMARK(BM_RevisedSimplex)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
 
+/// Same solver, but with a persistent workspace: rhs/bounds are unchanged
+/// between iterations, so every solve after the first warm-starts from the
+/// optimal basis and should price once and pivot zero times.
+void BM_RevisedSimplexWarm(benchmark::State& state) {
+  const lp::Problem p = compact_allocation_lp(static_cast<std::size_t>(state.range(0)));
+  lp::RevisedSimplexSolver solver;
+  lp::SolveWorkspace ws;
+  for (auto _ : state) {
+    const lp::SolveResult r = solver.solve(p, &ws);
+    benchmark::DoNotOptimize(r.objective);
+  }
+}
+BENCHMARK(BM_RevisedSimplexWarm)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
+
 void BM_BruteForce(benchmark::State& state) {
-  const lp::Problem p = allocation_lp(static_cast<std::size_t>(state.range(0)));
+  const lp::Problem p = compact_allocation_lp(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
     const lp::SolveResult r = lp::brute_force_solve(p);
     benchmark::DoNotOptimize(r.objective);

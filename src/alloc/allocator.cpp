@@ -25,7 +25,7 @@ Allocator::Allocator(agree::AgreementSystem sys, AllocatorOptions opts)
 
 void Allocator::refresh_availability() {
   const std::size_t n = sys_.size();
-  report_.entitlement = Matrix(n, n);
+  report_.entitlement.assign(n, n);  // reuses storage on repeated refreshes
   report_.capacity.assign(n, 0.0);
   for (std::size_t k = 0; k < n; ++k) {
     const double vk = sys_.capacity[k];
@@ -77,39 +77,54 @@ AllocationPlan Allocator::solve_compact(std::size_t a, double amount, bool exact
   AllocationPlan plan;
   plan.capacity_before = report_.capacity;
 
-  lp::ModelBuilder mb(lp::Sense::Minimize);
-  // Draw variables bounded by A's entitlement at each node (U_kA; the own
-  // node's bound is retained_a * V_a, i.e. entitlement(a, a)).
-  std::vector<lp::Var> d(n);
-  for (std::size_t k = 0; k < n; ++k)
-    d[k] = mb.add_var("d[" + std::to_string(k) + "]", 0.0, report_.entitlement(k, a));
-  const lp::Var theta = mb.add_var("theta", 0.0);
-
-  mb.add(lp::sum(d) == amount, "demand");
-
-  // Capacity drop at each principal i:  sum_k d_k * That_ki <= theta.
-  for (std::size_t i = 0; i < n; ++i) {
-    lp::LinExpr drop;
-    for (std::size_t k = 0; k < n; ++k) {
-      const double coeff = k == i ? sys_.retained[i] : report_.shares(k, i);
-      if (coeff > 0.0) drop += coeff * d[k];
+  // In both branches below, variables are d_0..d_{n-1} then theta, so the
+  // extraction after the solve is shared.
+  lp::SolveResult r;
+  if (!exact && opts_.reuse_context && !opts_.presolve) {
+    // Amortized path: the model structure is built once per Allocator;
+    // each request only patches the d_k bounds (U_kA) and the demand rhs.
+    if (!cache_.built()) cache_.build(sys_, report_);
+    cache_.patch(report_, a, amount);
+    if (opts_.engine == LpEngine::Revised) {
+      r = lp::RevisedSimplexSolver(opts_.solver).solve(cache_.problem(), &cache_.workspace());
+    } else {
+      r = lp::SimplexSolver(opts_.solver).solve(cache_.problem());
     }
-    mb.add(drop - 1.0 * theta <= 0.0, "perturb[" + std::to_string(i) + "]");
+  } else {
+    lp::ModelBuilder mb(lp::Sense::Minimize);
+    // Draw variables bounded by A's entitlement at each node (U_kA; the own
+    // node's bound is retained_a * V_a, i.e. entitlement(a, a)).
+    std::vector<lp::Var> d(n);
+    for (std::size_t k = 0; k < n; ++k)
+      d[k] = mb.add_var("d[" + std::to_string(k) + "]", 0.0, report_.entitlement(k, a));
+    const lp::Var theta = mb.add_var("theta", 0.0);
+
+    mb.add(lp::sum(d) == amount, "demand");
+
+    // Capacity drop at each principal i:  sum_k d_k * That_ki <= theta.
+    for (std::size_t i = 0; i < n; ++i) {
+      lp::LinExpr drop;
+      for (std::size_t k = 0; k < n; ++k) {
+        const double coeff = k == i ? sys_.retained[i] : report_.shares(k, i);
+        if (coeff > 0.0) drop += coeff * d[k];
+      }
+      mb.add(drop - 1.0 * theta <= 0.0, "perturb[" + std::to_string(i) + "]");
+    }
+
+    if (exact) {
+      // Paper constraint (3): the requester's capacity drops by exactly x.
+      lp::LinExpr drop_a;
+      for (std::size_t k = 0; k < n; ++k) {
+        const double coeff = k == a ? sys_.retained[a] : report_.shares(k, a);
+        if (coeff > 0.0) drop_a += coeff * d[k];
+      }
+      mb.add(drop_a == amount, "exact_drop_at_requester");
+    }
+
+    mb.minimize(lp::LinExpr(theta));
+    r = run_solver(mb.problem());
   }
 
-  if (exact) {
-    // Paper constraint (3): the requester's capacity drops by exactly x.
-    lp::LinExpr drop_a;
-    for (std::size_t k = 0; k < n; ++k) {
-      const double coeff = k == a ? sys_.retained[a] : report_.shares(k, a);
-      if (coeff > 0.0) drop_a += coeff * d[k];
-    }
-    mb.add(drop_a == amount, "exact_drop_at_requester");
-  }
-
-  mb.minimize(lp::LinExpr(theta));
-
-  const lp::SolveResult r = run_solver(mb.problem());
   plan.lp_iterations = r.iterations;
   if (r.status == lp::Status::IterationLimit) {
     plan.status = PlanStatus::SolverFailed;
@@ -122,8 +137,8 @@ AllocationPlan Allocator::solve_compact(std::size_t a, double amount, bool exact
 
   plan.status = PlanStatus::Satisfied;
   plan.draw.assign(n, 0.0);
-  for (std::size_t k = 0; k < n; ++k) plan.draw[k] = std::max(0.0, r.x[d[k].index]);
-  plan.theta = r.x[theta.index];
+  for (std::size_t k = 0; k < n; ++k) plan.draw[k] = std::max(0.0, r.x[k]);
+  plan.theta = r.x[n];
   plan.capacity_after.assign(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     double drop = 0.0;
@@ -217,27 +232,47 @@ AllocationPlan Allocator::solve_full(std::size_t a, double amount, bool exact) c
 void Allocator::apply(const AllocationPlan& plan) {
   AGORA_REQUIRE(plan.satisfied(), "cannot apply an unsatisfied plan");
   AGORA_REQUIRE(plan.draw.size() == sys_.size(), "plan size mismatch");
+  bool changed = false;
   for (std::size_t i = 0; i < sys_.size(); ++i) {
     AGORA_REQUIRE(plan.draw[i] <= sys_.capacity[i] + 1e-7,
                   "plan draws more than a principal owns");
-    sys_.capacity[i] = std::max(0.0, sys_.capacity[i] - plan.draw[i]);
+    const double next = std::max(0.0, sys_.capacity[i] - plan.draw[i]);
+    if (next != sys_.capacity[i]) {
+      sys_.capacity[i] = next;
+      changed = true;
+    }
   }
-  refresh_availability();
+  // Entitlements depend only on capacities here, so a zero-delta plan (e.g.
+  // an amount of 0, common in traces) skips the O(n^2) refresh.
+  if (changed) refresh_availability();
 }
 
 void Allocator::release(const std::vector<double>& give_back) {
   AGORA_REQUIRE(give_back.size() == sys_.size(), "release size mismatch");
+  bool changed = false;
   for (std::size_t i = 0; i < sys_.size(); ++i) {
     AGORA_REQUIRE(give_back[i] >= 0.0, "release must be non-negative");
-    sys_.capacity[i] += give_back[i];
+    if (give_back[i] > 0.0) {
+      sys_.capacity[i] += give_back[i];
+      changed = true;
+    }
   }
-  refresh_availability();
+  if (changed) refresh_availability();
 }
 
 void Allocator::set_capacities(std::vector<double> v) {
   AGORA_REQUIRE(v.size() == sys_.size(), "capacity vector size mismatch");
   for (double x : v) AGORA_REQUIRE(x >= 0.0 && std::isfinite(x), "capacities must be >= 0");
+  if (v == sys_.capacity) return;  // epoch refresh with unchanged loads
   sys_.capacity = std::move(v);
+  refresh_availability();
+}
+
+void Allocator::set_capacities(std::span<const double> v) {
+  AGORA_REQUIRE(v.size() == sys_.size(), "capacity vector size mismatch");
+  for (double x : v) AGORA_REQUIRE(x >= 0.0 && std::isfinite(x), "capacities must be >= 0");
+  if (std::equal(v.begin(), v.end(), sys_.capacity.begin())) return;
+  sys_.capacity.assign(v.begin(), v.end());
   refresh_availability();
 }
 

@@ -28,9 +28,11 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 
 #include "agree/capacity.h"
 #include "agree/matrices.h"
+#include "alloc/model_cache.h"
 #include "alloc/plan.h"
 #include "lp/problem.h"
 #include "lp/result.h"
@@ -50,6 +52,14 @@ struct AllocatorOptions {
   /// scaling) before the simplex. Mostly useful for the FullPaper
   /// formulation, whose flow equalities presolve can collapse.
   bool presolve = false;
+  /// Reuse the compact model structure (and, for the Revised engine, the
+  /// previous optimal basis as a warm start) across allocate() calls. The
+  /// returned plans are identical either way; this only removes per-request
+  /// model rebuilding and solver allocations. The reuse state is per
+  /// Allocator and not synchronized: turn this off if one Allocator instance
+  /// must serve concurrent allocate() calls. Compact relaxed solves only
+  /// (exact mode and presolve always take the rebuild path).
+  bool reuse_context = true;
   lp::SolverOptions solver;
 };
 
@@ -77,8 +87,11 @@ class Allocator {
   void release(const std::vector<double>& give_back);
 
   /// Replace all capacities (the simulator refreshes V_i each epoch from
-  /// LRM reports) without touching the agreement matrices.
+  /// LRM reports) without touching the agreement matrices. A no-op (skipping
+  /// the O(n^2) availability refresh) when the vector is unchanged. The span
+  /// overload copies into existing storage and is allocation-free.
   void set_capacities(std::vector<double> v);
+  void set_capacities(std::span<const double> v);
 
  private:
   AllocationPlan solve_compact(std::size_t a, double amount, bool exact) const;
@@ -92,6 +105,9 @@ class Allocator {
   agree::AgreementSystem sys_;
   AllocatorOptions opts_;
   agree::CapacityReport report_;
+  /// Lazily built compact-model structure + solver workspace; logically a
+  /// memo of (sys_, report_), hence mutable behind const allocate().
+  mutable AllocationModelCache cache_;
 };
 
 }  // namespace agora::alloc

@@ -23,7 +23,23 @@ HierarchicalAllocator::HierarchicalAllocator(agree::AgreementSystem sys,
   }
   for (std::size_t g = 0; g < ng; ++g)
     AGORA_REQUIRE(!groups_[g].members.empty(), "empty group " + std::to_string(g));
+  group_cache_.resize(ng);
   rebuild();
+}
+
+Allocator& HierarchicalAllocator::group_allocator(std::size_t g) const {
+  if (!group_cache_[g]) group_cache_[g] = std::make_unique<Allocator>(group_system(g), opts_);
+  return *group_cache_[g];
+}
+
+Allocator& HierarchicalAllocator::coarse_allocator() const {
+  if (!coarse_cache_) coarse_cache_ = std::make_unique<Allocator>(coarse_system(), opts_);
+  return *coarse_cache_;
+}
+
+Allocator& HierarchicalAllocator::flat_allocator() const {
+  if (!flat_cache_) flat_cache_ = std::make_unique<Allocator>(sys_, opts_);
+  return *flat_cache_;
 }
 
 void HierarchicalAllocator::rebuild() {
@@ -96,11 +112,10 @@ AllocationPlan HierarchicalAllocator::allocate(std::size_t a, double amount) con
 
   // --- Fast path: the requester's own group can satisfy the request. ------
   {
-    const agree::AgreementSystem sub = group_system(ga);
     std::size_t local_a = 0;
     for (std::size_t m = 0; m < groups_[ga].members.size(); ++m)
       if (groups_[ga].members[m] == a) local_a = m;
-    Allocator group_alloc(sub, opts_);
+    Allocator& group_alloc = group_allocator(ga);
     if (group_alloc.available_to(local_a) >= amount - 1e-9) {
       const AllocationPlan sub_plan = group_alloc.allocate(local_a, amount);
       if (sub_plan.satisfied()) {
@@ -126,14 +141,12 @@ AllocationPlan HierarchicalAllocator::allocate(std::size_t a, double amount) con
   }
 
   // --- Coarse level: distribute the request across groups. -----------------
-  Allocator coarse_alloc(coarse_system(), opts_);
-  const AllocationPlan coarse_plan = coarse_alloc.allocate(ga, amount);
+  const AllocationPlan coarse_plan = coarse_allocator().allocate(ga, amount);
   plan.lp_iterations += coarse_plan.lp_iterations;
   if (!coarse_plan.satisfied()) {
     // The coarse model under-approximates reachable capacity (it collapses
     // member-level detail); fall back to the flat LP before giving up.
-    Allocator flat(sys_, opts_);
-    AllocationPlan flat_plan = flat.allocate(a, amount);
+    AllocationPlan flat_plan = flat_allocator().allocate(a, amount);
     flat_plan.lp_iterations += plan.lp_iterations;
     return flat_plan;
   }
@@ -152,9 +165,9 @@ AllocationPlan HierarchicalAllocator::allocate(std::size_t a, double amount) con
     for (std::size_t m = 0; m < members.size(); ++m) {
       const std::size_t i = members[m];
       const double cap = i == a ? sys_.capacity[a] : full_report_.entitlement(i, a);
-      d[m] = mb.add_var("d", 0.0, cap);
+      d[m] = mb.add_var(0.0, cap);
     }
-    const lp::Var t = mb.add_var("t", 0.0);
+    const lp::Var t = mb.add_var(0.0);
     mb.add(lp::sum(d) == x_g);
     for (std::size_t m = 0; m < members.size(); ++m) mb.add(1.0 * d[m] - 1.0 * t <= 0.0);
     mb.minimize(lp::LinExpr(t));
@@ -162,8 +175,7 @@ AllocationPlan HierarchicalAllocator::allocate(std::size_t a, double amount) con
     plan.lp_iterations += r.iterations;
     if (r.status != lp::Status::Optimal) {
       // Member entitlements cannot cover the coarse assignment; flat solve.
-      Allocator flat(sys_, opts_);
-      AllocationPlan flat_plan = flat.allocate(a, amount);
+      AllocationPlan flat_plan = flat_allocator().allocate(a, amount);
       flat_plan.lp_iterations += plan.lp_iterations;
       return flat_plan;
     }
@@ -191,6 +203,17 @@ void HierarchicalAllocator::apply(const AllocationPlan& plan) {
   for (std::size_t i = 0; i < sys_.size(); ++i)
     sys_.capacity[i] = std::max(0.0, sys_.capacity[i] - plan.draw[i]);
   rebuild();
+  // Capacity motion does not change share matrices, so live caches are
+  // refreshed in place; the coarse system's shares *are* capacity-weighted,
+  // so that cache is dropped and lazily rebuilt.
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    if (!group_cache_[g]) continue;
+    std::vector<double> caps(groups_[g].members.size());
+    for (std::size_t m = 0; m < caps.size(); ++m) caps[m] = sys_.capacity[groups_[g].members[m]];
+    group_cache_[g]->set_capacities(std::move(caps));
+  }
+  if (flat_cache_) flat_cache_->set_capacities(sys_.capacity);
+  coarse_cache_.reset();
 }
 
 }  // namespace agora::alloc

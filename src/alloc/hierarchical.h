@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "alloc/allocator.h"
@@ -52,11 +53,25 @@ class HierarchicalAllocator {
   agree::AgreementSystem coarse_system() const;
   void rebuild();
 
+  // Lazily built, persistent per-level Allocators. Building an Allocator
+  // runs the transitive-closure share computation, so reconstructing one per
+  // allocate() (the historical behavior) dominated trace-driven runs. The
+  // share matrices depend only on the agreement structure, which is fixed,
+  // so apply() just pushes new capacities into live caches -- except the
+  // coarse level, whose inter-group shares are capacity-weighted and must be
+  // rebuilt (it is reset and re-created on next use).
+  Allocator& group_allocator(std::size_t g) const;
+  Allocator& coarse_allocator() const;
+  Allocator& flat_allocator() const;
+
   agree::AgreementSystem sys_;
   std::vector<std::size_t> group_of_;
   std::vector<Group> groups_;
   AllocatorOptions opts_;
   agree::CapacityReport full_report_;  ///< entitlements in the full system
+  mutable std::vector<std::unique_ptr<Allocator>> group_cache_;
+  mutable std::unique_ptr<Allocator> coarse_cache_;
+  mutable std::unique_ptr<Allocator> flat_cache_;
 };
 
 }  // namespace agora::alloc

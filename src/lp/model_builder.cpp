@@ -46,6 +46,17 @@ std::vector<Var> ModelBuilder::add_vars(const std::string& prefix, std::size_t n
   return vs;
 }
 
+Var ModelBuilder::add_var(double lo, double hi) {
+  return Var{problem_.add_variable(lo, hi, 0.0)};
+}
+
+std::vector<Var> ModelBuilder::add_vars(std::size_t n, double lo, double hi) {
+  std::vector<Var> vs;
+  vs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) vs.push_back(add_var(lo, hi));
+  return vs;
+}
+
 std::size_t ModelBuilder::add(const RelExpr& rel, const std::string& name) {
   // rel.lhs holds (lhs - rhs); the constraint is lhs_terms REL -constant.
   std::vector<std::pair<std::size_t, double>> terms = rel.lhs.terms();

@@ -86,6 +86,12 @@ class ModelBuilder {
   std::vector<Var> add_vars(const std::string& prefix, std::size_t n, double lo = 0.0,
                             double hi = kInfinity);
 
+  /// Unnamed variants: no per-variable name strings are materialized. Use on
+  /// model-building hot paths (names are debug-only; Problem synthesizes
+  /// "x<j>" lazily when asked).
+  Var add_var(double lo, double hi = kInfinity);
+  std::vector<Var> add_vars(std::size_t n, double lo = 0.0, double hi = kInfinity);
+
   /// Add a relational constraint built from expressions.
   std::size_t add(const RelExpr& rel, const std::string& name = "");
 

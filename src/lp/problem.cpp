@@ -11,7 +11,7 @@ std::size_t Problem::add_variable(const std::string& name, double lo, double hi,
   lo_.push_back(lo);
   hi_.push_back(hi);
   cost_.push_back(cost);
-  var_names_.push_back(name.empty() ? "x" + std::to_string(lo_.size() - 1) : name);
+  var_names_.push_back(name);  // empty stays empty; variable_name() synthesizes
   // Pad existing constraints so their coefficient vectors stay dense.
   for (auto& c : constraints_) c.coeffs.resize(lo_.size(), 0.0);
   return lo_.size() - 1;
@@ -49,6 +49,17 @@ double Problem::objective_coeff(std::size_t var) const {
   return cost_[var];
 }
 
+std::string Problem::variable_name(std::size_t j) const {
+  const std::string& n = var_names_.at(j);
+  return n.empty() ? "x" + std::to_string(j) : n;
+}
+
+void Problem::set_rhs(std::size_t i, double rhs) {
+  AGORA_REQUIRE(i < constraints_.size(), "rhs for unknown constraint");
+  AGORA_REQUIRE(!std::isnan(rhs), "NaN rhs in constraint " + constraints_[i].name);
+  constraints_[i].rhs = rhs;
+}
+
 void Problem::set_bounds(std::size_t var, double lo, double hi) {
   AGORA_REQUIRE(var < num_variables(), "bounds for unknown variable");
   AGORA_REQUIRE(!(lo > hi), "variable bounds inverted");
@@ -84,8 +95,9 @@ double Problem::max_violation(const std::vector<double>& x) const {
 
 void Problem::validate() const {
   for (std::size_t j = 0; j < num_variables(); ++j) {
-    AGORA_REQUIRE(!(lo_[j] > hi_[j]), "inverted bounds on " + var_names_[j]);
-    AGORA_REQUIRE(std::isfinite(cost_[j]), "non-finite objective coefficient on " + var_names_[j]);
+    AGORA_REQUIRE(!(lo_[j] > hi_[j]), "inverted bounds on " + variable_name(j));
+    AGORA_REQUIRE(std::isfinite(cost_[j]),
+                  "non-finite objective coefficient on " + variable_name(j));
   }
   for (const auto& c : constraints_) {
     AGORA_REQUIRE(std::isfinite(c.rhs), "non-finite rhs in " + c.name);

@@ -41,9 +41,16 @@ class Problem {
   void set_sense(Sense s) { sense_ = s; }
 
   /// Add a variable with bounds [lo, hi] and objective coefficient `cost`.
-  /// Returns the variable's index.
+  /// Returns the variable's index. Names are debug-only: pass "" (or use the
+  /// unnamed overload) on hot model-building paths and a synthetic "x<j>" is
+  /// produced lazily if ever asked for.
   std::size_t add_variable(const std::string& name, double lo = 0.0, double hi = kInfinity,
                            double cost = 0.0);
+
+  /// Unnamed variable: no per-variable string allocation.
+  std::size_t add_variable(double lo, double hi = kInfinity, double cost = 0.0) {
+    return add_variable(std::string(), lo, hi, cost);
+  }
 
   /// Add a constraint with a dense coefficient vector. The vector may be
   /// shorter than the current variable count; missing entries are zero.
@@ -58,6 +65,11 @@ class Problem {
   double objective_coeff(std::size_t var) const;
 
   void set_bounds(std::size_t var, double lo, double hi);
+
+  /// Patch a constraint's right-hand side in place (coefficients and relation
+  /// unchanged). This is the trace-loop path for re-solving the same model
+  /// with a perturbed rhs without rebuilding it.
+  void set_rhs(std::size_t i, double rhs);
   double lower_bound(std::size_t var) const { return lo_.at(var); }
   double upper_bound(std::size_t var) const { return hi_.at(var); }
 
@@ -65,7 +77,8 @@ class Problem {
   std::size_t num_constraints() const { return constraints_.size(); }
 
   const Constraint& constraint(std::size_t i) const { return constraints_.at(i); }
-  const std::string& variable_name(std::size_t j) const { return var_names_.at(j); }
+  /// Debug-only accessor; synthesizes "x<j>" for unnamed variables.
+  std::string variable_name(std::size_t j) const;
   const std::vector<double>& objective() const { return cost_; }
 
   /// Evaluate the objective at a point.

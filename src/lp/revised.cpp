@@ -1,7 +1,9 @@
 #include "lp/revised.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <vector>
 
 #include "lp/standard_form.h"
@@ -11,114 +13,120 @@ namespace agora::lp {
 
 namespace {
 
-struct RevisedState {
-  const StandardForm* sf = nullptr;
-  std::vector<std::size_t> basis;  // length m
-  Matrix binv;                     // m x m basis inverse
-  std::vector<double> xb;          // current basic solution B^-1 b
+/// x_B = B^-1 b with the same arithmetic (dot per row) and denormal clamp as
+/// refactorize() has always used, but writing into reused storage.
+void compute_xb(const StandardForm& sf, SolveWorkspace& W) {
+  const std::size_t m = sf.rows();
+  W.xb.assign(m, 0.0);
+  for (std::size_t r = 0; r < m; ++r) W.xb[r] = dot(W.binv.row(r), sf.b);
+  for (double& v : W.xb)
+    if (std::fabs(v) < 1e-12) v = 0.0;
+}
 
-  std::size_t m() const { return basis.size(); }
-  std::size_t n() const { return sf->cols(); }
-
-  /// Rebuild binv and xb from the basis via LU factorization.
-  bool refactorize() {
-    const std::size_t mm = m();
-    Matrix bmat(mm, mm);
-    for (std::size_t i = 0; i < mm; ++i)
-      for (std::size_t r = 0; r < mm; ++r)
-        bmat.at_unchecked(r, i) = sf->a.at_unchecked(r, basis[i]);
-    LuFactorization lu(bmat);
-    if (lu.singular()) return false;
-    binv = Matrix(mm, mm);
-    std::vector<double> e(mm, 0.0);
-    for (std::size_t col = 0; col < mm; ++col) {
-      e[col] = 1.0;
-      const std::vector<double> x = lu.solve(e);
-      e[col] = 0.0;
-      for (std::size_t r = 0; r < mm; ++r) binv.at_unchecked(r, col) = x[r];
-    }
-    xb = binv * std::span<const double>(sf->b);
-    for (double& v : xb)
-      if (std::fabs(v) < 1e-12) v = 0.0;
-    return true;
+/// Rebuild binv and xb from the basis via LU factorization. Resets the
+/// cross-solve pivot counter.
+bool refactorize(const StandardForm& sf, SolveWorkspace& W) {
+  const std::size_t m = sf.rows();
+  W.bmat.assign(m, m);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t r = 0; r < m; ++r)
+      W.bmat.at_unchecked(r, i) = sf.a.at_unchecked(r, W.basis[i]);
+  LuFactorization lu(W.bmat);
+  if (lu.singular()) return false;
+  W.binv.assign(m, m);
+  std::vector<double> e(m, 0.0);
+  for (std::size_t col = 0; col < m; ++col) {
+    e[col] = 1.0;
+    const std::vector<double> x = lu.solve(e);
+    e[col] = 0.0;
+    for (std::size_t r = 0; r < m; ++r) W.binv.at_unchecked(r, col) = x[r];
   }
+  compute_xb(sf, W);
+  W.pivots_since_factor = 0;
+  return true;
+}
 
-  /// w = B^-1 * A_col.
-  std::vector<double> ftran(std::size_t col) const {
-    const std::size_t mm = m();
-    std::vector<double> w(mm, 0.0);
-    for (std::size_t k = 0; k < mm; ++k) {
-      const double a = sf->a.at_unchecked(k, col);
-      if (a == 0.0) continue;
-      for (std::size_t r = 0; r < mm; ++r) w[r] += binv.at_unchecked(r, k) * a;
-    }
-    return w;
+/// w = B^-1 A_col, iterating only the column's nonzeros (CSC).
+void ftran(const StandardForm& sf, SolveWorkspace& W, std::size_t col) {
+  const std::size_t m = sf.rows();
+  W.w.assign(m, 0.0);
+  for (std::size_t t = sf.col_start[col]; t < sf.col_start[col + 1]; ++t) {
+    const std::size_t k = sf.col_row[t];
+    const double a = sf.col_val[t];
+    for (std::size_t r = 0; r < m; ++r)
+      W.w[r] += W.binv.at_unchecked(r, k) * a;
   }
+}
 
-  /// y' = c_b' B^-1.
-  std::vector<double> btran(const std::vector<double>& cb) const {
-    const std::size_t mm = m();
-    std::vector<double> y(mm, 0.0);
-    for (std::size_t r = 0; r < mm; ++r) {
-      const double c = cb[r];
-      if (c == 0.0) continue;
-      for (std::size_t k = 0; k < mm; ++k) y[k] += c * binv.at_unchecked(r, k);
-    }
-    return y;
+/// y' = c_B' B^-1 into W.y.
+void btran(const StandardForm& sf, SolveWorkspace& W) {
+  const std::size_t m = sf.rows();
+  W.y.assign(m, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    const double c = W.cb[r];
+    if (c == 0.0) continue;
+    for (std::size_t k = 0; k < m; ++k) W.y[k] += c * W.binv.at_unchecked(r, k);
   }
+}
 
-  /// Elementary update of binv and xb after column `enter` (with tableau
-  /// column w) replaces the basic variable of row `leave`.
-  void update(std::size_t leave, std::size_t enter, const std::vector<double>& w) {
-    const std::size_t mm = m();
-    const double pivot = w[leave];
-    const double inv = 1.0 / pivot;
-    for (std::size_t k = 0; k < mm; ++k) binv.at_unchecked(leave, k) *= inv;
-    xb[leave] *= inv;
-    for (std::size_t r = 0; r < mm; ++r) {
-      if (r == leave) continue;
-      const double f = w[r];
-      if (f == 0.0) continue;
-      for (std::size_t k = 0; k < mm; ++k)
-        binv.at_unchecked(r, k) -= f * binv.at_unchecked(leave, k);
-      xb[r] -= f * xb[leave];
-      if (std::fabs(xb[r]) < 1e-12) xb[r] = 0.0;
-    }
-    basis[leave] = enter;
+/// Reduced cost d_j = c_j - y' A_j over the column's nonzeros.
+double reduced_cost(const StandardForm& sf, const SolveWorkspace& W,
+                    const std::vector<double>& cost, std::size_t j) {
+  double d = cost[j];
+  for (std::size_t t = sf.col_start[j]; t < sf.col_start[j + 1]; ++t)
+    d -= W.y[sf.col_row[t]] * sf.col_val[t];
+  return d;
+}
+
+/// Elementary update of binv and xb after column `enter` (with tableau
+/// column W.w) replaces the basic variable of row `leave`.
+void update(SolveWorkspace& W, std::size_t leave, std::size_t enter) {
+  const std::size_t m = W.basis.size();
+  const double pivot = W.w[leave];
+  const double inv = 1.0 / pivot;
+  for (std::size_t k = 0; k < m; ++k) W.binv.at_unchecked(leave, k) *= inv;
+  W.xb[leave] *= inv;
+  for (std::size_t r = 0; r < m; ++r) {
+    if (r == leave) continue;
+    const double f = W.w[r];
+    if (f == 0.0) continue;
+    for (std::size_t k = 0; k < m; ++k)
+      W.binv.at_unchecked(r, k) -= f * W.binv.at_unchecked(leave, k);
+    W.xb[r] -= f * W.xb[leave];
+    if (std::fabs(W.xb[r]) < 1e-12) W.xb[r] = 0.0;
   }
-};
+  W.basis[leave] = enter;
+  ++W.pivots_since_factor;
+}
 
 enum class PhaseOutcome { Optimal, Unbounded, IterationLimit, NumericalFailure };
 
-PhaseOutcome run_phase(RevisedState& st, const std::vector<double>& cost,
-                       const std::vector<bool>& allowed, const SolverOptions& opts,
+PhaseOutcome run_phase(const StandardForm& sf, SolveWorkspace& W,
+                       const std::vector<double>& cost, const SolverOptions& opts,
                        std::uint64_t& iterations) {
   std::uint64_t degenerate_streak = 0;
   std::uint64_t since_refactor = 0;
-  const std::size_t n = st.n();
-  std::vector<bool> in_basis(n, false);
-  for (std::size_t b : st.basis) in_basis[b] = true;
+  const std::size_t m = sf.rows();
+  const std::size_t n = sf.cols();
+  W.in_basis.assign(n, false);
+  for (std::size_t b : W.basis) W.in_basis[b] = true;
 
   for (std::uint64_t it = 0; it < opts.max_iterations; ++it) {
     if (since_refactor >= RevisedSimplexSolver::kRefactorInterval) {
-      if (!st.refactorize()) return PhaseOutcome::NumericalFailure;
+      if (!refactorize(sf, W)) return PhaseOutcome::NumericalFailure;
       since_refactor = 0;
     }
     // Price: y = c_B' B^-1, then reduced costs d_j = c_j - y' A_j.
-    std::vector<double> cb(st.m());
-    for (std::size_t r = 0; r < st.m(); ++r) cb[r] = cost[st.basis[r]];
-    const std::vector<double> y = st.btran(cb);
+    W.cb.assign(m, 0.0);
+    for (std::size_t r = 0; r < m; ++r) W.cb[r] = cost[W.basis[r]];
+    btran(sf, W);
 
     const bool bland = degenerate_streak >= opts.stall_threshold;
     std::size_t enter = n;
     double best = -opts.tol;
     for (std::size_t j = 0; j < n; ++j) {
-      if (!allowed[j] || in_basis[j]) continue;
-      double d = cost[j];
-      for (std::size_t r = 0; r < st.m(); ++r) {
-        const double a = st.sf->a.at_unchecked(r, j);
-        if (a != 0.0) d -= y[r] * a;
-      }
+      if (!W.allowed[j] || W.in_basis[j]) continue;
+      const double d = reduced_cost(sf, W, cost, j);
       if (d < (bland ? -opts.tol : best)) {
         enter = j;
         if (bland) break;
@@ -127,35 +135,127 @@ PhaseOutcome run_phase(RevisedState& st, const std::vector<double>& cost,
     }
     if (enter == n) return PhaseOutcome::Optimal;
 
-    const std::vector<double> w = st.ftran(enter);
-    std::size_t leave = st.m();
+    ftran(sf, W, enter);
+    std::size_t leave = m;
     double best_ratio = std::numeric_limits<double>::infinity();
-    for (std::size_t r = 0; r < st.m(); ++r) {
-      if (w[r] <= opts.tol) continue;
-      const double ratio = st.xb[r] / w[r];
+    for (std::size_t r = 0; r < m; ++r) {
+      if (W.w[r] <= opts.tol) continue;
+      const double ratio = W.xb[r] / W.w[r];
       const bool better = ratio < best_ratio - opts.tol ||
-                          (ratio < best_ratio + opts.tol && leave < st.m() &&
-                           st.basis[r] < st.basis[leave]);
+                          (ratio < best_ratio + opts.tol && leave < m &&
+                           W.basis[r] < W.basis[leave]);
       if (better) {
         best_ratio = ratio;
         leave = r;
       }
     }
-    if (leave == st.m()) return PhaseOutcome::Unbounded;
+    if (leave == m) return PhaseOutcome::Unbounded;
 
     degenerate_streak = best_ratio <= opts.tol ? degenerate_streak + 1 : 0;
-    in_basis[st.basis[leave]] = false;
-    in_basis[enter] = true;
-    st.update(leave, enter, w);
+    W.in_basis[W.basis[leave]] = false;
+    W.in_basis[enter] = true;
+    update(W, leave, enter);
     ++iterations;
     ++since_refactor;
   }
   return PhaseOutcome::IterationLimit;
 }
 
+/// Bounded dual-simplex repair: the warm basis is dual feasible for the
+/// phase-2 cost (A and c are unchanged since it was optimal), so pivoting
+/// negative basic variables out restores primal feasibility while keeping
+/// optimality conditions. Returns false on any trouble (iteration bound,
+/// no eligible entering column, numerical failure) -- the caller then falls
+/// back to the cold two-phase start.
+bool warm_repair(const StandardForm& sf, SolveWorkspace& W, const SolverOptions& opts,
+                 std::uint64_t& iterations) {
+  const std::size_t m = sf.rows();
+  const std::size_t n = sf.cols();
+  const std::uint64_t limit = 2 * static_cast<std::uint64_t>(m) + 16;
+  W.in_basis.assign(n, false);
+  for (std::size_t b : W.basis) W.in_basis[b] = true;
+
+  for (std::uint64_t it = 0; it < limit; ++it) {
+    if (W.pivots_since_factor >= RevisedSimplexSolver::kRefactorInterval) {
+      if (!refactorize(sf, W)) return false;
+    }
+    // Most infeasible row leaves.
+    std::size_t leave = m;
+    double worst = -opts.tol;
+    for (std::size_t r = 0; r < m; ++r) {
+      if (W.xb[r] < worst) {
+        worst = W.xb[r];
+        leave = r;
+      }
+    }
+    if (leave == m) return true;  // primal feasible again
+
+    W.cb.assign(m, 0.0);
+    for (std::size_t r = 0; r < m; ++r) W.cb[r] = sf.c[W.basis[r]];
+    btran(sf, W);
+
+    // Dual ratio test over the leaving row alpha_j = (B^-1)_leave . A_j.
+    const std::span<const double> rho = W.binv.row(leave);
+    std::size_t enter = n;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (W.in_basis[j] || sf.is_artificial[j]) continue;
+      double alpha = 0.0;
+      for (std::size_t t = sf.col_start[j]; t < sf.col_start[j + 1]; ++t)
+        alpha += rho[sf.col_row[t]] * sf.col_val[t];
+      if (alpha >= -opts.tol) continue;
+      double d = reduced_cost(sf, W, sf.c, j);
+      if (d < 0.0) d = 0.0;  // tolerance dust; the basis was optimal
+      const double ratio = d / (-alpha);
+      if (ratio < best_ratio - opts.tol ||
+          (ratio < best_ratio + opts.tol && enter < n && j < enter)) {
+        best_ratio = ratio;
+        enter = j;
+      }
+    }
+    if (enter == n) return false;  // row cannot be repaired: let cold path decide
+
+    ftran(sf, W, enter);
+    if (std::fabs(W.w[leave]) <= opts.tol) return false;  // numerical mismatch
+    W.in_basis[W.basis[leave]] = false;
+    W.in_basis[enter] = true;
+    update(W, leave, enter);
+    ++iterations;
+  }
+  return false;
+}
+
+/// Re-seat the previous optimal basis against the rebuilt standard form.
+/// Returns true when the workspace is primal feasible and phase 1 can be
+/// skipped entirely.
+bool try_warm_start(const StandardForm& sf, SolveWorkspace& W, const SolverOptions& opts,
+                    std::uint64_t& iterations) {
+  const std::size_t m = sf.rows();
+  if (W.warm_basis.size() != m) return false;
+  W.basis = W.warm_basis;
+  if (W.pivots_since_factor >= RevisedSimplexSolver::kRefactorInterval) {
+    if (!refactorize(sf, W)) return false;
+  } else {
+    // The basis matrix is unchanged (same columns of the same A), so the
+    // retained inverse is still exact: only x_B = B^-1 b must be recomputed.
+    compute_xb(sf, W);
+  }
+  double min_xb = 0.0;
+  for (std::size_t r = 0; r < m; ++r) {
+    // A basic artificial pushed positive means an original row is violated
+    // at this basis; that needs phase 1, not repair.
+    if (sf.is_artificial[W.basis[r]] && W.xb[r] > 1e-7) return false;
+    min_xb = std::min(min_xb, W.xb[r]);
+  }
+  if (min_xb >= -opts.tol) return true;
+  return warm_repair(sf, W, opts, iterations);
+}
+
 }  // namespace
 
-SolveResult RevisedSimplexSolver::solve(const Problem& p) const {
+SolveResult RevisedSimplexSolver::solve(const Problem& p) const { return solve(p, nullptr); }
+
+SolveResult RevisedSimplexSolver::solve(const Problem& p, SolveWorkspace* ws) const {
   SolveResult res;
   if (p.num_variables() == 0) {
     res.status = Status::Optimal;
@@ -169,43 +269,59 @@ SolveResult RevisedSimplexSolver::solve(const Problem& p) const {
     return res;
   }
 
-  StandardForm sf = build_standard_form(p);
-  RevisedState st;
-  st.sf = &sf;
-  st.basis = sf.initial_basis;
-  if (!st.refactorize()) {
-    // The initial slack/artificial basis is an identity; failure here would
-    // be a construction bug.
-    res.status = Status::Infeasible;
-    return res;
+  std::optional<SolveWorkspace> local;
+  SolveWorkspace& W = ws ? *ws : local.emplace();
+  rebuild_standard_form(p, W.sf);
+  const StandardForm& sf = W.sf;
+  const std::size_t m = sf.rows();
+  const std::size_t n = sf.cols();
+
+  // Warm start only when the previous optimum used the exact same (A, c):
+  // the fingerprint keys on the matrix and objective, so bounds/rhs motion
+  // (the trace-loop perturbation) warms up while anything else cold-starts.
+  bool warmed = false;
+  if (ws && W.warm && W.warm_rows == m && W.warm_cols == n &&
+      W.warm_fingerprint == sf.fingerprint) {
+    W.warm = false;  // re-established only if this solve reaches optimality
+    warmed = try_warm_start(sf, W, opts_, res.iterations);
+  } else if (ws) {
+    W.warm = false;
   }
 
-  const std::size_t n = sf.cols();
-  std::vector<bool> allow_all(n, true);
-
-  if (sf.has_artificials()) {
-    std::vector<double> phase1(n, 0.0);
-    for (std::size_t j = 0; j < n; ++j)
-      if (sf.is_artificial[j]) phase1[j] = 1.0;
-    const PhaseOutcome out = run_phase(st, phase1, allow_all, opts_, res.iterations);
-    if (out == PhaseOutcome::IterationLimit || out == PhaseOutcome::NumericalFailure) {
-      res.status = Status::IterationLimit;
-      return res;
-    }
-    double art_sum = 0.0;
-    for (std::size_t r = 0; r < st.m(); ++r)
-      if (sf.is_artificial[st.basis[r]]) art_sum += st.xb[r];
-    if (art_sum > 1e-7) {
+  if (!warmed) {
+    W.basis = sf.initial_basis;
+    if (!refactorize(sf, W)) {
+      // The initial slack/artificial basis is an identity; failure here would
+      // be a construction bug.
       res.status = Status::Infeasible;
       return res;
     }
+
+    if (sf.has_artificials()) {
+      W.cost1.assign(n, 0.0);
+      for (std::size_t j = 0; j < n; ++j)
+        if (sf.is_artificial[j]) W.cost1[j] = 1.0;
+      W.allowed.assign(n, true);
+      const PhaseOutcome out = run_phase(sf, W, W.cost1, opts_, res.iterations);
+      if (out == PhaseOutcome::IterationLimit || out == PhaseOutcome::NumericalFailure) {
+        res.status = Status::IterationLimit;
+        return res;
+      }
+      double art_sum = 0.0;
+      for (std::size_t r = 0; r < m; ++r)
+        if (sf.is_artificial[W.basis[r]]) art_sum += W.xb[r];
+      if (art_sum > 1e-7) {
+        res.status = Status::Infeasible;
+        return res;
+      }
+    }
   }
 
-  std::vector<bool> allowed(n, true);
+  W.allowed.assign(n, true);
   for (std::size_t j = 0; j < n; ++j)
-    if (sf.is_artificial[j]) allowed[j] = false;
+    if (sf.is_artificial[j]) W.allowed[j] = false;
 
-  const PhaseOutcome out = run_phase(st, sf.c, allowed, opts_, res.iterations);
+  const PhaseOutcome out = run_phase(sf, W, sf.c, opts_, res.iterations);
   switch (out) {
     case PhaseOutcome::IterationLimit:
     case PhaseOutcome::NumericalFailure:
@@ -218,26 +334,34 @@ SolveResult RevisedSimplexSolver::solve(const Problem& p) const {
       break;
   }
 
-  std::vector<double> ysol(n, 0.0);
-  for (std::size_t r = 0; r < st.m(); ++r) ysol[st.basis[r]] = st.xb[r];
-  res.x = recover_solution(sf, ysol, p.num_variables());
+  W.ysol.assign(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) W.ysol[W.basis[r]] = W.xb[r];
+  res.x = recover_solution(sf, W.ysol, p.num_variables());
   double obj = sf.c0;
-  for (std::size_t j = 0; j < n; ++j) obj += sf.c[j] * ysol[j];
+  for (std::size_t j = 0; j < n; ++j) obj += sf.c[j] * W.ysol[j];
   res.objective = sf.obj_scale * obj;
 
   // Shadow prices: y = c_B' B^{-1}, mapped through row negation and sense.
   {
-    std::vector<double> cb(st.m());
-    for (std::size_t r = 0; r < st.m(); ++r) cb[r] = sf.c[st.basis[r]];
-    const std::vector<double> y = st.btran(cb);
+    W.cb.assign(m, 0.0);
+    for (std::size_t r = 0; r < m; ++r) W.cb[r] = sf.c[W.basis[r]];
+    btran(sf, W);
     res.duals.assign(p.num_constraints(), 0.0);
-    for (std::size_t r = 0; r < st.m(); ++r) {
+    for (std::size_t r = 0; r < m; ++r) {
       const std::size_t origin = sf.row_origin[r];
       if (origin == static_cast<std::size_t>(-1)) continue;
-      res.duals[origin] = sf.obj_scale * (sf.row_negated[r] ? -y[r] : y[r]);
+      res.duals[origin] = sf.obj_scale * (sf.row_negated[r] ? -W.y[r] : W.y[r]);
     }
   }
   res.status = Status::Optimal;
+
+  if (ws) {
+    W.warm_basis = W.basis;
+    W.warm_rows = m;
+    W.warm_cols = n;
+    W.warm_fingerprint = sf.fingerprint;
+    W.warm = true;
+  }
   return res;
 }
 

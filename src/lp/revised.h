@@ -11,6 +11,7 @@
 
 #include "lp/problem.h"
 #include "lp/result.h"
+#include "lp/workspace.h"
 
 namespace agora::lp {
 
@@ -18,7 +19,16 @@ class RevisedSimplexSolver {
  public:
   explicit RevisedSimplexSolver(SolverOptions opts = {}) : opts_(opts) {}
 
+  /// One-shot cold solve.
   SolveResult solve(const Problem& p) const;
+
+  /// Amortized solve: `ws` (when non-null) supplies reusable scratch and the
+  /// previous optimal basis as a warm start. Contract: between calls that
+  /// share a workspace, only the problem's bounds and constraint rhs may
+  /// change -- a changed matrix or objective is detected via the
+  /// standard-form fingerprint and demoted to a cold start. Passing nullptr
+  /// is exactly the historical cold solve.
+  SolveResult solve(const Problem& p, SolveWorkspace* ws) const;
 
   /// Refactorize the basis inverse from scratch every this many pivots to
   /// bound numerical drift.

@@ -6,15 +6,11 @@ namespace agora::lp {
 
 namespace {
 
-/// Intermediate row during construction: dense structural coefficients,
-/// relation, rhs.
-struct Row {
-  std::vector<double> coeffs;  // over structural columns
-  Relation rel;
-  double rhs;
-  std::size_t origin;  // original constraint index, SIZE_MAX for bound rows
-  bool negated = false;
-};
+Relation flipped(Relation rel) {
+  if (rel == Relation::LessEqual) return Relation::GreaterEqual;
+  if (rel == Relation::GreaterEqual) return Relation::LessEqual;
+  return Relation::Equal;
+}
 
 }  // namespace
 
@@ -25,16 +21,22 @@ bool StandardForm::has_artificials() const {
 }
 
 StandardForm build_standard_form(const Problem& p) {
+  StandardForm sf;
+  rebuild_standard_form(p, sf);
+  return sf;
+}
+
+void rebuild_standard_form(const Problem& p, StandardForm& sf) {
   p.validate();
   const std::size_t nv = p.num_variables();
 
-  StandardForm sf;
   sf.obj_scale = p.sense() == Sense::Minimize ? 1.0 : -1.0;
-  sf.var_map.resize(nv);
+  sf.c0 = 0.0;
+  sf.var_map.assign(nv, StandardForm::VarMap{});
 
   // --- 1. Lay out structural columns and the variable mapping. ------------
   std::size_t ncols = 0;
-  std::vector<double> struct_cost;  // minimization cost per structural column
+  std::size_t n_bound_rows = 0;
   for (std::size_t j = 0; j < nv; ++j) {
     const double lo = p.lower_bound(j);
     const double hi = p.upper_bound(j);
@@ -44,107 +46,129 @@ StandardForm build_standard_form(const Problem& p) {
       vm.kind = StandardForm::VarMap::Kind::Shifted;
       vm.col = ncols++;
       vm.offset = lo;
-      struct_cost.push_back(cost);
       sf.c0 += cost * lo;
+      if (std::isfinite(hi)) ++n_bound_rows;
     } else if (std::isfinite(hi)) {
       vm.kind = StandardForm::VarMap::Kind::Mirrored;
       vm.col = ncols++;
       vm.offset = hi;
-      struct_cost.push_back(-cost);
       sf.c0 += cost * hi;
     } else {
       vm.kind = StandardForm::VarMap::Kind::Split;
       vm.col = ncols++;
       vm.neg_col = ncols++;
-      struct_cost.push_back(cost);
-      struct_cost.push_back(-cost);
     }
   }
   sf.num_structural = ncols;
 
-  // --- 2. Collect rows: original constraints, then finite-range bound rows.
-  std::vector<Row> rows;
-  rows.reserve(p.num_constraints() + nv);
+  // --- 2. Row pass: transformed rhs, negation, aux-column counts. ---------
+  // Rows are the original constraints followed by one y <= hi - lo row per
+  // finite-range shifted variable. Only the transformed rhs decides the
+  // negation, so coefficients need not be materialized yet.
+  const std::size_t m = p.num_constraints() + n_bound_rows;
+  sf.b.assign(m, 0.0);
+  sf.row_origin.assign(m, static_cast<std::size_t>(-1));
+  sf.row_negated.assign(m, false);
+
+  // rel_of(i): the row's relation after negation; recomputed on demand so no
+  // scratch vector is needed.
+  const auto base_rel = [&](std::size_t i) {
+    return i < p.num_constraints() ? p.constraint(i).rel : Relation::LessEqual;
+  };
+  const auto rel_of = [&](std::size_t i) {
+    return sf.row_negated[i] ? flipped(base_rel(i)) : base_rel(i);
+  };
+
   for (std::size_t i = 0; i < p.num_constraints(); ++i) {
     const Constraint& con = p.constraint(i);
-    Row r;
-    r.coeffs.assign(ncols, 0.0);
-    r.rel = con.rel;
-    r.rhs = con.rhs;
-    r.origin = i;
+    double rhs = con.rhs;
+    for (std::size_t j = 0; j < nv; ++j) {
+      const double a = con.coeffs[j];
+      if (a == 0.0) continue;
+      const auto& vm = sf.var_map[j];
+      if (vm.kind != StandardForm::VarMap::Kind::Split) rhs -= a * vm.offset;
+    }
+    sf.b[i] = rhs;
+    sf.row_origin[i] = i;
+  }
+  {
+    std::size_t row = p.num_constraints();
+    for (std::size_t j = 0; j < nv; ++j) {
+      const auto& vm = sf.var_map[j];
+      if (vm.kind != StandardForm::VarMap::Kind::Shifted) continue;
+      const double hi = p.upper_bound(j);
+      if (!std::isfinite(hi)) continue;
+      sf.b[row++] = hi - p.lower_bound(j);
+    }
+  }
+
+  std::size_t n_slack = 0;
+  std::size_t n_art = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (sf.b[i] < 0.0) {
+      sf.b[i] = -sf.b[i];
+      sf.row_negated[i] = true;
+    }
+    const Relation rel = rel_of(i);
+    if (rel != Relation::Equal) ++n_slack;
+    if (rel != Relation::LessEqual) ++n_art;
+  }
+
+  // --- 3. Size the arrays (reusing capacity) and set the costs. -----------
+  const std::size_t total = ncols + n_slack + n_art;
+  sf.a.assign(m, total);
+  sf.c.assign(total, 0.0);
+  for (std::size_t j = 0; j < nv; ++j) {
+    const auto& vm = sf.var_map[j];
+    const double cost = sf.obj_scale * p.objective_coeff(j);
+    switch (vm.kind) {
+      case StandardForm::VarMap::Kind::Shifted: sf.c[vm.col] = cost; break;
+      case StandardForm::VarMap::Kind::Mirrored: sf.c[vm.col] = -cost; break;
+      case StandardForm::VarMap::Kind::Split:
+        sf.c[vm.col] = cost;
+        sf.c[vm.neg_col] = -cost;
+        break;
+    }
+  }
+  sf.is_artificial.assign(total, false);
+  sf.initial_basis.assign(m, 0);
+
+  // --- 4. Fill the matrix and pick the starting basis. --------------------
+  for (std::size_t i = 0; i < p.num_constraints(); ++i) {
+    const Constraint& con = p.constraint(i);
+    const double sgn = sf.row_negated[i] ? -1.0 : 1.0;
     for (std::size_t j = 0; j < nv; ++j) {
       const double a = con.coeffs[j];
       if (a == 0.0) continue;
       const auto& vm = sf.var_map[j];
       switch (vm.kind) {
         case StandardForm::VarMap::Kind::Shifted:
-          r.coeffs[vm.col] += a;
-          r.rhs -= a * vm.offset;
+          sf.a.at_unchecked(i, vm.col) += sgn * a;
           break;
         case StandardForm::VarMap::Kind::Mirrored:
-          r.coeffs[vm.col] -= a;
-          r.rhs -= a * vm.offset;
+          sf.a.at_unchecked(i, vm.col) -= sgn * a;
           break;
         case StandardForm::VarMap::Kind::Split:
-          r.coeffs[vm.col] += a;
-          r.coeffs[vm.neg_col] -= a;
+          sf.a.at_unchecked(i, vm.col) += sgn * a;
+          sf.a.at_unchecked(i, vm.neg_col) -= sgn * a;
           break;
       }
     }
-    rows.push_back(std::move(r));
   }
-  // Finite [lo, hi] ranges on shifted variables become y <= hi - lo rows.
-  for (std::size_t j = 0; j < nv; ++j) {
-    const auto& vm = sf.var_map[j];
-    if (vm.kind != StandardForm::VarMap::Kind::Shifted) continue;
-    const double hi = p.upper_bound(j);
-    if (!std::isfinite(hi)) continue;
-    Row r;
-    r.coeffs.assign(ncols, 0.0);
-    r.coeffs[vm.col] = 1.0;
-    r.rel = Relation::LessEqual;
-    r.rhs = hi - p.lower_bound(j);
-    r.origin = static_cast<std::size_t>(-1);
-    rows.push_back(std::move(r));
-  }
-
-  // --- 3. Normalize rhs signs and count auxiliary columns. ----------------
-  const std::size_t m = rows.size();
-  std::size_t n_slack = 0;
-  std::size_t n_art = 0;
-  for (auto& r : rows) {
-    if (r.rhs < 0.0) {
-      for (double& v : r.coeffs) v = -v;
-      r.rhs = -r.rhs;
-      r.negated = true;
-      if (r.rel == Relation::LessEqual) r.rel = Relation::GreaterEqual;
-      else if (r.rel == Relation::GreaterEqual) r.rel = Relation::LessEqual;
+  {
+    std::size_t row = p.num_constraints();
+    for (std::size_t j = 0; j < nv; ++j) {
+      const auto& vm = sf.var_map[j];
+      if (vm.kind != StandardForm::VarMap::Kind::Shifted) continue;
+      if (!std::isfinite(p.upper_bound(j))) continue;
+      sf.a.at_unchecked(row, vm.col) = sf.row_negated[row] ? -1.0 : 1.0;
+      ++row;
     }
-    if (r.rel != Relation::Equal) ++n_slack;
-    if (r.rel != Relation::LessEqual) ++n_art;
   }
 
-  const std::size_t total = ncols + n_slack + n_art;
-  sf.a = Matrix(m, total);
-  sf.b.resize(m);
-  sf.c.assign(total, 0.0);
-  for (std::size_t j = 0; j < ncols; ++j) sf.c[j] = struct_cost[j];
-  sf.is_artificial.assign(total, false);
-  sf.initial_basis.resize(m);
-  sf.row_origin.resize(m);
-  sf.row_negated.resize(m);
-  for (std::size_t i = 0; i < m; ++i) {
-    sf.row_origin[i] = rows[i].origin;
-    sf.row_negated[i] = rows[i].negated;
-  }
-
-  // --- 4. Fill the matrix and pick the starting basis. --------------------
   std::size_t next_aux = ncols;
   for (std::size_t i = 0; i < m; ++i) {
-    const Row& r = rows[i];
-    for (std::size_t j = 0; j < ncols; ++j) sf.a.at_unchecked(i, j) = r.coeffs[j];
-    sf.b[i] = r.rhs;
-    switch (r.rel) {
+    switch (rel_of(i)) {
       case Relation::LessEqual: {
         const std::size_t s = next_aux++;
         sf.a.at_unchecked(i, s) = 1.0;
@@ -170,7 +194,33 @@ StandardForm build_standard_form(const Problem& p) {
     }
   }
   AGORA_INVARIANT(next_aux == total, "auxiliary column accounting mismatch");
-  return sf;
+
+  // --- 5. CSC mirror of A plus the (A, c, shape) fingerprint. -------------
+  sf.col_start.assign(total + 1, 0);
+  for (std::size_t j = 0; j < total; ++j) {
+    std::size_t nnz = 0;
+    for (std::size_t i = 0; i < m; ++i)
+      if (sf.a.at_unchecked(i, j) != 0.0) ++nnz;
+    sf.col_start[j + 1] = sf.col_start[j] + nnz;
+  }
+  const std::size_t nnz_total = sf.col_start[total];
+  sf.col_row.assign(nnz_total, 0);
+  sf.col_val.assign(nnz_total, 0.0);
+  double fp = static_cast<double>(m) * 1e6 + static_cast<double>(total) * 1e3;
+  for (std::size_t j = 0; j < total; ++j) {
+    std::size_t at = sf.col_start[j];
+    for (std::size_t i = 0; i < m; ++i) {
+      const double v = sf.a.at_unchecked(i, j);
+      if (v == 0.0) continue;
+      sf.col_row[at] = i;
+      sf.col_val[at] = v;
+      ++at;
+      fp += v * (static_cast<double>(i + 1) * 0.5 + static_cast<double>(j + 1) * 1.25);
+    }
+  }
+  for (std::size_t j = 0; j < total; ++j)
+    fp += sf.c[j] * static_cast<double>(j + 1) * 1e-3;
+  sf.fingerprint = fp;
 }
 
 std::vector<double> recover_solution(const StandardForm& sf, const std::vector<double>& y,

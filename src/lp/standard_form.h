@@ -49,6 +49,22 @@ struct StandardForm {
   std::vector<std::size_t> row_origin;
   std::vector<bool> row_negated;
 
+  /// Compressed-sparse-column copy of `a`, rebuilt alongside it. The
+  /// allocation LPs are very sparse (flow rows have 2 nonzeros), so the
+  /// revised simplex prices and ftrans over these arrays instead of paying
+  /// dense O(m) per column. Row indices within a column are ascending, so
+  /// iterating a column visits exactly the nonzeros the dense scan would,
+  /// in the same order (bit-identical arithmetic).
+  std::vector<std::size_t> col_start;  ///< length cols()+1.
+  std::vector<std::size_t> col_row;    ///< nnz row indices.
+  std::vector<double> col_val;         ///< nnz values.
+
+  /// Order-deterministic digest of (A, c, shape). Two standard forms with
+  /// equal fingerprints were built from problems with the same constraint
+  /// matrix and objective -- only b (rhs / bounds) may differ. Warm starts
+  /// key on this: a reused basis is only valid against an unchanged matrix.
+  double fingerprint = 0.0;
+
   std::size_t rows() const { return b.size(); }
   std::size_t cols() const { return c.size(); }
   bool has_artificials() const;
@@ -56,6 +72,13 @@ struct StandardForm {
 
 /// Build the standard form. Throws PreconditionError on invalid problems.
 StandardForm build_standard_form(const Problem& p);
+
+/// In-place variant: rebuilds `sf` from `p`, reusing all of `sf`'s heap
+/// storage. Repeated calls with problems of identical shape perform no
+/// allocations -- this is the per-request path of the trace-driven
+/// enforcement loop. Produces exactly the same standard form as
+/// build_standard_form(p).
+void rebuild_standard_form(const Problem& p, StandardForm& sf);
 
 /// Map a standard-form point y back to the original variable space.
 std::vector<double> recover_solution(const StandardForm& sf, const std::vector<double>& y,

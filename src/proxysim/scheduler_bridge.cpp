@@ -20,6 +20,9 @@ SchedulerBridge::SchedulerBridge(const SimConfig& cfg)
     agree::AgreementSystem sys(n_);
     sys.relative = agreements_;
     allocator_ = std::make_unique<alloc::Allocator>(std::move(sys), cfg.alloc_opts);
+  } else if (kind_ == SchedulerKind::Endpoint) {
+    endpoint_sys_ = agree::AgreementSystem(n_);
+    endpoint_sys_.relative = agreements_;
   }
 }
 
@@ -45,19 +48,19 @@ RedirectDecision SchedulerBridge::plan(std::size_t origin, double overflow,
   // Graceful degradation: a proxy whose availability is stale/unreachable
   // must not be planned as a donor -- its spare is treated as zero rather
   // than trusting phantom capacity. The origin always plans itself.
-  std::vector<double> usable = spare;
-  std::vector<double> budget = static_budget_;
+  usable_ = spare;
+  budget_ = static_budget_;
   if (!reachable.empty()) {
     for (std::size_t k = 0; k < n_; ++k) {
       if (k == origin || reachable[k]) continue;
-      usable[k] = 0.0;
-      budget[k] = 0.0;
+      usable_[k] = 0.0;
+      budget_[k] = 0.0;
       ++dec.masked_donors;
     }
   }
 
   if (kind_ == SchedulerKind::Lp) {
-    allocator_->set_capacities(usable);
+    allocator_->set_capacities(std::span<const double>(usable_));
     // Partial redirection: place as much of the overflow as transitive
     // agreements allow; the LP decides the local/remote split (the origin's
     // own spare enters as d_origin) and minimizes the global perturbation.
@@ -85,10 +88,8 @@ RedirectDecision SchedulerBridge::plan(std::size_t origin, double overflow,
   // the paper ("the non-linear scheme tends to redistribute requests to
   // nearby ISPs no matter whether they are busy or not"). Remainder stays
   // local (endpoint_allocate puts it into draw[origin]).
-  agree::AgreementSystem sys(n_);
-  sys.relative = agreements_;
-  sys.capacity = budget;
-  const alloc::AllocationPlan plan = alloc::endpoint_allocate(sys, origin, overflow);
+  endpoint_sys_.capacity = budget_;  // structure persists; only V changes
+  const alloc::AllocationPlan plan = alloc::endpoint_allocate(endpoint_sys_, origin, overflow);
   dec.absorb = plan.draw;
   return dec;
 }

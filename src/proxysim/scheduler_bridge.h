@@ -52,8 +52,15 @@ class SchedulerBridge {
   Matrix agreements_;
   std::vector<double> retained_;
   std::vector<double> static_budget_;
-  /// LP scheme state (unused for Endpoint).
+  /// LP scheme state (unused for Endpoint). The Allocator is persistent so
+  /// its transitive closure, model cache and solver workspace all amortize
+  /// across the thousands of per-epoch consults of a trace run.
   std::unique_ptr<alloc::Allocator> allocator_;
+  /// Endpoint scheme state: the agreement structure never changes between
+  /// consults, only the capacity vector is patched per plan() call.
+  agree::AgreementSystem endpoint_sys_;
+  /// Reused per-consult scratch (masked spare / budget vectors).
+  std::vector<double> usable_, budget_;
 };
 
 }  // namespace agora::proxysim

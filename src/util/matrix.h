@@ -36,6 +36,15 @@ class Matrix {
   /// n x n identity.
   static Matrix identity(std::size_t n);
 
+  /// Reshape to rows x cols with every entry set to `fill`, reusing the
+  /// existing heap allocation when capacity allows. Hot-path friendly:
+  /// repeated assign() to the same shape performs no allocation.
+  void assign(std::size_t rows, std::size_t cols, double fill = 0.0) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+  }
+
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
   bool empty() const { return data_.empty(); }

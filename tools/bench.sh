@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# LP solver benchmark harness: builds micro_lp and micro_warmstart in
+# Release, runs them, and merges the results into BENCH_lp.json at the repo
+# root (iterations, ns/solve, allocs/solve, plus the warm-vs-cold iteration
+# ratio from micro_warmstart's verification pass).
+# Usage: tools/bench.sh   (from the repository root)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD=build-release
+OUT=bench_results
+mkdir -p "${OUT}"
+
+cmake -B "${BUILD}" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "${BUILD}" -j --target micro_lp micro_warmstart
+
+"./${BUILD}/bench/micro_lp" \
+  --benchmark_out="${OUT}/micro_lp.json" --benchmark_out_format=json
+# micro_warmstart prints its WARMSTART verification line (cold/warm pivot
+# counts, theta agreement) before the benchmark table; keep it for the merge.
+"./${BUILD}/bench/micro_warmstart" \
+  --benchmark_out="${OUT}/micro_warmstart.json" --benchmark_out_format=json \
+  | tee "${OUT}/warmstart_summary.txt"
+
+python3 tools/bench_lp_json.py \
+  "${OUT}/micro_lp.json" "${OUT}/micro_warmstart.json" \
+  "${OUT}/warmstart_summary.txt" BENCH_lp.json
+
+echo "bench: BENCH_lp.json written"

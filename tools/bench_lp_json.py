@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Merge google-benchmark JSON output from micro_lp and micro_warmstart into
+the compact BENCH_lp.json the repo tracks (see tools/bench.sh).
+
+Usage: bench_lp_json.py <micro_lp.json> <micro_warmstart.json> \
+                        <warmstart_summary.txt> <out.json>
+
+Only the Python standard library is used. For every benchmark we keep the
+iteration count, ns/solve (real time) and -- where the benchmark reports it
+-- allocations and LP pivots per solve. The micro_warmstart verification
+line (WARMSTART theta_max_diff=... cold_iters=... warm_iters=...
+iter_ratio=...) is parsed into a "warmstart" block so the acceptance metric
+is recorded alongside the timings.
+"""
+
+import json
+import re
+import sys
+
+
+def load_benchmarks(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = []
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        entry = {
+            "name": b["name"],
+            "iterations": b.get("iterations", 0),
+            "ns_per_solve": round(float(b.get("real_time", 0.0)), 2),
+        }
+        for counter in ("allocs_per_solve", "lp_iters_per_solve"):
+            if counter in b:
+                entry[counter] = round(float(b[counter]), 3)
+        out.append(entry)
+    return out, doc.get("context", {})
+
+
+def parse_summary(path):
+    with open(path) as f:
+        text = f.read()
+    m = re.search(
+        r"WARMSTART theta_max_diff=(\S+) cold_iters=(\d+) warm_iters=(\d+) iter_ratio=(\S+)",
+        text,
+    )
+    if not m:
+        raise SystemExit(f"no WARMSTART summary line found in {path}")
+    return {
+        "theta_max_diff": float(m.group(1)),
+        "cold_iters": int(m.group(2)),
+        "warm_iters": int(m.group(3)),
+        "iter_ratio": float(m.group(4)),
+    }
+
+
+def main(argv):
+    if len(argv) != 5:
+        raise SystemExit(__doc__)
+    lp_benches, context = load_benchmarks(argv[1])
+    warm_benches, _ = load_benchmarks(argv[2])
+    doc = {
+        "schema": "agora-bench-lp/1",
+        "build_type": context.get("library_build_type", "unknown"),
+        "num_cpus": context.get("num_cpus", 0),
+        "benchmarks": lp_benches + warm_benches,
+        "warmstart": parse_summary(argv[3]),
+    }
+    with open(argv[4], "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"wrote {argv[4]}")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

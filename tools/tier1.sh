@@ -19,3 +19,4 @@ cmake --build build-asan -j --target rms_test rms_chaos_test fuzz_test
 ./build-asan/tests/rms_chaos_test
 ./build-asan/tests/fuzz_test
 echo "tier1: all green"
+echo "tier1: LP perf numbers (BENCH_lp.json) are produced by tools/bench.sh"
