@@ -12,10 +12,17 @@ namespace agora::alloc {
 
 namespace {
 constexpr double kFeasTol = 1e-9;
+
+lp::PipelineOptions pipeline_options(const AllocatorOptions& opts) {
+  lp::PipelineOptions po;
+  po.solver = opts.solver;
+  po.prefer_revised = opts.engine == LpEngine::Revised;
+  return po;
 }
+}  // namespace
 
 Allocator::Allocator(agree::AgreementSystem sys, AllocatorOptions opts)
-    : sys_(std::move(sys)), opts_(opts) {
+    : sys_(std::move(sys)), opts_(opts), pipeline_(pipeline_options(opts)) {
   sys_.validate(/*allow_overdraft=*/true);
   // The expensive part (simple-path enumeration) depends only on S; do it
   // once and keep the K matrix cached across capacity updates.
@@ -49,8 +56,16 @@ lp::SolveResult Allocator::run_solver(const lp::Problem& p) const {
       return lp::RevisedSimplexSolver(opts_.solver).solve(q);
     return lp::SimplexSolver(opts_.solver).solve(q);
   };
-  if (opts_.presolve) return lp::solve_with_presolve(p, solve);
+  if (opts_.presolve) return lp::solve_with_presolve(p, solve, opts_.solver.tols);
   return solve(p);
+}
+
+lp::SolveResult Allocator::run_certified(const lp::Problem& p, lp::SolveWorkspace* ws,
+                                         AllocationPlan& plan) const {
+  lp::PipelineResult pr = ws ? pipeline_.solve(p, ws) : pipeline_.solve(p);
+  plan.certified = pr.certified();
+  plan.solver_fallbacks = pr.fallbacks;
+  return std::move(pr.result);
 }
 
 AllocationPlan Allocator::allocate(std::size_t a, double amount) const {
@@ -85,7 +100,11 @@ AllocationPlan Allocator::solve_compact(std::size_t a, double amount, bool exact
     // each request only patches the d_k bounds (U_kA) and the demand rhs.
     if (!cache_.built()) cache_.build(sys_, report_);
     cache_.patch(report_, a, amount);
-    if (opts_.engine == LpEngine::Revised) {
+    if (opts_.certify) {
+      r = run_certified(cache_.problem(),
+                        opts_.engine == LpEngine::Revised ? &cache_.workspace() : nullptr,
+                        plan);
+    } else if (opts_.engine == LpEngine::Revised) {
       r = lp::RevisedSimplexSolver(opts_.solver).solve(cache_.problem(), &cache_.workspace());
     } else {
       r = lp::SimplexSolver(opts_.solver).solve(cache_.problem());
@@ -122,10 +141,16 @@ AllocationPlan Allocator::solve_compact(std::size_t a, double amount, bool exact
     }
 
     mb.minimize(lp::LinExpr(theta));
-    r = run_solver(mb.problem());
+    r = opts_.certify ? run_certified(mb.problem(), nullptr, plan) : run_solver(mb.problem());
   }
 
   plan.lp_iterations = r.iterations;
+  if (opts_.certify && !plan.certified) {
+    // The staged chain could not produce a verifiable answer: deny rather
+    // than grant on an unchecked solution.
+    plan.status = PlanStatus::Denied;
+    return plan;
+  }
   if (r.status == lp::Status::IterationLimit) {
     plan.status = PlanStatus::SolverFailed;
     return plan;
@@ -207,8 +232,13 @@ AllocationPlan Allocator::solve_full(std::size_t a, double amount, bool exact) c
 
   mb.minimize(lp::LinExpr(theta));
 
-  const lp::SolveResult r = run_solver(mb.problem());
+  const lp::SolveResult r =
+      opts_.certify ? run_certified(mb.problem(), nullptr, plan) : run_solver(mb.problem());
   plan.lp_iterations = r.iterations;
+  if (opts_.certify && !plan.certified) {
+    plan.status = PlanStatus::Denied;
+    return plan;
+  }
   if (r.status == lp::Status::IterationLimit) {
     plan.status = PlanStatus::SolverFailed;
     return plan;

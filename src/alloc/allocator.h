@@ -36,6 +36,7 @@
 #include "alloc/plan.h"
 #include "lp/problem.h"
 #include "lp/result.h"
+#include "lp/solve_pipeline.h"
 
 namespace agora::alloc {
 
@@ -60,6 +61,13 @@ struct AllocatorOptions {
   /// must serve concurrent allocate() calls. Compact relaxed solves only
   /// (exact mode and presolve always take the rebuild path).
   bool reuse_context = true;
+  /// Verify every LP answer against the original problem (lp::Verifier) and
+  /// escalate through the staged solve chain (lp::SolvePipeline) until one
+  /// certifies. A consult whose chain is exhausted yields an explicit
+  /// PlanStatus::Denied -- never an uncertified grant. When on, presolve is
+  /// bypassed (certification checks the answer against the problem actually
+  /// posed, so the pipeline solves the original model).
+  bool certify = true;
   lp::SolverOptions solver;
 };
 
@@ -93,10 +101,19 @@ class Allocator {
   void set_capacities(std::vector<double> v);
   void set_capacities(std::span<const double> v);
 
+  /// Degradation telemetry of the certified solve chain (attempts,
+  /// certification failures, fallback depth, solver health counters).
+  /// All-zero when `certify` is off.
+  const lp::PipelineStats& solver_stats() const { return pipeline_.stats(); }
+
  private:
   AllocationPlan solve_compact(std::size_t a, double amount, bool exact) const;
   AllocationPlan solve_full(std::size_t a, double amount, bool exact) const;
   lp::SolveResult run_solver(const lp::Problem& p) const;
+  /// Certified path: run the staged pipeline and record certification
+  /// outcome + fallback depth on the plan.
+  lp::SolveResult run_certified(const lp::Problem& p, lp::SolveWorkspace* ws,
+                                AllocationPlan& plan) const;
   /// Refresh entitlements/capacities from the cached share matrix. The
   /// transitive closure depends only on S, so capacity updates (which the
   /// simulator performs every scheduling epoch) stay O(n^2).
@@ -108,6 +125,8 @@ class Allocator {
   /// Lazily built compact-model structure + solver workspace; logically a
   /// memo of (sys_, report_), hence mutable behind const allocate().
   mutable AllocationModelCache cache_;
+  /// Certified solve chain (statistics mutate behind const allocate()).
+  mutable lp::SolvePipeline pipeline_;
 };
 
 }  // namespace agora::alloc

@@ -2,16 +2,29 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "lp/model_builder.h"
 #include "lp/simplex.h"
 
 namespace agora::alloc {
 
+namespace {
+lp::PipelineOptions fine_pipeline_options(const AllocatorOptions& opts) {
+  lp::PipelineOptions po;
+  po.solver = opts.solver;
+  po.prefer_revised = opts.engine == LpEngine::Revised;
+  return po;
+}
+}  // namespace
+
 HierarchicalAllocator::HierarchicalAllocator(agree::AgreementSystem sys,
                                              std::vector<std::size_t> group_of,
                                              AllocatorOptions opts)
-    : sys_(std::move(sys)), group_of_(std::move(group_of)), opts_(opts) {
+    : sys_(std::move(sys)),
+      group_of_(std::move(group_of)),
+      opts_(opts),
+      fine_pipeline_(fine_pipeline_options(opts)) {
   sys_.validate(/*allow_overdraft=*/true);
   AGORA_REQUIRE(group_of_.size() == sys_.size(), "group assignment size mismatch");
   std::size_t ng = 0;
@@ -122,6 +135,8 @@ AllocationPlan HierarchicalAllocator::allocate(std::size_t a, double amount) con
         for (std::size_t m = 0; m < groups_[ga].members.size(); ++m)
           plan.draw[groups_[ga].members[m]] = sub_plan.draw[m];
         plan.status = PlanStatus::Satisfied;
+        plan.certified = sub_plan.certified;
+        plan.solver_fallbacks = sub_plan.solver_fallbacks;
         plan.lp_iterations = sub_plan.lp_iterations;
         plan.capacity_after = plan.capacity_before;
         // Report theta with the same meaning as the flat allocator: the
@@ -143,6 +158,8 @@ AllocationPlan HierarchicalAllocator::allocate(std::size_t a, double amount) con
   // --- Coarse level: distribute the request across groups. -----------------
   const AllocationPlan coarse_plan = coarse_allocator().allocate(ga, amount);
   plan.lp_iterations += coarse_plan.lp_iterations;
+  plan.solver_fallbacks += coarse_plan.solver_fallbacks;
+  bool all_certified = coarse_plan.certified;
   if (!coarse_plan.satisfied()) {
     // The coarse model under-approximates reachable capacity (it collapses
     // member-level detail); fall back to the flat LP before giving up.
@@ -171,10 +188,20 @@ AllocationPlan HierarchicalAllocator::allocate(std::size_t a, double amount) con
     mb.add(lp::sum(d) == x_g);
     for (std::size_t m = 0; m < members.size(); ++m) mb.add(1.0 * d[m] - 1.0 * t <= 0.0);
     mb.minimize(lp::LinExpr(t));
-    const lp::SolveResult r = lp::SimplexSolver(opts_.solver).solve(mb.problem());
+    lp::SolveResult r;
+    if (opts_.certify) {
+      lp::PipelineResult pr = fine_pipeline_.solve(mb.problem());
+      plan.solver_fallbacks += pr.fallbacks;
+      all_certified = all_certified && pr.certified();
+      r = std::move(pr.result);
+      if (!pr.certified()) r.status = lp::Status::IterationLimit;  // force fallback below
+    } else {
+      r = lp::SimplexSolver(opts_.solver).solve(mb.problem());
+    }
     plan.lp_iterations += r.iterations;
     if (r.status != lp::Status::Optimal) {
-      // Member entitlements cannot cover the coarse assignment; flat solve.
+      // Member entitlements cannot cover the coarse assignment (or its
+      // answer did not certify); flat solve.
       AllocationPlan flat_plan = flat_allocator().allocate(a, amount);
       flat_plan.lp_iterations += plan.lp_iterations;
       return flat_plan;
@@ -184,6 +211,7 @@ AllocationPlan HierarchicalAllocator::allocate(std::size_t a, double amount) con
   }
 
   plan.status = PlanStatus::Satisfied;
+  plan.certified = all_certified;
   (void)total_theta;  // fine-level balance metric; global theta reported below
   plan.capacity_after = plan.capacity_before;
   plan.theta = 0.0;

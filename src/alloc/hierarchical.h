@@ -72,6 +72,9 @@ class HierarchicalAllocator {
   mutable std::vector<std::unique_ptr<Allocator>> group_cache_;
   mutable std::unique_ptr<Allocator> coarse_cache_;
   mutable std::unique_ptr<Allocator> flat_cache_;
+  /// Certified solve chain for the fine-level (within-group) LPs; the
+  /// per-level Allocators carry their own pipelines.
+  mutable lp::SolvePipeline fine_pipeline_;
 };
 
 }  // namespace agora::alloc

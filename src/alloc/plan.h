@@ -11,6 +11,9 @@ enum class PlanStatus {
   Insufficient,  ///< the requester's capacity C_A is below the request
   SolverFailed,  ///< the LP solver gave up (iteration limit); should not
                  ///< happen on well-formed systems
+  Denied,        ///< conservative denial: the certified solve chain was
+                 ///< exhausted without a verifiable answer, so no grant is
+                 ///< issued (never an uncertified grant)
 };
 
 struct AllocationPlan {
@@ -33,6 +36,15 @@ struct AllocationPlan {
   /// True when the paper-exact equality C'_A = C_A - x was requested but
   /// infeasible, and the allocator fell back to the relaxed model.
   bool exact_mode_fell_back = false;
+
+  /// True when the LP answer behind this plan (grant OR denial) carries an
+  /// lp::Certificate that survived independent verification. Always false
+  /// when the allocator runs with certification disabled.
+  bool certified = false;
+
+  /// Solve-chain stages tried beyond the first before an answer certified
+  /// (0 on the happy path; see lp::SolvePipeline).
+  std::uint64_t solver_fallbacks = 0;
 
   bool satisfied() const { return status == PlanStatus::Satisfied; }
   double total_drawn() const {

@@ -6,11 +6,10 @@ namespace agora::lp {
 
 namespace {
 
-constexpr double kTol = 1e-11;
-
 /// Working copy of the problem with erasable rows/vars.
 struct Work {
   Sense sense;
+  double fix_tol = Tolerances{}.presolve_fix;
   std::vector<double> cost, lo, hi;
   std::vector<std::string> names;
   std::vector<Constraint> rows;
@@ -58,7 +57,7 @@ struct Work {
         hi[j] = std::min(hi[j], bound);
         break;
     }
-    return lo[j] <= hi[j] + kTol;
+    return lo[j] <= hi[j] + fix_tol;
   }
 };
 
@@ -72,9 +71,10 @@ std::vector<double> PresolveOutcome::postsolve(const std::vector<double>& reduce
   return x;
 }
 
-PresolveOutcome presolve(const Problem& p) {
+PresolveOutcome presolve(const Problem& p, const Tolerances& tols) {
   p.validate();
   Work w(p);
+  w.fix_tol = tols.presolve_fix;
   PresolveOutcome out;
   out.original_vars = p.num_variables();
 
@@ -85,7 +85,7 @@ PresolveOutcome presolve(const Problem& p) {
     // 1. Fixed variables.
     for (std::size_t j = 0; j < w.var_alive.size(); ++j) {
       if (!w.var_alive[j]) continue;
-      if (std::isfinite(w.lo[j]) && std::fabs(w.hi[j] - w.lo[j]) <= kTol) {
+      if (std::isfinite(w.lo[j]) && std::fabs(w.hi[j] - w.lo[j]) <= w.fix_tol) {
         w.fix_variable(j, w.lo[j]);
         changed = true;
       }
@@ -97,16 +97,17 @@ PresolveOutcome presolve(const Problem& p) {
       std::size_t nnz = 0;
       std::size_t last = 0;
       for (std::size_t j = 0; j < w.rows[i].coeffs.size(); ++j) {
-        if (w.var_alive[j] && std::fabs(w.rows[i].coeffs[j]) > kTol) {
+        if (w.var_alive[j] && std::fabs(w.rows[i].coeffs[j]) > w.fix_tol) {
           ++nnz;
           last = j;
         }
       }
       if (nnz == 0) {
         const double r = w.rows[i].rhs;
-        const bool ok = (w.rows[i].rel == Relation::LessEqual && 0.0 <= r + 1e-9) ||
-                        (w.rows[i].rel == Relation::GreaterEqual && 0.0 >= r - 1e-9) ||
-                        (w.rows[i].rel == Relation::Equal && std::fabs(r) <= 1e-9);
+        const double row_tol = scaled(tols.presolve_row, std::fabs(r));
+        const bool ok = (w.rows[i].rel == Relation::LessEqual && 0.0 <= r + row_tol) ||
+                        (w.rows[i].rel == Relation::GreaterEqual && 0.0 >= r - row_tol) ||
+                        (w.rows[i].rel == Relation::Equal && std::fabs(r) <= row_tol);
         if (!ok) w.infeasible = true;
         w.row_alive[i] = false;
         changed = true;

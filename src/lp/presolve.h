@@ -18,6 +18,7 @@
 
 #include "lp/problem.h"
 #include "lp/result.h"
+#include "lp/tolerances.h"
 
 namespace agora::lp {
 
@@ -38,13 +39,14 @@ struct PresolveOutcome {
   std::vector<double> postsolve(const std::vector<double>& reduced_x) const;
 };
 
-PresolveOutcome presolve(const Problem& p);
+PresolveOutcome presolve(const Problem& p, const Tolerances& tols = {});
 
 /// Convenience: presolve, solve the reduced problem with the given solver
 /// callable (Problem -> SolveResult), postsolve the answer.
 template <typename Solver>
-SolveResult solve_with_presolve(const Problem& p, const Solver& solver) {
-  PresolveOutcome out = presolve(p);
+SolveResult solve_with_presolve(const Problem& p, const Solver& solver,
+                                const Tolerances& tols = {}) {
+  PresolveOutcome out = presolve(p, tols);
   if (out.decided) return *out.decided;
   SolveResult r = solver(out.reduced);
   if (r.status == Status::Optimal) {

@@ -72,11 +72,17 @@ class Problem {
   void set_rhs(std::size_t i, double rhs);
   double lower_bound(std::size_t var) const { return lo_.at(var); }
   double upper_bound(std::size_t var) const { return hi_.at(var); }
+  /// Bulk bound access for per-solve hot loops (certification runs on every
+  /// enforcement solve; per-element checked accessors are measurable there).
+  const std::vector<double>& lower_bounds() const { return lo_; }
+  const std::vector<double>& upper_bounds() const { return hi_; }
 
   std::size_t num_variables() const { return lo_.size(); }
   std::size_t num_constraints() const { return constraints_.size(); }
 
   const Constraint& constraint(std::size_t i) const { return constraints_.at(i); }
+  /// Bulk constraint access for per-solve hot loops (see lower_bounds()).
+  const std::vector<Constraint>& constraints() const { return constraints_; }
   /// Debug-only accessor; synthesizes "x<j>" for unnamed variables.
   std::string variable_name(std::size_t j) const;
   const std::vector<double>& objective() const { return cost_; }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "lp/standard_form.h"
+#include "lp/tolerances.h"
 #include "util/matrix.h"
 
 namespace agora::lp {
@@ -15,17 +16,19 @@ namespace {
 
 /// x_B = B^-1 b with the same arithmetic (dot per row) and denormal clamp as
 /// refactorize() has always used, but writing into reused storage.
-void compute_xb(const StandardForm& sf, SolveWorkspace& W) {
+void compute_xb(const StandardForm& sf, SolveWorkspace& W, double drop) {
   const std::size_t m = sf.rows();
   W.xb.assign(m, 0.0);
   for (std::size_t r = 0; r < m; ++r) W.xb[r] = dot(W.binv.row(r), sf.b);
   for (double& v : W.xb)
-    if (std::fabs(v) < 1e-12) v = 0.0;
+    if (std::fabs(v) < drop) v = 0.0;
 }
 
 /// Rebuild binv and xb from the basis via LU factorization. Resets the
-/// cross-solve pivot counter.
-bool refactorize(const StandardForm& sf, SolveWorkspace& W) {
+/// cross-solve pivot counter. When `stats` is given, counts the rebuild and
+/// refreshes the cheap condition estimate ||B||_inf * ||B^-1||_inf.
+bool refactorize(const StandardForm& sf, SolveWorkspace& W, double drop,
+                 SolveStats* stats = nullptr) {
   const std::size_t m = sf.rows();
   W.bmat.assign(m, m);
   for (std::size_t i = 0; i < m; ++i)
@@ -41,9 +44,69 @@ bool refactorize(const StandardForm& sf, SolveWorkspace& W) {
     e[col] = 0.0;
     for (std::size_t r = 0; r < m; ++r) W.binv.at_unchecked(r, col) = x[r];
   }
-  compute_xb(sf, W);
+  compute_xb(sf, W, drop);
   W.pivots_since_factor = 0;
+  if (stats) {
+    ++stats->refactorizations;
+    double bn = 0.0, in = 0.0;
+    for (std::size_t r = 0; r < m; ++r) {
+      double brow = 0.0, irow = 0.0;
+      for (std::size_t k = 0; k < m; ++k) {
+        brow += std::fabs(W.bmat.at_unchecked(r, k));
+        irow += std::fabs(W.binv.at_unchecked(r, k));
+      }
+      bn = std::max(bn, brow);
+      in = std::max(in, irow);
+    }
+    stats->condition_estimate = bn * in;
+  }
   return true;
+}
+
+/// Relative residual ||b - B x_B||_inf / (1 + ||b||_inf). Leaves the raw
+/// residual vector in W.resid so a refinement step can reuse it. Pure read
+/// of the solve state: calling it never perturbs the iteration.
+double xb_residual(const StandardForm& sf, SolveWorkspace& W) {
+  const std::size_t m = sf.rows();
+  W.resid.assign(m, 0.0);
+  double bnorm = 0.0;
+  for (std::size_t r = 0; r < m; ++r) {
+    W.resid[r] = sf.b[r];
+    bnorm = std::max(bnorm, std::fabs(sf.b[r]));
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    const double x = W.xb[i];
+    if (x == 0.0) continue;
+    const std::size_t col = W.basis[i];
+    for (std::size_t t = sf.col_start[col]; t < sf.col_start[col + 1]; ++t)
+      W.resid[sf.col_row[t]] -= sf.col_val[t] * x;
+  }
+  double rnorm = 0.0;
+  for (double v : W.resid) rnorm = std::max(rnorm, std::fabs(v));
+  return rnorm / (1.0 + bnorm);
+}
+
+/// Numerical self-check on the basic solution: record the residual, rebuild
+/// the inverse if it has drifted past tolerance, then apply one step of
+/// iterative refinement (x_B += B^-1 (b - B x_B)) to squeeze out the
+/// remaining error. On a healthy basis the residual is ~machine epsilon and
+/// this is a cheap no-op-sized correction.
+void refine_xb(const StandardForm& sf, SolveWorkspace& W, const SolverOptions& opts,
+               SolveStats& stats) {
+  double rel = xb_residual(sf, W);
+  stats.max_xb_residual = std::max(stats.max_xb_residual, rel);
+  if (rel > opts.tols.refactor_residual) {
+    ++stats.residual_refactorizations;
+    if (!refactorize(sf, W, opts.tols.drop, &stats)) return;
+    rel = xb_residual(sf, W);
+  }
+  if (rel == 0.0) return;
+  ++stats.refinement_steps;
+  const std::size_t m = sf.rows();
+  for (std::size_t r = 0; r < m; ++r) {
+    W.xb[r] += dot(W.binv.row(r), W.resid);
+    if (std::fabs(W.xb[r]) < opts.tols.drop) W.xb[r] = 0.0;
+  }
 }
 
 /// w = B^-1 A_col, iterating only the column's nonzeros (CSC).
@@ -80,7 +143,7 @@ double reduced_cost(const StandardForm& sf, const SolveWorkspace& W,
 
 /// Elementary update of binv and xb after column `enter` (with tableau
 /// column W.w) replaces the basic variable of row `leave`.
-void update(SolveWorkspace& W, std::size_t leave, std::size_t enter) {
+void update(SolveWorkspace& W, std::size_t leave, std::size_t enter, double drop) {
   const std::size_t m = W.basis.size();
   const double pivot = W.w[leave];
   const double inv = 1.0 / pivot;
@@ -93,7 +156,7 @@ void update(SolveWorkspace& W, std::size_t leave, std::size_t enter) {
     for (std::size_t k = 0; k < m; ++k)
       W.binv.at_unchecked(r, k) -= f * W.binv.at_unchecked(leave, k);
     W.xb[r] -= f * W.xb[leave];
-    if (std::fabs(W.xb[r]) < 1e-12) W.xb[r] = 0.0;
+    if (std::fabs(W.xb[r]) < drop) W.xb[r] = 0.0;
   }
   W.basis[leave] = enter;
   ++W.pivots_since_factor;
@@ -101,9 +164,13 @@ void update(SolveWorkspace& W, std::size_t leave, std::size_t enter) {
 
 enum class PhaseOutcome { Optimal, Unbounded, IterationLimit, NumericalFailure };
 
+/// One simplex phase. On Unbounded, `*unbounded_enter` receives the entering
+/// column whose tableau column (still in W.w) had no blocking row -- the raw
+/// material of the unboundedness ray.
 PhaseOutcome run_phase(const StandardForm& sf, SolveWorkspace& W,
                        const std::vector<double>& cost, const SolverOptions& opts,
-                       std::uint64_t& iterations) {
+                       std::uint64_t& iterations, SolveStats& stats,
+                       std::size_t* unbounded_enter = nullptr) {
   std::uint64_t degenerate_streak = 0;
   std::uint64_t since_refactor = 0;
   const std::size_t m = sf.rows();
@@ -113,8 +180,19 @@ PhaseOutcome run_phase(const StandardForm& sf, SolveWorkspace& W,
 
   for (std::uint64_t it = 0; it < opts.max_iterations; ++it) {
     if (since_refactor >= RevisedSimplexSolver::kRefactorInterval) {
-      if (!refactorize(sf, W)) return PhaseOutcome::NumericalFailure;
+      if (!refactorize(sf, W, opts.tols.drop, &stats)) return PhaseOutcome::NumericalFailure;
       since_refactor = 0;
+    } else if (W.pivots_since_factor > 0) {
+      // Residual-triggered refactorization: elementary updates accumulate
+      // drift between the periodic rebuilds; catch it as soon as the basic
+      // solution stops satisfying its own defining system.
+      const double rel = xb_residual(sf, W);
+      stats.max_xb_residual = std::max(stats.max_xb_residual, rel);
+      if (rel > opts.tols.refactor_residual) {
+        ++stats.residual_refactorizations;
+        if (!refactorize(sf, W, opts.tols.drop, &stats)) return PhaseOutcome::NumericalFailure;
+        since_refactor = 0;
+      }
     }
     // Price: y = c_B' B^-1, then reduced costs d_j = c_j - y' A_j.
     W.cb.assign(m, 0.0);
@@ -149,12 +227,16 @@ PhaseOutcome run_phase(const StandardForm& sf, SolveWorkspace& W,
         leave = r;
       }
     }
-    if (leave == m) return PhaseOutcome::Unbounded;
+    if (leave == m) {
+      if (unbounded_enter) *unbounded_enter = enter;
+      return PhaseOutcome::Unbounded;
+    }
 
     degenerate_streak = best_ratio <= opts.tol ? degenerate_streak + 1 : 0;
+    if (bland) ++stats.bland_pivots;
     W.in_basis[W.basis[leave]] = false;
     W.in_basis[enter] = true;
-    update(W, leave, enter);
+    update(W, leave, enter, opts.tols.drop);
     ++iterations;
     ++since_refactor;
   }
@@ -168,7 +250,7 @@ PhaseOutcome run_phase(const StandardForm& sf, SolveWorkspace& W,
 /// no eligible entering column, numerical failure) -- the caller then falls
 /// back to the cold two-phase start.
 bool warm_repair(const StandardForm& sf, SolveWorkspace& W, const SolverOptions& opts,
-                 std::uint64_t& iterations) {
+                 std::uint64_t& iterations, SolveStats& stats) {
   const std::size_t m = sf.rows();
   const std::size_t n = sf.cols();
   const std::uint64_t limit = 2 * static_cast<std::uint64_t>(m) + 16;
@@ -177,7 +259,7 @@ bool warm_repair(const StandardForm& sf, SolveWorkspace& W, const SolverOptions&
 
   for (std::uint64_t it = 0; it < limit; ++it) {
     if (W.pivots_since_factor >= RevisedSimplexSolver::kRefactorInterval) {
-      if (!refactorize(sf, W)) return false;
+      if (!refactorize(sf, W, opts.tols.drop, &stats)) return false;
     }
     // Most infeasible row leaves.
     std::size_t leave = m;
@@ -219,7 +301,7 @@ bool warm_repair(const StandardForm& sf, SolveWorkspace& W, const SolverOptions&
     if (std::fabs(W.w[leave]) <= opts.tol) return false;  // numerical mismatch
     W.in_basis[W.basis[leave]] = false;
     W.in_basis[enter] = true;
-    update(W, leave, enter);
+    update(W, leave, enter, opts.tols.drop);
     ++iterations;
   }
   return false;
@@ -229,26 +311,39 @@ bool warm_repair(const StandardForm& sf, SolveWorkspace& W, const SolverOptions&
 /// Returns true when the workspace is primal feasible and phase 1 can be
 /// skipped entirely.
 bool try_warm_start(const StandardForm& sf, SolveWorkspace& W, const SolverOptions& opts,
-                    std::uint64_t& iterations) {
+                    std::uint64_t& iterations, SolveStats& stats) {
   const std::size_t m = sf.rows();
   if (W.warm_basis.size() != m) return false;
   W.basis = W.warm_basis;
   if (W.pivots_since_factor >= RevisedSimplexSolver::kRefactorInterval) {
-    if (!refactorize(sf, W)) return false;
+    if (!refactorize(sf, W, opts.tols.drop, &stats)) return false;
   } else {
     // The basis matrix is unchanged (same columns of the same A), so the
     // retained inverse is still exact: only x_B = B^-1 b must be recomputed.
-    compute_xb(sf, W);
+    compute_xb(sf, W, opts.tols.drop);
+    // Self-heal a drifted (or corrupted) retained inverse: if the basic
+    // solution does not satisfy B x_B = b to tolerance, the cached inverse
+    // is no longer trustworthy -- rebuild it from the basis before pricing
+    // a single column against it.
+    const double rel = xb_residual(sf, W);
+    stats.max_xb_residual = std::max(stats.max_xb_residual, rel);
+    if (rel > opts.tols.refactor_residual) {
+      ++stats.residual_refactorizations;
+      if (!refactorize(sf, W, opts.tols.drop, &stats)) return false;
+    }
   }
+  double bnorm = 0.0;
+  for (std::size_t r = 0; r < m; ++r) bnorm = std::max(bnorm, std::fabs(sf.b[r]));
   double min_xb = 0.0;
   for (std::size_t r = 0; r < m; ++r) {
     // A basic artificial pushed positive means an original row is violated
     // at this basis; that needs phase 1, not repair.
-    if (sf.is_artificial[W.basis[r]] && W.xb[r] > 1e-7) return false;
+    if (sf.is_artificial[W.basis[r]] && W.xb[r] > scaled(opts.tols.artificial, bnorm))
+      return false;
     min_xb = std::min(min_xb, W.xb[r]);
   }
   if (min_xb >= -opts.tol) return true;
-  return warm_repair(sf, W, opts, iterations);
+  return warm_repair(sf, W, opts, iterations, stats);
 }
 
 }  // namespace
@@ -261,9 +356,10 @@ SolveResult RevisedSimplexSolver::solve(const Problem& p, SolveWorkspace* ws) co
     res.status = Status::Optimal;
     for (std::size_t i = 0; i < p.num_constraints(); ++i) {
       const auto& c = p.constraint(i);
-      const bool ok = (c.rel == Relation::LessEqual && 0.0 <= c.rhs + 1e-12) ||
-                      (c.rel == Relation::GreaterEqual && 0.0 >= c.rhs - 1e-12) ||
-                      (c.rel == Relation::Equal && std::fabs(c.rhs) <= 1e-12);
+      const double tol = scaled(opts_.tols.drop, std::fabs(c.rhs));
+      const bool ok = (c.rel == Relation::LessEqual && 0.0 <= c.rhs + tol) ||
+                      (c.rel == Relation::GreaterEqual && 0.0 >= c.rhs - tol) ||
+                      (c.rel == Relation::Equal && std::fabs(c.rhs) <= tol);
       if (!ok) res.status = Status::Infeasible;
     }
     return res;
@@ -276,6 +372,9 @@ SolveResult RevisedSimplexSolver::solve(const Problem& p, SolveWorkspace* ws) co
   const std::size_t m = sf.rows();
   const std::size_t n = sf.cols();
 
+  double bnorm = 0.0;
+  for (std::size_t r = 0; r < m; ++r) bnorm = std::max(bnorm, std::fabs(sf.b[r]));
+
   // Warm start only when the previous optimum used the exact same (A, c):
   // the fingerprint keys on the matrix and objective, so bounds/rhs motion
   // (the trace-loop perturbation) warms up while anything else cold-starts.
@@ -283,14 +382,14 @@ SolveResult RevisedSimplexSolver::solve(const Problem& p, SolveWorkspace* ws) co
   if (ws && W.warm && W.warm_rows == m && W.warm_cols == n &&
       W.warm_fingerprint == sf.fingerprint) {
     W.warm = false;  // re-established only if this solve reaches optimality
-    warmed = try_warm_start(sf, W, opts_, res.iterations);
+    warmed = try_warm_start(sf, W, opts_, res.iterations, res.stats);
   } else if (ws) {
     W.warm = false;
   }
 
   if (!warmed) {
     W.basis = sf.initial_basis;
-    if (!refactorize(sf, W)) {
+    if (!refactorize(sf, W, opts_.tols.drop, &res.stats)) {
       // The initial slack/artificial basis is an identity; failure here would
       // be a construction bug.
       res.status = Status::Infeasible;
@@ -302,7 +401,7 @@ SolveResult RevisedSimplexSolver::solve(const Problem& p, SolveWorkspace* ws) co
       for (std::size_t j = 0; j < n; ++j)
         if (sf.is_artificial[j]) W.cost1[j] = 1.0;
       W.allowed.assign(n, true);
-      const PhaseOutcome out = run_phase(sf, W, W.cost1, opts_, res.iterations);
+      const PhaseOutcome out = run_phase(sf, W, W.cost1, opts_, res.iterations, res.stats);
       if (out == PhaseOutcome::IterationLimit || out == PhaseOutcome::NumericalFailure) {
         res.status = Status::IterationLimit;
         return res;
@@ -310,7 +409,15 @@ SolveResult RevisedSimplexSolver::solve(const Problem& p, SolveWorkspace* ws) co
       double art_sum = 0.0;
       for (std::size_t r = 0; r < m; ++r)
         if (sf.is_artificial[W.basis[r]]) art_sum += W.xb[r];
-      if (art_sum > 1e-7) {
+      if (art_sum > scaled(opts_.tols.artificial, bnorm)) {
+        // Phase 1 ended at a positive artificial sum: the problem is
+        // infeasible, and the phase-1 duals y = c1_B' B^-1 are a Farkas
+        // certificate -- every real column has non-negative phase-1 reduced
+        // cost (y'A_j <= 0) while y'b equals the positive artificial sum.
+        W.cb.assign(m, 0.0);
+        for (std::size_t r = 0; r < m; ++r) W.cb[r] = W.cost1[W.basis[r]];
+        btran(sf, W);
+        res.farkas = W.y;
         res.status = Status::Infeasible;
         return res;
       }
@@ -321,18 +428,40 @@ SolveResult RevisedSimplexSolver::solve(const Problem& p, SolveWorkspace* ws) co
   for (std::size_t j = 0; j < n; ++j)
     if (sf.is_artificial[j]) W.allowed[j] = false;
 
-  const PhaseOutcome out = run_phase(sf, W, sf.c, opts_, res.iterations);
+  std::size_t unbounded_enter = n;
+  const PhaseOutcome out =
+      run_phase(sf, W, sf.c, opts_, res.iterations, res.stats, &unbounded_enter);
   switch (out) {
     case PhaseOutcome::IterationLimit:
     case PhaseOutcome::NumericalFailure:
       res.status = Status::IterationLimit;
       return res;
-    case PhaseOutcome::Unbounded:
+    case PhaseOutcome::Unbounded: {
+      // Certificate: the entering column's tableau column w = B^-1 A_q had
+      // no blocking row, so d with d_q = 1, d_{basis[r]} = -w_r is a
+      // non-negative recession direction with A d = 0 and c'd < 0. The
+      // current basic point (feasible by phase invariant) rides along as
+      // the point the ray improves from.
+      res.ray.assign(n, 0.0);
+      res.ray[unbounded_enter] = 1.0;
+      for (std::size_t r = 0; r < m; ++r) {
+        double v = -W.w[r];
+        if (std::fabs(v) < opts_.tols.drop) v = 0.0;
+        res.ray[W.basis[r]] = v;
+      }
+      W.ysol.assign(n, 0.0);
+      for (std::size_t r = 0; r < m; ++r) W.ysol[W.basis[r]] = W.xb[r];
+      res.x = recover_solution(sf, W.ysol, p.num_variables());
       res.status = Status::Unbounded;
       return res;
+    }
     case PhaseOutcome::Optimal:
       break;
   }
+
+  // Numerical self-check + one refinement step before the answer leaves the
+  // solver (see refine_xb).
+  refine_xb(sf, W, opts_, res.stats);
 
   W.ysol.assign(n, 0.0);
   for (std::size_t r = 0; r < m; ++r) W.ysol[W.basis[r]] = W.xb[r];

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "lp/standard_form.h"
+#include "lp/tolerances.h"
 #include "util/matrix.h"
 
 namespace agora::lp {
@@ -18,6 +19,7 @@ struct Tableau {
   std::vector<double> cost;      // reduced-cost row, length n
   double cost_rhs = 0.0;         // negative of current objective value
   std::vector<std::size_t> basis;  // length m: basic column per row
+  double drop = 1e-12;             // denormal clamp (Tolerances::drop)
 
   std::size_t rows() const { return rhs.size(); }
   std::size_t cols() const { return cost.size(); }
@@ -40,7 +42,7 @@ struct Tableau {
       for (std::size_t j = 0; j < n; ++j) rowi[j] -= f * prow_ptr[j];
       rowi[pcol] = 0.0;
       rhs[i] -= f * rhs[prow];
-      if (std::fabs(rhs[i]) < 1e-12) rhs[i] = 0.0;
+      if (std::fabs(rhs[i]) < drop) rhs[i] = 0.0;
     }
     const double cf = cost[pcol];
     if (cf != 0.0) {
@@ -70,9 +72,11 @@ enum class PhaseOutcome { Optimal, Unbounded, IterationLimit };
 
 /// Run simplex iterations until optimality (no negative reduced cost) or
 /// failure. `allowed` masks which columns may enter (artificials are barred
-/// from re-entering in phase 2).
+/// from re-entering in phase 2). On Unbounded, `*unbounded_enter` receives
+/// the entering column whose tableau column had no blocking row.
 PhaseOutcome run_phase(Tableau& t, const std::vector<bool>& allowed, const SolverOptions& opts,
-                       std::uint64_t& iterations) {
+                       std::uint64_t& iterations, SolveStats& stats,
+                       std::size_t* unbounded_enter = nullptr) {
   std::uint64_t degenerate_streak = 0;
   for (std::uint64_t it = 0; it < opts.max_iterations; ++it) {
     const bool bland = degenerate_streak >= opts.stall_threshold;
@@ -115,9 +119,13 @@ PhaseOutcome run_phase(Tableau& t, const std::vector<bool>& allowed, const Solve
         leave_row = i;
       }
     }
-    if (leave_row == t.rows()) return PhaseOutcome::Unbounded;
+    if (leave_row == t.rows()) {
+      if (unbounded_enter) *unbounded_enter = enter;
+      return PhaseOutcome::Unbounded;
+    }
 
     degenerate_streak = best_ratio <= opts.tol ? degenerate_streak + 1 : 0;
+    if (bland) ++stats.bland_pivots;
     t.pivot(leave_row, enter);
     ++iterations;
   }
@@ -134,9 +142,10 @@ SolveResult SimplexSolver::solve(const Problem& p) const {
     res.objective = 0.0;
     for (std::size_t i = 0; i < p.num_constraints(); ++i) {
       const auto& c = p.constraint(i);
-      const bool ok = (c.rel == Relation::LessEqual && 0.0 <= c.rhs + 1e-12) ||
-                      (c.rel == Relation::GreaterEqual && 0.0 >= c.rhs - 1e-12) ||
-                      (c.rel == Relation::Equal && std::fabs(c.rhs) <= 1e-12);
+      const double tol = scaled(opts_.tols.drop, std::fabs(c.rhs));
+      const bool ok = (c.rel == Relation::LessEqual && 0.0 <= c.rhs + tol) ||
+                      (c.rel == Relation::GreaterEqual && 0.0 >= c.rhs - tol) ||
+                      (c.rel == Relation::Equal && std::fabs(c.rhs) <= tol);
       if (!ok) res.status = Status::Infeasible;
     }
     return res;
@@ -151,6 +160,10 @@ SolveResult SimplexSolver::solve(const Problem& p) const {
   t.rhs = sf.b;
   t.basis = sf.initial_basis;
   t.cost.assign(n, 0.0);
+  t.drop = opts_.tols.drop;
+
+  double bnorm = 0.0;
+  for (double b : sf.b) bnorm = std::max(bnorm, std::fabs(b));
 
   std::vector<bool> allow_all(n, true);
 
@@ -161,14 +174,21 @@ SolveResult SimplexSolver::solve(const Problem& p) const {
       if (sf.is_artificial[j]) phase1_cost[j] = 1.0;
     t.load_objective(phase1_cost);
 
-    const PhaseOutcome out = run_phase(t, allow_all, opts_, res.iterations);
+    const PhaseOutcome out = run_phase(t, allow_all, opts_, res.iterations, res.stats);
     if (out == PhaseOutcome::IterationLimit) {
       res.status = Status::IterationLimit;
       return res;
     }
     AGORA_INVARIANT(out != PhaseOutcome::Unbounded, "phase-1 objective is bounded below by 0");
     const double art_sum = -t.cost_rhs;  // cost_rhs holds -objective
-    if (art_sum > 1e-7) {
+    if (art_sum > scaled(opts_.tols.artificial, bnorm)) {
+      // Farkas certificate from the phase-1 duals: the final reduced cost of
+      // row i's initial basic column (coefficient +e_i) is c1_j - y_i, so
+      // y_i = c1[init_i] - cost[init_i]. At phase-1 optimality y'A_j <= 0
+      // for every real column and y'b = art_sum > 0.
+      res.farkas.assign(m, 0.0);
+      for (std::size_t i = 0; i < m; ++i)
+        res.farkas[i] = phase1_cost[sf.initial_basis[i]] - t.cost[sf.initial_basis[i]];
       res.status = Status::Infeasible;
       return res;
     }
@@ -180,7 +200,7 @@ SolveResult SimplexSolver::solve(const Problem& p) const {
       if (!sf.is_artificial[t.basis[i]]) continue;
       for (std::size_t j = 0; j < n; ++j) {
         if (sf.is_artificial[j]) continue;
-        if (std::fabs(t.a.at_unchecked(i, j)) > 1e-7) {
+        if (std::fabs(t.a.at_unchecked(i, j)) > opts_.tols.pivot_out) {
           t.pivot(i, j);
           break;
         }
@@ -194,14 +214,31 @@ SolveResult SimplexSolver::solve(const Problem& p) const {
     if (sf.is_artificial[j]) allowed[j] = false;
   t.load_objective(sf.c);
 
-  const PhaseOutcome out = run_phase(t, allowed, opts_, res.iterations);
+  std::size_t unbounded_enter = n;
+  const PhaseOutcome out = run_phase(t, allowed, opts_, res.iterations, res.stats,
+                                     &unbounded_enter);
   switch (out) {
     case PhaseOutcome::IterationLimit:
       res.status = Status::IterationLimit;
       return res;
-    case PhaseOutcome::Unbounded:
+    case PhaseOutcome::Unbounded: {
+      // Ray certificate: the entering column q had no blocking row, so
+      // d_q = 1, d_{basis[i]} = -a(i, q) is a non-negative recession
+      // direction with A d = 0 and c'd < 0; the current basic point is the
+      // feasible point it improves from.
+      res.ray.assign(n, 0.0);
+      res.ray[unbounded_enter] = 1.0;
+      for (std::size_t i = 0; i < m; ++i) {
+        double v = -t.a.at_unchecked(i, unbounded_enter);
+        if (std::fabs(v) < opts_.tols.drop) v = 0.0;
+        res.ray[t.basis[i]] = v;
+      }
+      std::vector<double> ypoint(n, 0.0);
+      for (std::size_t i = 0; i < m; ++i) ypoint[t.basis[i]] = t.rhs[i];
+      res.x = recover_solution(sf, ypoint, p.num_variables());
       res.status = Status::Unbounded;
       return res;
+    }
     case PhaseOutcome::Optimal:
       break;
   }

@@ -1,0 +1,125 @@
+#include "lp/solve_pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "lp/brute_force.h"
+#include "lp/revised.h"
+#include "lp/simplex.h"
+#include "util/error.h"
+
+namespace agora::lp {
+
+namespace {
+
+void accumulate(SolveStats& into, const SolveStats& s) {
+  into.refactorizations += s.refactorizations;
+  into.residual_refactorizations += s.residual_refactorizations;
+  into.refinement_steps += s.refinement_steps;
+  into.bland_pivots += s.bland_pivots;
+  into.condition_estimate = std::max(into.condition_estimate, s.condition_estimate);
+  into.max_xb_residual = std::max(into.max_xb_residual, s.max_xb_residual);
+}
+
+}  // namespace
+
+SolvePipeline::SolvePipeline(PipelineOptions opts)
+    : opts_(opts), verifier_(opts.solver.tols) {}
+
+PipelineResult SolvePipeline::solve(const Problem& p) { return attempt_chain(p, nullptr); }
+
+PipelineResult SolvePipeline::solve(const Problem& p, SolveWorkspace* ws) {
+  return attempt_chain(p, ws);
+}
+
+PipelineResult SolvePipeline::attempt_chain(const Problem& p, SolveWorkspace* ws) {
+  ++stats_.solves;
+  PipelineResult out;
+
+  PipelineStage chain[kPipelineStages];
+  std::size_t len = 0;
+  if (opts_.prefer_revised) {
+    if (ws && ws->warm) chain[len++] = PipelineStage::WarmRevised;
+    chain[len++] = PipelineStage::ColdRevised;
+    chain[len++] = PipelineStage::Tableau;
+  } else {
+    chain[len++] = PipelineStage::Tableau;
+    chain[len++] = PipelineStage::ColdRevised;
+  }
+  chain[len++] = PipelineStage::BruteForce;
+
+  bool saw_unbounded_claim = false;
+  std::uint64_t attempts_made = 0;
+
+  for (std::size_t s = 0; s < len; ++s) {
+    const PipelineStage stage = chain[s];
+    SolveResult r;
+    switch (stage) {
+      case PipelineStage::WarmRevised:
+        r = RevisedSimplexSolver(opts_.solver).solve(p, ws);
+        break;
+      case PipelineStage::ColdRevised:
+        // Still passes the workspace: scratch is reused and a certified
+        // optimum re-establishes the warm state for the next solve. The
+        // warm flag is guaranteed off here (either never set, or cleared
+        // below after a failed warm certification).
+        r = RevisedSimplexSolver(opts_.solver).solve(p, ws);
+        break;
+      case PipelineStage::Tableau:
+        r = SimplexSolver(opts_.solver).solve(p);
+        break;
+      case PipelineStage::BruteForce: {
+        // Enumeration cannot recognize unboundedness: if any earlier stage
+        // claimed it, a "best basic solution" would be a lie. Skip.
+        if (saw_unbounded_claim) continue;
+        BruteForceOptions bopts;
+        bopts.max_bases = opts_.brute_force_max_bases;
+        bopts.tol = opts_.solver.tol;
+        try {
+          r = brute_force_solve(p, bopts);
+        } catch (const PreconditionError&) {
+          continue;  // problem too large for the terminal stage
+        }
+        break;
+      }
+      case PipelineStage::Exhausted:
+        continue;
+    }
+
+    const int idx = static_cast<int>(stage);
+    ++stats_.attempts[idx];
+    ++attempts_made;
+    accumulate(stats_.solver, r.stats);
+    if (r.status == Status::Unbounded) saw_unbounded_claim = true;
+
+    Certificate cert = verifier_.certify(p, r);
+    if (cert.certified) {
+      stats_.max_fallback_depth = std::max(stats_.max_fallback_depth, attempts_made - 1);
+      ++stats_.certified;
+      if (cert.primal_only) ++stats_.primal_only;
+      out.result = std::move(r);
+      out.certificate = cert;
+      out.stage = stage;
+      out.fallbacks = attempts_made - 1;
+      return out;
+    }
+
+    ++stats_.failures[idx];
+    if ((stage == PipelineStage::WarmRevised || stage == PipelineStage::ColdRevised) && ws) {
+      // The revised answer did not survive verification; do not let its
+      // basis seed the next solve.
+      ws->invalidate();
+    }
+    out.result = std::move(r);
+    out.certificate = cert;
+  }
+
+  ++stats_.exhausted;
+  stats_.max_fallback_depth =
+      std::max(stats_.max_fallback_depth, attempts_made > 0 ? attempts_made - 1 : 0);
+  out.stage = PipelineStage::Exhausted;
+  out.fallbacks = attempts_made > 0 ? attempts_made - 1 : 0;
+  return out;
+}
+
+}  // namespace agora::lp

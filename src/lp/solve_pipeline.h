@@ -1,0 +1,117 @@
+// solve_pipeline.h -- staged, self-verifying LP solve chain.
+//
+// A single simplex implementation answering alone is a single point of
+// failure: the warm-started revised solver is the fastest path but also the
+// most exposed to accumulated drift, the tableau solver is slower but
+// independent, and brute-force enumeration is exact on tiny problems. The
+// pipeline escalates through them --
+//
+//     warm revised -> cold revised -> two-phase tableau -> brute force
+//
+// (tableau first when the caller prefers that engine) -- and after EVERY
+// attempt asks lp::Verifier to certify the answer against the original
+// problem. The first certified answer wins; an uncertified answer is never
+// returned as trustworthy. When the whole chain is exhausted the caller gets
+// the last attempt plus its rejection reason, with certified() == false --
+// enforcement layers map that to an explicit conservative denial.
+//
+// Per-stage telemetry (attempts, certification failures, fallback depth,
+// accumulated solver health counters) is kept in PipelineStats so operators
+// can see degradation *before* it becomes wrong answers.
+#pragma once
+
+#include <cstdint>
+
+#include "lp/certify.h"
+#include "lp/problem.h"
+#include "lp/result.h"
+#include "lp/workspace.h"
+
+namespace agora::lp {
+
+enum class PipelineStage : int {
+  WarmRevised = 0,
+  ColdRevised = 1,
+  Tableau = 2,
+  BruteForce = 3,
+  Exhausted = 4,
+};
+inline constexpr int kPipelineStages = 4;
+
+inline const char* to_string(PipelineStage s) {
+  switch (s) {
+    case PipelineStage::WarmRevised: return "warm-revised";
+    case PipelineStage::ColdRevised: return "cold-revised";
+    case PipelineStage::Tableau: return "tableau";
+    case PipelineStage::BruteForce: return "brute-force";
+    case PipelineStage::Exhausted: return "exhausted";
+  }
+  return "unknown";
+}
+
+struct PipelineOptions {
+  /// Tuning (tolerances, iteration caps) shared by every stage; the
+  /// Verifier uses `solver.tols` too.
+  SolverOptions solver;
+  /// Stage order: true puts the revised solver first (warm, then cold),
+  /// false starts at the tableau solver and uses cold-revised as the
+  /// cross-check. Either way every stage's answer must certify.
+  bool prefer_revised = true;
+  /// Basis-count cap for the terminal brute-force stage; problems larger
+  /// than this skip the stage (enumeration is exponential).
+  std::uint64_t brute_force_max_bases = 200'000;
+};
+
+struct PipelineStats {
+  std::uint64_t solves = 0;
+  /// Per-stage attempt / certification-failure counters, indexed by
+  /// PipelineStage (Exhausted excluded).
+  std::uint64_t attempts[kPipelineStages] = {};
+  std::uint64_t failures[kPipelineStages] = {};
+  std::uint64_t certified = 0;     ///< solves that returned a certified answer
+  std::uint64_t primal_only = 0;   ///< ... of which only primal-certified
+  std::uint64_t exhausted = 0;     ///< solves where no stage certified
+  std::uint64_t max_fallback_depth = 0;  ///< worst # of extra stages needed
+  /// Solver health counters accumulated over every attempt.
+  SolveStats solver;
+};
+
+struct PipelineResult {
+  SolveResult result;
+  Certificate certificate;
+  /// Stage that produced `result` (Exhausted when nothing certified; the
+  /// result is then the last attempt and certificate.reject says why it was
+  /// rejected).
+  PipelineStage stage = PipelineStage::Exhausted;
+  /// Stages tried beyond the first (0 on the happy path).
+  std::uint64_t fallbacks = 0;
+
+  bool certified() const { return certificate.certified; }
+};
+
+class SolvePipeline {
+ public:
+  explicit SolvePipeline(PipelineOptions opts = {});
+
+  /// Cold solve (no workspace: the warm stage is skipped).
+  PipelineResult solve(const Problem& p);
+
+  /// Warm-capable solve. `ws` follows the RevisedSimplexSolver workspace
+  /// contract; when a warm answer fails certification the workspace is
+  /// invalidated before the cold retry, so a poisoned basis cannot survive
+  /// into later solves.
+  PipelineResult solve(const Problem& p, SolveWorkspace* ws);
+
+  const PipelineStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+  const PipelineOptions& options() const { return opts_; }
+
+ private:
+  PipelineResult attempt_chain(const Problem& p, SolveWorkspace* ws);
+
+  PipelineOptions opts_;
+  PipelineStats stats_;
+  Verifier verifier_;
+};
+
+}  // namespace agora::lp

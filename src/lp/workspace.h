@@ -38,6 +38,7 @@ struct SolveWorkspace {
   std::vector<double> y;            ///< btran output (simplex multipliers).
   std::vector<double> w;            ///< ftran output (pivot column).
   std::vector<double> cost1;        ///< phase-1 cost vector.
+  std::vector<double> resid;        ///< b - B x_B residual / refinement scratch.
   std::vector<double> ysol;         ///< standard-form solution gather.
   std::vector<bool> in_basis;       ///< per-column basis membership.
   std::vector<bool> allowed;        ///< per-column entry permission.

@@ -45,6 +45,11 @@ struct SimMetrics {
   std::uint64_t lp_iterations = 0;
   double redirected_demand = 0.0;
 
+  /// Certified-enforcement telemetry (LP scheme only; see lp::SolvePipeline).
+  std::uint64_t certified_consults = 0;   ///< consults backed by a certificate
+  std::uint64_t degraded_consults = 0;    ///< chain exhausted -> local-only
+  std::uint64_t solver_fallbacks = 0;     ///< extra solve stages across consults
+
   double redirected_fraction() const {
     return total_requests == 0
                ? 0.0

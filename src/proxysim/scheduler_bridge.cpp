@@ -72,7 +72,14 @@ RedirectDecision SchedulerBridge::plan(std::size_t origin, double overflow,
     }
     alloc::AllocationPlan plan = allocator_->allocate(origin, x);
     dec.lp_iterations = plan.lp_iterations;
+    dec.certified = plan.certified;
+    dec.solver_fallbacks = plan.solver_fallbacks;
     if (!plan.satisfied()) {
+      // Either a certified "cannot place this much" or an exhausted solve
+      // chain (PlanStatus::Denied). Both degrade to local-only admission:
+      // the overflow is absorbed at the origin, never redirected on an
+      // unverified answer.
+      dec.degraded_local = plan.status == alloc::PlanStatus::Denied;
       dec.absorb[origin] = overflow;
       return dec;
     }

@@ -24,6 +24,14 @@ struct RedirectDecision {
   std::uint64_t lp_iterations = 0;
   /// Donors excluded because their availability was stale/unreachable.
   std::size_t masked_donors = 0;
+  /// The LP answer behind this decision carried a verified certificate
+  /// (always false for the non-LP schemes, which make no LP claim).
+  bool certified = false;
+  /// The certified solve chain was exhausted and the scheduler degraded to
+  /// local-only admission: all overflow stays at the origin.
+  bool degraded_local = false;
+  /// Solve-chain stages tried beyond the first (see lp::SolvePipeline).
+  std::uint64_t solver_fallbacks = 0;
 };
 
 class SchedulerBridge {
@@ -45,6 +53,12 @@ class SchedulerBridge {
                         const std::vector<bool>& reachable);
 
   SchedulerKind kind() const { return kind_; }
+
+  /// Degradation telemetry of the LP scheme's certified solve chain
+  /// (nullptr for non-LP schemes).
+  const lp::PipelineStats* solver_stats() const {
+    return allocator_ ? &allocator_->solver_stats() : nullptr;
+  }
 
  private:
   SchedulerKind kind_;

@@ -186,6 +186,9 @@ SimMetrics Simulator::run(const std::vector<std::vector<trace::TraceRequest>>& t
 
     RedirectDecision dec = scheduler.plan(p, overflow, spare);
     metrics.lp_iterations += dec.lp_iterations;
+    metrics.solver_fallbacks += dec.solver_fallbacks;
+    if (dec.certified) ++metrics.certified_consults;
+    if (dec.degraded_local) ++metrics.degraded_consults;
 
     if (cfg_.decision_latency > 0.0) {
       // Centralized scheduling has a round trip: the decision was computed

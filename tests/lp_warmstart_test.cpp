@@ -102,8 +102,9 @@ TEST(LpWarmstart, FuzzedPerturbationsMatchColdTableauAndBruteForce) {
       expect_same_result(cold, warm, "warm vs cold");
       expect_same_result(cold, tab, "tableau vs cold");
       ASSERT_EQ(cold.status, brute.status) << "brute vs cold";
-      if (cold.status == Status::Optimal)
+      if (cold.status == Status::Optimal) {
         EXPECT_NEAR(cold.objective, brute.objective, kTol) << "brute objective";
+      }
     }
   }
 }

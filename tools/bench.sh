@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# LP solver benchmark harness: builds micro_lp and micro_warmstart in
-# Release, runs them, and merges the results into BENCH_lp.json at the repo
-# root (iterations, ns/solve, allocs/solve, plus the warm-vs-cold iteration
-# ratio from micro_warmstart's verification pass).
+# LP solver benchmark harness: builds micro_lp, micro_warmstart and
+# micro_certify in Release, runs them, and merges the results into
+# BENCH_lp.json at the repo root (iterations, ns/solve, allocs/solve, the
+# warm-vs-cold iteration ratio from micro_warmstart's verification pass, and
+# the certification overhead from micro_certify's A/B pass).
 # Usage: tools/bench.sh   (from the repository root)
 set -euo pipefail
 
@@ -13,7 +14,7 @@ OUT=bench_results
 mkdir -p "${OUT}"
 
 cmake -B "${BUILD}" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "${BUILD}" -j --target micro_lp micro_warmstart
+cmake --build "${BUILD}" -j --target micro_lp micro_warmstart micro_certify
 
 "./${BUILD}/bench/micro_lp" \
   --benchmark_out="${OUT}/micro_lp.json" --benchmark_out_format=json
@@ -22,9 +23,16 @@ cmake --build "${BUILD}" -j --target micro_lp micro_warmstart
 "./${BUILD}/bench/micro_warmstart" \
   --benchmark_out="${OUT}/micro_warmstart.json" --benchmark_out_format=json \
   | tee "${OUT}/warmstart_summary.txt"
+# micro_certify prints its CERTIFY line (A/B overhead of solution
+# certification on the warm consult sequence, zero-uncertified-grants
+# invariant) the same way.
+"./${BUILD}/bench/micro_certify" \
+  --benchmark_out="${OUT}/micro_certify.json" --benchmark_out_format=json \
+  | tee "${OUT}/certify_summary.txt"
 
 python3 tools/bench_lp_json.py \
   "${OUT}/micro_lp.json" "${OUT}/micro_warmstart.json" \
-  "${OUT}/warmstart_summary.txt" BENCH_lp.json
+  "${OUT}/warmstart_summary.txt" \
+  "${OUT}/micro_certify.json" "${OUT}/certify_summary.txt" BENCH_lp.json
 
 echo "bench: BENCH_lp.json written"

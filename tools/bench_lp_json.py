@@ -1,16 +1,20 @@
 #!/usr/bin/env python3
-"""Merge google-benchmark JSON output from micro_lp and micro_warmstart into
-the compact BENCH_lp.json the repo tracks (see tools/bench.sh).
+"""Merge google-benchmark JSON output from micro_lp, micro_warmstart and
+micro_certify into the compact BENCH_lp.json the repo tracks (see
+tools/bench.sh).
 
 Usage: bench_lp_json.py <micro_lp.json> <micro_warmstart.json> \
-                        <warmstart_summary.txt> <out.json>
+                        <warmstart_summary.txt> <micro_certify.json> \
+                        <certify_summary.txt> <out.json>
 
 Only the Python standard library is used. For every benchmark we keep the
 iteration count, ns/solve (real time) and -- where the benchmark reports it
 -- allocations and LP pivots per solve. The micro_warmstart verification
 line (WARMSTART theta_max_diff=... cold_iters=... warm_iters=...
-iter_ratio=...) is parsed into a "warmstart" block so the acceptance metric
-is recorded alongside the timings.
+iter_ratio=...) is parsed into a "warmstart" block, and the micro_certify
+line (CERTIFY overhead_pct=... certified_solves=... fallbacks=...
+uncertified_grants=...) into a "certify" block, so both acceptance metrics
+are recorded alongside the timings.
 """
 
 import json
@@ -37,7 +41,7 @@ def load_benchmarks(path):
     return out, doc.get("context", {})
 
 
-def parse_summary(path):
+def parse_warmstart(path):
     with open(path) as f:
         text = f.read()
     m = re.search(
@@ -54,22 +58,42 @@ def parse_summary(path):
     }
 
 
+def parse_certify(path):
+    with open(path) as f:
+        text = f.read()
+    m = re.search(
+        r"CERTIFY overhead_pct=(\S+) certified_solves=(\d+)"
+        r" fallbacks=(\d+) uncertified_grants=(\d+)",
+        text,
+    )
+    if not m:
+        raise SystemExit(f"no CERTIFY summary line found in {path}")
+    return {
+        "certify_overhead_pct": float(m.group(1)),
+        "certified_solves": int(m.group(2)),
+        "fallbacks": int(m.group(3)),
+        "uncertified_grants": int(m.group(4)),
+    }
+
+
 def main(argv):
-    if len(argv) != 5:
+    if len(argv) != 7:
         raise SystemExit(__doc__)
     lp_benches, context = load_benchmarks(argv[1])
     warm_benches, _ = load_benchmarks(argv[2])
+    certify_benches, _ = load_benchmarks(argv[4])
     doc = {
-        "schema": "agora-bench-lp/1",
+        "schema": "agora-bench-lp/2",
         "build_type": context.get("library_build_type", "unknown"),
         "num_cpus": context.get("num_cpus", 0),
-        "benchmarks": lp_benches + warm_benches,
-        "warmstart": parse_summary(argv[3]),
+        "benchmarks": lp_benches + warm_benches + certify_benches,
+        "warmstart": parse_warmstart(argv[3]),
+        "certify": parse_certify(argv[5]),
     }
-    with open(argv[4], "w") as f:
+    with open(argv[6], "w") as f:
         json.dump(doc, f, indent=2)
         f.write("\n")
-    print(f"wrote {argv[4]}")
+    print(f"wrote {argv[6]}")
 
 
 if __name__ == "__main__":

@@ -10,13 +10,20 @@ cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
-# Sanitizer pass over the message-layer tests: the fault-injection code
-# paths (drops, duplicate frees of envelopes, restart handlers) are the
-# ones most likely to hide lifetime bugs.
+# Sanitizer pass over the message-layer tests (the fault-injection code
+# paths -- drops, duplicate frees of envelopes, restart handlers -- are the
+# ones most likely to hide lifetime bugs) plus the LP certification and
+# adversarial suites (ill-conditioned pivoting and deliberately corrupted
+# workspaces are where out-of-bounds reads and UB would hide). The sanitizer
+# build compiles with -ffp-contract=off so its floating-point results match
+# the tier-1 build bit for bit.
 cmake -B build-asan -S . -DAGORA_SANITIZE=ON
-cmake --build build-asan -j --target rms_test rms_chaos_test fuzz_test
+cmake --build build-asan -j --target rms_test rms_chaos_test fuzz_test \
+  lp_certify_test lp_adversarial_test
 ./build-asan/tests/rms_test
 ./build-asan/tests/rms_chaos_test
 ./build-asan/tests/fuzz_test
+./build-asan/tests/lp_certify_test
+./build-asan/tests/lp_adversarial_test
 echo "tier1: all green"
 echo "tier1: LP perf numbers (BENCH_lp.json) are produced by tools/bench.sh"
