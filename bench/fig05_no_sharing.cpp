@@ -8,14 +8,15 @@
 using namespace agora;
 using namespace agora::figbench;
 
-int main() {
+int main(int argc, char** argv) {
+  const FigOptions opts = parse_fig_options(argc, argv, "Figure 5");
   banner("Figure 5",
          "Requests per 10-minute slot and average waiting time, no sharing.\n"
          "Paper expectation: peak wait ~250 s around midnight, near-zero waits\n"
          "in the early morning trough.");
 
   proxysim::SimConfig cfg = base_config();
-  const auto traces = make_traces(0.0);
+  const auto traces = make_traces(0.0, kProxies, opts.seed);
   const proxysim::SimMetrics m = run_sim(cfg, traces);
 
   // Per-proxy view (the paper plots one proxy); with gap 0 all proxies are
@@ -38,5 +39,6 @@ int main() {
       "total requests %llu across %zu proxies.\n",
       m.peak_slot_wait(), m.mean_wait(),
       static_cast<unsigned long long>(m.total_requests), kProxies);
+  write_fig_metrics(opts, m);
   return 0;
 }

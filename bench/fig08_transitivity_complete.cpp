@@ -3,6 +3,7 @@
 // improvement from considering indirect agreements is small, because every
 // server is already reachable via direct agreements.
 #include <cstdio>
+#include <optional>
 
 #include "agree/topology.h"
 #include "fig_common.h"
@@ -10,12 +11,13 @@
 using namespace agora;
 using namespace agora::figbench;
 
-int main() {
+int main(int argc, char** argv) {
+  const FigOptions opts = parse_fig_options(argc, argv, "Figure 8");
   banner("Figure 8",
          "Waiting time vs transitivity level, complete graph 10%, gap 3600 s.\n"
          "Paper expectation: small incremental gain beyond level 1.");
 
-  const auto traces = make_traces(kHour);
+  const auto traces = make_traces(kHour, kProxies, opts.seed);
   const std::vector<std::size_t> levels{1, 2, 3, 4, 9};
 
   std::vector<std::vector<double>> hourly;
@@ -27,12 +29,14 @@ int main() {
     summary.add_row({0.0, m.per_proxy_wait[0].mean(),
                      m.wait_by_slot_per_proxy[0].peak_slot_mean(), 0.0});
   }
+  std::optional<proxysim::SimMetrics> last;
   for (std::size_t level : levels) {
     proxysim::SimConfig cfg = base_config();
     cfg.scheduler = proxysim::SchedulerKind::Lp;
     cfg.agreements = agree::complete_graph(kProxies, 0.10);
     cfg.alloc_opts.transitive.max_level = level;
-    const proxysim::SimMetrics m = run_sim(cfg, traces);
+    last = run_sim(cfg, traces);
+    const proxysim::SimMetrics& m = *last;
     hourly.push_back(hourly_means(m.wait_by_slot_per_proxy[0]));
     summary.add_row({static_cast<double>(level), m.per_proxy_wait[0].mean(),
                      m.wait_by_slot_per_proxy[0].peak_slot_mean(),
@@ -47,5 +51,6 @@ int main() {
     t.add_row({static_cast<double>(h), hourly[0][h], hourly[1][h], hourly[2][h], hourly[3][h],
                hourly[4][h]});
   emit("fig08_transitivity_complete_hourly", t);
+  if (last) write_fig_metrics(opts, *last);
   return 0;
 }

@@ -2,7 +2,8 @@
 // Paper: worst-case wait ~35 s at level 1, dropping to ~2 s at level >= 3.
 #include "fig_ring.h"
 
-int main() {
-  agora::figbench::run_ring_figure("Figure 9", 1, "~35 s");
+int main(int argc, char** argv) {
+  const auto opts = agora::figbench::parse_fig_options(argc, argv, "Figure 9");
+  agora::figbench::run_ring_figure("Figure 9", 1, "~35 s", opts);
   return 0;
 }

@@ -2,7 +2,8 @@
 // away. Paper: worst-case wait ~3 s at level 1, ~2 s at level >= 3.
 #include "fig_ring.h"
 
-int main() {
-  agora::figbench::run_ring_figure("Figure 11", 7, "~3 s");
+int main(int argc, char** argv) {
+  const auto opts = agora::figbench::parse_fig_options(argc, argv, "Figure 11");
+  agora::figbench::run_ring_figure("Figure 11", 7, "~3 s", opts);
   return 0;
 }

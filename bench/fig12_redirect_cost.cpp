@@ -3,6 +3,7 @@
 // Paper: negligible impact, because fewer than 1.5% of requests are
 // redirected overall (under 6% at peak).
 #include <cstdio>
+#include <optional>
 
 #include "agree/topology.h"
 #include "fig_common.h"
@@ -10,22 +11,25 @@
 using namespace agora;
 using namespace agora::figbench;
 
-int main() {
+int main(int argc, char** argv) {
+  const FigOptions opts = parse_fig_options(argc, argv, "Figure 12");
   banner("Figure 12",
          "Waiting time vs redirection cost (complete graph 10%, gap 3600 s).\n"
          "Paper expectation: costs up to 2x the mean service time have\n"
          "negligible impact; <1.5% of requests are redirected.");
 
-  const auto traces = make_traces(kHour);
+  const auto traces = make_traces(kHour, kProxies, opts.seed);
   std::vector<std::vector<double>> hourly;
   Table summary({"redirect_cost_s", "mean_wait_s", "peak_wait_s", "redirected_pct",
                  "peak_slot_redirected_pct"});
+  std::optional<proxysim::SimMetrics> last;
   for (double cost : {0.0, 0.1, 0.2}) {
     proxysim::SimConfig cfg = base_config();
     cfg.scheduler = proxysim::SchedulerKind::Lp;
     cfg.agreements = agree::complete_graph(kProxies, 0.10);
     cfg.redirect_cost = cost;
-    const proxysim::SimMetrics m = run_sim(cfg, traces);
+    last = run_sim(cfg, traces);
+    const proxysim::SimMetrics& m = *last;
     hourly.push_back(hourly_means(m.wait_by_slot_per_proxy[0]));
 
     // Peak-slot redirection rate (paper: < 6% even at peak).
@@ -47,5 +51,6 @@ int main() {
   for (std::size_t h = 0; h < 24; ++h)
     t.add_row({static_cast<double>(h), hourly[0][h], hourly[1][h], hourly[2][h]});
   emit("fig12_redirect_cost_hourly", t);
+  if (last) write_fig_metrics(opts, *last);
   return 0;
 }

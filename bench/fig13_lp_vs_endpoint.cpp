@@ -5,6 +5,7 @@
 // the proportional scheme redirects to nearby ISPs regardless of how busy
 // they are.
 #include <cstdio>
+#include <optional>
 
 #include "agree/topology.h"
 #include "fig_common.h"
@@ -12,23 +13,26 @@
 using namespace agora;
 using namespace agora::figbench;
 
-int main() {
+int main(int argc, char** argv) {
+  const FigOptions opts = parse_fig_options(argc, argv, "Figure 13");
   banner("Figure 13",
          "LP scheduler vs proportional endpoint enforcement under the\n"
          "distance-decay agreement structure (20/10/5/3% by time-zone\n"
          "distance). Paper expectation: LP halves the peak-time wait.");
 
-  const auto traces = make_traces(kHour);
+  const auto traces = make_traces(kHour, kProxies, opts.seed);
   const Matrix agreements = agree::distance_decay(kProxies, {0.20, 0.10, 0.05, 0.03});
 
   std::vector<std::vector<double>> hourly;
   std::vector<double> peaks, means;
+  std::optional<proxysim::SimMetrics> last;
   for (proxysim::SchedulerKind kind :
        {proxysim::SchedulerKind::Lp, proxysim::SchedulerKind::Endpoint}) {
     proxysim::SimConfig cfg = base_config();
     cfg.scheduler = kind;
     cfg.agreements = agreements;
-    const proxysim::SimMetrics m = run_sim(cfg, traces);
+    last = run_sim(cfg, traces);
+    const proxysim::SimMetrics& m = *last;
     hourly.push_back(hourly_means(m.wait_by_slot));
     peaks.push_back(m.peak_slot_wait());
     means.push_back(m.mean_wait());
@@ -46,5 +50,6 @@ int main() {
       "\nSummary: peak-slot wait LP %.2f s vs endpoint %.2f s (%.0f%% reduction;\n"
       "paper: >50%% at peak).\n",
       peaks[0], peaks[1], 100.0 * (1.0 - peaks[0] / peaks[1]));
+  if (last) write_fig_metrics(opts, *last);
   return 0;
 }

@@ -1,15 +1,56 @@
 #include "fig_common.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <iostream>
 
 #include "agree/capacity.h"
 #include "agree/topology.h"
 #include "alloc/model_cache.h"
+#include "obs/export.h"
+#include "util/flags.h"
 #include "util/rng.h"
 
 namespace agora::figbench {
+
+FigOptions parse_fig_options(int argc, char** argv, const std::string& figure) {
+  Flags flags;
+  flags.define("seed", std::to_string(kSeedBase),
+               "base RNG seed for the workload traces (proxy p uses seed+p)");
+  flags.define("metrics-out", "",
+               "write an observability snapshot (registry metrics + trace events of the "
+               "final run) to this file; .csv extension selects CSV, anything else JSON "
+               "lines");
+  try {
+    flags.parse(argc, argv);
+  } catch (const PreconditionError& err) {
+    std::fprintf(stderr, "%s\n", err.what());
+    std::exit(2);
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.help_text(figure + " reproduction harness").c_str());
+    std::exit(0);
+  }
+  FigOptions opts;
+  opts.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  opts.metrics_out = flags.get("metrics-out");
+  return opts;
+}
+
+void write_fig_metrics(const FigOptions& opts, const proxysim::SimMetrics& last) {
+  if (opts.metrics_out.empty()) return;
+  obs::Sink snap = obs::Sink::global();
+  snap.events = nullptr;  // only the run's own stream, not the global ring
+  try {
+    obs::write_snapshot(opts.metrics_out, snap, last.events);
+    std::printf("\n[metrics snapshot: %s, %zu events, %llu overwritten]\n",
+                opts.metrics_out.c_str(), last.events.size(),
+                static_cast<unsigned long long>(last.events_overwritten));
+  } catch (const IoError& err) {
+    std::fprintf(stderr, "metrics snapshot failed: %s\n", err.what());
+  }
+}
 
 agree::AgreementSystem complete_sharing_system(std::size_t n) {
   Pcg32 rng(n * 7 + 1);
@@ -44,12 +85,13 @@ trace::Generator make_generator() {
 }
 
 std::vector<std::vector<trace::TraceRequest>> make_traces(double gap_seconds,
-                                                          std::size_t proxies) {
+                                                          std::size_t proxies,
+                                                          std::uint64_t seed_base) {
   const trace::Generator gen = make_generator();
   std::vector<std::vector<trace::TraceRequest>> traces;
   traces.reserve(proxies);
   for (std::size_t p = 0; p < proxies; ++p)
-    traces.push_back(gen.generate(kSeedBase + p, gap_seconds * static_cast<double>(p)));
+    traces.push_back(gen.generate(seed_base + p, gap_seconds * static_cast<double>(p)));
   return traces;
 }
 

@@ -26,12 +26,32 @@ inline constexpr std::size_t kProxies = 10;
 inline constexpr double kHour = 3600.0;
 inline constexpr std::uint64_t kSeedBase = 100;
 
+/// Command-line options every figure harness accepts.
+struct FigOptions {
+  /// Base RNG seed for the workload traces (proxy p draws from seed + p).
+  std::uint64_t seed = kSeedBase;
+  /// When non-empty, write an observability snapshot (registry metrics plus
+  /// the final run's trace events) here; ".csv" selects CSV, else JSONL.
+  std::string metrics_out;
+};
+
+/// Parse --seed / --metrics-out. Prints help and exits 0 on -h/--help,
+/// exits 2 on unknown flags.
+FigOptions parse_fig_options(int argc, char** argv, const std::string& figure);
+
+/// Honor --metrics-out for the run that produced `last` (no-op when the
+/// option is empty). Registry totals come from the global sink; the event
+/// stream is the run's own (SimMetrics::events).
+void write_fig_metrics(const FigOptions& opts, const proxysim::SimMetrics& last);
+
 /// The calibrated workload generator.
 trace::Generator make_generator();
 
-/// One stream per proxy, proxy p shifted by p * gap_seconds.
+/// One stream per proxy, proxy p shifted by p * gap_seconds and seeded with
+/// seed_base + p.
 std::vector<std::vector<trace::TraceRequest>> make_traces(double gap_seconds,
-                                                          std::size_t proxies = kProxies);
+                                                          std::size_t proxies = kProxies,
+                                                          std::uint64_t seed_base = kSeedBase);
 
 /// Baseline config: 10 proxies, no sharing, paper cost model, 10-minute
 /// slots, scheduling-epoch spare reporting.

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdio>
+#include <optional>
 #include <string>
 
 #include "agree/topology.h"
@@ -13,25 +14,28 @@
 namespace agora::figbench {
 
 inline void run_ring_figure(const std::string& figure, std::size_t skip,
-                            const std::string& paper_level1_expectation) {
+                            const std::string& paper_level1_expectation,
+                            const FigOptions& opts = {}) {
   banner(figure,
          "Loop agreement structure: ISP i shares 80% with ISP (i+" +
              std::to_string(skip) + ") mod 10; proxies one hour apart (gap 3600 s).\n"
              "Paper expectation: level-1 worst-case wait " +
              paper_level1_expectation + "; ~2 s once level >= 3.");
 
-  const auto traces = make_traces(kHour);
+  const auto traces = make_traces(kHour, kProxies, opts.seed);
   const std::vector<std::size_t> levels{1, 2, 3, 5, 9};
 
   Table summary({"level", "mean_wait_s", "peak_wait_s", "worst_proxy_peak_s",
                  "redirected_pct"});
   std::vector<std::vector<double>> hourly;
+  std::optional<proxysim::SimMetrics> last;
   for (std::size_t level : levels) {
     proxysim::SimConfig cfg = base_config();
     cfg.scheduler = proxysim::SchedulerKind::Lp;
     cfg.agreements = agree::ring(kProxies, 0.80, skip);
     cfg.alloc_opts.transitive.max_level = level;
-    const proxysim::SimMetrics m = run_sim(cfg, traces);
+    last = run_sim(cfg, traces);
+    const proxysim::SimMetrics& m = *last;
 
     double worst_proxy_peak = 0.0;
     for (const auto& s : m.wait_by_slot_per_proxy)
@@ -49,6 +53,7 @@ inline void run_ring_figure(const std::string& figure, std::size_t skip,
     t.add_row({static_cast<double>(h), hourly[0][h], hourly[1][h], hourly[2][h], hourly[3][h],
                hourly[4][h]});
   emit("fig_ring_skip" + std::to_string(skip) + "_hourly", t);
+  if (last) write_fig_metrics(opts, *last);
 }
 
 }  // namespace agora::figbench

@@ -7,6 +7,7 @@
 #include "lp/presolve.h"
 #include "lp/revised.h"
 #include "lp/simplex.h"
+#include "obs/timer.h"
 
 namespace agora::alloc {
 
@@ -17,6 +18,7 @@ lp::PipelineOptions pipeline_options(const AllocatorOptions& opts) {
   lp::PipelineOptions po;
   po.solver = opts.solver;
   po.prefer_revised = opts.engine == LpEngine::Revised;
+  po.sink = opts.sink;
   return po;
 }
 }  // namespace
@@ -24,14 +26,31 @@ lp::PipelineOptions pipeline_options(const AllocatorOptions& opts) {
 Allocator::Allocator(agree::AgreementSystem sys, AllocatorOptions opts)
     : sys_(std::move(sys)), opts_(opts), pipeline_(pipeline_options(opts)) {
   sys_.validate(/*allow_overdraft=*/true);
+  obs_plan_seconds_ = &opts_.sink.histogram("alloc.plan.seconds");
+  obs_cache_hits_ = &opts_.sink.counter("alloc.model_cache.hits");
+  obs_cache_misses_ = &opts_.sink.counter("alloc.model_cache.misses");
+  obs_clamp_k_ = &opts_.sink.counter("alloc.clamp.overdraft_k");
+  obs_clamp_u_ = &opts_.sink.counter("alloc.clamp.entitlement_u");
+  obs_plans_satisfied_ = &opts_.sink.counter("alloc.plans.satisfied");
+  obs_plans_insufficient_ = &opts_.sink.counter("alloc.plans.insufficient");
+  obs_plans_denied_ = &opts_.sink.counter("alloc.plans.denied");
+  obs_plans_failed_ = &opts_.sink.counter("alloc.plans.solver_failed");
   // The expensive part (simple-path enumeration) depends only on S; do it
   // once and keep the K matrix cached across capacity updates.
-  report_.shares = agree::overdraft_clamp(agree::transitive_shares(sys_.relative, opts_.transitive));
+  Matrix t = agree::transitive_shares(sys_.relative, opts_.transitive);
+  if constexpr (obs::kEnabled) {
+    std::uint64_t clamped = 0;
+    for (double v : t.flat())
+      if (v > 1.0) ++clamped;
+    obs_clamp_k_->inc(clamped);
+  }
+  report_.shares = agree::overdraft_clamp(std::move(t));
   refresh_availability();
 }
 
 void Allocator::refresh_availability() {
   const std::size_t n = sys_.size();
+  std::uint64_t u_clamps = 0;
   report_.entitlement.assign(n, n);  // reuses storage on repeated refreshes
   report_.capacity.assign(n, 0.0);
   for (std::size_t k = 0; k < n; ++k) {
@@ -39,9 +58,12 @@ void Allocator::refresh_availability() {
     report_.entitlement(k, k) = sys_.retained[k] * vk;
     for (std::size_t i = 0; i < n; ++i) {
       if (i == k) continue;
-      report_.entitlement(k, i) = std::min(vk * report_.shares(k, i) + sys_.absolute(k, i), vk);
+      const double raw = vk * report_.shares(k, i) + sys_.absolute(k, i);
+      if (raw > vk) ++u_clamps;
+      report_.entitlement(k, i) = std::min(raw, vk);
     }
   }
+  obs_clamp_u_->inc(u_clamps);
   for (std::size_t i = 0; i < n; ++i) {
     double c = report_.entitlement(i, i);
     for (std::size_t k = 0; k < n; ++k)
@@ -72,6 +94,7 @@ AllocationPlan Allocator::allocate(std::size_t a, double amount) const {
   AGORA_REQUIRE(a < sys_.size(), "unknown principal");
   AGORA_REQUIRE(amount >= 0.0 && std::isfinite(amount), "request must be non-negative");
 
+  obs::ScopedTimer plan_timer(obs_plan_seconds_);
   const bool exact = opts_.equality == EqualityMode::Exact;
   AllocationPlan plan = opts_.formulation == Formulation::Compact
                             ? solve_compact(a, amount, exact)
@@ -83,6 +106,14 @@ AllocationPlan Allocator::allocate(std::size_t a, double amount) const {
     plan = opts_.formulation == Formulation::Compact ? solve_compact(a, amount, false)
                                                      : solve_full(a, amount, false);
     plan.exact_mode_fell_back = true;
+  }
+  if constexpr (obs::kEnabled) {
+    switch (plan.status) {
+      case PlanStatus::Satisfied: obs_plans_satisfied_->inc(); break;
+      case PlanStatus::Insufficient: obs_plans_insufficient_->inc(); break;
+      case PlanStatus::Denied: obs_plans_denied_->inc(); break;
+      case PlanStatus::SolverFailed: obs_plans_failed_->inc(); break;
+    }
   }
   return plan;
 }
@@ -98,7 +129,12 @@ AllocationPlan Allocator::solve_compact(std::size_t a, double amount, bool exact
   if (!exact && opts_.reuse_context && !opts_.presolve) {
     // Amortized path: the model structure is built once per Allocator;
     // each request only patches the d_k bounds (U_kA) and the demand rhs.
-    if (!cache_.built()) cache_.build(sys_, report_);
+    if (!cache_.built()) {
+      obs_cache_misses_->inc();
+      cache_.build(sys_, report_);
+    } else {
+      obs_cache_hits_->inc();
+    }
     cache_.patch(report_, a, amount);
     if (opts_.certify) {
       r = run_certified(cache_.problem(),

@@ -69,6 +69,9 @@ struct AllocatorOptions {
   /// posed, so the pipeline solves the original model).
   bool certify = true;
   lp::SolverOptions solver;
+  /// Telemetry destination, propagated into the solve pipeline. Metric
+  /// handles are resolved once at Allocator construction.
+  obs::Sink sink = obs::Sink::global();
 };
 
 class Allocator {
@@ -122,6 +125,17 @@ class Allocator {
   agree::AgreementSystem sys_;
   AllocatorOptions opts_;
   agree::CapacityReport report_;
+  /// Cached registry handles (see obs/metrics.h); plan counters mutate
+  /// behind const allocate().
+  obs::LogHistogram* obs_plan_seconds_ = nullptr;
+  obs::Counter* obs_cache_hits_ = nullptr;
+  obs::Counter* obs_cache_misses_ = nullptr;
+  obs::Counter* obs_clamp_k_ = nullptr;
+  obs::Counter* obs_clamp_u_ = nullptr;
+  obs::Counter* obs_plans_satisfied_ = nullptr;
+  obs::Counter* obs_plans_insufficient_ = nullptr;
+  obs::Counter* obs_plans_denied_ = nullptr;
+  obs::Counter* obs_plans_failed_ = nullptr;
   /// Lazily built compact-model structure + solver workspace; logically a
   /// memo of (sys_, report_), hence mutable behind const allocate().
   mutable AllocationModelCache cache_;

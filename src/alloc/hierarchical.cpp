@@ -6,6 +6,7 @@
 
 #include "lp/model_builder.h"
 #include "lp/simplex.h"
+#include "obs/timer.h"
 
 namespace agora::alloc {
 
@@ -14,6 +15,7 @@ lp::PipelineOptions fine_pipeline_options(const AllocatorOptions& opts) {
   lp::PipelineOptions po;
   po.solver = opts.solver;
   po.prefer_revised = opts.engine == LpEngine::Revised;
+  po.sink = opts.sink;
   return po;
 }
 }  // namespace
@@ -37,6 +39,11 @@ HierarchicalAllocator::HierarchicalAllocator(agree::AgreementSystem sys,
   for (std::size_t g = 0; g < ng; ++g)
     AGORA_REQUIRE(!groups_[g].members.empty(), "empty group " + std::to_string(g));
   group_cache_.resize(ng);
+  obs_plan_seconds_ = &opts_.sink.histogram("alloc.hier.plan.seconds");
+  obs_fast_path_ = &opts_.sink.counter("alloc.hier.fast_path");
+  obs_coarse_solves_ = &opts_.sink.counter("alloc.hier.coarse_solves");
+  obs_fine_solves_ = &opts_.sink.counter("alloc.hier.fine_solves");
+  obs_flat_fallbacks_ = &opts_.sink.counter("alloc.hier.flat_fallbacks");
   rebuild();
 }
 
@@ -119,6 +126,7 @@ AllocationPlan HierarchicalAllocator::allocate(std::size_t a, double amount) con
   const std::size_t n = sys_.size();
   const std::size_t ga = group_of_[a];
 
+  obs::ScopedTimer plan_timer(obs_plan_seconds_);
   AllocationPlan plan;
   plan.capacity_before = full_report_.capacity;
   plan.draw.assign(n, 0.0);
@@ -132,6 +140,7 @@ AllocationPlan HierarchicalAllocator::allocate(std::size_t a, double amount) con
     if (group_alloc.available_to(local_a) >= amount - 1e-9) {
       const AllocationPlan sub_plan = group_alloc.allocate(local_a, amount);
       if (sub_plan.satisfied()) {
+        obs_fast_path_->inc();
         for (std::size_t m = 0; m < groups_[ga].members.size(); ++m)
           plan.draw[groups_[ga].members[m]] = sub_plan.draw[m];
         plan.status = PlanStatus::Satisfied;
@@ -156,11 +165,13 @@ AllocationPlan HierarchicalAllocator::allocate(std::size_t a, double amount) con
   }
 
   // --- Coarse level: distribute the request across groups. -----------------
+  obs_coarse_solves_->inc();
   const AllocationPlan coarse_plan = coarse_allocator().allocate(ga, amount);
   plan.lp_iterations += coarse_plan.lp_iterations;
   plan.solver_fallbacks += coarse_plan.solver_fallbacks;
   bool all_certified = coarse_plan.certified;
   if (!coarse_plan.satisfied()) {
+    obs_flat_fallbacks_->inc();
     // The coarse model under-approximates reachable capacity (it collapses
     // member-level detail); fall back to the flat LP before giving up.
     AllocationPlan flat_plan = flat_allocator().allocate(a, amount);
@@ -188,6 +199,7 @@ AllocationPlan HierarchicalAllocator::allocate(std::size_t a, double amount) con
     mb.add(lp::sum(d) == x_g);
     for (std::size_t m = 0; m < members.size(); ++m) mb.add(1.0 * d[m] - 1.0 * t <= 0.0);
     mb.minimize(lp::LinExpr(t));
+    obs_fine_solves_->inc();
     lp::SolveResult r;
     if (opts_.certify) {
       lp::PipelineResult pr = fine_pipeline_.solve(mb.problem());
@@ -202,6 +214,7 @@ AllocationPlan HierarchicalAllocator::allocate(std::size_t a, double amount) con
     if (r.status != lp::Status::Optimal) {
       // Member entitlements cannot cover the coarse assignment (or its
       // answer did not certify); flat solve.
+      obs_flat_fallbacks_->inc();
       AllocationPlan flat_plan = flat_allocator().allocate(a, amount);
       flat_plan.lp_iterations += plan.lp_iterations;
       return flat_plan;

@@ -75,6 +75,12 @@ class HierarchicalAllocator {
   /// Certified solve chain for the fine-level (within-group) LPs; the
   /// per-level Allocators carry their own pipelines.
   mutable lp::SolvePipeline fine_pipeline_;
+  /// Cached registry handles (see obs/metrics.h).
+  obs::LogHistogram* obs_plan_seconds_ = nullptr;
+  obs::Counter* obs_fast_path_ = nullptr;
+  obs::Counter* obs_coarse_solves_ = nullptr;
+  obs::Counter* obs_fine_solves_ = nullptr;
+  obs::Counter* obs_flat_fallbacks_ = nullptr;
 };
 
 }  // namespace agora::alloc

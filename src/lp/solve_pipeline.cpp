@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <utility>
 
+#include <string>
+
 #include "lp/brute_force.h"
 #include "lp/revised.h"
 #include "lp/simplex.h"
+#include "obs/timer.h"
 #include "util/error.h"
 
 namespace agora::lp {
@@ -24,7 +27,21 @@ void accumulate(SolveStats& into, const SolveStats& s) {
 }  // namespace
 
 SolvePipeline::SolvePipeline(PipelineOptions opts)
-    : opts_(opts), verifier_(opts.solver.tols) {}
+    : opts_(opts), verifier_(opts.solver.tols) {
+  // Resolve all metric handles up front; solve() then only bumps atomics.
+  for (int i = 0; i < kPipelineStages; ++i) {
+    const std::string prefix =
+        std::string("lp.pipeline.stage.") + to_string(static_cast<PipelineStage>(i));
+    stage_obs_[i].attempts = &opts_.sink.counter(prefix + ".attempts");
+    stage_obs_[i].failures = &opts_.sink.counter(prefix + ".cert_failures");
+    stage_obs_[i].seconds = &opts_.sink.histogram(prefix + ".seconds");
+  }
+  obs_solves_ = &opts_.sink.counter("lp.pipeline.solves");
+  obs_certified_ = &opts_.sink.counter("lp.pipeline.certified");
+  obs_exhausted_ = &opts_.sink.counter("lp.pipeline.exhausted");
+  obs_solve_seconds_ = &opts_.sink.histogram("lp.pipeline.solve.seconds");
+  obs_iterations_ = &opts_.sink.histogram("lp.pipeline.iterations");
+}
 
 PipelineResult SolvePipeline::solve(const Problem& p) { return attempt_chain(p, nullptr); }
 
@@ -34,6 +51,12 @@ PipelineResult SolvePipeline::solve(const Problem& p, SolveWorkspace* ws) {
 
 PipelineResult SolvePipeline::attempt_chain(const Problem& p, SolveWorkspace* ws) {
   ++stats_.solves;
+  obs_solves_->inc();
+  // Event time = solve ordinal: deterministic under identical inputs.
+  const double ordinal = static_cast<double>(stats_.solves);
+  const auto actor = static_cast<std::uint32_t>(stats_.solves);
+  opts_.sink.event(ordinal, obs::EventKind::LpSolveStarted, actor);
+  obs::ScopedTimer solve_timer(obs_solve_seconds_);
   PipelineResult out;
 
   PipelineStage chain[kPipelineStages];
@@ -54,6 +77,7 @@ PipelineResult SolvePipeline::attempt_chain(const Problem& p, SolveWorkspace* ws
   for (std::size_t s = 0; s < len; ++s) {
     const PipelineStage stage = chain[s];
     SolveResult r;
+    const double stage_start = obs::kEnabled ? obs::now_seconds() : 0.0;
     switch (stage) {
       case PipelineStage::WarmRevised:
         r = RevisedSimplexSolver(opts_.solver).solve(p, ws);
@@ -90,6 +114,10 @@ PipelineResult SolvePipeline::attempt_chain(const Problem& p, SolveWorkspace* ws
     ++stats_.attempts[idx];
     ++attempts_made;
     accumulate(stats_.solver, r.stats);
+    if constexpr (obs::kEnabled) {
+      stage_obs_[idx].attempts->inc();
+      stage_obs_[idx].seconds->observe(obs::now_seconds() - stage_start);
+    }
     if (r.status == Status::Unbounded) saw_unbounded_claim = true;
 
     Certificate cert = verifier_.certify(p, r);
@@ -97,6 +125,12 @@ PipelineResult SolvePipeline::attempt_chain(const Problem& p, SolveWorkspace* ws
       stats_.max_fallback_depth = std::max(stats_.max_fallback_depth, attempts_made - 1);
       ++stats_.certified;
       if (cert.primal_only) ++stats_.primal_only;
+      obs_certified_->inc();
+      obs_iterations_->observe(static_cast<double>(r.iterations));
+      opts_.sink.event(ordinal, obs::EventKind::LpSolveCertified, actor,
+                       static_cast<std::uint32_t>(idx),
+                       static_cast<double>(attempts_made - 1),
+                       static_cast<double>(r.iterations));
       out.result = std::move(r);
       out.certificate = cert;
       out.stage = stage;
@@ -105,6 +139,9 @@ PipelineResult SolvePipeline::attempt_chain(const Problem& p, SolveWorkspace* ws
     }
 
     ++stats_.failures[idx];
+    stage_obs_[idx].failures->inc();
+    opts_.sink.event(ordinal, obs::EventKind::LpSolveFallback, actor,
+                     static_cast<std::uint32_t>(idx));
     if ((stage == PipelineStage::WarmRevised || stage == PipelineStage::ColdRevised) && ws) {
       // The revised answer did not survive verification; do not let its
       // basis seed the next solve.
@@ -115,6 +152,9 @@ PipelineResult SolvePipeline::attempt_chain(const Problem& p, SolveWorkspace* ws
   }
 
   ++stats_.exhausted;
+  obs_exhausted_->inc();
+  opts_.sink.event(ordinal, obs::EventKind::LpSolveExhausted, actor, 0,
+                   static_cast<double>(attempts_made));
   stats_.max_fallback_depth =
       std::max(stats_.max_fallback_depth, attempts_made > 0 ? attempts_made - 1 : 0);
   out.stage = PipelineStage::Exhausted;

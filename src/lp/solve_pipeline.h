@@ -26,6 +26,7 @@
 #include "lp/problem.h"
 #include "lp/result.h"
 #include "lp/workspace.h"
+#include "obs/sink.h"
 
 namespace agora::lp {
 
@@ -60,6 +61,11 @@ struct PipelineOptions {
   /// Basis-count cap for the terminal brute-force stage; problems larger
   /// than this skip the stage (enumeration is exponential).
   std::uint64_t brute_force_max_bases = 200'000;
+  /// Telemetry destination. Metric handles are resolved once at pipeline
+  /// construction; the solve path itself never touches the registry map.
+  /// Events carry the solve ordinal as their time (the pipeline has no
+  /// clock), so identically seeded runs emit identical streams.
+  obs::Sink sink = obs::Sink::global();
 };
 
 struct PipelineStats {
@@ -109,9 +115,24 @@ class SolvePipeline {
  private:
   PipelineResult attempt_chain(const Problem& p, SolveWorkspace* ws);
 
+  /// Registry handles cached at construction so the solve path is
+  /// allocation-free (see obs/metrics.h: references are stable for the
+  /// registry's lifetime).
+  struct StageObs {
+    obs::Counter* attempts = nullptr;
+    obs::Counter* failures = nullptr;
+    obs::LogHistogram* seconds = nullptr;
+  };
+
   PipelineOptions opts_;
   PipelineStats stats_;
   Verifier verifier_;
+  StageObs stage_obs_[kPipelineStages];
+  obs::Counter* obs_solves_ = nullptr;
+  obs::Counter* obs_certified_ = nullptr;
+  obs::Counter* obs_exhausted_ = nullptr;
+  obs::LogHistogram* obs_solve_seconds_ = nullptr;
+  obs::LogHistogram* obs_iterations_ = nullptr;
 };
 
 }  // namespace agora::lp

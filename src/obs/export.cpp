@@ -1,0 +1,301 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace agora::obs {
+
+namespace {
+
+/// Shortest round-trippable decimal representation of a double.
+std::string fmt_double(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer the shorter %g forms when they round-trip exactly.
+  for (int prec = 1; prec < 17; ++prec) {
+    char trial[32];
+    std::snprintf(trial, sizeof(trial), "%.*g", prec, v);
+    if (std::strtod(trial, nullptr) == v) return trial;
+  }
+  return buf;
+}
+
+void json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void write_metrics_jsonl(std::ostream& os, const MetricsRegistry& reg) {
+  reg.visit_counters([&](std::string_view name, const Counter& c) {
+    os << R"({"type":"counter","name":)";
+    json_string(os, name);
+    os << R"(,"value":)" << c.value() << "}\n";
+  });
+  reg.visit_gauges([&](std::string_view name, const Gauge& g) {
+    os << R"({"type":"gauge","name":)";
+    json_string(os, name);
+    os << R"(,"value":)" << fmt_double(g.value()) << "}\n";
+  });
+  reg.visit_histograms([&](std::string_view name, const LogHistogram& h) {
+    os << R"({"type":"histogram","name":)";
+    json_string(os, name);
+    os << R"(,"count":)" << h.count() << R"(,"sum":)" << fmt_double(h.sum());
+    if (h.count() > 0) {
+      os << R"(,"min":)" << fmt_double(h.min()) << R"(,"max":)" << fmt_double(h.max())
+         << R"(,"p50":)" << fmt_double(h.quantile(0.5)) << R"(,"p95":)"
+         << fmt_double(h.quantile(0.95)) << R"(,"p99":)" << fmt_double(h.quantile(0.99));
+      os << R"(,"bucket_le":[)";
+      bool first = true;
+      for (std::size_t i = 0; i < LogHistogram::kBuckets; ++i) {
+        if (h.bucket_count(i) == 0) continue;
+        if (!first) os << ',';
+        first = false;
+        os << fmt_double(h.bucket_edge(i));
+      }
+      os << R"(],"bucket_count":[)";
+      first = true;
+      for (std::size_t i = 0; i < LogHistogram::kBuckets; ++i) {
+        if (h.bucket_count(i) == 0) continue;
+        if (!first) os << ',';
+        first = false;
+        os << h.bucket_count(i);
+      }
+      os << ']';
+    }
+    os << "}\n";
+  });
+}
+
+void write_events_jsonl(std::ostream& os, std::span<const TraceEvent> events) {
+  for (const TraceEvent& ev : events) {
+    os << R"({"type":"event","t":)" << fmt_double(ev.time) << R"(,"kind":")"
+       << to_string(ev.kind) << R"(","actor":)" << ev.actor << R"(,"peer":)" << ev.peer
+       << R"(,"a":)" << fmt_double(ev.a) << R"(,"b":)" << fmt_double(ev.b) << "}\n";
+  }
+}
+
+void write_snapshot_jsonl(std::ostream& os, const MetricsRegistry& reg,
+                          std::span<const TraceEvent> events) {
+  write_metrics_jsonl(os, reg);
+  write_events_jsonl(os, events);
+}
+
+namespace {
+
+/// CSV quoting per util/csv.h convention: quote when the field contains a
+/// comma, quote, or newline.
+void csv_field(std::ostream& os, std::string_view s) {
+  if (s.find_first_of(",\"\n") == std::string_view::npos) {
+    os << s;
+    return;
+  }
+  os << '"';
+  for (char c : s) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+constexpr const char* kCsvHeader =
+    "record,name,value,count,sum,min,max,p50,p95,p99,t,kind,actor,peer,a,b\n";
+
+}  // namespace
+
+void write_metrics_csv(std::ostream& os, const MetricsRegistry& reg) {
+  reg.visit_counters([&](std::string_view name, const Counter& c) {
+    os << "counter,";
+    csv_field(os, name);
+    os << ',' << c.value() << ",,,,,,,,,,,,,\n";
+  });
+  reg.visit_gauges([&](std::string_view name, const Gauge& g) {
+    os << "gauge,";
+    csv_field(os, name);
+    os << ',' << fmt_double(g.value()) << ",,,,,,,,,,,,,\n";
+  });
+  reg.visit_histograms([&](std::string_view name, const LogHistogram& h) {
+    os << "histogram,";
+    csv_field(os, name);
+    os << ",," << h.count() << ',' << fmt_double(h.sum()) << ',';
+    if (h.count() > 0) {
+      os << fmt_double(h.min()) << ',' << fmt_double(h.max()) << ','
+         << fmt_double(h.quantile(0.5)) << ',' << fmt_double(h.quantile(0.95)) << ','
+         << fmt_double(h.quantile(0.99));
+    } else {
+      os << ",,,,";
+    }
+    os << ",,,,,,\n";
+  });
+}
+
+void write_events_csv(std::ostream& os, std::span<const TraceEvent> events) {
+  for (const TraceEvent& ev : events) {
+    os << "event,,,,,,,,,," << fmt_double(ev.time) << ',' << to_string(ev.kind) << ','
+       << ev.actor << ',' << ev.peer << ',' << fmt_double(ev.a) << ',' << fmt_double(ev.b)
+       << '\n';
+  }
+}
+
+void write_snapshot_csv(std::ostream& os, const MetricsRegistry& reg,
+                        std::span<const TraceEvent> events) {
+  os << kCsvHeader;
+  write_metrics_csv(os, reg);
+  write_events_csv(os, events);
+}
+
+void write_snapshot(const std::string& path, const Sink& sink,
+                    std::span<const TraceEvent> extra_events) {
+  std::ofstream f(path);
+  if (!f) throw IoError("cannot open for writing: " + path);
+
+  static const MetricsRegistry empty_registry;
+  const MetricsRegistry& reg = sink.registry != nullptr ? *sink.registry : empty_registry;
+  std::vector<TraceEvent> events;
+  if (sink.events != nullptr) events = sink.events->snapshot();
+  events.insert(events.end(), extra_events.begin(), extra_events.end());
+
+  const bool csv = path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  if (csv) {
+    write_snapshot_csv(f, reg, events);
+  } else {
+    write_snapshot_jsonl(f, reg, events);
+  }
+  f.flush();
+  if (!f) throw IoError("write failed: " + path);
+}
+
+namespace {
+
+class JsonCursor {
+ public:
+  JsonCursor(std::string_view s, int line) : s_(s), line_(line) {}
+
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= s_.size();
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) fail("unexpected end of line");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (at_end() || s_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("dangling escape");
+        char e = s_[pos_++];
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          default: out += e;
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= s_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  std::string parse_scalar() {
+    const char c = peek();
+    if (c == '"') return parse_string();
+    if (c == '[') {
+      // Record arrays verbatim (the round-trip tests reparse them ad hoc).
+      const std::size_t start = pos_;
+      int depth = 0;
+      do {
+        if (pos_ >= s_.size()) fail("unterminated array");
+        if (s_[pos_] == '[') ++depth;
+        if (s_[pos_] == ']') --depth;
+        ++pos_;
+      } while (depth > 0);
+      return std::string(s_.substr(start, pos_ - start));
+    }
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() && s_[pos_] != ',' && s_[pos_] != '}') ++pos_;
+    std::string out(s_.substr(start, pos_ - start));
+    while (!out.empty() && std::isspace(static_cast<unsigned char>(out.back()))) out.pop_back();
+    if (out.empty()) fail("empty scalar");
+    return out;
+  }
+
+  [[noreturn]] void fail(const std::string& msg) {
+    throw IoError("jsonl parse error (line " + std::to_string(line_) + ", col " +
+                        std::to_string(pos_ + 1) + "): " + msg);
+  }
+
+ private:
+  std::string_view s_;
+  int line_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<ParsedRecord> parse_jsonl(std::istream& is) {
+  std::vector<ParsedRecord> out;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    JsonCursor cur(line, lineno);
+    if (cur.at_end()) continue;
+    cur.expect('{');
+    ParsedRecord rec;
+    if (!cur.consume('}')) {
+      for (;;) {
+        std::string key = cur.parse_string();
+        cur.expect(':');
+        rec[std::move(key)] = cur.parse_scalar();
+        if (cur.consume(',')) continue;
+        cur.expect('}');
+        break;
+      }
+    }
+    if (!cur.at_end()) cur.fail("trailing characters after object");
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace agora::obs

@@ -1,0 +1,56 @@
+// export.h -- machine-readable snapshots of the observability state.
+//
+// Two formats:
+//   * JSON lines: one flat JSON object per record ({"type":"counter",...},
+//     {"type":"gauge",...}, {"type":"histogram",...}, {"type":"event",...}).
+//     Histograms include count/sum/min/max/p50/p95/p99; per-bucket detail is
+//     emitted as parallel "bucket_le"/"bucket_count" arrays.
+//   * CSV: a single table with a `record` discriminator column, so one file
+//     carries metrics and events together.
+//
+// `write_snapshot` picks the format from the path extension (".csv" -> CSV,
+// anything else -> JSON lines) -- this is what --metrics-out invokes.
+//
+// A deliberately small parser for the JSONL format (flat objects, scalar
+// values; arrays are skipped) backs the exporter round-trip tests.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/event_ring.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
+
+namespace agora::obs {
+
+void write_metrics_jsonl(std::ostream& os, const MetricsRegistry& reg);
+void write_events_jsonl(std::ostream& os, std::span<const TraceEvent> events);
+
+void write_metrics_csv(std::ostream& os, const MetricsRegistry& reg);
+void write_events_csv(std::ostream& os, std::span<const TraceEvent> events);
+
+/// Full snapshot (metrics then events) in one stream, JSONL or CSV.
+void write_snapshot_jsonl(std::ostream& os, const MetricsRegistry& reg,
+                          std::span<const TraceEvent> events);
+void write_snapshot_csv(std::ostream& os, const MetricsRegistry& reg,
+                        std::span<const TraceEvent> events);
+
+/// Write a snapshot to `path` (format by extension; see header comment).
+/// Throws IoError on failure. When `extra_events` is non-empty it is
+/// appended after the sink ring's events (the simulator's per-run stream).
+void write_snapshot(const std::string& path, const Sink& sink,
+                    std::span<const TraceEvent> extra_events = {});
+
+/// One parsed flat-JSON record: field name -> raw scalar text (strings are
+/// unescaped, numbers kept verbatim). Arrays are recorded as "[...]" raw.
+using ParsedRecord = std::map<std::string, std::string>;
+
+/// Parse a JSONL stream produced by the writers above. Throws IoError on
+/// malformed input.
+std::vector<ParsedRecord> parse_jsonl(std::istream& is);
+
+}  // namespace agora::obs

@@ -1,0 +1,147 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace agora::obs {
+
+namespace {
+
+void atomic_add(std::atomic<double>& a, double dx) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + dx, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double x) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (x < cur && !a.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double x) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (x > cur && !a.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::size_t LogHistogram::bucket_index(double x) {
+  if (!(x >= 0.0) || std::isnan(x)) return 0;  // negatives and NaN -> underflow
+  if (x == 0.0) return 0;
+  const int e = std::ilogb(x);
+  if (e < kMinExp) return 0;
+  if (e > kMaxExp) return kBuckets - 1;
+  return static_cast<std::size_t>(e - kMinExp) + 1;
+}
+
+double LogHistogram::bucket_edge(std::size_t i) {
+  if (i == 0) return std::ldexp(1.0, kMinExp);
+  if (i >= kBuckets - 1) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, kMinExp + static_cast<int>(i));  // upper edge 2^(kMinExp+i)
+}
+
+void LogHistogram::observe(double x) {
+  if constexpr (!kEnabled) {
+    (void)x;
+    return;
+  }
+  // First observation seeds min/max; count_ is bumped last so a concurrent
+  // min()/max() reader that sees count > 0 also sees a seeded value.
+  const std::uint64_t before = count_.load(std::memory_order_relaxed);
+  if (before == 0) {
+    double z = 0.0;
+    min_.compare_exchange_strong(z, x, std::memory_order_relaxed);
+    z = 0.0;
+    max_.compare_exchange_strong(z, x, std::memory_order_relaxed);
+  }
+  atomic_min(min_, x);
+  atomic_max(max_, x);
+  atomic_add(sum_, x);
+  buckets_[bucket_index(x)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double LogHistogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(n);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const double c = static_cast<double>(bucket_count(i));
+    if (c == 0.0) continue;
+    if (cum + c >= target) {
+      const double frac = c > 0.0 ? std::clamp((target - cum) / c, 0.0, 1.0) : 0.0;
+      double est;
+      if (i == 0) {
+        // Underflow bucket: interpolate linearly from zero.
+        est = frac * bucket_edge(0);
+      } else if (i == kBuckets - 1) {
+        est = std::ldexp(1.0, kMaxExp + 1);  // beyond range; clamped below
+      } else {
+        const double lo = std::ldexp(1.0, kMinExp + static_cast<int>(i) - 1);
+        est = lo * std::exp2(frac);  // geometric within [lo, 2*lo)
+      }
+      return std::clamp(est, min(), max());
+    }
+    cum += c;
+  }
+  return max();
+}
+
+void LogHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.try_emplace(std::string(name)).first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauges_.try_emplace(std::string(name)).first->second;
+}
+
+LogHistogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return histograms_.try_emplace(std::string(name)).first->second;
+}
+
+void MetricsRegistry::visit_counters(
+    const std::function<void(const std::string&, const Counter&)>& f) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) f(name, c);
+}
+
+void MetricsRegistry::visit_gauges(
+    const std::function<void(const std::string&, const Gauge&)>& f) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, g] : gauges_) f(name, g);
+}
+
+void MetricsRegistry::visit_histograms(
+    const std::function<void(const std::string&, const LogHistogram&)>& f) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, h] : histograms_) f(name, h);
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry reg;
+  return reg;
+}
+
+}  // namespace agora::obs

@@ -1,0 +1,35 @@
+#include "obs/sink.h"
+
+namespace agora::obs {
+
+namespace {
+
+/// Discard registry for null-sink lookups: metrics resolve and mutate
+/// normally but are never exported. Keeps call sites branch-free.
+MetricsRegistry& scratch_registry() {
+  static MetricsRegistry reg;
+  return reg;
+}
+
+EventRing& global_ring() {
+  static EventRing ring(16384);
+  return ring;
+}
+
+}  // namespace
+
+Counter& Sink::counter(std::string_view name) const {
+  return (registry != nullptr ? *registry : scratch_registry()).counter(name);
+}
+
+Gauge& Sink::gauge(std::string_view name) const {
+  return (registry != nullptr ? *registry : scratch_registry()).gauge(name);
+}
+
+LogHistogram& Sink::histogram(std::string_view name) const {
+  return (registry != nullptr ? *registry : scratch_registry()).histogram(name);
+}
+
+Sink Sink::global() { return Sink{&MetricsRegistry::global(), &global_ring()}; }
+
+}  // namespace agora::obs

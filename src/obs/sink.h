@@ -1,0 +1,40 @@
+// sink.h -- where an instrumented layer sends its telemetry: a metrics
+// registry plus an event ring, passed by value (two raw pointers, not
+// owning). Every instrumented options struct (lp::PipelineOptions,
+// alloc::AllocatorOptions, rms::ClientOptions, proxysim::SimConfig, ...)
+// carries a Sink defaulting to the process-wide global one, so programs get
+// a coherent snapshot for free while tests can plug in private instances
+// for isolation and determinism assertions.
+#pragma once
+
+#include "obs/event_ring.h"
+#include "obs/metrics.h"
+
+namespace agora::obs {
+
+struct Sink {
+  MetricsRegistry* registry = nullptr;
+  EventRing* events = nullptr;
+
+  /// Resolve a metric, tolerating a null registry (returns a process-local
+  /// scratch metric that is never exported -- instrumented code stays
+  /// branch-free).
+  Counter& counter(std::string_view name) const;
+  Gauge& gauge(std::string_view name) const;
+  LogHistogram& histogram(std::string_view name) const;
+
+  void event(double time, EventKind kind, std::uint32_t actor = 0, std::uint32_t peer = 0,
+             double a = 0.0, double b = 0.0) const {
+    if constexpr (kEnabled) {
+      if (events != nullptr) events->emit(time, kind, actor, peer, a, b);
+    }
+  }
+
+  /// The process-wide default sink (global registry + a 16Ki-event ring).
+  static Sink global();
+  /// A sink that drops everything (null registry lookups resolve to
+  /// scratch metrics; events vanish).
+  static Sink none() { return Sink{}; }
+};
+
+}  // namespace agora::obs

@@ -1,0 +1,45 @@
+// timer.h -- RAII profiling hook: measures the wall-clock duration of a
+// scope and records it into a LogHistogram on destruction. With the
+// observability layer compiled out (AGORA_OBS_ENABLED=0) both the clock
+// reads and the record disappear entirely.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace agora::obs {
+
+/// Monotonic wall-clock in seconds (steady_clock).
+inline double now_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+class ScopedTimer {
+ public:
+  /// `h` may be null (timer disabled for this scope).
+  explicit ScopedTimer(LogHistogram* h) : h_(h) {
+    if constexpr (kEnabled) {
+      if (h_ != nullptr) start_ = now_seconds();
+    }
+  }
+  ~ScopedTimer() {
+    if constexpr (kEnabled) {
+      if (h_ != nullptr) h_->observe(now_seconds() - start_);
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  double elapsed() const {
+    if constexpr (kEnabled) return h_ != nullptr ? now_seconds() - start_ : 0.0;
+    return 0.0;
+  }
+
+ private:
+  LogHistogram* h_;
+  double start_ = 0.0;
+};
+
+}  // namespace agora::obs

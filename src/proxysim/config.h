@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "alloc/allocator.h"
+#include "obs/sink.h"
 #include "util/matrix.h"
 
 namespace agora::proxysim {
@@ -83,6 +84,23 @@ struct SimConfig {
   /// redirect cost. Disabling re-enables the churn feedback under positive
   /// redirection costs.
   bool wait_benefit_cap = true;
+
+  // --- Observability -------------------------------------------------------
+  /// Metrics destination. The event-ring half of this sink is NOT used
+  /// during the run: Simulator::run records events into a run-local ring
+  /// (so the per-run stream is deterministic and isolated) and snapshots it
+  /// into SimMetrics::events; the same run-local ring is plumbed into the
+  /// allocator so scheduler and LP events interleave in one stream.
+  obs::Sink sink = obs::Sink::global();
+  /// Capacity of the run-local trace-event ring (rounded up to a power of
+  /// two). When a run emits more events than this, the oldest are
+  /// overwritten (SimMetrics::events_overwritten accounts for them). The
+  /// default is deliberately small: at 48 bytes per slot a 4Ki-event ring
+  /// stays L2-resident, keeping the per-request admission event within the
+  /// <= 3% simulation-throughput overhead budget (see EXPERIMENTS.md); a
+  /// 64Ki ring cycles a ~3 MB working set and costs ~10%. Raise it when a
+  /// run's full event stream matters more than throughput.
+  std::size_t event_ring_capacity = 1 << 12;
 
   double proxy_power(std::size_t i) const { return power.empty() ? 1.0 : power.at(i); }
 };

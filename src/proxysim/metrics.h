@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/event_ring.h"
 #include "util/stats.h"
 
 namespace agora::proxysim {
@@ -15,6 +16,8 @@ struct SimMetrics {
       : wait_by_slot(horizon, slot_width),
         requests_by_slot(static_cast<std::size_t>(horizon / slot_width + 0.5), 0),
         redirected_by_slot(static_cast<std::size_t>(horizon / slot_width + 0.5), 0),
+        consults_by_slot(static_cast<std::size_t>(horizon / slot_width + 0.5), 0),
+        degraded_by_slot(static_cast<std::size_t>(horizon / slot_width + 0.5), 0),
         per_proxy_wait(num_proxies) {
     wait_by_slot_per_proxy.reserve(num_proxies);
     for (std::size_t p = 0; p < num_proxies; ++p)
@@ -31,6 +34,10 @@ struct SimMetrics {
   std::vector<std::uint64_t> requests_by_slot;
   /// Redirected requests per slot (Figure 12's discussion).
   std::vector<std::uint64_t> redirected_by_slot;
+  /// Scheduler consults per slot (admission breakdown over the day).
+  std::vector<std::uint64_t> consults_by_slot;
+  /// Consults that degraded to local-only admission per slot.
+  std::vector<std::uint64_t> degraded_by_slot;
 
   StreamingStats wait_overall;
   std::vector<StreamingStats> per_proxy_wait;  ///< by origin proxy
@@ -49,6 +56,15 @@ struct SimMetrics {
   std::uint64_t certified_consults = 0;   ///< consults backed by a certificate
   std::uint64_t degraded_consults = 0;    ///< chain exhausted -> local-only
   std::uint64_t solver_fallbacks = 0;     ///< extra solve stages across consults
+
+  /// Structured trace of the run (admissions, redirections, consults, LP
+  /// solve-chain progress), oldest first, in simulator virtual time.
+  /// Identically seeded runs produce identical streams (proxysim_test
+  /// asserts this). Bounded by SimConfig::event_ring_capacity.
+  std::vector<obs::TraceEvent> events;
+  /// Events the run emitted beyond the ring's capacity (0 = `events` is the
+  /// complete stream).
+  std::uint64_t events_overwritten = 0;
 
   double redirected_fraction() const {
     return total_requests == 0

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/timer.h"
+
 namespace agora::proxysim {
 
 SchedulerBridge::SchedulerBridge(const SimConfig& cfg)
@@ -16,6 +18,9 @@ SchedulerBridge::SchedulerBridge(const SimConfig& cfg)
   AGORA_REQUIRE(kind_ == SchedulerKind::None ||
                     (agreements_.rows() == n_ && agreements_.cols() == n_),
                 "agreement matrix must be num_proxies x num_proxies");
+  obs_plan_seconds_ = &cfg.alloc_opts.sink.histogram("proxysim.bridge.plan.seconds");
+  obs_plans_ = &cfg.alloc_opts.sink.counter("proxysim.bridge.plans");
+  obs_masked_donors_ = &cfg.alloc_opts.sink.counter("proxysim.bridge.masked_donors");
   if (kind_ == SchedulerKind::Lp) {
     agree::AgreementSystem sys(n_);
     sys.relative = agreements_;
@@ -38,6 +43,8 @@ RedirectDecision SchedulerBridge::plan(std::size_t origin, double overflow,
   AGORA_REQUIRE(spare.size() == n_, "spare capacity vector size mismatch");
   AGORA_REQUIRE(reachable.empty() || reachable.size() == n_,
                 "reachability mask size mismatch");
+  obs::ScopedTimer plan_timer(obs_plan_seconds_);
+  obs_plans_->inc();
   RedirectDecision dec;
   dec.absorb.assign(n_, 0.0);
   if (overflow <= 0.0 || kind_ == SchedulerKind::None) {
@@ -57,6 +64,7 @@ RedirectDecision SchedulerBridge::plan(std::size_t origin, double overflow,
       budget_[k] = 0.0;
       ++dec.masked_donors;
     }
+    obs_masked_donors_->inc(dec.masked_donors);
   }
 
   if (kind_ == SchedulerKind::Lp) {

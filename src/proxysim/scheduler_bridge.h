@@ -75,6 +75,11 @@ class SchedulerBridge {
   agree::AgreementSystem endpoint_sys_;
   /// Reused per-consult scratch (masked spare / budget vectors).
   std::vector<double> usable_, budget_;
+  /// Cached registry handles (see obs/metrics.h); resolved from the
+  /// config's alloc_opts sink so bridge and allocator report to one place.
+  obs::LogHistogram* obs_plan_seconds_ = nullptr;
+  obs::Counter* obs_plans_ = nullptr;
+  obs::Counter* obs_masked_donors_ = nullptr;
 };
 
 }  // namespace agora::proxysim

@@ -78,6 +78,16 @@ SimMetrics Simulator::run(const std::vector<std::vector<trace::TraceRequest>>& t
   const std::size_t n = cfg_.num_proxies;
 
   SimMetrics metrics(cfg_.horizon, cfg_.slot_width, n);
+
+  // Run-local trace ring: the simulator's events (and, via the repointed
+  // allocator sink, the LP solve chain's events) land in one per-run stream
+  // in virtual-time order, isolated from other runs and deterministic under
+  // identical seeds. Registry metrics still go wherever cfg_.sink points.
+  obs::EventRing ring(cfg_.event_ring_capacity);
+  obs::Sink sink = cfg_.sink;
+  sink.events = &ring;
+  cfg_.alloc_opts.sink = sink;
+
   SchedulerBridge scheduler(cfg_);
   std::vector<ProxyState> proxies(n);
 
@@ -131,11 +141,18 @@ SimMetrics Simulator::run(const std::vector<std::vector<trace::TraceRequest>>& t
     metrics.wait_histogram.add(wait);
   };
 
+  const auto slot_of = [&](double t) {
+    auto s = static_cast<std::size_t>(std::max(t, 0.0) / cfg_.slot_width);
+    return std::min(s, metrics.requests_by_slot.size() - 1);
+  };
+
   const auto try_start = [&](std::size_t p, double now) {
     ProxyState& st = proxies[p];
     if (st.busy || st.queue.empty()) return;
     const Job j = st.pop_front();
     record_wait(j, now);
+    sink.event(now, obs::EventKind::RequestAdmitted, static_cast<std::uint32_t>(p), j.origin,
+               now - j.arrival, j.demand);
     st.busy = true;
     st.busy_until = now + j.demand / cfg_.proxy_power(p);
     events.push(Event{st.busy_until, EventKind::Completion, static_cast<std::uint32_t>(p),
@@ -167,10 +184,12 @@ SimMetrics Simulator::run(const std::vector<std::vector<trace::TraceRequest>>& t
     if (now - st.last_consult < cfg_.consult_cooldown) return;
     st.last_consult = now;
     ++metrics.scheduler_consults;
+    ++metrics.consults_by_slot[slot_of(now)];
 
     const double keep = cfg_.keep_local_fraction * cfg_.queue_threshold * power;
     const double overflow = st.queued_demand - keep;
     if (overflow <= 0.0) return;
+    sink.event(now, obs::EventKind::ConsultStarted, static_cast<std::uint32_t>(p), 0, overflow);
 
     // The origin's reported spare must exclude the overflow it is trying to
     // shed (but keep its expected arrivals), otherwise the LP sees the
@@ -188,7 +207,12 @@ SimMetrics Simulator::run(const std::vector<std::vector<trace::TraceRequest>>& t
     metrics.lp_iterations += dec.lp_iterations;
     metrics.solver_fallbacks += dec.solver_fallbacks;
     if (dec.certified) ++metrics.certified_consults;
-    if (dec.degraded_local) ++metrics.degraded_consults;
+    if (dec.degraded_local) {
+      ++metrics.degraded_consults;
+      ++metrics.degraded_by_slot[slot_of(now)];
+      sink.event(now, obs::EventKind::ConsultDegraded, static_cast<std::uint32_t>(p), 0,
+                 overflow);
+    }
 
     if (cfg_.decision_latency > 0.0) {
       // Centralized scheduling has a round trip: the decision was computed
@@ -255,6 +279,8 @@ SimMetrics Simulator::run(const std::vector<std::vector<trace::TraceRequest>>& t
         j.demand += cfg_.redirect_cost;
         ++metrics.redirected_requests;
         metrics.redirected_demand += j.demand;
+        sink.event(now, obs::EventKind::RequestRedirected, static_cast<std::uint32_t>(p),
+                   static_cast<std::uint32_t>(k), j.demand, cfg_.redirect_cost);
         auto slot = static_cast<std::size_t>(
             std::min(j.arrival, cfg_.horizon - 1e-9) / cfg_.slot_width);
         if (slot >= metrics.redirected_by_slot.size())
@@ -294,6 +320,25 @@ SimMetrics Simulator::run(const std::vector<std::vector<trace::TraceRequest>>& t
 
   for (const auto& st : proxies)
     AGORA_INVARIANT(st.queue.empty() && !st.busy, "simulation ended with unserved work");
+
+  // Snapshot the run's trace and mirror the headline totals into the
+  // registry (SimMetrics remains the authoritative per-run record; the
+  // registry view is what --metrics-out and long-lived processes export).
+  metrics.events = ring.snapshot();
+  metrics.events_overwritten = ring.overwritten();
+  if constexpr (obs::kEnabled) {
+    sink.counter("sim.requests.total").inc(metrics.total_requests);
+    sink.counter("sim.requests.redirected").inc(metrics.redirected_requests);
+    sink.counter("sim.consults").inc(metrics.scheduler_consults);
+    sink.counter("sim.consults.certified").inc(metrics.certified_consults);
+    sink.counter("sim.consults.degraded").inc(metrics.degraded_consults);
+    sink.counter("sim.lp_iterations").inc(metrics.lp_iterations);
+    sink.counter("sim.solver_fallbacks").inc(metrics.solver_fallbacks);
+    sink.counter("sim.events.overwritten").inc(metrics.events_overwritten);
+    sink.gauge("sim.wait.mean_seconds").set(metrics.mean_wait());
+    sink.gauge("sim.wait.peak_slot_seconds").set(metrics.peak_slot_wait());
+    sink.gauge("sim.redirected_fraction").set(metrics.redirected_fraction());
+  }
   return metrics;
 }
 

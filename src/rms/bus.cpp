@@ -6,6 +6,17 @@
 
 namespace agora::rms {
 
+MessageBus::MessageBus() { set_sink(obs::Sink::global()); }
+
+void MessageBus::set_sink(obs::Sink sink) {
+  sink_ = sink;
+  obs_delivered_ = &sink_.counter("rms.bus.delivered");
+  obs_dropped_ = &sink_.counter("rms.bus.dropped");
+  obs_duplicated_ = &sink_.counter("rms.bus.duplicated");
+  obs_lost_crash_ = &sink_.counter("rms.bus.lost_crash");
+  obs_lost_partition_ = &sink_.counter("rms.bus.lost_partition");
+}
+
 EndpointId MessageBus::add_endpoint(Handler handler) {
   AGORA_REQUIRE(handler != nullptr, "endpoint needs a handler");
   endpoints_.push_back(std::move(handler));
@@ -38,6 +49,9 @@ void MessageBus::post(EndpointId from, EndpointId to, Payload payload, double la
     if (plan_.crashed(from, now_)) {
       ++dropped_;
       ++lost_crash_;
+      obs_dropped_->inc();
+      obs_lost_crash_->inc();
+      sink_.event(now_, obs::EventKind::BusFaultCrashLoss, static_cast<std::uint32_t>(from));
       return;
     }
     // Self-messages model local clocks (timers, scheduled releases), not
@@ -47,6 +61,9 @@ void MessageBus::post(EndpointId from, EndpointId to, Payload payload, double la
       if (lf.any()) {
         if (lf.drop > 0.0 && rng_.next_double() < lf.drop) {
           ++dropped_;
+          obs_dropped_->inc();
+          sink_.event(now_, obs::EventKind::BusFaultDrop, static_cast<std::uint32_t>(from),
+                      static_cast<std::uint32_t>(to));
           return;
         }
         const double extra = lf.jitter > 0.0 ? rng_.uniform(0.0, lf.jitter) : 0.0;
@@ -54,6 +71,9 @@ void MessageBus::post(EndpointId from, EndpointId to, Payload payload, double la
         if (lf.duplicate > 0.0 && rng_.next_double() < lf.duplicate) {
           const double extra2 = lf.jitter > 0.0 ? rng_.uniform(0.0, lf.jitter) : 0.0;
           ++duplicated_;
+          obs_duplicated_->inc();
+          sink_.event(now_, obs::EventKind::BusFaultDuplicate, static_cast<std::uint32_t>(from),
+                      static_cast<std::uint32_t>(to));
           queue_.push(Envelope{now_ + latency + extra2, seq_++, from, to, std::move(payload)});
         }
         return;
@@ -83,15 +103,23 @@ bool MessageBus::step() {
     if (plan_.crashed(env.to, now_)) {
       ++dropped_;
       ++lost_crash_;
+      obs_dropped_->inc();
+      obs_lost_crash_->inc();
+      sink_.event(now_, obs::EventKind::BusFaultCrashLoss, static_cast<std::uint32_t>(env.to));
       return true;
     }
     if (env.from != env.to && plan_.severed(env.from, env.to, now_)) {
       ++dropped_;
       ++lost_partition_;
+      obs_dropped_->inc();
+      obs_lost_partition_->inc();
+      sink_.event(now_, obs::EventKind::BusFaultPartitionLoss,
+                  static_cast<std::uint32_t>(env.from), static_cast<std::uint32_t>(env.to));
       return true;
     }
   }
   ++delivered_;
+  obs_delivered_->inc();
   endpoints_[env.to](env);
   return true;
 }

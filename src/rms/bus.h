@@ -15,6 +15,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/sink.h"
 #include "rms/fault.h"
 #include "rms/messages.h"
 #include "util/error.h"
@@ -46,6 +47,8 @@ class MessageBus {
   using Handler = std::function<void(const Envelope&)>;
   using RestartHandler = std::function<void()>;
 
+  MessageBus();
+
   /// Register an endpoint; the handler runs when messages are delivered.
   EndpointId add_endpoint(Handler handler);
 
@@ -57,6 +60,10 @@ class MessageBus {
   /// plan (FaultPlan{}) disables the fault layer entirely.
   void set_fault_plan(FaultPlan plan);
   const FaultPlan& fault_plan() const { return plan_; }
+
+  /// Route telemetry (delivery/fault counters, BusFault* trace events with
+  /// time = bus virtual time) to `sink`. Default: the process-global sink.
+  void set_sink(obs::Sink sink);
 
   /// Post a message for delivery after `latency` seconds of virtual time.
   void post(EndpointId from, EndpointId to, Payload payload, double latency = 0.0);
@@ -120,6 +127,15 @@ class MessageBus {
   /// Fault counters as of the end of the previous run_until_idle drain.
   std::uint64_t drain_dropped_ = 0;
   std::uint64_t drain_duplicated_ = 0;
+
+  /// Telemetry. Handles are resolved in the constructor (and again by
+  /// set_sink); posting/stepping only bumps atomics.
+  obs::Sink sink_ = obs::Sink::global();
+  obs::Counter* obs_delivered_ = nullptr;
+  obs::Counter* obs_dropped_ = nullptr;
+  obs::Counter* obs_duplicated_ = nullptr;
+  obs::Counter* obs_lost_crash_ = nullptr;
+  obs::Counter* obs_lost_partition_ = nullptr;
 };
 
 }  // namespace agora::rms

@@ -12,6 +12,10 @@ RequestClient::RequestClient(MessageBus& bus, EndpointId grm, ClientOptions opts
                 "backoff must be positive");
   AGORA_REQUIRE(opts_.deadline > 0.0, "deadline must be positive");
   AGORA_REQUIRE(opts_.send_latency >= 0.0, "latency must be non-negative");
+  obs_retries_ = &opts_.sink.counter("rms.client.retries");
+  obs_deadline_denials_ = &opts_.sink.counter("rms.client.deadline_denials");
+  obs_duplicate_replies_ = &opts_.sink.counter("rms.client.duplicate_replies");
+  obs_latency_ = &opts_.sink.histogram("rms.client.request_latency.vt_seconds");
   endpoint_ = bus_.add_endpoint([this](const Envelope& env) { handle(env); });
 }
 
@@ -60,6 +64,7 @@ void RequestClient::finalize(std::uint64_t request_id, AllocationReply reply) {
   out.reply = std::move(reply);
   out.submitted_at = it->second.submitted_at;
   out.resolved_at = bus_.now();
+  obs_latency_->observe(out.resolved_at - out.submitted_at);
   pending_.erase(it);
   done_[request_id] = order_.size();
   order_.push_back(std::move(out));
@@ -70,6 +75,7 @@ void RequestClient::handle(const Envelope& env) {
     if (pending_.count(reply->request_id) == 0) {
       // Late or duplicated reply for an already-resolved request.
       ++duplicate_replies_;
+      obs_duplicate_replies_->inc();
       return;
     }
     finalize(reply->request_id, *reply);
@@ -94,6 +100,9 @@ void RequestClient::on_timer(std::uint64_t token) {
   if (now >= p.deadline_at - 1e-12) {
     // Deadline: resolve locally instead of hanging.
     ++deadline_denials_;
+    obs_deadline_denials_->inc();
+    opts_.sink.event(now, obs::EventKind::ClientDeadline, static_cast<std::uint32_t>(endpoint_),
+                     0, static_cast<double>(p.attempts));
     AllocationReply reply;
     reply.request_id = id;
     reply.granted = false;
@@ -104,6 +113,9 @@ void RequestClient::on_timer(std::uint64_t token) {
   if (p.attempts < opts_.max_attempts) {
     ++p.attempts;
     ++retries_;
+    obs_retries_->inc();
+    opts_.sink.event(now, obs::EventKind::GrmRetry, static_cast<std::uint32_t>(endpoint_),
+                     static_cast<std::uint32_t>(grm_), static_cast<double>(p.attempts));
     AllocationRequest retry = p.req;
     retry.attempt = static_cast<std::uint32_t>(p.attempts - 1);
     bus_.post(endpoint_, grm_, std::move(retry), opts_.send_latency);

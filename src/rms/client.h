@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/sink.h"
 #include "rms/bus.h"
 #include "rms/messages.h"
 
@@ -25,6 +26,9 @@ struct ClientOptions {
   /// locally as denied ("deadline exceeded"). Infinity = wait forever.
   double deadline = std::numeric_limits<double>::infinity();
   double send_latency = 0.0;    ///< client -> GRM network delay
+  /// Telemetry (retry/deadline counters, GrmRetry/ClientDeadline events
+  /// stamped with bus virtual time).
+  obs::Sink sink = obs::Sink::global();
 };
 
 class RequestClient {
@@ -82,6 +86,11 @@ class RequestClient {
   std::uint64_t retries_ = 0;
   std::uint64_t deadline_denials_ = 0;
   std::uint64_t duplicate_replies_ = 0;
+  /// Cached registry handles (see obs/metrics.h).
+  obs::Counter* obs_retries_ = nullptr;
+  obs::Counter* obs_deadline_denials_ = nullptr;
+  obs::Counter* obs_duplicate_replies_ = nullptr;
+  obs::LogHistogram* obs_latency_ = nullptr;
 };
 
 }  // namespace agora::rms

@@ -16,6 +16,14 @@ Grm::Grm(MessageBus& bus, std::vector<agree::AgreementSystem> systems,
   const std::size_t n = systems[0].size();
   for (const auto& s : systems)
     AGORA_REQUIRE(s.size() == n, "all resource systems must cover the same sites");
+  obs_decisions_ = &grm_opts_.sink.counter("rms.grm.decisions");
+  obs_grants_ = &grm_opts_.sink.counter("rms.grm.grants");
+  obs_forwards_ = &grm_opts_.sink.counter("rms.grm.forwards");
+  obs_stale_masked_ = &grm_opts_.sink.counter("rms.grm.stale_masked");
+  obs_duplicate_requests_ = &grm_opts_.sink.counter("rms.grm.duplicate_requests");
+  obs_reserve_retries_ = &grm_opts_.sink.counter("rms.grm.reserve_retries");
+  obs_reserve_failures_ = &grm_opts_.sink.counter("rms.grm.reserve_failures");
+  obs_resyncs_ = &grm_opts_.sink.counter("rms.grm.resyncs");
   allocators_.reserve(systems.size());
   for (auto& s : systems) {
     known_.emplace_back(s.capacity);  // seed with declared capacities
@@ -114,6 +122,10 @@ void Grm::handle(const Envelope& env) {
                   "resync resource count mismatch");
     AGORA_REQUIRE(rs->lrm < lrm_endpoints_.size(), "resync from unknown site");
     ++resyncs_;
+    obs_resyncs_->inc();
+    grm_opts_.sink.event(bus_.now(), obs::EventKind::GrmResync,
+                         static_cast<std::uint32_t>(endpoint_),
+                         static_cast<std::uint32_t>(rs->lrm));
     reported_[rs->lrm] = true;
     report_time_[rs->lrm] = bus_.now();
     for (std::size_t r = 0; r < allocators_.size(); ++r)
@@ -137,15 +149,18 @@ void Grm::decide(const AllocationRequest& req, EndpointId reply_to) {
   // reply again; one still in flight at the parent is simply ignored.
   if (const auto done = decided_.find(req.request_id); done != decided_.end()) {
     ++duplicate_requests_;
+    obs_duplicate_requests_->inc();
     bus_.post(endpoint_, reply_to, done->second, decision_latency_);
     return;
   }
   if (forwarded_.count(req.request_id) != 0) {
     ++duplicate_requests_;
+    obs_duplicate_requests_->inc();
     return;
   }
 
   ++decisions_;
+  obs_decisions_->inc();
   AGORA_REQUIRE(req.amounts.size() == allocators_.size(),
                 "request must name an amount per resource");
   AGORA_REQUIRE(req.principal < lrm_endpoints_.size(), "unknown principal");
@@ -165,7 +180,10 @@ void Grm::decide(const AllocationRequest& req, EndpointId reply_to) {
     else if (ttl_active &&
              (!reported_[s] || now - report_time_[s] > grm_opts_.staleness_ttl))
       masked[s] = true;
-    if (masked[s]) ++stale_masked_;
+    if (masked[s]) {
+      ++stale_masked_;
+      obs_stale_masked_->inc();
+    }
   }
   std::vector<std::vector<double>> caps(allocators_.size());
   for (std::size_t r = 0; r < allocators_.size(); ++r) {
@@ -187,6 +205,7 @@ void Grm::decide(const AllocationRequest& req, EndpointId reply_to) {
     if (parent_) {
       // Escalate: the parent sees the full system.
       ++forwards_;
+      obs_forwards_->inc();
       forwarded_[req.request_id] = reply_to;
       bus_.post(endpoint_, *parent_, req, decision_latency_);
       return;
@@ -201,6 +220,7 @@ void Grm::decide(const AllocationRequest& req, EndpointId reply_to) {
 
   // Commit: instruct every contributing LRM and update our book-keeping.
   ++grants_;
+  obs_grants_->inc();
   const std::size_t n = lrm_endpoints_.size();
   for (std::size_t s = 0; s < n; ++s) {
     std::vector<double> amounts(allocators_.size(), 0.0);
@@ -252,12 +272,18 @@ void Grm::on_timer(std::uint64_t token) {
     // Give up: the LRM is unreachable. The availability decrement stands
     // until the site's next report/resync reconciles it; count the loss.
     ++reserve_failures_;
+    obs_reserve_failures_->inc();
     reserve_tokens_.erase({pr.cmd.request_id, pr.site});
     pending_reserves_.erase(it);
     return;
   }
   ++pr.attempts;
   ++reserve_retries_;
+  obs_reserve_retries_->inc();
+  grm_opts_.sink.event(bus_.now(), obs::EventKind::GrmReserveRetry,
+                       static_cast<std::uint32_t>(endpoint_),
+                       static_cast<std::uint32_t>(pr.site),
+                       static_cast<double>(pr.attempts));
   pr.backoff = std::min(pr.backoff * 2.0, grm_opts_.reserve_backoff_cap);
   bus_.post(endpoint_, lrm_endpoints_[pr.site], pr.cmd, decision_latency_);
   bus_.post(endpoint_, endpoint_, Timer{token}, pr.backoff);

@@ -49,6 +49,10 @@ struct GrmOptions {
   int reserve_attempts = 1;
   double reserve_backoff = 0.25;     ///< initial retry spacing (doubles)
   double reserve_backoff_cap = 2.0;  ///< backoff ceiling
+  /// Telemetry (decision counters, GrmReserveRetry/GrmResync events
+  /// stamped with bus virtual time). Also forwarded into the allocators'
+  /// AllocatorOptions unless those carry their own non-global sink.
+  obs::Sink sink = obs::Sink::global();
 };
 
 class Grm {
@@ -144,6 +148,15 @@ class Grm {
   std::uint64_t reserve_retries_ = 0;
   std::uint64_t reserve_failures_ = 0;
   std::uint64_t resyncs_ = 0;
+  /// Cached registry handles (see obs/metrics.h).
+  obs::Counter* obs_decisions_ = nullptr;
+  obs::Counter* obs_grants_ = nullptr;
+  obs::Counter* obs_forwards_ = nullptr;
+  obs::Counter* obs_stale_masked_ = nullptr;
+  obs::Counter* obs_duplicate_requests_ = nullptr;
+  obs::Counter* obs_reserve_retries_ = nullptr;
+  obs::Counter* obs_reserve_failures_ = nullptr;
+  obs::Counter* obs_resyncs_ = nullptr;
 };
 
 }  // namespace agora::rms

@@ -1,0 +1,451 @@
+// Tests for the observability substrate (src/obs): metric semantics,
+// EventRing wraparound/overflow accounting, exporter round-trips through the
+// JSONL parser, and a multithreaded hammer (the same test tier1.sh runs
+// under ThreadSanitizer).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/event_ring.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
+#include "obs/timer.h"
+#include "util/error.h"
+
+namespace agora::obs {
+namespace {
+
+// ---------------------------------------------------------------- counters
+
+TEST(Counter, IncrementAndReset) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAddReset) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(2.5);
+  EXPECT_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_EQ(g.value(), 1.5);
+  g.reset();
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+// -------------------------------------------------------------- histograms
+
+TEST(LogHistogram, BasicStatistics) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+
+  for (double v : {1.0, 2.0, 4.0, 8.0}) h.observe(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 15.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.75);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 8.0);
+
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(LogHistogram, QuantilesAreMonotonicAndBounded) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  LogHistogram h;
+  // Geometric spread across many buckets plus under/overflow extremes.
+  for (int i = 0; i < 1000; ++i) h.observe(1e-3 * (1 + i % 50));
+  h.observe(1e-12);  // underflow bucket
+  h.observe(1e12);   // overflow bucket
+
+  double prev = 0.0;
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double x = h.quantile(q);
+    EXPECT_GE(x, prev) << "quantile not monotone at q=" << q;
+    EXPECT_GE(x, h.min());
+    EXPECT_LE(x, h.max());
+    prev = x;
+  }
+}
+
+TEST(LogHistogram, BucketEdgesAreIncreasing) {
+  double prev = 0.0;
+  for (std::size_t i = 0; i + 1 < LogHistogram::kBuckets; ++i) {
+    const double e = LogHistogram::bucket_edge(i);
+    EXPECT_GT(e, prev);
+    prev = e;
+  }
+  EXPECT_TRUE(std::isinf(LogHistogram::bucket_edge(LogHistogram::kBuckets - 1)));
+}
+
+TEST(LogHistogram, BucketCountsSumToCount) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  LogHistogram h;
+  for (int i = 1; i <= 100; ++i) h.observe(0.01 * i);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < LogHistogram::kBuckets; ++i) total += h.bucket_count(i);
+  EXPECT_EQ(total, h.count());
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(MetricsRegistry, FindOrCreateReturnsStableReferences) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x.count");
+  Counter& b = reg.counter("x.count");
+  EXPECT_EQ(&a, &b);
+  Gauge& g1 = reg.gauge("x.level");
+  Gauge& g2 = reg.gauge("x.level");
+  EXPECT_EQ(&g1, &g2);
+  LogHistogram& h1 = reg.histogram("x.seconds");
+  LogHistogram& h2 = reg.histogram("x.seconds");
+  EXPECT_EQ(&h1, &h2);
+  // Same name in a different namespace is a different metric.
+  EXPECT_NE(static_cast<void*>(&reg.counter("x.level")), static_cast<void*>(&g1));
+}
+
+TEST(MetricsRegistry, VisitInNameOrderAndReset) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  MetricsRegistry reg;
+  reg.counter("b").inc(2);
+  reg.counter("a").inc(1);
+  reg.counter("c").inc(3);
+  std::vector<std::string> names;
+  reg.visit_counters([&](const std::string& n, const Counter& c) {
+    names.push_back(n);
+    EXPECT_GT(c.value(), 0u);
+  });
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+  EXPECT_EQ(names[2], "c");
+
+  reg.reset();
+  std::size_t seen = 0;
+  reg.visit_counters([&](const std::string&, const Counter& c) {
+    ++seen;
+    EXPECT_EQ(c.value(), 0u);  // zeroed, but registration survives
+  });
+  EXPECT_EQ(seen, 3u);
+}
+
+// --------------------------------------------------------------- event ring
+
+TEST(EventRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(EventRing(1).capacity(), 8u);
+  EXPECT_EQ(EventRing(8).capacity(), 8u);
+  EXPECT_EQ(EventRing(9).capacity(), 16u);
+  EXPECT_EQ(EventRing(1000).capacity(), 1024u);
+}
+
+TEST(EventRing, RetainsEventsInOrder) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  EventRing ring(16);
+  for (int i = 0; i < 10; ++i)
+    ring.emit(static_cast<double>(i), EventKind::RequestAdmitted,
+              static_cast<std::uint32_t>(i));
+  EXPECT_EQ(ring.pushed(), 10u);
+  EXPECT_EQ(ring.overwritten(), 0u);
+  EXPECT_EQ(ring.size(), 10u);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].time, static_cast<double>(i));
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].actor, static_cast<std::uint32_t>(i));
+  }
+}
+
+TEST(EventRing, WraparoundKeepsNewestAndCountsOverwrites) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  EventRing ring(8);
+  ASSERT_EQ(ring.capacity(), 8u);
+  for (int i = 0; i < 20; ++i) ring.emit(static_cast<double>(i), EventKind::ConsultStarted);
+  EXPECT_EQ(ring.pushed(), 20u);
+  EXPECT_EQ(ring.overwritten(), 12u);
+  EXPECT_EQ(ring.size(), 8u);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest-first window over the newest 8 events: 12, 13, ..., 19.
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].time, static_cast<double>(12 + i));
+}
+
+TEST(EventRing, ClearEmptiesTheRing) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  EventRing ring(8);
+  for (int i = 0; i < 5; ++i) ring.emit(1.0, EventKind::GrmRetry);
+  ring.clear();
+  EXPECT_EQ(ring.pushed(), 0u);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_TRUE(ring.snapshot().empty());
+  ring.emit(2.0, EventKind::GrmResync);
+  ASSERT_EQ(ring.snapshot().size(), 1u);
+  EXPECT_EQ(ring.snapshot()[0].kind, EventKind::GrmResync);
+}
+
+TEST(EventRing, EveryKindHasADistinctName) {
+  std::vector<std::string> names;
+  for (std::uint32_t k = 0; k <= static_cast<std::uint32_t>(EventKind::ClientDeadline); ++k) {
+    const std::string name = to_string(static_cast<EventKind>(k));
+    EXPECT_NE(name, "unknown");
+    for (const auto& prev : names) EXPECT_NE(name, prev);
+    names.push_back(name);
+  }
+}
+
+// -------------------------------------------------------------------- sink
+
+TEST(Sink, NullRegistryResolvesToScratchMetrics) {
+  Sink none = Sink::none();
+  // Must not crash and must hand back usable metrics.
+  Counter& c = none.counter("scratch.count");
+  c.inc();
+  none.gauge("scratch.level").set(1.0);
+  none.histogram("scratch.seconds").observe(0.5);
+  none.event(1.0, EventKind::RequestAdmitted);  // dropped: no ring
+}
+
+TEST(Sink, RoutesToProvidedRegistryAndRing) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  MetricsRegistry reg;
+  EventRing ring(8);
+  Sink sink{&reg, &ring};
+  sink.counter("s.count").inc(3);
+  sink.event(7.0, EventKind::BusFaultDrop, 1, 2, 0.5, 0.25);
+  EXPECT_EQ(reg.counter("s.count").value(), 3u);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].time, 7.0);
+  EXPECT_EQ(events[0].kind, EventKind::BusFaultDrop);
+  EXPECT_EQ(events[0].actor, 1u);
+  EXPECT_EQ(events[0].peer, 2u);
+  EXPECT_EQ(events[0].a, 0.5);
+  EXPECT_EQ(events[0].b, 0.25);
+}
+
+TEST(Sink, GlobalIsCoherent) {
+  Sink g1 = Sink::global();
+  Sink g2 = Sink::global();
+  EXPECT_EQ(g1.registry, g2.registry);
+  EXPECT_EQ(g1.events, g2.events);
+  EXPECT_EQ(g1.registry, &MetricsRegistry::global());
+}
+
+// ------------------------------------------------------------------- timer
+
+TEST(ScopedTimer, RecordsNonNegativeDurations) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  LogHistogram h;
+  {
+    ScopedTimer t(&h);
+    EXPECT_GE(t.elapsed(), 0.0);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.min(), 0.0);
+  { ScopedTimer t(nullptr); }  // null histogram: disabled, must not crash
+  EXPECT_EQ(h.count(), 1u);
+}
+
+// --------------------------------------------------------------- exporters
+
+TEST(Export, JsonlRoundTripsThroughParser) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  MetricsRegistry reg;
+  reg.counter("rt.count").inc(42);
+  reg.gauge("rt.level").set(-1.5);
+  LogHistogram& h = reg.histogram("rt.seconds");
+  for (double v : {0.5, 1.0, 2.0}) h.observe(v);
+  std::vector<TraceEvent> events{
+      TraceEvent{3.25, EventKind::RequestRedirected, 4, 7, 0, 0.125, 2.0},
+      TraceEvent{9.0, EventKind::LpSolveCertified, 11, 1, 0, 0.0, 33.0},
+  };
+
+  std::stringstream ss;
+  write_snapshot_jsonl(ss, reg, events);
+  const auto records = parse_jsonl(ss);
+  ASSERT_EQ(records.size(), 5u);
+
+  EXPECT_EQ(records[0].at("type"), "counter");
+  EXPECT_EQ(records[0].at("name"), "rt.count");
+  EXPECT_EQ(records[0].at("value"), "42");
+
+  EXPECT_EQ(records[1].at("type"), "gauge");
+  EXPECT_EQ(records[1].at("name"), "rt.level");
+  EXPECT_DOUBLE_EQ(std::stod(records[1].at("value")), -1.5);
+
+  EXPECT_EQ(records[2].at("type"), "histogram");
+  EXPECT_EQ(records[2].at("name"), "rt.seconds");
+  EXPECT_EQ(records[2].at("count"), "3");
+  EXPECT_DOUBLE_EQ(std::stod(records[2].at("sum")), 3.5);
+  EXPECT_DOUBLE_EQ(std::stod(records[2].at("min")), 0.5);
+  EXPECT_DOUBLE_EQ(std::stod(records[2].at("max")), 2.0);
+  EXPECT_TRUE(records[2].count("p50"));
+  EXPECT_TRUE(records[2].count("bucket_le"));
+
+  EXPECT_EQ(records[3].at("type"), "event");
+  EXPECT_DOUBLE_EQ(std::stod(records[3].at("t")), 3.25);
+  EXPECT_EQ(records[3].at("kind"), "request_redirected");
+  EXPECT_EQ(records[3].at("actor"), "4");
+  EXPECT_EQ(records[3].at("peer"), "7");
+  EXPECT_DOUBLE_EQ(std::stod(records[3].at("a")), 0.125);
+  EXPECT_DOUBLE_EQ(std::stod(records[3].at("b")), 2.0);
+
+  EXPECT_EQ(records[4].at("kind"), "lp_solve_certified");
+}
+
+TEST(Export, JsonValuesRoundTripExactly) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  // Doubles with no short decimal form must still round-trip bit-exactly.
+  MetricsRegistry reg;
+  const double awkward = 0.1 + 0.2;  // 0.30000000000000004
+  reg.gauge("exact").set(awkward);
+  std::stringstream ss;
+  write_metrics_jsonl(ss, reg);
+  const auto records = parse_jsonl(ss);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(std::stod(records[0].at("value")), awkward);
+}
+
+TEST(Export, CsvSnapshotHasHeaderAndOneRowPerRecord) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  MetricsRegistry reg;
+  reg.counter("c1").inc();
+  reg.gauge("g1").set(2.0);
+  reg.histogram("h1").observe(1.0);
+  std::vector<TraceEvent> events{TraceEvent{1.0, EventKind::GrmResync, 2, 3, 0, 0.0, 0.0}};
+
+  std::stringstream ss;
+  write_snapshot_csv(ss, reg, events);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(ss, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 5u);  // header + counter + gauge + histogram + event
+  EXPECT_EQ(lines[0],
+            "record,name,value,count,sum,min,max,p50,p95,p99,t,kind,actor,peer,a,b");
+  EXPECT_EQ(lines[1].rfind("counter,c1,1", 0), 0u);
+  EXPECT_EQ(lines[2].rfind("gauge,g1,2", 0), 0u);
+  EXPECT_EQ(lines[3].rfind("histogram,h1,", 0), 0u);
+  EXPECT_EQ(lines[4].rfind("event,", 0), 0u);
+  EXPECT_NE(lines[4].find("grm_resync"), std::string::npos);
+}
+
+TEST(Export, WriteSnapshotPicksFormatByExtension) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  MetricsRegistry reg;
+  reg.counter("f.count").inc(5);
+  EventRing ring(8);
+  ring.emit(1.0, EventKind::ClientDeadline, 9);
+  Sink sink{&reg, &ring};
+
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string jsonl = (dir / "obs_test_snapshot.jsonl").string();
+  const std::string csv = (dir / "obs_test_snapshot.csv").string();
+
+  write_snapshot(jsonl, sink);
+  std::ifstream jf(jsonl);
+  const auto records = parse_jsonl(jf);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].at("type"), "counter");
+  EXPECT_EQ(records[1].at("type"), "event");
+
+  write_snapshot(csv, sink);
+  std::ifstream cf(csv);
+  std::string header;
+  ASSERT_TRUE(std::getline(cf, header));
+  EXPECT_EQ(header.rfind("record,", 0), 0u);
+
+  std::filesystem::remove(jsonl);
+  std::filesystem::remove(csv);
+  EXPECT_THROW(write_snapshot("/nonexistent-dir/x.jsonl", sink), IoError);
+}
+
+TEST(Export, ParserRejectsMalformedInput) {
+  std::stringstream bad1("{\"unterminated\":\"...\n");
+  EXPECT_THROW(parse_jsonl(bad1), IoError);
+  std::stringstream bad2("{\"k\":1} trailing\n");
+  EXPECT_THROW(parse_jsonl(bad2), IoError);
+  std::stringstream empty("\n\n");
+  EXPECT_TRUE(parse_jsonl(empty).empty());
+}
+
+// ------------------------------------------------------------------ hammer
+
+// Concurrency soak: many threads pounding one registry's metrics and one
+// ring. Counts must be exact (no lost updates); the ring must stay
+// internally consistent. tier1.sh runs this test under ThreadSanitizer.
+TEST(ObsHammer, ConcurrentWritersLoseNothing) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  constexpr int kThreads = 8;
+  constexpr int kOps = 20000;
+
+  MetricsRegistry reg;
+  EventRing ring(1024);
+  Sink sink{&reg, &ring};
+  // Resolve handles up front, as instrumented code does.
+  Counter& count = sink.counter("hammer.count");
+  Gauge& level = sink.gauge("hammer.level");
+  LogHistogram& hist = sink.histogram("hammer.seconds");
+
+  std::atomic<int> start{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      start.fetch_add(1);
+      while (start.load() < kThreads) {
+      }
+      for (int i = 0; i < kOps; ++i) {
+        count.inc();
+        level.add(1.0);
+        hist.observe(1e-6 * (1 + (i & 1023)));
+        sink.event(static_cast<double>(i), EventKind::RequestAdmitted,
+                   static_cast<std::uint32_t>(t), static_cast<std::uint32_t>(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto total = static_cast<std::uint64_t>(kThreads) * kOps;
+  EXPECT_EQ(count.value(), total);
+  EXPECT_DOUBLE_EQ(level.value(), static_cast<double>(total));
+  EXPECT_EQ(hist.count(), total);
+  std::uint64_t bucket_total = 0;
+  for (std::size_t i = 0; i < LogHistogram::kBuckets; ++i)
+    bucket_total += hist.bucket_count(i);
+  EXPECT_EQ(bucket_total, total);
+
+  EXPECT_EQ(ring.pushed(), total);
+  EXPECT_EQ(ring.overwritten(), total - ring.capacity());
+  const auto events = ring.snapshot();
+  // Wraparound collisions may drop a bounded number of slots, never invent.
+  EXPECT_LE(events.size(), ring.capacity());
+  for (const auto& ev : events) {
+    EXPECT_EQ(ev.kind, EventKind::RequestAdmitted);
+    EXPECT_LT(ev.actor, static_cast<std::uint32_t>(kThreads));
+    EXPECT_LT(ev.peer, static_cast<std::uint32_t>(kOps));
+  }
+}
+
+}  // namespace
+}  // namespace agora::obs

@@ -249,5 +249,99 @@ TEST(Simulator, PerProxySeriesSumToGlobal) {
   EXPECT_EQ(total, m.wait_by_slot.total_count());
 }
 
+// ------------------------------------------------------------ observability ---
+
+TEST(Simulator, IdenticallySeededRunsProduceIdenticalMetricsAndEvents) {
+  trace::GeneratorConfig gc;
+  gc.peak_rate = 6.0;
+  trace::Generator gen(gc, DiurnalProfile::flat(1.0, 3000.0, 10));
+  SimConfig cfg = small_config(3, 3000.0);
+  cfg.scheduler = SchedulerKind::Lp;
+  cfg.agreements = agree::complete_graph(3, 0.3);
+  const std::vector<std::vector<TraceRequest>> ts{gen.generate(1), gen.generate(2),
+                                                  gen.generate(3)};
+  const auto a = Simulator(cfg).run(ts);
+  const auto b = Simulator(cfg).run(ts);
+
+  EXPECT_EQ(a.total_requests, b.total_requests);
+  EXPECT_EQ(a.redirected_requests, b.redirected_requests);
+  EXPECT_EQ(a.scheduler_consults, b.scheduler_consults);
+  EXPECT_EQ(a.certified_consults, b.certified_consults);
+  EXPECT_EQ(a.degraded_consults, b.degraded_consults);
+  EXPECT_EQ(a.lp_iterations, b.lp_iterations);
+  EXPECT_DOUBLE_EQ(a.mean_wait(), b.mean_wait());
+  EXPECT_DOUBLE_EQ(a.redirected_demand, b.redirected_demand);
+  EXPECT_EQ(a.requests_by_slot, b.requests_by_slot);
+  EXPECT_EQ(a.redirected_by_slot, b.redirected_by_slot);
+  EXPECT_EQ(a.consults_by_slot, b.consults_by_slot);
+  EXPECT_EQ(a.degraded_by_slot, b.degraded_by_slot);
+
+  // The event stream is deterministic element by element: every event
+  // carries domain time only (virtual seconds / solve ordinals), never
+  // wall-clock, so the two runs must match exactly.
+  EXPECT_EQ(a.events_overwritten, b.events_overwritten);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i)
+    EXPECT_TRUE(a.events[i] == b.events[i]) << "event " << i << " differs";
+}
+
+TEST(Simulator, EventStreamAccountsForEveryAdmission) {
+  trace::GeneratorConfig gc;
+  gc.peak_rate = 4.0;
+  trace::Generator gen(gc, DiurnalProfile::flat(1.0, 2000.0, 10));
+  SimConfig cfg = small_config(2, 2000.0);
+  cfg.scheduler = SchedulerKind::Lp;
+  cfg.agreements = agree::complete_graph(2, 0.5);
+  cfg.event_ring_capacity = 1 << 16;  // room for every event of the run
+  Simulator sim(cfg);
+  const auto m = sim.run({gen.generate(1), gen.generate(2)});
+  if (!obs::kEnabled) GTEST_SKIP() << "observability compiled out";
+  ASSERT_EQ(m.events_overwritten, 0u) << "test run must fit in the ring";
+
+  std::uint64_t admitted = 0, redirected = 0, consults = 0;
+  for (const auto& ev : m.events) {
+    switch (ev.kind) {
+      case obs::EventKind::RequestAdmitted:
+        ++admitted;
+        EXPECT_LT(ev.actor, cfg.num_proxies);
+        EXPECT_GE(ev.a, 0.0);  // wait
+        EXPECT_GT(ev.b, 0.0);  // demand
+        break;
+      case obs::EventKind::RequestRedirected: ++redirected; break;
+      case obs::EventKind::ConsultStarted: ++consults; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(admitted, m.total_requests);
+  EXPECT_EQ(redirected, m.redirected_requests);
+  EXPECT_EQ(consults, m.scheduler_consults);
+}
+
+TEST(Simulator, SmallEventRingOverwritesOldestButKeepsTotals) {
+  trace::GeneratorConfig gc;
+  gc.peak_rate = 5.0;
+  trace::Generator gen(gc, DiurnalProfile::flat(1.0, 2000.0, 10));
+  SimConfig cfg = small_config(2, 2000.0);
+  cfg.event_ring_capacity = 64;
+  Simulator sim(cfg);
+  const auto m = sim.run({gen.generate(3), gen.generate(4)});
+  if (!obs::kEnabled) GTEST_SKIP() << "observability compiled out";
+  EXPECT_LE(m.events.size(), 64u);
+  EXPECT_EQ(m.events_overwritten + m.events.size(), m.total_requests)
+      << "no-scheduler run emits exactly one admission event per request";
+}
+
+TEST(Simulator, PrivateSinkIsolatesRegistryTotals) {
+  obs::MetricsRegistry reg;
+  SimConfig cfg = small_config(1);
+  cfg.sink = obs::Sink{&reg, nullptr};
+  Simulator sim(cfg);
+  const auto m = sim.run({{req_at(10.0, 1.0), req_at(10.0, 1.0)}});
+  if (!obs::kEnabled) GTEST_SKIP() << "observability compiled out";
+  EXPECT_EQ(m.total_requests, 2u);
+  EXPECT_EQ(reg.counter("sim.requests.total").value(), 2u);
+  EXPECT_DOUBLE_EQ(reg.gauge("sim.wait.mean_seconds").value(), m.mean_wait());
+}
+
 }  // namespace
 }  // namespace agora::proxysim

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "agree/topology.h"
+#include "obs/export.h"
 #include "proxysim/simulator.h"
 #include "trace/generator.h"
 #include "util/csv.h"
@@ -38,6 +39,9 @@ int main(int argc, char** argv) {
   flags.define("cooldown", "5", "minimum seconds between consults per proxy");
   flags.define("window", "600", "scheduling epoch for spare-capacity reports (s)");
   flags.define("csv", "", "write the full 10-minute-slot series to this CSV file");
+  flags.define("metrics-out", "",
+               "write an observability snapshot (registry metrics + trace events) to this "
+               "file; .csv extension selects CSV, anything else JSON lines");
 
   try {
     flags.parse(argc, argv);
@@ -124,6 +128,18 @@ int main(int argc, char** argv) {
                    m.wait_by_slot.slot(s).mean(), static_cast<double>(m.redirected_by_slot[s])});
       t.save_csv(csv);
       std::printf("wrote %s\n", csv.c_str());
+    }
+
+    const std::string metrics_out = flags.get("metrics-out");
+    if (!metrics_out.empty()) {
+      // Registry totals from the global sink; the run's own event stream
+      // comes from SimMetrics (the per-run ring), not the global ring.
+      obs::Sink snap = obs::Sink::global();
+      snap.events = nullptr;
+      obs::write_snapshot(metrics_out, snap, m.events);
+      std::printf("wrote %s (%zu metrics-visible events, %llu overwritten)\n",
+                  metrics_out.c_str(), m.events.size(),
+                  static_cast<unsigned long long>(m.events_overwritten));
     }
     return 0;
   } catch (const std::exception& err) {

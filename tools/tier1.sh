@@ -25,5 +25,17 @@ cmake --build build-asan -j --target rms_test rms_chaos_test fuzz_test \
 ./build-asan/tests/fuzz_test
 ./build-asan/tests/lp_certify_test
 ./build-asan/tests/lp_adversarial_test
+
+# ThreadSanitizer pass over the concurrent observability substrate (the
+# metrics registry, the lock-free EventRing and its multithreaded hammer
+# test) plus the rms chaos suite, whose fault-injection paths exercise the
+# bus under the heaviest event/metric traffic. The obs layer is the only
+# deliberately multithreaded code in the repo, so TSan runs exactly the
+# tests where a data race could hide.
+cmake -B build-tsan -S . -DAGORA_TSAN=ON
+cmake --build build-tsan -j --target obs_test rms_chaos_test
+./build-tsan/tests/obs_test
+./build-tsan/tests/rms_chaos_test
+
 echo "tier1: all green"
 echo "tier1: LP perf numbers (BENCH_lp.json) are produced by tools/bench.sh"
