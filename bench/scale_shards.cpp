@@ -1,0 +1,148 @@
+// scale_shards -- shard-count sweep for the EnforcementEngine (DESIGN.md
+// §11.6): a 64-participant economy built as 8 complete-graph sharing islands
+// of 8, measured at 1/2/4/8 worker shards.
+//
+// Connectivity partitioning turns each island into its own shard, so an
+// admission consult solves a 9-variable LP instead of the 65-variable
+// full-system LP the direct path (threads=1: one shard over everything)
+// solves. Simplex cost grows superlinearly in the variable count, which is
+// where the speedup comes from -- the sweep's throughput ratio is real even
+// on a single-core host, because the win is smaller LPs, not parallelism.
+//
+// Two phases per shard count:
+//   * throughput -- pipelined waves of submit() (one per participant),
+//     futures drained per wave: consults/sec over >= 0.5 s of waves,
+//   * latency    -- serial blocking consult() round trips: p50/p99 micros.
+//
+// Usage: scale_shards [out.json]   (default BENCH_engine.json)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "util/rng.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kIslands = 8;
+constexpr std::size_t kPerIsland = 8;
+constexpr double kShare = 0.2;
+
+agora::agree::AgreementSystem island_economy() {
+  const std::size_t n = kIslands * kPerIsland;
+  agora::agree::AgreementSystem sys(n);
+  for (std::size_t i = 0; i < n; ++i)
+    sys.capacity[i] = 10.0 + static_cast<double>(i % kPerIsland);
+  for (std::size_t g = 0; g < kIslands; ++g)
+    for (std::size_t i = g * kPerIsland; i < (g + 1) * kPerIsland; ++i)
+      for (std::size_t j = g * kPerIsland; j < (g + 1) * kPerIsland; ++j)
+        if (i != j) sys.relative(i, j) = kShare;
+  return sys;
+}
+
+struct SweepPoint {
+  std::size_t threads = 0;
+  std::size_t shards = 0;
+  std::uint64_t consults = 0;
+  double consults_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+SweepPoint measure(const agora::agree::AgreementSystem& sys, std::size_t threads) {
+  agora::engine::EngineOptions opts;
+  opts.threads = threads;
+  opts.sink = agora::obs::Sink::none();
+  opts.alloc.sink = agora::obs::Sink::none();
+  agora::engine::EnforcementEngine eng(sys, opts);
+
+  const std::size_t n = sys.size();
+  agora::Pcg32 rng(7);
+  std::vector<double> amounts(n);
+  for (std::size_t i = 0; i < n; ++i) amounts[i] = rng.uniform(0.5, 4.0);
+
+  // Warm-up: one consult per participant primes every shard's warm-start
+  // workspace and model cache.
+  for (std::size_t i = 0; i < n; ++i) (void)eng.consult(i, amounts[i]);
+
+  SweepPoint pt;
+  pt.threads = threads;
+  pt.shards = eng.num_shards();
+
+  // Throughput: pipelined waves, one submit per participant, drained per
+  // wave, until at least half a second has been measured.
+  std::vector<std::future<agora::engine::EngineResult>> wave;
+  wave.reserve(n);
+  const auto t0 = Clock::now();
+  double elapsed = 0.0;
+  while (elapsed < 0.5) {
+    wave.clear();
+    for (std::size_t i = 0; i < n; ++i) wave.push_back(eng.submit(i, amounts[i]));
+    for (auto& f : wave) (void)f.get();
+    pt.consults += n;
+    elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
+  }
+  pt.consults_per_sec = static_cast<double>(pt.consults) / elapsed;
+
+  // Latency: serial blocking consults, round-robin over participants.
+  constexpr std::size_t kProbes = 512;
+  std::vector<double> lat_us(kProbes);
+  for (std::size_t k = 0; k < kProbes; ++k) {
+    const std::size_t i = k % n;
+    const auto a = Clock::now();
+    (void)eng.consult(i, amounts[i]);
+    lat_us[k] = std::chrono::duration<double, std::micro>(Clock::now() - a).count();
+  }
+  std::sort(lat_us.begin(), lat_us.end());
+  pt.p50_us = lat_us[kProbes / 2];
+  pt.p99_us = lat_us[(kProbes * 99) / 100];
+  return pt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_engine.json";
+  const agora::agree::AgreementSystem sys = island_economy();
+
+  std::vector<SweepPoint> sweep;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    sweep.push_back(measure(sys, threads));
+    const SweepPoint& pt = sweep.back();
+    std::printf("threads=%zu shards=%zu  %10.0f consults/s  p50 %7.1f us  p99 %7.1f us\n",
+                pt.threads, pt.shards, pt.consults_per_sec, pt.p50_us, pt.p99_us);
+  }
+  const double speedup = sweep.back().consults_per_sec / sweep.front().consults_per_sec;
+  std::printf("speedup 8 vs 1 threads: %.2fx\n", speedup);
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "scale_shards: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"engine_scale_shards\",\n");
+  std::fprintf(f,
+               "  \"economy\": {\"participants\": %zu, \"islands\": %zu, "
+               "\"per_island\": %zu, \"share\": %.2f},\n",
+               kIslands * kPerIsland, kIslands, kPerIsland, kShare);
+  std::fprintf(f, "  \"sweep\": [\n");
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& pt = sweep[i];
+    std::fprintf(f,
+                 "    {\"threads\": %zu, \"shards\": %zu, \"consults\": %llu, "
+                 "\"consults_per_sec\": %.1f, \"p50_us\": %.2f, \"p99_us\": %.2f}%s\n",
+                 pt.threads, pt.shards, static_cast<unsigned long long>(pt.consults),
+                 pt.consults_per_sec, pt.p50_us, pt.p99_us,
+                 i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"speedup_8_vs_1\": %.3f\n}\n", speedup);
+  std::fclose(f);
+  std::printf("scale_shards: wrote %s\n", out_path.c_str());
+  return 0;
+}

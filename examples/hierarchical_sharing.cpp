@@ -9,12 +9,7 @@
 // Build & run:  ./build/examples/hierarchical_sharing
 #include <cstdio>
 
-#include "agree/capacity.h"
-#include "agree/from_economy.h"
-#include "agree/topology.h"
-#include "alloc/hierarchical.h"
-#include "core/economy.h"
-#include "core/valuation.h"
+#include "agora/agora.h"
 
 using namespace agora;
 

@@ -9,11 +9,7 @@
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
-#include "agree/capacity.h"
-#include "agree/from_economy.h"
-#include "alloc/allocator.h"
-#include "core/economy.h"
-#include "core/valuation.h"
+#include "agora/agora.h"
 
 using namespace agora;
 

@@ -32,6 +32,7 @@
 
 #include "agree/capacity.h"
 #include "agree/matrices.h"
+#include "alloc/allocator_base.h"
 #include "alloc/model_cache.h"
 #include "alloc/plan.h"
 #include "lp/problem.h"
@@ -74,40 +75,40 @@ struct AllocatorOptions {
   obs::Sink sink = obs::Sink::global();
 };
 
-class Allocator {
+class Allocator : public AllocatorBase {
  public:
   Allocator(agree::AgreementSystem sys, AllocatorOptions opts = {});
 
   /// Availability report (T/K shares, entitlements U, capacities C).
   const agree::CapacityReport& capacities() const { return report_; }
-  const agree::AgreementSystem& system() const { return sys_; }
-  std::size_t size() const { return sys_.size(); }
+  const agree::AgreementSystem& system() const override { return sys_; }
+  std::size_t size() const override { return sys_.size(); }
 
   /// Decide an allocation for principal `a` requesting `amount`. Does not
   /// mutate the system; call apply() to commit the plan.
-  AllocationPlan allocate(std::size_t a, double amount) const;
+  AllocationPlan allocate(std::size_t a, double amount) const override;
 
   /// Largest request principal `a` could have satisfied right now (C_a).
-  double available_to(std::size_t a) const { return report_.capacity.at(a); }
+  double available_to(std::size_t a) const override { return report_.capacity.at(a); }
 
   /// Commit a plan: subtract draws from capacities and recompute the
   /// availability report.
-  void apply(const AllocationPlan& plan);
+  void apply(const AllocationPlan& plan) override;
 
   /// Return capacity to principals (e.g. when borrowed work completes).
-  void release(const std::vector<double>& give_back);
+  void release(const std::vector<double>& give_back) override;
 
   /// Replace all capacities (the simulator refreshes V_i each epoch from
   /// LRM reports) without touching the agreement matrices. A no-op (skipping
   /// the O(n^2) availability refresh) when the vector is unchanged. The span
   /// overload copies into existing storage and is allocation-free.
   void set_capacities(std::vector<double> v);
-  void set_capacities(std::span<const double> v);
+  void set_capacities(std::span<const double> v) override;
 
   /// Degradation telemetry of the certified solve chain (attempts,
   /// certification failures, fallback depth, solver health counters).
   /// All-zero when `certify` is off.
-  const lp::PipelineStats& solver_stats() const { return pipeline_.stats(); }
+  const lp::PipelineStats* solver_stats() const override { return &pipeline_.stats(); }
 
  private:
   AllocationPlan solve_compact(std::size_t a, double amount, bool exact) const;

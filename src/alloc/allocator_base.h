@@ -1,0 +1,61 @@
+// allocator_base.h -- the one interface every admission decider implements.
+//
+// Three classes decide allocations today: the flat LP Allocator, the
+// two-level HierarchicalAllocator, and the sharded engine::EnforcementEngine
+// that fronts either at scale. Call sites (SchedulerBridge, the GRM, the fig
+// binaries, user code reaching in through agora/agora.h) used to hard-code
+// one concrete class each; AllocatorBase lets them take any of the three
+// polymorphically.
+//
+// Contract (all of it inherited from Allocator's documented semantics):
+//   * allocate() is logically const: it decides but does not commit. Commit
+//     with apply(); return capacity with release().
+//   * set_capacities() replaces every V_i without touching the agreement
+//     structure (the per-epoch refresh path of trace-driven enforcement).
+//   * Thread safety is implementation-defined: the two direct allocators are
+//     single-threaded, the engine is safe for any number of callers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "agree/matrices.h"
+#include "alloc/plan.h"
+#include "lp/solve_pipeline.h"
+
+namespace agora::alloc {
+
+class AllocatorBase {
+ public:
+  virtual ~AllocatorBase() = default;
+
+  /// Number of principals covered.
+  virtual std::size_t size() const = 0;
+
+  /// The agreement system (capacities reflect the latest set_capacities /
+  /// apply / release).
+  virtual const agree::AgreementSystem& system() const = 0;
+
+  /// Decide an allocation for principal `a` requesting `amount`. Does not
+  /// mutate observable state; call apply() to commit the plan.
+  virtual AllocationPlan allocate(std::size_t a, double amount) const = 0;
+
+  /// Largest request principal `a` could have satisfied right now (C_a).
+  virtual double available_to(std::size_t a) const = 0;
+
+  /// Commit a satisfied plan: subtract draws from capacities.
+  virtual void apply(const AllocationPlan& plan) = 0;
+
+  /// Return capacity to principals (e.g. when borrowed work completes).
+  virtual void release(const std::vector<double>& give_back) = 0;
+
+  /// Replace all capacities without touching the agreement matrices.
+  virtual void set_capacities(std::span<const double> v) = 0;
+
+  /// Degradation telemetry of the certified solve chain; nullptr when the
+  /// implementation has none to report (or aggregation is not meaningful).
+  virtual const lp::PipelineStats* solver_stats() const { return nullptr; }
+};
+
+}  // namespace agora::alloc

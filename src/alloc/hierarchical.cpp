@@ -238,11 +238,7 @@ AllocationPlan HierarchicalAllocator::allocate(std::size_t a, double amount) con
   return plan;
 }
 
-void HierarchicalAllocator::apply(const AllocationPlan& plan) {
-  AGORA_REQUIRE(plan.satisfied(), "cannot apply an unsatisfied plan");
-  AGORA_REQUIRE(plan.draw.size() == sys_.size(), "plan size mismatch");
-  for (std::size_t i = 0; i < sys_.size(); ++i)
-    sys_.capacity[i] = std::max(0.0, sys_.capacity[i] - plan.draw[i]);
+void HierarchicalAllocator::propagate_capacities() {
   rebuild();
   // Capacity motion does not change share matrices, so live caches are
   // refreshed in place; the coarse system's shares *are* capacity-weighted,
@@ -255,6 +251,31 @@ void HierarchicalAllocator::apply(const AllocationPlan& plan) {
   }
   if (flat_cache_) flat_cache_->set_capacities(sys_.capacity);
   coarse_cache_.reset();
+}
+
+void HierarchicalAllocator::apply(const AllocationPlan& plan) {
+  AGORA_REQUIRE(plan.satisfied(), "cannot apply an unsatisfied plan");
+  AGORA_REQUIRE(plan.draw.size() == sys_.size(), "plan size mismatch");
+  for (std::size_t i = 0; i < sys_.size(); ++i)
+    sys_.capacity[i] = std::max(0.0, sys_.capacity[i] - plan.draw[i]);
+  propagate_capacities();
+}
+
+void HierarchicalAllocator::release(const std::vector<double>& give_back) {
+  AGORA_REQUIRE(give_back.size() == sys_.size(), "release size mismatch");
+  for (std::size_t i = 0; i < sys_.size(); ++i) {
+    AGORA_REQUIRE(give_back[i] >= 0.0, "release must be non-negative");
+    sys_.capacity[i] += give_back[i];
+  }
+  propagate_capacities();
+}
+
+void HierarchicalAllocator::set_capacities(std::span<const double> v) {
+  AGORA_REQUIRE(v.size() == sys_.size(), "capacity vector size mismatch");
+  for (double x : v) AGORA_REQUIRE(x >= 0.0 && std::isfinite(x), "capacities must be >= 0");
+  if (std::equal(v.begin(), v.end(), sys_.capacity.begin())) return;
+  sys_.capacity.assign(v.begin(), v.end());
+  propagate_capacities();
 }
 
 }  // namespace agora::alloc

@@ -25,24 +25,45 @@
 
 namespace agora::alloc {
 
-class HierarchicalAllocator {
+class HierarchicalAllocator : public AllocatorBase {
  public:
   /// `group_of[i]` assigns principal i to a group (0-based, contiguous).
   HierarchicalAllocator(agree::AgreementSystem sys, std::vector<std::size_t> group_of,
                         AllocatorOptions opts = {});
 
   std::size_t num_groups() const { return groups_.size(); }
-  const agree::AgreementSystem& system() const { return sys_; }
+  const agree::AgreementSystem& system() const override { return sys_; }
+  std::size_t size() const override { return sys_.size(); }
 
   /// Allocate `amount` for principal `a` using the two-level scheme.
   /// Fast path: when a's own group can cover the request, only that group's
   /// LP runs.
-  AllocationPlan allocate(std::size_t a, double amount) const;
+  AllocationPlan allocate(std::size_t a, double amount) const override;
+
+  /// Largest request principal `a` could have satisfied right now, in the
+  /// *full* system (the two-level scheme may place less; see allocate()).
+  double available_to(std::size_t a) const override { return full_report_.capacity.at(a); }
 
   /// Commit a plan (subtract draws, refresh caches).
-  void apply(const AllocationPlan& plan);
+  void apply(const AllocationPlan& plan) override;
+
+  /// Return capacity to principals (inverse of apply for completed work).
+  void release(const std::vector<double>& give_back) override;
+
+  /// Replace all capacities without touching the agreement structure; live
+  /// per-group caches are refreshed in place, the capacity-weighted coarse
+  /// cache is dropped and lazily rebuilt.
+  void set_capacities(std::span<const double> v) override;
+
+  /// Telemetry of the fine-level (within-group) certified solve chain; the
+  /// per-level Allocators carry their own pipelines.
+  const lp::PipelineStats* solver_stats() const override { return &fine_pipeline_.stats(); }
 
  private:
+  /// Shared tail of apply/release/set_capacities: sys_.capacity changed;
+  /// refresh the full report and push new capacities into live caches.
+  void propagate_capacities();
+
   struct Group {
     std::vector<std::size_t> members;
   };

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/status.h"
+
 namespace agora::alloc {
 
 enum class PlanStatus {
@@ -15,6 +17,18 @@ enum class PlanStatus {
                  ///< exhausted without a verifiable answer, so no grant is
                  ///< issued (never an uncertified grant)
 };
+
+/// The agora::Status a plan outcome maps to (DESIGN.md §11.5): the unified
+/// error currency carried by engine submit results and rms replies.
+inline Status to_status(PlanStatus s) {
+  switch (s) {
+    case PlanStatus::Satisfied: return Status();
+    case PlanStatus::Insufficient: return Status::insufficient();
+    case PlanStatus::SolverFailed: return Status::solver_failed();
+    case PlanStatus::Denied: return Status::denied();
+  }
+  return Status::internal("unknown PlanStatus");
+}
 
 struct AllocationPlan {
   PlanStatus status = PlanStatus::Insufficient;
@@ -47,6 +61,8 @@ struct AllocationPlan {
   std::uint64_t solver_fallbacks = 0;
 
   bool satisfied() const { return status == PlanStatus::Satisfied; }
+  /// Unified-status view of `status` (see to_status(PlanStatus)).
+  Status to_status() const { return alloc::to_status(status); }
   double total_drawn() const {
     double s = 0.0;
     for (double d : draw) s += d;

@@ -1,0 +1,383 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "util/error.h"
+
+namespace agora::engine {
+
+namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+/// The sub-economy a shard enforces: the agreement system restricted to its
+/// members. Exact in connectivity mode -- every agreement edge touching a
+/// member stays inside the member set (that is what a connected component
+/// is), so no entitlement is lost in the restriction.
+agree::AgreementSystem induce(const agree::AgreementSystem& sys,
+                              const std::vector<std::size_t>& members) {
+  const std::size_t m = members.size();
+  agree::AgreementSystem sub(m);
+  for (std::size_t l = 0; l < m; ++l) {
+    sub.capacity[l] = sys.capacity[members[l]];
+    sub.retained[l] = sys.retained[members[l]];
+    for (std::size_t k = 0; k < m; ++k) {
+      sub.relative(l, k) = sys.relative(members[l], members[k]);
+      sub.absolute(l, k) = sys.absolute(members[l], members[k]);
+    }
+  }
+  return sub;
+}
+
+void accumulate(lp::PipelineStats& into, const lp::PipelineStats& from) {
+  into.solves += from.solves;
+  for (int s = 0; s < lp::kPipelineStages; ++s) {
+    into.attempts[s] += from.attempts[s];
+    into.failures[s] += from.failures[s];
+  }
+  into.certified += from.certified;
+  into.primal_only += from.primal_only;
+  into.exhausted += from.exhausted;
+  into.max_fallback_depth = std::max(into.max_fallback_depth, from.max_fallback_depth);
+  into.solver.refactorizations += from.solver.refactorizations;
+  into.solver.residual_refactorizations += from.solver.residual_refactorizations;
+  into.solver.refinement_steps += from.solver.refinement_steps;
+  into.solver.bland_pivots += from.solver.bland_pivots;
+  into.solver.condition_estimate =
+      std::max(into.solver.condition_estimate, from.solver.condition_estimate);
+  into.solver.max_xb_residual =
+      std::max(into.solver.max_xb_residual, from.solver.max_xb_residual);
+}
+
+}  // namespace
+
+EnforcementEngine::EnforcementEngine(agree::AgreementSystem sys, EngineOptions opts)
+    : sys_(std::move(sys)), n_(sys_.size()), opts_(std::move(opts)) {
+  part_ = partition_participants(sys_, opts_.threads);
+
+  obs_consults_ = &opts_.sink.counter("engine.consults");
+  obs_batches_ = &opts_.sink.counter("engine.batches");
+  obs_coalesced_batches_ = &opts_.sink.counter("engine.batches.coalesced");
+  obs_coalesced_ops_ = &opts_.sink.counter("engine.requests.coalesced");
+  obs_epochs_ = &opts_.sink.counter("engine.epochs");
+  obs_batch_size_ = &opts_.sink.histogram("engine.batch.size");
+
+  const std::size_t n = n_;
+  shards_.reserve(part_.shards);
+  for (std::size_t s = 0; s < part_.shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->id = s;
+    shard->members = part_.members[s];
+    shard->local_of.assign(n, kNpos);
+    for (std::size_t l = 0; l < shard->members.size(); ++l)
+      shard->local_of[shard->members[l]] = l;
+    shard->alloc = std::make_unique<alloc::Allocator>(
+        part_.replicated ? sys_ : induce(sys_, shard->members), opts_.alloc);
+    shard->obs_queue_depth =
+        &opts_.sink.gauge("engine.shard." + std::to_string(s) + ".queue_depth");
+    shards_.push_back(std::move(shard));
+  }
+
+  // Construction-time snapshot (epoch 0), computed before the workers start
+  // so the allocators can be read directly.
+  std::vector<double> available(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Shard& owner = *shards_[part_.shard_of[i]];
+    available[i] = owner.alloc->available_to(owner.local_of[i]);
+  }
+  cell_.store(std::make_shared<const CapacitySnapshot>(
+      CapacitySnapshot{0, sys_.capacity, std::move(available)}));
+
+  for (auto& shard : shards_)
+    shard->worker = std::thread([this, s = shard.get()] { worker_loop(*s); });
+}
+
+EnforcementEngine::~EnforcementEngine() {
+  for (auto& shard : shards_) shard->queue.close();
+  for (auto& shard : shards_)
+    if (shard->worker.joinable()) shard->worker.join();
+}
+
+void EnforcementEngine::worker_loop(Shard& shard) {
+  std::vector<Op> batch;
+  while (shard.queue.wait_drain(batch) > 0) {
+    shard.batches.fetch_add(1, std::memory_order_relaxed);
+    obs_batches_->inc();
+    obs_batch_size_->observe(static_cast<double>(batch.size()));
+    std::uint64_t prev = shard.max_batch.load(std::memory_order_relaxed);
+    while (batch.size() > prev &&
+           !shard.max_batch.compare_exchange_weak(prev, batch.size(),
+                                                  std::memory_order_relaxed)) {
+    }
+    if (batch.size() > 1) {
+      // Coalesced work. Serial blocking callers can never trigger this (the
+      // worker drains their single op before they submit the next), which
+      // keeps the threads=1 event stream byte-identical to the direct path.
+      shard.coalesced_batches.fetch_add(1, std::memory_order_relaxed);
+      shard.coalesced_ops.fetch_add(batch.size() - 1, std::memory_order_relaxed);
+      obs_coalesced_batches_->inc();
+      obs_coalesced_ops_->inc(batch.size() - 1);
+      opts_.sink.event(static_cast<double>(shard.ordinal), obs::EventKind::EngineBatch,
+                       static_cast<std::uint32_t>(shard.id), 0,
+                       static_cast<double>(batch.size()));
+    }
+    for (Op& op : batch) {
+      process(shard, op);
+      ++shard.ordinal;
+    }
+  }
+}
+
+void EnforcementEngine::process(Shard& shard, Op& op) {
+  switch (op.kind) {
+    case Op::Kind::Consult: {
+      shard.consults.fetch_add(1, std::memory_order_relaxed);
+      obs_consults_->inc();
+      EngineResult res;
+      try {
+        res.plan = globalize(shard, shard.alloc->allocate(op.principal, op.amount));
+        res.status = res.plan.to_status();
+      } catch (const std::exception& e) {
+        res.plan = {};
+        res.status = to_status(e);
+      }
+      op.result.set_value(std::move(res));
+      return;
+    }
+    case Op::Kind::Apply:
+    case Op::Kind::Release:
+    case Op::Kind::SetCapacities: {
+      // All mutations arrive pre-reduced to "replace this shard's capacity
+      // slice" (mutate() folds draws / give-backs into the global vector
+      // before fan-out), so the shard-level operation is always
+      // set_capacities and replicas in hash mode stay identical.
+      try {
+        shard.alloc->set_capacities(std::span<const double>(op.vec));
+        ShardView view;
+        view.capacity.assign(op.vec.begin(), op.vec.end());
+        view.available.resize(shard.members.size());
+        for (std::size_t l = 0; l < shard.members.size(); ++l)
+          view.available[l] = shard.alloc->available_to(l);
+        op.view.set_value(std::move(view));
+      } catch (...) {
+        op.view.set_exception(std::current_exception());
+      }
+      return;
+    }
+    case Op::Kind::Query: {
+      ShardView view;
+      view.pipeline = *shard.alloc->solver_stats();
+      op.view.set_value(std::move(view));
+      return;
+    }
+  }
+}
+
+alloc::AllocationPlan EnforcementEngine::globalize(const Shard& shard,
+                                                   alloc::AllocationPlan local) const {
+  if (part_.replicated || shard.members.size() == n_) return local;
+  const auto snap = cell_.load();
+  alloc::AllocationPlan plan;
+  plan.status = local.status;
+  plan.theta = local.theta;
+  plan.lp_iterations = local.lp_iterations;
+  plan.exact_mode_fell_back = local.exact_mode_fell_back;
+  plan.certified = local.certified;
+  plan.solver_fallbacks = local.solver_fallbacks;
+  const auto overlay = [&](const std::vector<double>& loc, const std::vector<double>& base,
+                           double fill) {
+    std::vector<double> out;
+    if (loc.empty()) return out;
+    out = base.empty() ? std::vector<double>(n_, fill) : base;
+    for (std::size_t l = 0; l < shard.members.size(); ++l) out[shard.members[l]] = loc[l];
+    return out;
+  };
+  plan.draw = overlay(local.draw, {}, 0.0);
+  // Non-member availabilities come from the published snapshot: this plan
+  // cannot change them (zero cross-component entitlements).
+  plan.capacity_before = overlay(local.capacity_before, snap->available, 0.0);
+  plan.capacity_after = overlay(local.capacity_after, snap->available, 0.0);
+  return plan;
+}
+
+alloc::AllocationPlan EnforcementEngine::consult(std::size_t a, double amount) const {
+  AGORA_REQUIRE(a < n_, "unknown principal");
+  AGORA_REQUIRE(amount >= 0.0 && std::isfinite(amount), "request must be non-negative");
+  EngineResult res = submit_unchecked(a, amount).get();
+  switch (res.status.code()) {
+    case StatusCode::Ok:
+    case StatusCode::Insufficient:
+    case StatusCode::Denied:
+    case StatusCode::SolverFailed:
+      return std::move(res.plan);
+    case StatusCode::InvalidArgument:
+    case StatusCode::Unavailable:
+      throw PreconditionError(res.status.to_string());
+    case StatusCode::Internal:
+    case StatusCode::Io:
+      break;
+  }
+  throw InternalError(res.status.to_string());
+}
+
+std::future<EngineResult> EnforcementEngine::submit(std::size_t a, double amount) const {
+  if (a >= n_ || amount < 0.0 || !std::isfinite(amount)) {
+    std::promise<EngineResult> p;
+    p.set_value(EngineResult{
+        Status::invalid_argument(a >= n_ ? "unknown principal"
+                                                  : "request must be non-negative"),
+        {}});
+    return p.get_future();
+  }
+  return submit_unchecked(a, amount);
+}
+
+std::future<EngineResult> EnforcementEngine::submit_unchecked(std::size_t a,
+                                                              double amount) const {
+  Shard& shard = *shards_[part_.shard_of[a]];
+  Op op;
+  op.kind = Op::Kind::Consult;
+  op.principal = shard.local_of[a];
+  op.amount = amount;
+  std::future<EngineResult> fut = op.result.get_future();
+  if (!shard.queue.push(std::move(op))) {
+    // The op (and the promise backing `fut`) was dropped by the closed
+    // queue; hand back a ready future instead of a broken one.
+    std::promise<EngineResult> p;
+    p.set_value(EngineResult{Status::unavailable("engine is shut down"), {}});
+    return p.get_future();
+  }
+  shard.obs_queue_depth->set(static_cast<double>(shard.queue.size()));
+  return fut;
+}
+
+double EnforcementEngine::available_to(std::size_t a) const {
+  AGORA_REQUIRE(a < n_, "unknown principal");
+  return cell_.load()->available[a];
+}
+
+void EnforcementEngine::apply(const alloc::AllocationPlan& plan) {
+  AGORA_REQUIRE(plan.satisfied(), "cannot apply an unsatisfied plan");
+  AGORA_REQUIRE(plan.draw.size() == n_, "plan size mismatch");
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  std::vector<double> next = sys_.capacity;
+  for (std::size_t i = 0; i < next.size(); ++i) {
+    AGORA_REQUIRE(plan.draw[i] <= next[i] + 1e-7, "plan draws more than a principal owns");
+    next[i] = std::max(0.0, next[i] - plan.draw[i]);
+  }
+  mutate(next, Op::Kind::Apply);
+}
+
+void EnforcementEngine::release(const std::vector<double>& give_back) {
+  AGORA_REQUIRE(give_back.size() == n_, "release size mismatch");
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  std::vector<double> next = sys_.capacity;
+  for (std::size_t i = 0; i < next.size(); ++i) {
+    AGORA_REQUIRE(give_back[i] >= 0.0, "release must be non-negative");
+    next[i] += give_back[i];
+  }
+  mutate(next, Op::Kind::Release);
+}
+
+void EnforcementEngine::set_capacities(std::span<const double> v) {
+  AGORA_REQUIRE(v.size() == n_, "capacity vector size mismatch");
+  for (double x : v) AGORA_REQUIRE(x >= 0.0 && std::isfinite(x), "capacities must be >= 0");
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  mutate(std::vector<double>(v.begin(), v.end()), Op::Kind::SetCapacities);
+}
+
+void EnforcementEngine::mutate(const std::vector<double>& global, Op::Kind kind) {
+  // Caller holds mutate_mu_. Fan the new capacity vector out to every shard
+  // (each applies its slice in queue order, behind any consults already
+  // submitted), then merge the acknowledged availability slices and publish
+  // the next snapshot epoch. Blocking here is what makes a returned
+  // apply()/release()/set_capacities() visible to every later consult.
+  std::vector<std::future<ShardView>> acks;
+  acks.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    Op op;
+    op.kind = kind;
+    op.vec.resize(shard->members.size());
+    for (std::size_t l = 0; l < shard->members.size(); ++l)
+      op.vec[l] = global[shard->members[l]];
+    acks.push_back(op.view.get_future());
+    const bool pushed = shard->queue.push(std::move(op));
+    AGORA_INVARIANT(pushed, "mutation submitted to a shut-down engine");
+  }
+  std::vector<double> available(n_, 0.0);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    ShardView view = acks[s].get();  // rethrows shard-side failures
+    for (std::size_t l = 0; l < shards_[s]->members.size(); ++l) {
+      const std::size_t g = shards_[s]->members[l];
+      if (part_.shard_of[g] == s) available[g] = view.available[l];
+    }
+  }
+  sys_.capacity = global;
+  publish(global, std::move(available));
+}
+
+void EnforcementEngine::publish(std::vector<double> capacity, std::vector<double> available) {
+  ++epoch_;
+  cell_.store(std::make_shared<const CapacitySnapshot>(
+      CapacitySnapshot{epoch_, std::move(capacity), std::move(available)}));
+  obs_epochs_->inc();
+}
+
+const lp::PipelineStats* EnforcementEngine::solver_stats() const {
+  std::vector<std::future<ShardView>> acks;
+  acks.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    Op op;
+    op.kind = Op::Kind::Query;
+    acks.push_back(op.view.get_future());
+    if (!shard->queue.push(std::move(op))) return nullptr;  // shutting down
+  }
+  lp::PipelineStats agg;
+  for (auto& f : acks) accumulate(agg, f.get().pipeline);
+  std::lock_guard<std::mutex> lock(agg_mu_);
+  agg_stats_ = agg;
+  return &agg_stats_;
+}
+
+std::size_t EnforcementEngine::shard_of(std::size_t participant) const {
+  AGORA_REQUIRE(participant < n_, "unknown principal");
+  return part_.shard_of[participant];
+}
+
+void EnforcementEngine::drain() const {
+  std::vector<std::future<ShardView>> acks;
+  acks.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    Op op;
+    op.kind = Op::Kind::Query;
+    acks.push_back(op.view.get_future());
+    if (!shard->queue.push(std::move(op))) acks.pop_back();  // already drained by close()
+  }
+  for (auto& f : acks) f.get();
+}
+
+EngineStats EnforcementEngine::stats() const {
+  EngineStats out;
+  out.shards = shards_.size();
+  out.replicated = part_.replicated;
+  out.components = part_.components;
+  out.epoch = cell_.load()->epoch;
+  out.shard.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardStats s;
+    s.participants = shard->members.size();
+    s.consults = shard->consults.load(std::memory_order_relaxed);
+    s.batches = shard->batches.load(std::memory_order_relaxed);
+    s.coalesced_batches = shard->coalesced_batches.load(std::memory_order_relaxed);
+    s.coalesced_ops = shard->coalesced_ops.load(std::memory_order_relaxed);
+    s.max_batch = shard->max_batch.load(std::memory_order_relaxed);
+    s.queue_depth = shard->queue.size();
+    out.shard.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace agora::engine

@@ -1,0 +1,211 @@
+// engine.h -- the sharded, thread-safe enforcement engine fronting all
+// admission traffic (DESIGN.md §11).
+//
+// The paper evaluates enforcement with ten proxies consulting one allocator
+// serially; production traffic needs admission decisions computed locally
+// and in parallel. EnforcementEngine partitions participants into shards
+// (by agreement-graph connectivity, hash fallback -- see partition.h); each
+// shard owns a dedicated worker thread with its *own* warm-started
+// allocator (lp::SolveWorkspace + alloc::AllocationModelCache), extending
+// the single-threaded reuse of the warm-start work to per-shard reuse.
+// Requests enter through per-shard MPSC queues with batch coalescing:
+// everything queued on a shard while its worker was busy is drained in one
+// lock acquisition and solved back-to-back against the still-hot LP basis.
+// Capacity/valuation reads go through an epoch-versioned immutable snapshot
+// (snapshot.h) and never touch a shard queue or allocator.
+//
+// Guarantees:
+//   * threads=1 is decision-identical to calling the Allocator directly:
+//     one shard owning the whole system, the same Allocator performing the
+//     same call sequence (pinned byte-identical in tests/engine_test.cpp).
+//   * Certification is inherited unchanged: the per-shard allocators run
+//     the certified solve chain (AllocatorOptions::certify defaults on),
+//     so no uncertified grant is possible through the engine.
+//   * Per-shard FIFO: operations submitted to one shard take effect in
+//     submission order; mutations ack only after every affected shard
+//     applied them and the new snapshot epoch is published.
+//
+// EnforcementEngine implements alloc::AllocatorBase, so call sites written
+// against the interface (SchedulerBridge, the GRM) run on the engine or a
+// direct allocator interchangeably.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "alloc/allocator_base.h"
+#include "engine/partition.h"
+#include "engine/snapshot.h"
+#include "obs/sink.h"
+#include "util/status.h"
+#include "util/task_queue.h"
+
+namespace agora::engine {
+
+struct EngineOptions {
+  /// Worker shard count. 1 (default) = a single shard over the full system,
+  /// decision-identical to the direct allocator path. Clamped to the
+  /// participant count; in connectivity mode also to the component count.
+  std::size_t threads = 1;
+  /// Per-shard allocator configuration. `certify` stays on by default;
+  /// `reuse_context` gives each shard its own warm-start workspace.
+  alloc::AllocatorOptions alloc;
+  /// Telemetry: per-shard queue-depth gauges, batch-size histograms,
+  /// coalesce counters, EngineBatch trace events (emitted only for
+  /// coalesced batches, so a serial caller's event stream is unchanged).
+  obs::Sink sink = obs::Sink::global();
+};
+
+/// Outcome of a submitted consult: `status` is agora's unified error
+/// currency (DESIGN.md §11.5). For a decided request it mirrors the plan
+/// (Ok / Insufficient / Denied / SolverFailed); transport-level failures
+/// (engine stopped: Unavailable, bad arguments: InvalidArgument, worker
+/// exception: Internal) leave the plan default-constructed.
+struct EngineResult {
+  Status status;
+  alloc::AllocationPlan plan;
+};
+
+struct ShardStats {
+  std::size_t participants = 0;
+  std::uint64_t consults = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t coalesced_batches = 0;   ///< batches with more than one op
+  std::uint64_t coalesced_ops = 0;       ///< ops beyond the first per batch
+  std::uint64_t max_batch = 0;
+  std::size_t queue_depth = 0;           ///< sampled at the last enqueue
+};
+
+struct EngineStats {
+  std::size_t shards = 0;
+  bool replicated = false;
+  std::size_t components = 0;
+  std::uint64_t epoch = 0;
+  std::vector<ShardStats> shard;
+};
+
+class EnforcementEngine : public alloc::AllocatorBase {
+ public:
+  EnforcementEngine(agree::AgreementSystem sys, EngineOptions opts = {});
+  ~EnforcementEngine() override;
+
+  EnforcementEngine(const EnforcementEngine&) = delete;
+  EnforcementEngine& operator=(const EnforcementEngine&) = delete;
+
+  // --- Admission ----------------------------------------------------------
+  /// Blocking decision: route to the owning shard, wait for the plan.
+  /// Precondition violations throw exactly like Allocator::allocate.
+  alloc::AllocationPlan consult(std::size_t a, double amount) const;
+
+  /// Future-based submission. Never throws: argument violations and
+  /// shutdown resolve the future with the corresponding Status instead.
+  std::future<EngineResult> submit(std::size_t a, double amount) const;
+
+  // --- AllocatorBase ------------------------------------------------------
+  std::size_t size() const override { return n_; }
+  /// The full agreement system. Capacities reflect the last *published*
+  /// epoch; concurrent readers should prefer snapshot() -- the capacity
+  /// vector behind this reference is rewritten by mutations.
+  const agree::AgreementSystem& system() const override { return sys_; }
+  alloc::AllocationPlan allocate(std::size_t a, double amount) const override {
+    return consult(a, amount);
+  }
+  double available_to(std::size_t a) const override;
+  void apply(const alloc::AllocationPlan& plan) override;
+  void release(const std::vector<double>& give_back) override;
+  void set_capacities(std::span<const double> v) override;
+  /// Aggregated certified-solve-chain telemetry across all shards. Enqueues
+  /// a query op per shard (a barrier), so it must not be called from a
+  /// shard worker.
+  const lp::PipelineStats* solver_stats() const override;
+
+  // --- Snapshot reads (never touch shard state) ---------------------------
+  std::shared_ptr<const CapacitySnapshot> snapshot() const { return cell_.load(); }
+  std::uint64_t epoch() const { return cell_.load()->epoch; }
+
+  // --- Introspection ------------------------------------------------------
+  std::size_t num_shards() const { return shards_.size(); }
+  bool replicated() const { return part_.replicated; }
+  std::size_t num_components() const { return part_.components; }
+  std::size_t shard_of(std::size_t participant) const;
+  /// Barrier: block until every operation submitted before this call has
+  /// been processed by its shard.
+  void drain() const;
+  EngineStats stats() const;
+
+ private:
+  /// What a mutation op hands back: the shard's post-mutation capacity and
+  /// availability, in shard-local index order (full-length when
+  /// replicated). Query ops reuse the struct for pipeline stats.
+  struct ShardView {
+    std::vector<double> capacity;
+    std::vector<double> available;
+    lp::PipelineStats pipeline;
+  };
+
+  struct Op {
+    enum class Kind { Consult, Apply, Release, SetCapacities, Query };
+    Kind kind = Kind::Query;
+    std::size_t principal = 0;  ///< shard-local index (Consult)
+    double amount = 0.0;
+    std::vector<double> vec;    ///< shard-local slice (mutations)
+    std::promise<EngineResult> result;  ///< Consult
+    std::promise<ShardView> view;       ///< mutations + Query
+  };
+
+  struct Shard {
+    std::size_t id = 0;
+    std::vector<std::size_t> members;     ///< global ids, ascending
+    std::vector<std::size_t> local_of;    ///< global id -> local index (or npos)
+    std::unique_ptr<alloc::Allocator> alloc;
+    BlockingQueue<Op> queue;
+    std::thread worker;
+    std::uint64_t ordinal = 0;  ///< ops processed (worker-only; event time)
+    // Telemetry (relaxed atomics; readable without quiescence).
+    std::atomic<std::uint64_t> consults{0};
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> coalesced_batches{0};
+    std::atomic<std::uint64_t> coalesced_ops{0};
+    std::atomic<std::uint64_t> max_batch{0};
+    obs::Gauge* obs_queue_depth = nullptr;
+  };
+
+  void worker_loop(Shard& shard);
+  void process(Shard& shard, Op& op);
+  /// Map a shard-local plan back to full-system indices, overlaying the
+  /// current snapshot for participants outside the shard.
+  alloc::AllocationPlan globalize(const Shard& shard, alloc::AllocationPlan local) const;
+  /// Run `make_op` for each selected shard, wait for every ShardView, merge
+  /// the slices into a fresh snapshot and publish it (epoch + 1).
+  void mutate(const std::vector<double>& global, Op::Kind kind);
+  std::future<EngineResult> submit_unchecked(std::size_t a, double amount) const;
+  void publish(std::vector<double> capacity, std::vector<double> available);
+
+  agree::AgreementSystem sys_;
+  /// Participant count, immutable after construction: the lock-free entry
+  /// points (submit/consult argument checks, globalize) must not size
+  /// sys_.capacity, whose buffer mutations rewrite under mutate_mu_.
+  std::size_t n_ = 0;
+  EngineOptions opts_;
+  Partition part_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  SnapshotCell cell_;
+  std::uint64_t epoch_ = 0;          ///< guarded by mutate_mu_
+  mutable std::mutex mutate_mu_;     ///< serializes mutations + publish
+  mutable lp::PipelineStats agg_stats_;  ///< scratch for solver_stats()
+  mutable std::mutex agg_mu_;
+  // Cached registry handles (see obs/metrics.h).
+  obs::Counter* obs_consults_ = nullptr;
+  obs::Counter* obs_batches_ = nullptr;
+  obs::Counter* obs_coalesced_batches_ = nullptr;
+  obs::Counter* obs_coalesced_ops_ = nullptr;
+  obs::Counter* obs_epochs_ = nullptr;
+  obs::LogHistogram* obs_batch_size_ = nullptr;
+};
+
+}  // namespace agora::engine

@@ -1,0 +1,97 @@
+#include "engine/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace agora::engine {
+
+namespace {
+
+std::size_t find_root(std::vector<std::size_t>& parent, std::size_t i) {
+  while (parent[i] != i) {
+    parent[i] = parent[parent[i]];  // path halving
+    i = parent[i];
+  }
+  return i;
+}
+
+void unite(std::vector<std::size_t>& parent, std::size_t a, std::size_t b) {
+  a = find_root(parent, a);
+  b = find_root(parent, b);
+  if (a != b) parent[std::max(a, b)] = std::min(a, b);
+}
+
+}  // namespace
+
+Partition partition_participants(const agree::AgreementSystem& sys, std::size_t shards) {
+  const std::size_t n = sys.size();
+  AGORA_REQUIRE(n > 0, "cannot partition an empty system");
+  if (shards == 0) shards = 1;
+  shards = std::min(shards, n);
+
+  // Connected components of the symmetrized agreement support S + A.
+  std::vector<std::size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j && (sys.relative(i, j) > 0.0 || sys.absolute(i, j) > 0.0))
+        unite(parent, i, j);
+
+  std::vector<std::vector<std::size_t>> comps;
+  {
+    std::vector<std::size_t> comp_of(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t r = find_root(parent, i);
+      if (comp_of[r] == n) {
+        comp_of[r] = comps.size();
+        comps.emplace_back();
+      }
+      comps[comp_of[r]].push_back(i);  // ascending: i is visited in order
+    }
+  }
+
+  Partition part;
+  part.components = comps.size();
+
+  if (comps.size() == 1 && shards > 1) {
+    // Hash fallback: one giant component, no independent split. Replicate
+    // the full system on every shard and route requests by participant id.
+    part.shards = shards;
+    part.replicated = true;
+    part.shard_of.resize(n);
+    for (std::size_t i = 0; i < n; ++i) part.shard_of[i] = i % shards;
+    part.members.assign(shards, comps[0]);
+    return part;
+  }
+
+  part.shards = std::min(shards, comps.size());
+  part.replicated = false;
+  part.members.assign(part.shards, {});
+  part.shard_of.assign(n, 0);
+
+  // LPT bin-packing: largest component first onto the least-loaded shard,
+  // ties broken toward the lower shard id for determinism.
+  std::vector<std::size_t> order(comps.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return comps[a].size() > comps[b].size();
+  });
+  std::vector<std::size_t> load(part.shards, 0);
+  for (const std::size_t c : order) {
+    const std::size_t s = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    load[s] += comps[c].size();
+    for (const std::size_t i : comps[c]) {
+      part.members[s].push_back(i);
+      part.shard_of[i] = s;
+    }
+  }
+  // Local indices inside a shard follow the sorted global order so the
+  // induced sub-system is independent of packing order.
+  for (auto& m : part.members) std::sort(m.begin(), m.end());
+  return part;
+}
+
+}  // namespace agora::engine

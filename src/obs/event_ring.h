@@ -47,6 +47,8 @@ enum class EventKind : std::uint32_t {
   GrmReserveRetry,       ///< actor=grm, peer=site, a=attempt
   GrmResync,             ///< actor=grm, peer=lrm site
   ClientDeadline,        ///< actor=client endpoint, a=attempts made
+  // engine shard workers (time = per-shard op ordinal)
+  EngineBatch,           ///< actor=shard, a=batch size; only when size > 1
 };
 
 inline const char* to_string(EventKind k) {
@@ -68,6 +70,7 @@ inline const char* to_string(EventKind k) {
     case EventKind::GrmReserveRetry: return "grm_reserve_retry";
     case EventKind::GrmResync: return "grm_resync";
     case EventKind::ClientDeadline: return "client_deadline";
+    case EventKind::EngineBatch: return "engine_batch";
   }
   return "unknown";
 }

@@ -49,6 +49,11 @@ struct SimConfig {
   Matrix agreements;
   /// Allocator options: transitivity level (Figures 8-11), formulation, ...
   alloc::AllocatorOptions alloc_opts;
+  /// LP scheme backend: 0 (default) consults the in-process Allocator
+  /// directly; >= 1 routes every consult through a sharded
+  /// engine::EnforcementEngine with this many worker threads (agora_sim
+  /// --threads N). threads=1 is decision-identical to the direct path.
+  std::size_t scheduler_threads = 0;
 
   /// Consult the global scheduler when a proxy's queued demand (in
   /// unit-power service seconds) exceeds this.

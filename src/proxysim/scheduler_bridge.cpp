@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "engine/engine.h"
 #include "obs/timer.h"
 
 namespace agora::proxysim {
@@ -24,7 +25,16 @@ SchedulerBridge::SchedulerBridge(const SimConfig& cfg)
   if (kind_ == SchedulerKind::Lp) {
     agree::AgreementSystem sys(n_);
     sys.relative = agreements_;
-    allocator_ = std::make_unique<alloc::Allocator>(std::move(sys), cfg.alloc_opts);
+    if (cfg.scheduler_threads >= 1) {
+      engine::EngineOptions eng;
+      eng.threads = cfg.scheduler_threads;
+      eng.alloc = cfg.alloc_opts;
+      eng.sink = cfg.alloc_opts.sink;
+      allocator_ =
+          std::make_unique<engine::EnforcementEngine>(std::move(sys), std::move(eng));
+    } else {
+      allocator_ = std::make_unique<alloc::Allocator>(std::move(sys), cfg.alloc_opts);
+    }
   } else if (kind_ == SchedulerKind::Endpoint) {
     endpoint_sys_ = agree::AgreementSystem(n_);
     endpoint_sys_.relative = agreements_;

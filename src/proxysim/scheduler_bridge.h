@@ -57,7 +57,7 @@ class SchedulerBridge {
   /// Degradation telemetry of the LP scheme's certified solve chain
   /// (nullptr for non-LP schemes).
   const lp::PipelineStats* solver_stats() const {
-    return allocator_ ? &allocator_->solver_stats() : nullptr;
+    return allocator_ ? allocator_->solver_stats() : nullptr;
   }
 
  private:
@@ -66,10 +66,12 @@ class SchedulerBridge {
   Matrix agreements_;
   std::vector<double> retained_;
   std::vector<double> static_budget_;
-  /// LP scheme state (unused for Endpoint). The Allocator is persistent so
-  /// its transitive closure, model cache and solver workspace all amortize
+  /// LP scheme state (unused for Endpoint): either a direct Allocator
+  /// (scheduler_threads == 0) or a sharded engine::EnforcementEngine, both
+  /// behind the AllocatorBase interface. Persistent either way, so the
+  /// transitive closure, model cache and solver workspace all amortize
   /// across the thousands of per-epoch consults of a trace run.
-  std::unique_ptr<alloc::Allocator> allocator_;
+  std::unique_ptr<alloc::AllocatorBase> allocator_;
   /// Endpoint scheme state: the agreement structure never changes between
   /// consults, only the capacity vector is patched per plan() call.
   agree::AgreementSystem endpoint_sys_;

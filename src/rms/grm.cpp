@@ -3,7 +3,20 @@
 #include <algorithm>
 #include <cmath>
 
+#include "engine/engine.h"
+
 namespace agora::rms {
+
+std::unique_ptr<alloc::AllocatorBase> Grm::make_allocator(agree::AgreementSystem sys) const {
+  if (grm_opts_.engine_threads >= 1) {
+    engine::EngineOptions eng;
+    eng.threads = grm_opts_.engine_threads;
+    eng.alloc = opts_;
+    eng.sink = opts_.sink;
+    return std::make_unique<engine::EnforcementEngine>(std::move(sys), std::move(eng));
+  }
+  return std::make_unique<alloc::Allocator>(std::move(sys), opts_);
+}
 
 Grm::Grm(MessageBus& bus, std::vector<agree::AgreementSystem> systems,
          alloc::AllocatorOptions opts, double decision_latency, GrmOptions grm_opts)
@@ -27,7 +40,7 @@ Grm::Grm(MessageBus& bus, std::vector<agree::AgreementSystem> systems,
   allocators_.reserve(systems.size());
   for (auto& s : systems) {
     known_.emplace_back(s.capacity);  // seed with declared capacities
-    allocators_.emplace_back(std::move(s), opts);
+    allocators_.push_back(make_allocator(std::move(s)));
   }
   lrm_endpoints_.assign(n, 0);
   lrm_known_.assign(n, false);
@@ -59,11 +72,11 @@ void Grm::update_agreement(std::size_t resource, std::size_t from, std::size_t t
   AGORA_REQUIRE(resource < allocators_.size(), "unknown resource");
   // Rebuild the allocator with the updated matrix (agreement changes are
   // rare control-plane events; the closure recomputation is acceptable).
-  agree::AgreementSystem sys = allocators_[resource].system();
+  agree::AgreementSystem sys = allocators_[resource]->system();
   AGORA_REQUIRE(from < sys.size() && to < sys.size() && from != to, "bad agreement endpoints");
   AGORA_REQUIRE(share >= 0.0, "share must be non-negative");
   sys.relative(from, to) = share;
-  allocators_[resource] = alloc::Allocator(std::move(sys), opts_);
+  allocators_[resource] = make_allocator(std::move(sys));
 }
 
 double Grm::known_available(std::size_t site, std::size_t resource) const {
@@ -190,14 +203,14 @@ void Grm::decide(const AllocationRequest& req, EndpointId reply_to) {
     caps[r] = known_[r];
     for (std::size_t s = 0; s < caps[r].size(); ++s)
       if (masked[s] || (!scope_.empty() && !scope_[s])) caps[r][s] = 0.0;
-    allocators_[r].set_capacities(caps[r]);
+    allocators_[r]->set_capacities(std::span<const double>(caps[r]));
   }
 
   // Solve the per-resource LPs.
   std::vector<alloc::AllocationPlan> plans(allocators_.size());
   bool ok = true;
   for (std::size_t r = 0; r < allocators_.size(); ++r) {
-    plans[r] = allocators_[r].allocate(req.principal, req.amounts[r]);
+    plans[r] = allocators_[r]->allocate(req.principal, req.amounts[r]);
     ok = ok && plans[r].satisfied();
   }
 

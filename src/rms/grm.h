@@ -53,6 +53,11 @@ struct GrmOptions {
   /// stamped with bus virtual time). Also forwarded into the allocators'
   /// AllocatorOptions unless those carry their own non-global sink.
   obs::Sink sink = obs::Sink::global();
+  /// Per-resource decision backend: 0 (default) consults an in-process
+  /// Allocator directly (seed behavior); >= 1 fronts each resource with a
+  /// sharded engine::EnforcementEngine running this many worker threads.
+  /// threads=1 is decision-identical to the direct path.
+  std::size_t engine_threads = 0;
 };
 
 class Grm {
@@ -104,13 +109,18 @@ class Grm {
   void send_reserve(std::uint64_t request_id, std::size_t site, ReserveCommand cmd);
   void on_timer(std::uint64_t token);
   bool in_scope(std::size_t site) const;
+  /// Build one resource's decision backend: a direct Allocator, or an
+  /// EnforcementEngine fronting it when grm_opts_.engine_threads >= 1.
+  std::unique_ptr<alloc::AllocatorBase> make_allocator(agree::AgreementSystem sys) const;
 
   MessageBus& bus_;
   EndpointId endpoint_;
   double decision_latency_;
   alloc::AllocatorOptions opts_;
   GrmOptions grm_opts_;
-  std::vector<alloc::Allocator> allocators_;
+  /// One decision backend per resource, behind the unified interface
+  /// (engine-fronted when GrmOptions::engine_threads >= 1).
+  std::vector<std::unique_ptr<alloc::AllocatorBase>> allocators_;
   std::vector<std::vector<double>> known_;  ///< [resource][site]
   std::vector<EndpointId> lrm_endpoints_;
   std::vector<bool> lrm_known_;

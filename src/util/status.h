@@ -1,0 +1,100 @@
+// status.h -- the one error-reporting currency of agora's public surface.
+//
+// Before this existed, every layer spoke its own dialect: the allocator a
+// PlanStatus enum, the LP layer lp::Status, util/error.h exceptions, rms
+// replies a bool + reason string. agora::Status unifies them: every public
+// entry point either returns a value (success), returns/carries a Status, or
+// throws an exception from util/error.h that *maps to* a Status via
+// to_status(). The full mapping is documented in DESIGN.md §11.5.
+//
+// Status is a small value type (code + optional message); Ok carries no
+// message and never allocates.
+#pragma once
+
+#include <exception>
+#include <string>
+#include <utility>
+
+namespace agora {
+
+enum class StatusCode : int {
+  Ok = 0,
+  /// The request is well-formed but cannot be satisfied under the current
+  /// agreements/capacities (maps from PlanStatus::Insufficient and
+  /// lp::Status::Infeasible -- an expected outcome, not an error).
+  Insufficient,
+  /// Conservative denial: the certified solve chain was exhausted without a
+  /// verifiable answer (PlanStatus::Denied). Never an uncertified grant.
+  Denied,
+  /// The solver gave up (iteration limit; PlanStatus::SolverFailed).
+  SolverFailed,
+  /// Caller violated an API precondition (PreconditionError).
+  InvalidArgument,
+  /// An internal invariant was violated -- a bug in agora (InternalError).
+  Internal,
+  /// I/O failure: trace files, CSV/JSONL export (IoError).
+  Io,
+  /// The target is shutting down or its queue rejected the work (e.g. an
+  /// EnforcementEngine submit after stop()).
+  Unavailable,
+};
+
+inline const char* to_string(StatusCode c) {
+  switch (c) {
+    case StatusCode::Ok: return "ok";
+    case StatusCode::Insufficient: return "insufficient";
+    case StatusCode::Denied: return "denied";
+    case StatusCode::SolverFailed: return "solver_failed";
+    case StatusCode::InvalidArgument: return "invalid_argument";
+    case StatusCode::Internal: return "internal";
+    case StatusCode::Io: return "io";
+    case StatusCode::Unavailable: return "unavailable";
+  }
+  return "unknown";
+}
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  ///< Ok
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status insufficient(std::string m = {}) {
+    return Status(StatusCode::Insufficient, std::move(m));
+  }
+  static Status denied(std::string m = {}) { return Status(StatusCode::Denied, std::move(m)); }
+  static Status solver_failed(std::string m = {}) {
+    return Status(StatusCode::SolverFailed, std::move(m));
+  }
+  static Status invalid_argument(std::string m = {}) {
+    return Status(StatusCode::InvalidArgument, std::move(m));
+  }
+  static Status internal(std::string m = {}) {
+    return Status(StatusCode::Internal, std::move(m));
+  }
+  static Status io(std::string m = {}) { return Status(StatusCode::Io, std::move(m)); }
+  static Status unavailable(std::string m = {}) {
+    return Status(StatusCode::Unavailable, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::Ok; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const {
+    std::string s = agora::to_string(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+
+ private:
+  StatusCode code_ = StatusCode::Ok;
+  std::string message_;
+};
+
+}  // namespace agora

@@ -1,0 +1,110 @@
+// task_queue.h -- the blocking MPMC/MPSC queue underneath every worker
+// thread in agora.
+//
+// Historically this machinery lived inline in ThreadPool (whose only client
+// was multi_resource); the sharded enforcement engine needs the same
+// primitive with two extra capabilities, so it is generalized here and
+// ThreadPool is now one of its users:
+//
+//   * wait_pop    -- classic one-item blocking pop (ThreadPool workers),
+//   * wait_drain  -- blocking *batch* pop: take EVERYTHING queued in one
+//                    lock acquisition. This is what batch coalescing in the
+//                    engine is built on: requests that landed on a shard
+//                    while its worker was busy are drained together and
+//                    solved back-to-back against the still-hot LP basis.
+//
+// close() wakes all waiters; pops drain remaining items first and only then
+// report closure, so no submitted work is ever silently lost.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace agora {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  BlockingQueue() = default;
+  BlockingQueue(const BlockingQueue&) = delete;
+  BlockingQueue& operator=(const BlockingQueue&) = delete;
+
+  /// Enqueue one item. Returns false (dropping the item) iff the queue is
+  /// closed -- callers that must not lose work check the result.
+  bool push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocking single-item pop. Returns false when the queue is closed AND
+  /// drained.
+  bool wait_pop(T& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Blocking batch pop: move every queued item into `out` (cleared first).
+  /// Returns the batch size; 0 means closed-and-drained.
+  std::size_t wait_drain(std::vector<T>& out) {
+    out.clear();
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    while (!items_.empty()) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    return out.size();
+  }
+
+  /// Non-blocking batch pop (for tests / shutdown sweeps).
+  std::size_t try_drain(std::vector<T>& out) {
+    out.clear();
+    std::lock_guard<std::mutex> lock(mu_);
+    while (!items_.empty()) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    return out.size();
+  }
+
+  /// Stop accepting items and wake every waiter. Already-queued items are
+  /// still handed out by subsequent pops.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace agora

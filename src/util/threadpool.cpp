@@ -11,26 +11,13 @@ ThreadPool::ThreadPool(std::size_t threads) {
 }
 
 ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
-  }
-  cv_.notify_all();
+  queue_.close();
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::worker_loop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (stop_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop();
-    }
-    task();
-  }
+  std::function<void()> task;
+  while (queue_.wait_pop(task)) task();
 }
 
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& f) {

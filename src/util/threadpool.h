@@ -4,16 +4,20 @@
 // independent LPs of a multi-resource request, and sweeping simulator
 // configurations in the benchmark harnesses. Tasks must not block on each
 // other (no nested submission from within a task waiting on the pool).
+//
+// The queueing machinery is the shared util::BlockingQueue primitive (see
+// task_queue.h); the enforcement engine's per-shard workers build on the
+// same queue with batch draining instead of a shared pool.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
-#include <queue>
+#include <memory>
 #include <thread>
 #include <vector>
+
+#include "util/task_queue.h"
 
 namespace agora {
 
@@ -34,11 +38,7 @@ class ThreadPool {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      queue_.emplace([task] { (*task)(); });
-    }
-    cv_.notify_one();
+    queue_.push([task] { (*task)(); });
     return fut;
   }
 
@@ -54,10 +54,7 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  BlockingQueue<std::function<void()>> queue_;
 };
 
 }  // namespace agora

@@ -38,6 +38,9 @@ int main(int argc, char** argv) {
   flags.define("threshold", "5", "queued seconds that trigger a scheduler consult");
   flags.define("cooldown", "5", "minimum seconds between consults per proxy");
   flags.define("window", "600", "scheduling epoch for spare-capacity reports (s)");
+  flags.define("threads", "0",
+               "LP scheduler worker threads: 0 = direct in-process allocator, >= 1 = "
+               "sharded enforcement engine (1 is decision-identical to direct)");
   flags.define("csv", "", "write the full 10-minute-slot series to this CSV file");
   flags.define("metrics-out", "",
                "write an observability snapshot (registry metrics + trace events) to this "
@@ -67,6 +70,7 @@ int main(int argc, char** argv) {
     cfg.consult_cooldown = flags.get_double("cooldown");
     cfg.planning_window = flags.get_double("window");
     cfg.power.assign(n, flags.get_double("capacity"));
+    cfg.scheduler_threads = static_cast<std::size_t>(flags.get_int("threads"));
 
     const std::string sched = flags.get("scheduler");
     if (sched == "lp") cfg.scheduler = proxysim::SchedulerKind::Lp;

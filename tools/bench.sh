@@ -14,7 +14,7 @@ OUT=bench_results
 mkdir -p "${OUT}"
 
 cmake -B "${BUILD}" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "${BUILD}" -j --target micro_lp micro_warmstart micro_certify
+cmake --build "${BUILD}" -j --target micro_lp micro_warmstart micro_certify scale_shards
 
 "./${BUILD}/bench/micro_lp" \
   --benchmark_out="${OUT}/micro_lp.json" --benchmark_out_format=json
@@ -36,3 +36,10 @@ python3 tools/bench_lp_json.py \
   "${OUT}/micro_certify.json" "${OUT}/certify_summary.txt" BENCH_lp.json
 
 echo "bench: BENCH_lp.json written"
+
+# Enforcement-engine shard sweep (1/2/4/8 worker shards over the
+# 64-participant island economy): consults/sec + p50/p99 consult latency,
+# written straight to BENCH_engine.json by the binary.
+"./${BUILD}/bench/scale_shards" BENCH_engine.json
+
+echo "bench: BENCH_engine.json written"

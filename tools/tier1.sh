@@ -26,16 +26,20 @@ cmake --build build-asan -j --target rms_test rms_chaos_test fuzz_test \
 ./build-asan/tests/lp_certify_test
 ./build-asan/tests/lp_adversarial_test
 
-# ThreadSanitizer pass over the concurrent observability substrate (the
-# metrics registry, the lock-free EventRing and its multithreaded hammer
-# test) plus the rms chaos suite, whose fault-injection paths exercise the
-# bus under the heaviest event/metric traffic. The obs layer is the only
-# deliberately multithreaded code in the repo, so TSan runs exactly the
-# tests where a data race could hide.
+# ThreadSanitizer pass over the deliberately multithreaded code: the
+# concurrent observability substrate (metrics registry, lock-free EventRing
+# and its multithreaded hammer test), the sharded enforcement engine (shard
+# workers, MPSC queues, snapshot publication -- engine_test pins the serial
+# semantics, engine_stress_test hammers it with producer/mutator threads and
+# runs the GRM-on-engine chaos scenarios), and the rms chaos suite, whose
+# fault-injection paths exercise the bus under the heaviest event/metric
+# traffic.
 cmake -B build-tsan -S . -DAGORA_TSAN=ON
-cmake --build build-tsan -j --target obs_test rms_chaos_test
+cmake --build build-tsan -j --target obs_test rms_chaos_test engine_test engine_stress_test
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/rms_chaos_test
+./build-tsan/tests/engine_test
+./build-tsan/tests/engine_stress_test
 
 echo "tier1: all green"
 echo "tier1: LP perf numbers (BENCH_lp.json) are produced by tools/bench.sh"
