@@ -1,0 +1,211 @@
+// chaos_failover -- failover/replication benchmark for the replicated GRM
+// (DESIGN.md §12): everything is measured in bus VIRTUAL time, so the
+// numbers are deterministic protocol properties, not host noise.
+//
+// Two measurements, written to BENCH_rms.json:
+//   * failover unavailability -- steady allocation traffic against a
+//     3-replica group; the leader crashes mid-run; we record how long the
+//     grant stream stalls (first grant after the crash minus crash time),
+//     swept over raft seeds so the number covers different election races.
+//     The acceptance bound is a few election timeouts.
+//   * replication overhead -- the same fault-free workload against 1 and 3
+//     replicas: bus messages per decided request (the quorum log's
+//     amplification) and mean client-observed decision latency.
+//
+// Usage: chaos_failover [out.json]   (default BENCH_rms.json)
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "agree/matrices.h"
+#include "rms/bus.h"
+#include "rms/client.h"
+#include "rms/grm.h"
+#include "rms/lrm.h"
+#include "rms/replica/group.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace agora;
+using rms::replica::ReplicatedGrm;
+
+constexpr double kElectionMax = 1.0;
+
+std::vector<agree::AgreementSystem> two_site_systems() {
+  agree::AgreementSystem cpu(2);
+  cpu.capacity = {5.0, 10.0};
+  cpu.relative(1, 0) = 0.5;
+  return {cpu};
+}
+
+rms::GrmOptions grm_options(std::size_t replicas, std::uint64_t raft_seed) {
+  rms::GrmOptions g;
+  g.reserve_attempts = 4;
+  g.reserve_backoff = 0.1;
+  g.replication.replicas = replicas;
+  g.replication.election_timeout_min = 0.5;
+  g.replication.election_timeout_max = kElectionMax;
+  g.replication.heartbeat_interval = 0.1;
+  g.replication.latency = 0.01;
+  g.replication.seed = raft_seed;
+  return g;
+}
+
+rms::ClientOptions client_options() {
+  rms::ClientOptions c;
+  c.max_attempts = 10;
+  c.retry_backoff = 0.2;
+  c.backoff_cap = 1.0;
+  c.retry_jitter = 0.25;
+  c.deadline = 30.0;
+  c.send_latency = 0.01;
+  return c;
+}
+
+struct RunResult {
+  std::uint64_t requests = 0;
+  std::uint64_t granted = 0;
+  std::uint64_t delivered = 0;   ///< bus messages handed to handlers
+  double mean_latency = 0.0;     ///< client-observed, virtual seconds
+  double grant_gap = 0.0;        ///< unavailability after the crash (vt s)
+  bool converged = false;
+};
+
+/// One scenario run: `crash_leader` crashes the elected leader at t=10 for
+/// 10 virtual seconds; otherwise the network is perfect.
+RunResult run_scenario(std::size_t replicas, std::uint64_t raft_seed, bool crash_leader,
+                       std::uint64_t requests) {
+  rms::MessageBus bus;
+  ReplicatedGrm grp(bus, two_site_systems(), {}, 0.01, grm_options(replicas, raft_seed));
+  rms::Lrm lrm0(bus, {5.0}, 0.01), lrm1(bus, {10.0}, 0.01);
+  grp.register_lrm(0, lrm0.endpoint());
+  grp.register_lrm(1, lrm1.endpoint());
+  lrm0.attach(grp.ingress(0), 0);
+  lrm1.attach(grp.ingress(1), 1);
+  grp.start();
+  rms::RequestClient client(bus, grp.endpoints(), client_options());
+  bus.run_until(5.0);
+
+  const double crash_at = 10.0;
+  if (crash_leader) {
+    const auto leader = grp.leader();
+    if (leader) {
+      rms::FaultPlan plan;
+      plan.crashes.push_back(
+          rms::CrashWindow{grp.node(*leader).endpoint(), crash_at, crash_at + 10.0});
+      bus.set_fault_plan(plan);
+    }
+  }
+
+  Pcg32 workload(42);
+  for (std::uint64_t id = 1; id <= requests; ++id) {
+    rms::AllocationRequest req;
+    req.request_id = id;
+    req.principal = workload.uniform_u32(2);
+    req.amounts = {workload.uniform(0.3, 1.5)};
+    req.duration = workload.uniform(0.5, 2.0);
+    client.submit(req);
+    bus.run_until(bus.now() + 0.25);
+  }
+  bus.run_until(bus.now() + 8.0);
+  bus.set_fault_plan(rms::FaultPlan{});
+  bus.run_until(bus.now() + 5.0);
+  grp.stop();
+  bus.run_until_idle();
+
+  RunResult res;
+  res.requests = requests;
+  res.delivered = bus.delivered();
+  res.converged = grp.converged();
+  double lat_sum = 0.0;
+  double first_grant_after = std::numeric_limits<double>::infinity();
+  for (const auto& out : client.outcomes()) {
+    if (!out.reply.granted) continue;
+    ++res.granted;
+    lat_sum += out.latency();
+    if (out.resolved_at >= crash_at) first_grant_after = std::min(first_grant_after, out.resolved_at);
+  }
+  res.mean_latency = res.granted ? lat_sum / static_cast<double>(res.granted) : 0.0;
+  res.grant_gap = crash_leader ? first_grant_after - crash_at : 0.0;
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_rms.json";
+
+  // --- failover unavailability, swept over raft seeds --------------------
+  const std::vector<std::uint64_t> seeds = {1, 2, 3, 5, 8};
+  std::vector<double> gaps;
+  bool all_converged = true;
+  for (const std::uint64_t s : seeds) {
+    const RunResult r = run_scenario(3, s, /*crash_leader=*/true, 80);
+    gaps.push_back(r.grant_gap);
+    all_converged = all_converged && r.converged;
+    std::printf("seed %llu: unavailability %.3f vt-s, %llu/%llu granted, converged=%d\n",
+                static_cast<unsigned long long>(s), r.grant_gap,
+                static_cast<unsigned long long>(r.granted),
+                static_cast<unsigned long long>(r.requests), r.converged ? 1 : 0);
+  }
+  double gap_min = gaps[0], gap_max = gaps[0], gap_sum = 0.0;
+  for (const double g : gaps) {
+    gap_min = std::min(gap_min, g);
+    gap_max = std::max(gap_max, g);
+    gap_sum += g;
+  }
+  const double gap_mean = gap_sum / static_cast<double>(gaps.size());
+  const double bound = 4.0 * kElectionMax;
+  std::printf("unavailability min/mean/max %.3f/%.3f/%.3f vt-s (bound %.1f)\n", gap_min,
+              gap_mean, gap_max, bound);
+
+  // --- replication overhead: fault-free, 1 vs 3 replicas -----------------
+  const RunResult single = run_scenario(1, 1, /*crash_leader=*/false, 200);
+  const RunResult triple = run_scenario(3, 1, /*crash_leader=*/false, 200);
+  const double msgs_single = static_cast<double>(single.delivered) / 200.0;
+  const double msgs_triple = static_cast<double>(triple.delivered) / 200.0;
+  std::printf("overhead: %.1f -> %.1f msgs/request (%.2fx), latency %.4f -> %.4f vt-s\n",
+              msgs_single, msgs_triple, msgs_triple / msgs_single, single.mean_latency,
+              triple.mean_latency);
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "chaos_failover: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"rms_chaos_failover\",\n");
+  std::fprintf(f,
+               "  \"scenario\": {\"replicas\": 3, \"election_timeout_max_s\": %.2f, "
+               "\"heartbeat_s\": 0.10, \"crash_window_s\": 10.0, \"requests\": 80},\n",
+               kElectionMax);
+  std::fprintf(f, "  \"failover_unavailability_vt_seconds\": {\n");
+  std::fprintf(f, "    \"seeds\": [");
+  for (std::size_t i = 0; i < seeds.size(); ++i)
+    std::fprintf(f, "%llu%s", static_cast<unsigned long long>(seeds[i]),
+                 i + 1 < seeds.size() ? ", " : "");
+  std::fprintf(f, "],\n    \"per_seed\": [");
+  for (std::size_t i = 0; i < gaps.size(); ++i)
+    std::fprintf(f, "%.3f%s", gaps[i], i + 1 < gaps.size() ? ", " : "");
+  std::fprintf(f, "],\n");
+  std::fprintf(f, "    \"min\": %.3f, \"mean\": %.3f, \"max\": %.3f,\n", gap_min, gap_mean,
+               gap_max);
+  std::fprintf(f, "    \"bound\": %.1f, \"within_bound\": %s, \"all_converged\": %s\n",
+               bound, gap_max <= bound ? "true" : "false", all_converged ? "true" : "false");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"replication_overhead\": {\n");
+  std::fprintf(f,
+               "    \"msgs_per_request_1_replica\": %.2f,\n"
+               "    \"msgs_per_request_3_replicas\": %.2f,\n"
+               "    \"message_amplification\": %.2f,\n",
+               msgs_single, msgs_triple, msgs_triple / msgs_single);
+  std::fprintf(f,
+               "    \"mean_grant_latency_vt_s_1_replica\": %.4f,\n"
+               "    \"mean_grant_latency_vt_s_3_replicas\": %.4f\n  }\n}\n",
+               single.mean_latency, triple.mean_latency);
+  std::fclose(f);
+  std::printf("chaos_failover: wrote %s\n", out_path.c_str());
+  return gap_max <= bound && all_converged ? 0 : 1;
+}

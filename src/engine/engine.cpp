@@ -95,7 +95,15 @@ EnforcementEngine::EnforcementEngine(agree::AgreementSystem sys, EngineOptions o
     shard->worker = std::thread([this, s = shard.get()] { worker_loop(*s); });
 }
 
-EnforcementEngine::~EnforcementEngine() {
+EnforcementEngine::~EnforcementEngine() { shutdown(); }
+
+void EnforcementEngine::shutdown() {
+  // Order matters: the flag goes up first, then the queues close. A worker
+  // that drains after this sees stopping_ and fails its consults fast; a
+  // submit() racing the close either enqueues (and is failed fast by the
+  // worker) or loses to the closed queue (and gets a ready Unavailable
+  // future from submit_unchecked). Either way the future resolves.
+  stopping_.store(true, std::memory_order_release);
   for (auto& shard : shards_) shard->queue.close();
   for (auto& shard : shards_)
     if (shard->worker.joinable()) shard->worker.join();
@@ -134,6 +142,14 @@ void EnforcementEngine::worker_loop(Shard& shard) {
 void EnforcementEngine::process(Shard& shard, Op& op) {
   switch (op.kind) {
     case Op::Kind::Consult: {
+      if (stopping_.load(std::memory_order_acquire)) {
+        // Fail-fast on shutdown: the blocked caller gets a Status instead
+        // of waiting for an LP solve nobody can act on anymore. Mutations
+        // and queries below still complete -- their callers hold acks that
+        // must carry real state.
+        op.result.set_value(EngineResult{Status::unavailable("engine is shut down"), {}});
+        return;
+      }
       shard.consults.fetch_add(1, std::memory_order_relaxed);
       obs_consults_->inc();
       EngineResult res;

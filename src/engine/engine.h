@@ -30,6 +30,7 @@
 // direct allocator interchangeably.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -93,6 +94,15 @@ class EnforcementEngine : public alloc::AllocatorBase {
  public:
   EnforcementEngine(agree::AgreementSystem sys, EngineOptions opts = {});
   ~EnforcementEngine() override;
+
+  /// Stop the engine: reject new submissions, resolve every queued-but-
+  /// unprocessed consult with Status::unavailable (fail-fast -- no LP is
+  /// solved for a caller that can no longer use the answer), finish queued
+  /// mutations/queries (their callers block in mutate()/drain() and must
+  /// see real acks), and join the workers. Idempotent; the destructor calls
+  /// it. After shutdown() returns, every future ever handed out by submit()
+  /// is ready -- none is ever abandoned to std::future_error.
+  void shutdown();
 
   EnforcementEngine(const EnforcementEngine&) = delete;
   EnforcementEngine& operator=(const EnforcementEngine&) = delete;
@@ -191,6 +201,9 @@ class EnforcementEngine : public alloc::AllocatorBase {
   /// points (submit/consult argument checks, globalize) must not size
   /// sys_.capacity, whose buffer mutations rewrite under mutate_mu_.
   std::size_t n_ = 0;
+  /// Set by shutdown() before the queues close: workers fail-fast any
+  /// consult still queued instead of solving it.
+  mutable std::atomic<bool> stopping_{false};
   EngineOptions opts_;
   Partition part_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -49,6 +49,11 @@ enum class EventKind : std::uint32_t {
   ClientDeadline,        ///< actor=client endpoint, a=attempts made
   // engine shard workers (time = per-shard op ordinal)
   EngineBatch,           ///< actor=shard, a=batch size; only when size > 1
+  // replicated GRM (time = bus virtual time)
+  LeaderElected,         ///< actor=replica, a=term
+  LogTruncate,           ///< actor=replica, a=first index kept/dropped, b=entries dropped
+  ReplicaSnapshot,       ///< actor=replica, peer=leader, a=snapshot last index
+  ClientRedirect,        ///< actor=client endpoint, peer=new target, a=attempt
 };
 
 inline const char* to_string(EventKind k) {
@@ -71,6 +76,10 @@ inline const char* to_string(EventKind k) {
     case EventKind::GrmResync: return "grm_resync";
     case EventKind::ClientDeadline: return "client_deadline";
     case EventKind::EngineBatch: return "engine_batch";
+    case EventKind::LeaderElected: return "leader_elected";
+    case EventKind::LogTruncate: return "log_truncate";
+    case EventKind::ReplicaSnapshot: return "replica_snapshot";
+    case EventKind::ClientRedirect: return "client_redirect";
   }
   return "unknown";
 }

@@ -5,6 +5,13 @@
 // GRM's decision (duplicates from retries are suppressed) or, once the
 // request's deadline passes, a synthesized denial with a reason -- a
 // request never hangs.
+//
+// Against a replicated GRM (replica/group.h) the client takes the full
+// list of replica endpoints and discovers the leader on the fly: a
+// NotLeader redirect re-targets it (resending immediately when the
+// follower names the leader), and a retry that got no response at all
+// fails over to the next replica round-robin -- so a leader crash costs
+// the client one backoff interval plus an election, not its deadline.
 #pragma once
 
 #include <limits>
@@ -14,6 +21,7 @@
 #include "obs/sink.h"
 #include "rms/bus.h"
 #include "rms/messages.h"
+#include "util/rng.h"
 
 namespace agora::rms {
 
@@ -22,12 +30,19 @@ struct ClientOptions {
   int max_attempts = 1;
   double retry_backoff = 0.5;   ///< initial spacing between attempts (doubles)
   double backoff_cap = 4.0;     ///< backoff ceiling
+  /// Seeded jitter fraction on the retry backoff (0 = seed behavior): each
+  /// wait becomes backoff * (1 + jitter * U[0,1)). Decorrelates the retry
+  /// storms a fleet of clients would otherwise synchronize on after a
+  /// partition heals -- every client retries on the same exponential
+  /// schedule unless something breaks the symmetry.
+  double retry_jitter = 0.0;
+  std::uint64_t retry_jitter_seed = 1;
   /// Seconds after submission at which an unanswered request is resolved
   /// locally as denied ("deadline exceeded"). Infinity = wait forever.
   double deadline = std::numeric_limits<double>::infinity();
   double send_latency = 0.0;    ///< client -> GRM network delay
-  /// Telemetry (retry/deadline counters, GrmRetry/ClientDeadline events
-  /// stamped with bus virtual time).
+  /// Telemetry (retry/deadline counters, GrmRetry/ClientDeadline/
+  /// ClientRedirect events stamped with bus virtual time).
   obs::Sink sink = obs::Sink::global();
 };
 
@@ -42,8 +57,14 @@ class RequestClient {
   };
 
   RequestClient(MessageBus& bus, EndpointId grm, ClientOptions opts = {});
+  /// Replicated-service client: `targets` are the GRM replica endpoints
+  /// (replica::ReplicatedGrm::endpoints()). Requests go to the believed
+  /// leader; NotLeader redirects and no-response failover walk the list.
+  RequestClient(MessageBus& bus, std::vector<EndpointId> targets, ClientOptions opts = {});
 
   EndpointId endpoint() const { return endpoint_; }
+  /// The endpoint requests are currently sent to (the believed leader).
+  EndpointId target() const { return targets_[target_]; }
 
   /// Submit a request (request_id must be unused). Returns the id.
   std::uint64_t submit(AllocationRequest req);
@@ -59,6 +80,8 @@ class RequestClient {
   std::uint64_t retries() const { return retries_; }
   std::uint64_t deadline_denials() const { return deadline_denials_; }
   std::uint64_t duplicate_replies() const { return duplicate_replies_; }
+  std::uint64_t redirects() const { return redirects_; }
+  std::uint64_t failovers() const { return failovers_; }
 
  private:
   struct Pending {
@@ -67,17 +90,29 @@ class RequestClient {
     double deadline_at = 0.0;
     int attempts = 0;
     double backoff = 0.0;
+    /// Index into targets_ of the last send (failover detection).
+    std::size_t sent_to = 0;
+    /// Did any response (reply or redirect) arrive since the last send?
+    bool responded = false;
+    /// Redirect-driven immediate resends this attempt (bounded so stale
+    /// cross-pointing leader hints cannot ping-pong forever).
+    int redirect_sends = 0;
   };
 
   void handle(const Envelope& env);
   void on_timer(std::uint64_t token);
+  void on_not_leader(const NotLeader& nl);
+  void send(Pending& p);
   void schedule_wakeup(std::uint64_t request_id, double delay);
+  double jittered(double delay);
   void finalize(std::uint64_t request_id, AllocationReply reply);
 
   MessageBus& bus_;
   EndpointId endpoint_;
-  EndpointId grm_;
+  std::vector<EndpointId> targets_;  ///< candidate GRM endpoints
+  std::size_t target_ = 0;           ///< current (believed-leader) index
   ClientOptions opts_;
+  Pcg32 rng_;
   std::unordered_map<std::uint64_t, Pending> pending_;   ///< by request_id
   std::unordered_map<std::uint64_t, std::uint64_t> timer_targets_;  ///< token -> id
   std::unordered_map<std::uint64_t, std::size_t> done_;  ///< id -> order_ index
@@ -86,10 +121,14 @@ class RequestClient {
   std::uint64_t retries_ = 0;
   std::uint64_t deadline_denials_ = 0;
   std::uint64_t duplicate_replies_ = 0;
+  std::uint64_t redirects_ = 0;
+  std::uint64_t failovers_ = 0;
   /// Cached registry handles (see obs/metrics.h).
   obs::Counter* obs_retries_ = nullptr;
   obs::Counter* obs_deadline_denials_ = nullptr;
   obs::Counter* obs_duplicate_replies_ = nullptr;
+  obs::Counter* obs_redirects_ = nullptr;
+  obs::Counter* obs_failovers_ = nullptr;
   obs::LogHistogram* obs_latency_ = nullptr;
 };
 

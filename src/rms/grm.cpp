@@ -1,110 +1,64 @@
 #include "rms/grm.h"
 
-#include <algorithm>
-#include <cmath>
-
-#include "engine/engine.h"
-
 namespace agora::rms {
 
-std::unique_ptr<alloc::AllocatorBase> Grm::make_allocator(agree::AgreementSystem sys) const {
-  if (grm_opts_.engine_threads >= 1) {
-    engine::EngineOptions eng;
-    eng.threads = grm_opts_.engine_threads;
-    eng.alloc = opts_;
-    eng.sink = opts_.sink;
-    return std::make_unique<engine::EnforcementEngine>(std::move(sys), std::move(eng));
-  }
-  return std::make_unique<alloc::Allocator>(std::move(sys), opts_);
+namespace {
+
+StateMachineOptions sm_options(const GrmOptions& g) {
+  StateMachineOptions o;
+  o.staleness_ttl = g.staleness_ttl;
+  o.decided_cache_capacity = g.decided_cache_capacity;
+  o.engine_threads = g.engine_threads;
+  o.sink = g.sink;
+  return o;
 }
+
+ReserveEmitterOptions emitter_options(const GrmOptions& g, double send_latency) {
+  ReserveEmitterOptions o;
+  o.attempts = g.reserve_attempts;
+  o.backoff = g.reserve_backoff;
+  o.backoff_cap = g.reserve_backoff_cap;
+  o.jitter = g.reserve_jitter;
+  o.jitter_seed = g.reserve_jitter_seed;
+  o.send_latency = send_latency;
+  o.sink = g.sink;
+  return o;
+}
+
+}  // namespace
 
 Grm::Grm(MessageBus& bus, std::vector<agree::AgreementSystem> systems,
          alloc::AllocatorOptions opts, double decision_latency, GrmOptions grm_opts)
-    : bus_(bus), decision_latency_(decision_latency), opts_(opts), grm_opts_(grm_opts) {
-  AGORA_REQUIRE(!systems.empty(), "GRM needs at least one resource system");
-  AGORA_REQUIRE(grm_opts_.staleness_ttl > 0.0, "staleness TTL must be positive");
-  AGORA_REQUIRE(grm_opts_.reserve_attempts >= 1, "need at least one reserve attempt");
-  AGORA_REQUIRE(grm_opts_.reserve_backoff > 0.0 && grm_opts_.reserve_backoff_cap > 0.0,
-                "reserve backoff must be positive");
-  const std::size_t n = systems[0].size();
-  for (const auto& s : systems)
-    AGORA_REQUIRE(s.size() == n, "all resource systems must cover the same sites");
-  obs_decisions_ = &grm_opts_.sink.counter("rms.grm.decisions");
-  obs_grants_ = &grm_opts_.sink.counter("rms.grm.grants");
+    : bus_(bus),
+      decision_latency_(decision_latency),
+      grm_opts_(grm_opts),
+      sm_(std::move(systems), opts, sm_options(grm_opts)),
+      emitter_(bus, emitter_options(grm_opts, decision_latency)) {
   obs_forwards_ = &grm_opts_.sink.counter("rms.grm.forwards");
-  obs_stale_masked_ = &grm_opts_.sink.counter("rms.grm.stale_masked");
-  obs_duplicate_requests_ = &grm_opts_.sink.counter("rms.grm.duplicate_requests");
-  obs_reserve_retries_ = &grm_opts_.sink.counter("rms.grm.reserve_retries");
-  obs_reserve_failures_ = &grm_opts_.sink.counter("rms.grm.reserve_failures");
-  obs_resyncs_ = &grm_opts_.sink.counter("rms.grm.resyncs");
-  allocators_.reserve(systems.size());
-  for (auto& s : systems) {
-    known_.emplace_back(s.capacity);  // seed with declared capacities
-    allocators_.push_back(make_allocator(std::move(s)));
-  }
-  lrm_endpoints_.assign(n, 0);
-  lrm_known_.assign(n, false);
-  reported_.assign(n, false);
-  report_time_.assign(n, 0.0);
-  report_seq_.assign(n, 0);
+  lrm_endpoints_.assign(sm_.num_sites(), 0);
   endpoint_ = bus_.add_endpoint([this](const Envelope& env) { handle(env); });
+  sm_.set_actor(static_cast<std::uint32_t>(endpoint_));
+  emitter_.bind(endpoint_, &lrm_endpoints_);
 }
 
 void Grm::register_lrm(std::size_t site, EndpointId lrm) {
-  AGORA_REQUIRE(site < lrm_endpoints_.size(), "unknown site");
+  sm_.register_site(site);  // validates the index
   lrm_endpoints_[site] = lrm;
-  lrm_known_[site] = true;
 }
 
 void Grm::set_scope(std::vector<std::size_t> sites, EndpointId parent) {
-  scope_.assign(lrm_endpoints_.size(), false);
-  for (std::size_t s : sites) {
-    AGORA_REQUIRE(s < scope_.size(), "scope site out of range");
-    scope_[s] = true;
-  }
+  sm_.set_scope(sites);
   parent_ = parent;
 }
 
-bool Grm::in_scope(std::size_t site) const { return scope_.empty() || scope_.at(site); }
-
 void Grm::update_agreement(std::size_t resource, std::size_t from, std::size_t to,
                            double share) {
-  AGORA_REQUIRE(resource < allocators_.size(), "unknown resource");
-  // Rebuild the allocator with the updated matrix (agreement changes are
-  // rare control-plane events; the closure recomputation is acceptable).
-  agree::AgreementSystem sys = allocators_[resource]->system();
-  AGORA_REQUIRE(from < sys.size() && to < sys.size() && from != to, "bad agreement endpoints");
-  AGORA_REQUIRE(share >= 0.0, "share must be non-negative");
-  sys.relative(from, to) = share;
-  allocators_[resource] = make_allocator(std::move(sys));
-}
-
-double Grm::known_available(std::size_t site, std::size_t resource) const {
-  AGORA_REQUIRE(resource < known_.size() && site < known_[resource].size(),
-                "unknown site/resource");
-  if (!lrm_known_[site] || !reported_[site]) {
-    ++unknown_queries_;
-    return 0.0;
-  }
-  return known_[resource][site];
+  sm_.apply_update(resource, from, to, share);
 }
 
 void Grm::handle(const Envelope& env) {
   if (const auto* rep = std::get_if<AvailabilityReport>(&env.payload)) {
-    AGORA_REQUIRE(rep->available.size() == allocators_.size(),
-                  "availability report resource count mismatch");
-    AGORA_REQUIRE(rep->lrm < lrm_endpoints_.size(), "availability report from unknown site");
-    // Sequenced reports deduplicate and reject reordered stale data; an
-    // unsequenced report (seq 0, e.g. hand-posted in tests) always lands.
-    if (rep->report_seq != 0 && rep->report_seq <= report_seq_[rep->lrm]) {
-      ++stale_reports_;
-      return;
-    }
-    report_seq_[rep->lrm] = rep->report_seq;
-    reported_[rep->lrm] = true;
-    report_time_[rep->lrm] = bus_.now();
-    for (std::size_t r = 0; r < allocators_.size(); ++r)
-      known_[r][rep->lrm] = rep->available[r];
+    sm_.apply_report(*rep, bus_.now());
     return;
   }
   if (const auto* req = std::get_if<AllocationRequest>(&env.payload)) {
@@ -116,37 +70,22 @@ void Grm::handle(const Envelope& env) {
     // it so a retried request is answered from here on).
     const auto it = forwarded_.find(reply->request_id);
     if (it != forwarded_.end()) {
-      decided_[reply->request_id] = *reply;
+      sm_.record(reply->request_id, *reply);
       bus_.post(endpoint_, it->second, *reply, decision_latency_);
       forwarded_.erase(it);
     }
     return;
   }
   if (const auto* ack = std::get_if<Ack>(&env.payload)) {
-    const auto it = reserve_tokens_.find({ack->request_id, ack->site});
-    if (it != reserve_tokens_.end()) {
-      pending_reserves_.erase(it->second);
-      reserve_tokens_.erase(it);
-    }
+    emitter_.on_ack(ack->request_id, ack->site);
     return;
   }
   if (const auto* rs = std::get_if<LrmResync>(&env.payload)) {
-    AGORA_REQUIRE(rs->available.size() == allocators_.size(),
-                  "resync resource count mismatch");
-    AGORA_REQUIRE(rs->lrm < lrm_endpoints_.size(), "resync from unknown site");
-    ++resyncs_;
-    obs_resyncs_->inc();
-    grm_opts_.sink.event(bus_.now(), obs::EventKind::GrmResync,
-                         static_cast<std::uint32_t>(endpoint_),
-                         static_cast<std::uint32_t>(rs->lrm));
-    reported_[rs->lrm] = true;
-    report_time_[rs->lrm] = bus_.now();
-    for (std::size_t r = 0; r < allocators_.size(); ++r)
-      known_[r][rs->lrm] = rs->available[r];
+    sm_.apply_resync(*rs, bus_.now());
     return;
   }
   if (const auto* timer = std::get_if<Timer>(&env.payload)) {
-    on_timer(timer->token);
+    emitter_.on_timer(timer->token);
     return;
   }
   if (const auto* upd = std::get_if<AgreementUpdate>(&env.payload)) {
@@ -154,152 +93,35 @@ void Grm::handle(const Envelope& env) {
     return;
   }
   // ReleaseNotice sent to a GRM is informational; availability arrives via
-  // the LRM's follow-up report.
+  // the LRM's follow-up report. Replication traffic is not for a plain Grm.
 }
 
 void Grm::decide(const AllocationRequest& req, EndpointId reply_to) {
-  // Idempotency: a retried request that was already decided gets the same
-  // reply again; one still in flight at the parent is simply ignored.
-  if (const auto done = decided_.find(req.request_id); done != decided_.end()) {
-    ++duplicate_requests_;
-    obs_duplicate_requests_->inc();
-    bus_.post(endpoint_, reply_to, done->second, decision_latency_);
-    return;
-  }
+  // Idempotency: a retried request that is still in flight at the parent is
+  // simply ignored (its eventual reply is relayed and cached); one already
+  // decided is answered from the cache inside the state machine.
   if (forwarded_.count(req.request_id) != 0) {
-    ++duplicate_requests_;
-    obs_duplicate_requests_->inc();
+    sm_.note_duplicate();
     return;
   }
-
-  ++decisions_;
-  obs_decisions_->inc();
-  AGORA_REQUIRE(req.amounts.size() == allocators_.size(),
-                "request must name an amount per resource");
-  AGORA_REQUIRE(req.principal < lrm_endpoints_.size(), "unknown principal");
-
-  // Refresh allocators with the latest availability, masking out-of-scope
-  // sites (a child GRM cannot spend capacity it does not manage) and --
-  // graceful degradation -- sites whose availability we cannot trust:
-  // never registered, or (under a finite staleness TTL) never reported or
-  // last reported too long ago. Such sites contribute zero capacity, which
-  // shrinks the LP's capacity bounds instead of allocating phantom
-  // resources or tripping invariants downstream.
-  const double now = bus_.now();
-  const bool ttl_active = std::isfinite(grm_opts_.staleness_ttl);
-  std::vector<bool> masked(lrm_endpoints_.size(), false);
-  for (std::size_t s = 0; s < lrm_endpoints_.size(); ++s) {
-    if (!lrm_known_[s]) masked[s] = true;
-    else if (ttl_active &&
-             (!reported_[s] || now - report_time_[s] > grm_opts_.staleness_ttl))
-      masked[s] = true;
-    if (masked[s]) {
-      ++stale_masked_;
-      obs_stale_masked_->inc();
-    }
-  }
-  std::vector<std::vector<double>> caps(allocators_.size());
-  for (std::size_t r = 0; r < allocators_.size(); ++r) {
-    caps[r] = known_[r];
-    for (std::size_t s = 0; s < caps[r].size(); ++s)
-      if (masked[s] || (!scope_.empty() && !scope_[s])) caps[r][s] = 0.0;
-    allocators_[r]->set_capacities(std::span<const double>(caps[r]));
-  }
-
-  // Solve the per-resource LPs.
-  std::vector<alloc::AllocationPlan> plans(allocators_.size());
-  bool ok = true;
-  for (std::size_t r = 0; r < allocators_.size(); ++r) {
-    plans[r] = allocators_[r]->allocate(req.principal, req.amounts[r]);
-    ok = ok && plans[r].satisfied();
-  }
-
-  if (!ok) {
-    if (parent_) {
+  GrmStateMachine::Decision d =
+      sm_.decide(req, bus_.now(), /*record_denial=*/!parent_.has_value());
+  switch (d.kind) {
+    case GrmStateMachine::Decision::Kind::Unsatisfied:
       // Escalate: the parent sees the full system.
       ++forwards_;
       obs_forwards_->inc();
       forwarded_[req.request_id] = reply_to;
       bus_.post(endpoint_, *parent_, req, decision_latency_);
       return;
-    }
-    AllocationReply reply;
-    reply.request_id = req.request_id;
-    reply.granted = false;
-    reply.reason = "insufficient capacity under agreements";
-    finish(req, reply_to, std::move(reply));
-    return;
+    case GrmStateMachine::Decision::Kind::Granted:
+      for (auto& [site, cmd] : d.reserves) emitter_.send(req.request_id, site, std::move(cmd));
+      break;
+    case GrmStateMachine::Decision::Kind::Duplicate:
+    case GrmStateMachine::Decision::Kind::Denied:
+      break;
   }
-
-  // Commit: instruct every contributing LRM and update our book-keeping.
-  ++grants_;
-  obs_grants_->inc();
-  const std::size_t n = lrm_endpoints_.size();
-  for (std::size_t s = 0; s < n; ++s) {
-    std::vector<double> amounts(allocators_.size(), 0.0);
-    double total = 0.0;
-    for (std::size_t r = 0; r < allocators_.size(); ++r) {
-      amounts[r] = plans[r].draw[s];
-      total += amounts[r];
-    }
-    if (total <= 1e-12) continue;
-    AGORA_REQUIRE(lrm_known_[s], "allocation draws on an unregistered LRM");
-    ReserveCommand cmd;
-    cmd.request_id = req.request_id;
-    cmd.amounts = amounts;
-    cmd.duration = req.duration;
-    send_reserve(req.request_id, s, std::move(cmd));
-    for (std::size_t r = 0; r < allocators_.size(); ++r) known_[r][s] -= amounts[r];
-  }
-
-  AllocationReply reply;
-  reply.request_id = req.request_id;
-  reply.granted = true;
-  reply.draws.resize(allocators_.size());
-  for (std::size_t r = 0; r < allocators_.size(); ++r) reply.draws[r] = plans[r].draw;
-  finish(req, reply_to, std::move(reply));
-}
-
-void Grm::finish(const AllocationRequest& req, EndpointId reply_to, AllocationReply reply) {
-  decided_[req.request_id] = reply;
-  bus_.post(endpoint_, reply_to, std::move(reply), decision_latency_);
-}
-
-void Grm::send_reserve(std::uint64_t request_id, std::size_t site, ReserveCommand cmd) {
-  if (grm_opts_.reserve_attempts > 1) {
-    cmd.want_ack = true;
-    const std::uint64_t token = next_token_++;
-    pending_reserves_[token] =
-        PendingReserve{cmd, site, /*attempts=*/1, grm_opts_.reserve_backoff};
-    reserve_tokens_[{request_id, site}] = token;
-    bus_.post(endpoint_, endpoint_, Timer{token}, grm_opts_.reserve_backoff);
-  }
-  bus_.post(endpoint_, lrm_endpoints_[site], std::move(cmd), decision_latency_);
-}
-
-void Grm::on_timer(std::uint64_t token) {
-  const auto it = pending_reserves_.find(token);
-  if (it == pending_reserves_.end()) return;  // acked in the meantime
-  PendingReserve& pr = it->second;
-  if (pr.attempts >= grm_opts_.reserve_attempts) {
-    // Give up: the LRM is unreachable. The availability decrement stands
-    // until the site's next report/resync reconciles it; count the loss.
-    ++reserve_failures_;
-    obs_reserve_failures_->inc();
-    reserve_tokens_.erase({pr.cmd.request_id, pr.site});
-    pending_reserves_.erase(it);
-    return;
-  }
-  ++pr.attempts;
-  ++reserve_retries_;
-  obs_reserve_retries_->inc();
-  grm_opts_.sink.event(bus_.now(), obs::EventKind::GrmReserveRetry,
-                       static_cast<std::uint32_t>(endpoint_),
-                       static_cast<std::uint32_t>(pr.site),
-                       static_cast<double>(pr.attempts));
-  pr.backoff = std::min(pr.backoff * 2.0, grm_opts_.reserve_backoff_cap);
-  bus_.post(endpoint_, lrm_endpoints_[pr.site], pr.cmd, decision_latency_);
-  bus_.post(endpoint_, endpoint_, Timer{token}, pr.backoff);
+  bus_.post(endpoint_, reply_to, std::move(d.reply), decision_latency_);
 }
 
 }  // namespace agora::rms

@@ -21,10 +21,14 @@
 // resources), and reserve commands can be retried with exponential
 // backoff until acknowledged. All of it is off by default: a
 // default-constructed GrmOptions reproduces the seed message trace.
+//
+// The decision core itself lives in replica/state_machine.h; this class is
+// the single-instance bus wrapper around it. For a GRM that survives its
+// own death, run N replicas of the same state machine under the quorum log
+// in replica/raft.h + replica/group.h (GrmOptions::replication).
 #pragma once
 
 #include <limits>
-#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -33,8 +37,32 @@
 #include "alloc/allocator.h"
 #include "rms/bus.h"
 #include "rms/messages.h"
+#include "rms/replica/state_machine.h"
+#include "rms/reserve_emitter.h"
 
 namespace agora::rms {
+
+/// Quorum-log replication settings (used by replica::ReplicatedGrm; a plain
+/// Grm ignores them). All times are bus virtual seconds.
+struct ReplicationOptions {
+  /// Number of GRM replicas. 1 keeps a single (unreplicated) instance.
+  std::size_t replicas = 1;
+  /// Election timeout drawn uniformly from [min, max) per replica per term
+  /// (randomized-but-seeded, so elections rarely split and runs replay).
+  double election_timeout_min = 1.0;
+  double election_timeout_max = 2.0;
+  /// Leader heartbeat (empty AppendEntries) interval; must be well under
+  /// the election timeout.
+  double heartbeat_interval = 0.25;
+  /// Replica <-> replica message latency.
+  double latency = 0.01;
+  /// Seed for the per-replica election-timeout streams.
+  std::uint64_t seed = 1;
+  /// Applied entries retained before the log is compacted into a snapshot
+  /// (restarted/lagging replicas past the compaction point catch up via
+  /// InstallSnapshot).
+  std::size_t snapshot_threshold = 256;
+};
 
 struct GrmOptions {
   /// Availability reports older than this many bus-seconds are treated as
@@ -49,6 +77,15 @@ struct GrmOptions {
   int reserve_attempts = 1;
   double reserve_backoff = 0.25;     ///< initial retry spacing (doubles)
   double reserve_backoff_cap = 2.0;  ///< backoff ceiling
+  /// Seeded jitter fraction on reserve retry backoff (0 = seed behavior):
+  /// each wait becomes backoff * (1 + jitter * U[0,1)), decorrelating the
+  /// retry storms that otherwise follow a partition heal.
+  double reserve_jitter = 0.0;
+  std::uint64_t reserve_jitter_seed = 1;
+  /// Bound on the idempotent decided-reply cache (0 = unbounded). Evicted
+  /// in decision order (FIFO -- deterministic across replicas) and counted
+  /// as rms.grm.decided_evictions.
+  std::size_t decided_cache_capacity = 65536;
   /// Telemetry (decision counters, GrmReserveRetry/GrmResync events
   /// stamped with bus virtual time). Also forwarded into the allocators'
   /// AllocatorOptions unless those carry their own non-global sink.
@@ -58,6 +95,8 @@ struct GrmOptions {
   /// sharded engine::EnforcementEngine running this many worker threads.
   /// threads=1 is decision-identical to the direct path.
   std::size_t engine_threads = 0;
+  /// Replication (replica::ReplicatedGrm only; ignored by a plain Grm).
+  ReplicationOptions replication;
 };
 
 class Grm {
@@ -69,7 +108,7 @@ class Grm {
       GrmOptions grm_opts = {});
 
   EndpointId endpoint() const { return endpoint_; }
-  std::size_t num_resources() const { return allocators_.size(); }
+  std::size_t num_resources() const { return sm_.num_resources(); }
   std::size_t num_sites() const { return lrm_endpoints_.size(); }
 
   /// Wire up an LRM to a principal index.
@@ -87,86 +126,44 @@ class Grm {
   /// counts the query) for a site that is unregistered or has never sent
   /// an AvailabilityReport, instead of exposing the seeded declared
   /// capacity as if it had been observed.
-  double known_available(std::size_t site, std::size_t resource) const;
+  double known_available(std::size_t site, std::size_t resource) const {
+    return sm_.known_available(site, resource);
+  }
 
   /// Statistics.
-  std::uint64_t decisions() const { return decisions_; }
-  std::uint64_t grants() const { return grants_; }
+  std::uint64_t decisions() const { return sm_.decisions(); }
+  std::uint64_t grants() const { return sm_.grants(); }
   std::uint64_t forwards() const { return forwards_; }
   /// Degradation/robustness statistics.
-  std::uint64_t unknown_queries() const { return unknown_queries_; }
-  std::uint64_t stale_masked() const { return stale_masked_; }
-  std::uint64_t duplicate_requests() const { return duplicate_requests_; }
-  std::uint64_t stale_reports() const { return stale_reports_; }
-  std::uint64_t reserve_retries() const { return reserve_retries_; }
-  std::uint64_t reserve_failures() const { return reserve_failures_; }
-  std::uint64_t resyncs() const { return resyncs_; }
+  std::uint64_t unknown_queries() const { return sm_.unknown_queries(); }
+  std::uint64_t stale_masked() const { return sm_.stale_masked(); }
+  std::uint64_t duplicate_requests() const { return sm_.duplicate_requests(); }
+  std::uint64_t stale_reports() const { return sm_.stale_reports(); }
+  std::uint64_t reserve_retries() const { return emitter_.retries(); }
+  std::uint64_t reserve_failures() const { return emitter_.failures(); }
+  std::uint64_t resyncs() const { return sm_.resyncs(); }
+  std::uint64_t decided_evictions() const { return sm_.decided_evictions(); }
+  std::size_t decided_cached() const { return sm_.decided_size(); }
+
+  /// The decision core (e.g. for digest comparisons in tests).
+  const GrmStateMachine& machine() const { return sm_; }
 
  private:
   void handle(const Envelope& env);
   void decide(const AllocationRequest& req, EndpointId reply_to);
-  void finish(const AllocationRequest& req, EndpointId reply_to, AllocationReply reply);
-  void send_reserve(std::uint64_t request_id, std::size_t site, ReserveCommand cmd);
-  void on_timer(std::uint64_t token);
-  bool in_scope(std::size_t site) const;
-  /// Build one resource's decision backend: a direct Allocator, or an
-  /// EnforcementEngine fronting it when grm_opts_.engine_threads >= 1.
-  std::unique_ptr<alloc::AllocatorBase> make_allocator(agree::AgreementSystem sys) const;
 
   MessageBus& bus_;
   EndpointId endpoint_;
   double decision_latency_;
-  alloc::AllocatorOptions opts_;
   GrmOptions grm_opts_;
-  /// One decision backend per resource, behind the unified interface
-  /// (engine-fronted when GrmOptions::engine_threads >= 1).
-  std::vector<std::unique_ptr<alloc::AllocatorBase>> allocators_;
-  std::vector<std::vector<double>> known_;  ///< [resource][site]
+  GrmStateMachine sm_;
+  ReserveEmitter emitter_;
   std::vector<EndpointId> lrm_endpoints_;
-  std::vector<bool> lrm_known_;
-  /// Report bookkeeping: has the site ever reported, when, and with what
-  /// sequence number (duplicate/reorder suppression).
-  std::vector<bool> reported_;
-  std::vector<double> report_time_;
-  std::vector<std::uint64_t> report_seq_;
-  /// Hierarchy.
-  std::vector<bool> scope_;  ///< empty = all sites
   std::optional<EndpointId> parent_;
   /// Requests forwarded to the parent: remember who to reply to.
   std::unordered_map<std::uint64_t, EndpointId> forwarded_;
-  /// Idempotency: every decided request keeps its final reply so retried
-  /// requests re-send it instead of re-deciding (prevents double grants).
-  std::unordered_map<std::uint64_t, AllocationReply> decided_;
-  /// Un-acked reserve commands awaiting retry (only when reserve_attempts
-  /// > 1): timer token -> command, plus a (request, site) -> token index.
-  struct PendingReserve {
-    ReserveCommand cmd;
-    std::size_t site = 0;
-    int attempts = 0;
-    double backoff = 0.0;
-  };
-  std::unordered_map<std::uint64_t, PendingReserve> pending_reserves_;
-  std::map<std::pair<std::uint64_t, std::size_t>, std::uint64_t> reserve_tokens_;
-  std::uint64_t next_token_ = 1;
-  std::uint64_t decisions_ = 0;
-  std::uint64_t grants_ = 0;
   std::uint64_t forwards_ = 0;
-  mutable std::uint64_t unknown_queries_ = 0;
-  std::uint64_t stale_masked_ = 0;
-  std::uint64_t duplicate_requests_ = 0;
-  std::uint64_t stale_reports_ = 0;
-  std::uint64_t reserve_retries_ = 0;
-  std::uint64_t reserve_failures_ = 0;
-  std::uint64_t resyncs_ = 0;
-  /// Cached registry handles (see obs/metrics.h).
-  obs::Counter* obs_decisions_ = nullptr;
-  obs::Counter* obs_grants_ = nullptr;
   obs::Counter* obs_forwards_ = nullptr;
-  obs::Counter* obs_stale_masked_ = nullptr;
-  obs::Counter* obs_duplicate_requests_ = nullptr;
-  obs::Counter* obs_reserve_retries_ = nullptr;
-  obs::Counter* obs_reserve_failures_ = nullptr;
-  obs::Counter* obs_resyncs_ = nullptr;
 };
 
 }  // namespace agora::rms

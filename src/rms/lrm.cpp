@@ -67,14 +67,21 @@ void Lrm::resync() {
   bus_.post(endpoint_, grm_, std::move(rs), report_latency_);
 }
 
-void Lrm::reserve(const ReserveCommand& cmd) {
+void Lrm::reserve(const ReserveCommand& cmd, EndpointId ack_to) {
   AGORA_REQUIRE(cmd.amounts.size() == available_.size(),
                 "reserve command resource count mismatch");
+  // Follow the coordinator: whoever sends reserve commands is (or fronts)
+  // the live GRM, so future reports go there. With a replicated GRM this
+  // re-targets reports off a crashed ingress replica onto the current
+  // leader -- otherwise every availability change during the ingress's
+  // crash window would vanish and the site's capacity would stay invisible
+  // until the restart resync. Unreplicated, ack_to == grm_ already.
+  if (attached_) grm_ = ack_to;
   // Idempotency: a retried command for a live or already-released
   // reservation is acknowledged but never applied twice.
   if (reservations_.count(cmd.request_id) != 0 || released_.count(cmd.request_id) != 0) {
     ++duplicate_commands_;
-    if (cmd.want_ack) bus_.post(endpoint_, grm_, Ack{cmd.request_id, site_}, report_latency_);
+    if (cmd.want_ack) bus_.post(endpoint_, ack_to, Ack{cmd.request_id, site_}, report_latency_);
     return;
   }
   // Fulfil the GRM's decision. A decision based on a stale report can
@@ -91,7 +98,7 @@ void Lrm::reserve(const ReserveCommand& cmd) {
     bus_.post(endpoint_, endpoint_, ReleaseNotice{cmd.request_id}, cmd.duration);
   }
   reservations_[cmd.request_id] = std::move(hold);
-  if (cmd.want_ack) bus_.post(endpoint_, grm_, Ack{cmd.request_id, site_}, report_latency_);
+  if (cmd.want_ack) bus_.post(endpoint_, ack_to, Ack{cmd.request_id, site_}, report_latency_);
   report();
 }
 
@@ -159,7 +166,7 @@ void Lrm::serve_local(const AllocationRequest& req, EndpointId reply_to) {
 
 void Lrm::handle(const Envelope& env) {
   if (const auto* cmd = std::get_if<ReserveCommand>(&env.payload)) {
-    reserve(*cmd);
+    reserve(*cmd, env.from);
     return;
   }
   if (const auto* rel = std::get_if<ReleaseNotice>(&env.payload)) {

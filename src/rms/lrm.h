@@ -32,7 +32,10 @@ class Lrm {
   /// Bind to the GRM and announce the initial availability. `site_index`
   /// is this LRM's principal index in the GRM's agreement system. Also
   /// registers the crash-recovery handler: if the fault plan restarts
-  /// this endpoint, it resyncs the GRM automatically.
+  /// this endpoint, it resyncs the GRM automatically. Under replication
+  /// `grm` is the site's ingress replica (ReplicatedGrm::ingress); the LRM
+  /// subsequently follows whichever replica sends it reserve commands, so
+  /// reports survive an ingress-replica crash.
   void attach(EndpointId grm, std::size_t site_index);
 
   /// Re-announce availability and outstanding reservations to the GRM
@@ -62,7 +65,9 @@ class Lrm {
 
   void handle(const Envelope& env);
   void serve_local(const AllocationRequest& req, EndpointId reply_to);
-  void reserve(const ReserveCommand& cmd);
+  /// `ack_to` is the endpoint that issued the command: the attached GRM, or
+  /// under replication whichever replica is currently leading.
+  void reserve(const ReserveCommand& cmd, EndpointId ack_to);
   void release(std::uint64_t request_id);
   void report();
 

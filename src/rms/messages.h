@@ -10,9 +10,15 @@
 // an unreliable bus: per-LRM report sequence numbers (duplicate/reorder
 // suppression), retry attempt counters, explicit acks for reserve commands,
 // a restart resync report, and a generic self-addressed timer tick.
+//
+// The second half of the vocabulary is the replicated-GRM quorum log
+// (replica/raft.h, DESIGN.md §12): log entries carrying the commands a GRM
+// state machine applies, the Raft-style election and replication RPCs, and
+// the NotLeader redirect a follower sends a client.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <variant>
 #include <vector>
@@ -94,8 +100,94 @@ struct AgreementUpdate {
   double share = 0.0;
 };
 
+// ---------------------------------------------------------------------------
+// Replicated-GRM quorum log (replica/raft.h). Replica and site identifiers
+// are plain indices; `origin` endpoints are bus EndpointIds (std::size_t).
+// ---------------------------------------------------------------------------
+
+struct GrmSnapshot;  // replica/state_machine.h
+
+/// Leader bookkeeping entry appended on election so entries from earlier
+/// terms commit promptly (the classic no-op); applying it changes nothing.
+struct RaftNoop {};
+
+/// What a replicated GRM state machine applies. Decisions, reports, resyncs
+/// and agreement updates all flow through the log so every replica sees the
+/// same sequence; replies/acks/timers stay node-local.
+using LogCommand =
+    std::variant<RaftNoop, AvailabilityReport, AllocationRequest, AgreementUpdate, LrmResync>;
+
+struct LogEntry {
+  std::uint64_t term = 0;
+  std::uint64_t index = 0;
+  /// Leader's bus time at append. Replicas apply with this time (not their
+  /// local clock) so staleness masking is bit-identical everywhere.
+  double time = 0.0;
+  std::size_t origin = 0;  ///< endpoint to answer once the entry commits
+  LogCommand command;
+};
+
+/// Candidate -> all: ask for a vote in `term`.
+struct RequestVote {
+  std::uint64_t term = 0;
+  std::size_t candidate = 0;  ///< replica index
+  std::uint64_t last_log_index = 0;
+  std::uint64_t last_log_term = 0;
+};
+
+struct VoteReply {
+  std::uint64_t term = 0;
+  std::size_t voter = 0;
+  bool granted = false;
+};
+
+/// Leader -> follower: replicate `entries` after (prev_index, prev_term);
+/// empty entries = heartbeat. `commit` piggybacks the leader's commit index.
+struct AppendEntries {
+  std::uint64_t term = 0;
+  std::size_t leader = 0;
+  std::uint64_t prev_index = 0;
+  std::uint64_t prev_term = 0;
+  std::vector<LogEntry> entries;
+  std::uint64_t commit = 0;
+};
+
+struct AppendReply {
+  std::uint64_t term = 0;
+  std::size_t follower = 0;
+  bool success = false;
+  std::uint64_t match_index = 0;  ///< on success: highest index known replicated
+  std::uint64_t hint_index = 0;   ///< on failure: follower's suggested next index
+};
+
+/// Leader -> lagging follower whose next entry was compacted away: the full
+/// state machine at (last_index, last_term). The snapshot is shared, not
+/// copied, so fault-layer duplication of this message stays cheap.
+struct InstallSnapshot {
+  std::uint64_t term = 0;
+  std::size_t leader = 0;
+  std::uint64_t last_index = 0;
+  std::uint64_t last_term = 0;
+  std::shared_ptr<const GrmSnapshot> state;
+};
+
+struct SnapshotReply {
+  std::uint64_t term = 0;
+  std::size_t follower = 0;
+  std::uint64_t match_index = 0;
+};
+
+/// Follower/candidate -> client: resubmit to the leader (if known).
+struct NotLeader {
+  std::uint64_t request_id = 0;
+  std::uint64_t term = 0;
+  bool leader_known = false;
+  std::size_t leader = 0;  ///< bus endpoint of the believed leader
+};
+
 using Payload = std::variant<AvailabilityReport, AllocationRequest, AllocationReply,
                              ReserveCommand, ReleaseNotice, AgreementUpdate, Ack,
-                             LrmResync, Timer>;
+                             LrmResync, Timer, RequestVote, VoteReply, AppendEntries,
+                             AppendReply, InstallSnapshot, SnapshotReply, NotLeader>;
 
 }  // namespace agora::rms

@@ -1,0 +1,66 @@
+// group.h -- ReplicatedGrm: N RaftNode replicas of the GRM state machine on
+// one MessageBus, presented as a single logical service.
+//
+// Construction builds the nodes (each with its own full copy of the
+// agreement systems), wires them into an index-aligned group, and leaves
+// them stopped; call start() to arm the election timers. Clients connect
+// with RequestClient's multi-target constructor over endpoints(); LRMs
+// attach to ingress(site) -- a fixed per-site replica that forwards reports
+// to whichever node currently leads (GrmOptions::replication.replicas == 1
+// degenerates to a single node that elects itself immediately).
+//
+// The test-facing surface mirrors what the chaos suite asserts: leader()
+// (the unique live leader of the highest term), digests()/converged()
+// (bit-identical replicated state after quiesce), and aggregated RaftStats.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "rms/replica/raft.h"
+
+namespace agora::rms::replica {
+
+class ReplicatedGrm {
+ public:
+  ReplicatedGrm(MessageBus& bus, std::vector<agree::AgreementSystem> systems,
+                alloc::AllocatorOptions opts = {}, double decision_latency = 0.0,
+                GrmOptions grm_opts = {});
+
+  std::size_t size() const { return nodes_.size(); }
+  RaftNode& node(std::size_t i) { return *nodes_.at(i); }
+  const RaftNode& node(std::size_t i) const { return *nodes_.at(i); }
+
+  /// Replica endpoints in id order (the RequestClient target list).
+  std::vector<EndpointId> endpoints() const;
+  /// The replica endpoint the given site's LRM should attach to. Sites are
+  /// spread round-robin so one replica crash does not silence every report.
+  EndpointId ingress(std::size_t site) const;
+
+  /// Wire an LRM into every replica (the leader of the day sends it
+  /// reserve commands; all replicas track its availability).
+  void register_lrm(std::size_t site, EndpointId lrm);
+
+  /// Arm every replica's election timer. Until the first election resolves
+  /// the group answers every client with NotLeader.
+  void start();
+  /// Cancel timer re-arming on every replica so the bus can drain to
+  /// quiescence (heartbeats otherwise keep it busy forever).
+  void stop();
+
+  /// The unique leader of the highest term, if any node currently leads.
+  std::optional<std::size_t> leader() const;
+  /// Replicated-state digests in id order.
+  std::vector<std::uint64_t> digests() const;
+  /// True when every replica's state machine is bit-identical.
+  bool converged() const;
+
+  /// Element-wise sum of every node's RaftStats.
+  RaftStats stats() const;
+
+ private:
+  std::vector<std::unique_ptr<RaftNode>> nodes_;
+};
+
+}  // namespace agora::rms::replica

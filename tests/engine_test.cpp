@@ -387,5 +387,65 @@ TEST(EngineCertify, CertificationStaysOnByDefault) {
   EXPECT_EQ(st->exhausted, 0u);
 }
 
+// ---------------------------------------------------------------- shutdown ---
+
+TEST(EngineShutdown, EveryPendingFutureResolvesWithAStatus) {
+  EngineOptions eopts;
+  eopts.threads = 2;
+  eopts.sink = obs::Sink::none();
+  eopts.alloc.sink = obs::Sink::none();
+  EnforcementEngine eng(island_economy(2, 4, 0.3), eopts);
+
+  // Flood the shard queues well past what the workers can process before
+  // shutdown lands, then shut down immediately: queued consults must
+  // resolve fast with Unavailable, never hang or break their promise.
+  std::vector<std::future<EngineResult>> futs;
+  futs.reserve(400);
+  for (int i = 0; i < 400; ++i)
+    futs.push_back(eng.submit(static_cast<std::size_t>(i % 8), 0.5));
+  eng.shutdown();
+
+  std::size_t decided = 0, unavailable = 0;
+  for (auto& f : futs) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready)
+        << "a future was left pending after shutdown()";
+    const EngineResult res = f.get();  // never throws broken_promise
+    switch (res.status.code()) {
+      case StatusCode::Ok:
+      case StatusCode::Insufficient:
+      case StatusCode::Denied:
+      case StatusCode::SolverFailed:
+        ++decided;
+        break;
+      case StatusCode::Unavailable:
+        ++unavailable;
+        EXPECT_TRUE(res.plan.draw.empty());  // fail-fast: nothing was solved
+        break;
+      default:
+        FAIL() << "unexpected status " << res.status.to_string();
+    }
+  }
+  EXPECT_EQ(decided + unavailable, 400u);
+}
+
+TEST(EngineShutdown, IsIdempotentAndRejectsLateTraffic) {
+  EngineOptions eopts;
+  eopts.sink = obs::Sink::none();
+  eopts.alloc.sink = obs::Sink::none();
+  EnforcementEngine eng(island_economy(2, 2, 0.3), eopts);
+  EXPECT_TRUE(eng.submit(0, 1.0).get().status.ok());
+  eng.shutdown();
+  eng.shutdown();  // second call is a no-op
+
+  // Post-shutdown submissions resolve immediately with Unavailable; the
+  // blocking façade maps that to the same exception a bad argument gets.
+  EngineResult late = eng.submit(0, 1.0).get();
+  EXPECT_EQ(late.status.code(), StatusCode::Unavailable);
+  EXPECT_THROW(eng.consult(0, 1.0), PreconditionError);
+  EXPECT_EQ(eng.solver_stats(), nullptr);
+  // Snapshot reads still work: the published state outlives the workers.
+  EXPECT_EQ(eng.snapshot()->capacity.size(), 4u);
+}
+
 }  // namespace
 }  // namespace agora::engine

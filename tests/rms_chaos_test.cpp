@@ -506,5 +506,56 @@ TEST(Idempotency, ReorderedStaleReportIsRejected) {
   EXPECT_EQ(rig.grm.stale_reports(), 1u);
 }
 
+TEST(CrashRecovery, LrmCrashRacingInFlightAllocationStaysIdempotent) {
+  // The race: the GRM grants a request and posts its ReserveCommand just
+  // as the target LRM crashes. The command (and the first retries) die
+  // with the site; the LRM restarts and resyncs the GRM; only then does a
+  // retry land -- duplicated by the link for good measure. The reservation
+  // must be applied exactly once, the duplicate re-acked, and the
+  // accounting identical to a run where nothing was lost.
+  auto run = [] {
+    GrmOptions gopts;
+    gopts.reserve_attempts = 6;
+    gopts.reserve_backoff = 0.5;
+    gopts.reserve_backoff_cap = 2.0;
+    DegradeRig rig(gopts);
+    FaultPlan plan;
+    plan.crashes.push_back(CrashWindow{rig.lrm1.endpoint(), 0.15, 2.0});
+    // Every surviving GRM -> LRM1 delivery arrives twice.
+    plan.per_link[{rig.grm.endpoint(), rig.lrm1.endpoint()}] =
+        LinkFaults{0.0, /*duplicate=*/1.0, 0.0};
+    rig.bus.set_fault_plan(plan);
+
+    rig.bus.run_until(0.2);
+    rig.post_request(1, 1, 8.0, /*duration=*/3.0);
+    rig.bus.run_until(1.0);
+    // The grant was decided (and the client answered) while the site was
+    // down: the hold exists only in the GRM's intent so far.
+    EXPECT_EQ(rig.replies.size(), 1u);
+    EXPECT_TRUE(rig.replies.at(0).granted);
+    EXPECT_EQ(rig.lrm1.active_reservations(), 0u);
+    EXPECT_GT(rig.bus.lost_to_crash(), 0u);
+
+    // Restart at t=2: the LRM resyncs (full capacity, no holds); the
+    // pending reserve retry then lands twice and applies once.
+    rig.bus.run_until(4.5);
+    EXPECT_EQ(rig.grm.resyncs(), 1u);
+    EXPECT_EQ(rig.lrm1.active_reservations(), 1u);
+    EXPECT_NEAR(rig.lrm1.available()[0], 2.0, 1e-9);
+    EXPECT_GE(rig.lrm1.duplicate_commands(), 1u);
+    EXPECT_GE(rig.grm.reserve_retries(), 2u);
+    EXPECT_EQ(rig.grm.reserve_failures(), 0u);
+
+    // The hold still expires; a post-release duplicate cannot resurrect it.
+    rig.bus.run_until_idle();
+    EXPECT_EQ(rig.lrm1.active_reservations(), 0u);
+    EXPECT_NEAR(rig.lrm1.available()[0], 10.0, 1e-9);
+    return std::make_tuple(rig.grm.reserve_retries(), rig.lrm1.duplicate_commands(),
+                           rig.bus.delivered(), rig.bus.now());
+  };
+  // The whole race replays byte-identically.
+  EXPECT_EQ(run(), run());
+}
+
 }  // namespace
 }  // namespace agora::rms

@@ -9,17 +9,145 @@
 //   agora_sim --topology=ring --share=0.8 --skip=3 --level=1
 //   agora_sim --scheduler=endpoint --topology=decay
 //   agora_sim --scheduler=none --peak-rate=12 --capacity=1.3
+//
+// With --grm-replicas >= 1 the tool instead runs the RMS service mode: a
+// quorum-replicated GRM (DESIGN.md §12) with one LRM per site and a
+// failover-aware client, driven by a seeded synthetic workload over the
+// virtual-time message bus. Fault injection is optional:
+//   agora_sim --grm-replicas=3 --rms-requests=200
+//   agora_sim --grm-replicas=3 --rms-crash-leader=1 --rms-drop=0.05
+#include <cmath>
 #include <cstdio>
+#include <limits>
+#include <memory>
 #include <string>
 
 #include "agree/topology.h"
 #include "obs/export.h"
 #include "proxysim/simulator.h"
+#include "rms/bus.h"
+#include "rms/client.h"
+#include "rms/grm.h"
+#include "rms/lrm.h"
+#include "rms/replica/group.h"
 #include "trace/generator.h"
 #include "util/csv.h"
 #include "util/flags.h"
+#include "util/rng.h"
 
 using namespace agora;
+
+namespace {
+
+/// RMS service mode: replicated GRM + per-site LRMs + failover client.
+int run_rms_service(const Flags& flags) {
+  const auto replicas = static_cast<std::size_t>(flags.get_int("grm-replicas"));
+  const auto sites = static_cast<std::size_t>(flags.get_int("rms-sites"));
+  const auto requests = static_cast<std::uint64_t>(flags.get_int("rms-requests"));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const double share = flags.get_double("share");
+  const double drop = flags.get_double("rms-drop");
+  const bool crash_leader = flags.get_int("rms-crash-leader") != 0;
+  AGORA_REQUIRE(sites >= 1, "--rms-sites must be >= 1");
+  AGORA_REQUIRE(drop >= 0.0 && drop < 1.0, "--rms-drop must be in [0, 1)");
+
+  // One resource; site s has capacity 5 * (s + 1), every pair shares `share`.
+  agree::AgreementSystem sys(sites);
+  for (std::size_t s = 0; s < sites; ++s) sys.capacity[s] = 5.0 * static_cast<double>(s + 1);
+  for (std::size_t a = 0; a < sites; ++a)
+    for (std::size_t b = 0; b < sites; ++b)
+      if (a != b) sys.relative(a, b) = share;
+
+  rms::GrmOptions gopt;
+  gopt.reserve_attempts = 4;
+  gopt.reserve_backoff = 0.1;
+  gopt.reserve_jitter = 0.25;
+  gopt.replication.replicas = replicas;
+  gopt.replication.seed = seed;
+  rms::ClientOptions copt;
+  copt.max_attempts = 10;
+  copt.retry_backoff = 0.2;
+  copt.backoff_cap = 1.0;
+  copt.retry_jitter = 0.25;
+  copt.deadline = 30.0;
+  copt.send_latency = 0.01;
+
+  rms::MessageBus bus;
+  rms::replica::ReplicatedGrm grp(bus, {sys}, {}, 0.01, gopt);
+  std::vector<std::unique_ptr<rms::Lrm>> lrms;
+  for (std::size_t s = 0; s < sites; ++s) {
+    lrms.push_back(std::make_unique<rms::Lrm>(
+        bus, std::vector<double>{5.0 * static_cast<double>(s + 1)}, 0.01));
+    grp.register_lrm(s, lrms[s]->endpoint());
+    lrms[s]->attach(grp.ingress(s), s);
+  }
+  grp.start();
+  rms::RequestClient client(bus, grp.endpoints(), copt);
+  bus.run_until(5.0);
+
+  rms::FaultPlan plan;
+  if (drop > 0.0) {
+    plan.default_link.drop = drop;
+    plan.seed = seed;
+  }
+  const double crash_at = 10.0;
+  if (crash_leader) {
+    if (const auto leader = grp.leader())
+      plan.crashes.push_back(
+          rms::CrashWindow{grp.node(*leader).endpoint(), crash_at, crash_at + 10.0});
+  }
+  bus.set_fault_plan(plan);
+
+  std::printf("rms service: %zu replicas, %zu sites, %llu requests, drop=%.2f%s\n",
+              replicas, sites, static_cast<unsigned long long>(requests), drop,
+              crash_leader ? ", leader crash at t=10" : "");
+  Pcg32 workload(seed);
+  for (std::uint64_t id = 1; id <= requests; ++id) {
+    rms::AllocationRequest req;
+    req.request_id = id;
+    req.principal = workload.uniform_u32(static_cast<std::uint32_t>(sites));
+    req.amounts = {workload.uniform(0.3, 1.5)};
+    req.duration = workload.uniform(0.5, 2.0);
+    client.submit(req);
+    bus.run_until(bus.now() + 0.25);
+  }
+  bus.run_until(bus.now() + 8.0);
+  bus.set_fault_plan(rms::FaultPlan{});   // heal, then settle before quiesce
+  bus.run_until(bus.now() + 5.0);
+  grp.stop();
+  bus.run_until_idle();
+
+  std::uint64_t granted = 0;
+  double lat_sum = 0.0;
+  double first_grant_after = std::numeric_limits<double>::infinity();
+  for (const auto& out : client.outcomes()) {
+    if (!out.reply.granted) continue;
+    ++granted;
+    lat_sum += out.latency();
+    if (out.resolved_at >= crash_at)
+      first_grant_after = std::min(first_grant_after, out.resolved_at);
+  }
+  const auto st = grp.stats();
+  std::printf(
+      "granted %llu/%llu | mean latency %.4f vt-s | retries %llu | redirects %llu | "
+      "failovers %llu | deadline denials %llu\n",
+      static_cast<unsigned long long>(granted), static_cast<unsigned long long>(requests),
+      granted ? lat_sum / static_cast<double>(granted) : 0.0,
+      static_cast<unsigned long long>(client.retries()),
+      static_cast<unsigned long long>(client.redirects()),
+      static_cast<unsigned long long>(client.failovers()),
+      static_cast<unsigned long long>(client.deadline_denials()));
+  std::printf("raft: elections %llu | restarts %llu | snapshots %llu | converged %s\n",
+              static_cast<unsigned long long>(st.elections_won),
+              static_cast<unsigned long long>(st.restarts),
+              static_cast<unsigned long long>(st.snapshots_installed),
+              grp.converged() ? "yes" : "NO");
+  if (crash_leader && std::isfinite(first_grant_after))
+    std::printf("post-crash unavailability %.3f vt-s\n", first_grant_after - crash_at);
+  return grp.converged() ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   Flags flags;
@@ -41,6 +169,13 @@ int main(int argc, char** argv) {
   flags.define("threads", "0",
                "LP scheduler worker threads: 0 = direct in-process allocator, >= 1 = "
                "sharded enforcement engine (1 is decision-identical to direct)");
+  flags.define("grm-replicas", "0",
+               "0 = proxy simulator (default); >= 1 switches to the RMS service mode: "
+               "a quorum-replicated GRM with this many replicas plus per-site LRMs");
+  flags.define("rms-sites", "2", "RMS mode: number of sites/LRMs");
+  flags.define("rms-requests", "100", "RMS mode: synthetic allocation requests");
+  flags.define("rms-drop", "0", "RMS mode: per-link message drop probability");
+  flags.define("rms-crash-leader", "0", "RMS mode: 1 = crash the leader at t=10 for 10 s");
   flags.define("csv", "", "write the full 10-minute-slot series to this CSV file");
   flags.define("metrics-out", "",
                "write an observability snapshot (registry metrics + trace events) to this "
@@ -60,6 +195,7 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (flags.get_int("grm-replicas") >= 1) return run_rms_service(flags);
     const auto n = static_cast<std::size_t>(flags.get_int("proxies"));
     const double share = flags.get_double("share");
 

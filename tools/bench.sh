@@ -14,7 +14,8 @@ OUT=bench_results
 mkdir -p "${OUT}"
 
 cmake -B "${BUILD}" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "${BUILD}" -j --target micro_lp micro_warmstart micro_certify scale_shards
+cmake --build "${BUILD}" -j --target micro_lp micro_warmstart micro_certify scale_shards \
+  chaos_failover
 
 "./${BUILD}/bench/micro_lp" \
   --benchmark_out="${OUT}/micro_lp.json" --benchmark_out_format=json
@@ -43,3 +44,11 @@ echo "bench: BENCH_lp.json written"
 "./${BUILD}/bench/scale_shards" BENCH_engine.json
 
 echo "bench: BENCH_engine.json written"
+
+# Replicated-GRM failover: post-crash unavailability swept over raft seeds
+# (acceptance bound: a few election timeouts) and the 1-vs-3-replica message
+# amplification / latency overhead, all in deterministic bus virtual time.
+# The binary exits non-zero if the bound is exceeded or replicas diverge.
+"./${BUILD}/bench/chaos_failover" BENCH_rms.json
+
+echo "bench: BENCH_rms.json written"

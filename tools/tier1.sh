@@ -12,16 +12,21 @@ cmake --build build -j
 
 # Sanitizer pass over the message-layer tests (the fault-injection code
 # paths -- drops, duplicate frees of envelopes, restart handlers -- are the
-# ones most likely to hide lifetime bugs) plus the LP certification and
-# adversarial suites (ill-conditioned pivoting and deliberately corrupted
-# workspaces are where out-of-bounds reads and UB would hide). The sanitizer
+# ones most likely to hide lifetime bugs), the replicated-GRM suites
+# (rms_replica_test plus the tier2-chaos failover suite, whose crash/
+# partition/loss scenarios churn raft timers and snapshots) and the LP
+# certification and adversarial suites (ill-conditioned pivoting and
+# deliberately corrupted workspaces are where out-of-bounds reads and UB
+# would hide). The sanitizer
 # build compiles with -ffp-contract=off so its floating-point results match
 # the tier-1 build bit for bit.
 cmake -B build-asan -S . -DAGORA_SANITIZE=ON
-cmake --build build-asan -j --target rms_test rms_chaos_test fuzz_test \
-  lp_certify_test lp_adversarial_test
+cmake --build build-asan -j --target rms_test rms_chaos_test rms_replica_test \
+  rms_failover_test fuzz_test lp_certify_test lp_adversarial_test
 ./build-asan/tests/rms_test
 ./build-asan/tests/rms_chaos_test
+./build-asan/tests/rms_replica_test
+./build-asan/tests/rms_failover_test
 ./build-asan/tests/fuzz_test
 ./build-asan/tests/lp_certify_test
 ./build-asan/tests/lp_adversarial_test
@@ -35,9 +40,11 @@ cmake --build build-asan -j --target rms_test rms_chaos_test fuzz_test \
 # fault-injection paths exercise the bus under the heaviest event/metric
 # traffic.
 cmake -B build-tsan -S . -DAGORA_TSAN=ON
-cmake --build build-tsan -j --target obs_test rms_chaos_test engine_test engine_stress_test
+cmake --build build-tsan -j --target obs_test rms_chaos_test rms_failover_test \
+  engine_test engine_stress_test
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/rms_chaos_test
+./build-tsan/tests/rms_failover_test
 ./build-tsan/tests/engine_test
 ./build-tsan/tests/engine_stress_test
 
