@@ -12,7 +12,9 @@
 // Two phases per shard count:
 //   * throughput -- pipelined waves of submit() (one per participant),
 //     futures drained per wave: consults/sec over >= 0.5 s of waves,
-//   * latency    -- serial blocking consult() round trips: p50/p99 micros.
+//   * latency    -- serial blocking consult() round trips: p50/p99 micros,
+//     with a recorded p99 regression bound (kP99BoundUs) and a single retry
+//     when an environmental outlier trips it.
 //
 // Usage: scale_shards [out.json]   (default BENCH_engine.json)
 #include <algorithm>
@@ -52,7 +54,39 @@ struct SweepPoint {
   double consults_per_sec = 0.0;
   double p50_us = 0.0;
   double p99_us = 0.0;
+  bool latency_retried = false;  ///< first latency pass tripped the p99 bound
 };
+
+/// Regression bound on the serial consult p99. Historic runs sit well under
+/// it at every shard count (p99 < 750 us even at threads=1, where the whole
+/// 65-variable LP runs per consult); a single scheduler hiccup on a busy
+/// host can blow one probe past it, which is noise, not a regression. The
+/// latency phase therefore retries ONCE when the bound trips, and only a
+/// second failure is reported (p99_within_bound=false in the JSON).
+constexpr double kP99BoundUs = 1500.0;
+
+struct LatencyPhase {
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+LatencyPhase measure_latency(agora::engine::EnforcementEngine& eng,
+                             const std::vector<double>& amounts) {
+  const std::size_t n = amounts.size();
+  constexpr std::size_t kProbes = 512;
+  std::vector<double> lat_us(kProbes);
+  for (std::size_t k = 0; k < kProbes; ++k) {
+    const std::size_t i = k % n;
+    const auto a = Clock::now();
+    (void)eng.consult(i, amounts[i]);
+    lat_us[k] = std::chrono::duration<double, std::micro>(Clock::now() - a).count();
+  }
+  std::sort(lat_us.begin(), lat_us.end());
+  LatencyPhase out;
+  out.p50_us = lat_us[kProbes / 2];
+  out.p99_us = lat_us[(kProbes * 99) / 100];
+  return out;
+}
 
 SweepPoint measure(const agora::agree::AgreementSystem& sys, std::size_t threads) {
   agora::engine::EngineOptions opts;
@@ -89,18 +123,15 @@ SweepPoint measure(const agora::agree::AgreementSystem& sys, std::size_t threads
   }
   pt.consults_per_sec = static_cast<double>(pt.consults) / elapsed;
 
-  // Latency: serial blocking consults, round-robin over participants.
-  constexpr std::size_t kProbes = 512;
-  std::vector<double> lat_us(kProbes);
-  for (std::size_t k = 0; k < kProbes; ++k) {
-    const std::size_t i = k % n;
-    const auto a = Clock::now();
-    (void)eng.consult(i, amounts[i]);
-    lat_us[k] = std::chrono::duration<double, std::micro>(Clock::now() - a).count();
+  // Latency: serial blocking consults, round-robin over participants. A
+  // p99 past the regression bound gets one retry -- see kP99BoundUs.
+  LatencyPhase lat = measure_latency(eng, amounts);
+  if (lat.p99_us > kP99BoundUs) {
+    pt.latency_retried = true;
+    lat = measure_latency(eng, amounts);
   }
-  std::sort(lat_us.begin(), lat_us.end());
-  pt.p50_us = lat_us[kProbes / 2];
-  pt.p99_us = lat_us[(kProbes * 99) / 100];
+  pt.p50_us = lat.p50_us;
+  pt.p99_us = lat.p99_us;
   return pt;
 }
 
@@ -114,8 +145,11 @@ int main(int argc, char** argv) {
   for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
     sweep.push_back(measure(sys, threads));
     const SweepPoint& pt = sweep.back();
-    std::printf("threads=%zu shards=%zu  %10.0f consults/s  p50 %7.1f us  p99 %7.1f us\n",
-                pt.threads, pt.shards, pt.consults_per_sec, pt.p50_us, pt.p99_us);
+    std::printf(
+        "threads=%zu shards=%zu  %10.0f consults/s  p50 %7.1f us  p99 %7.1f us%s%s\n",
+        pt.threads, pt.shards, pt.consults_per_sec, pt.p50_us, pt.p99_us,
+        pt.latency_retried ? "  [retried]" : "",
+        pt.p99_us > kP99BoundUs ? "  ** p99 OVER BOUND **" : "");
   }
   const double speedup = sweep.back().consults_per_sec / sweep.front().consults_per_sec;
   std::printf("speedup 8 vs 1 threads: %.2fx\n", speedup);
@@ -130,14 +164,18 @@ int main(int argc, char** argv) {
                "  \"economy\": {\"participants\": %zu, \"islands\": %zu, "
                "\"per_island\": %zu, \"share\": %.2f},\n",
                kIslands * kPerIsland, kIslands, kPerIsland, kShare);
+  std::fprintf(f, "  \"p99_bound_us\": %.1f,\n", kP99BoundUs);
   std::fprintf(f, "  \"sweep\": [\n");
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     const SweepPoint& pt = sweep[i];
     std::fprintf(f,
                  "    {\"threads\": %zu, \"shards\": %zu, \"consults\": %llu, "
-                 "\"consults_per_sec\": %.1f, \"p50_us\": %.2f, \"p99_us\": %.2f}%s\n",
+                 "\"consults_per_sec\": %.1f, \"p50_us\": %.2f, \"p99_us\": %.2f, "
+                 "\"p99_within_bound\": %s, \"latency_retried\": %s}%s\n",
                  pt.threads, pt.shards, static_cast<unsigned long long>(pt.consults),
                  pt.consults_per_sec, pt.p50_us, pt.p99_us,
+                 pt.p99_us <= kP99BoundUs ? "true" : "false",
+                 pt.latency_retried ? "true" : "false",
                  i + 1 < sweep.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");

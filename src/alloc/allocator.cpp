@@ -24,7 +24,10 @@ lp::PipelineOptions pipeline_options(const AllocatorOptions& opts) {
 }  // namespace
 
 Allocator::Allocator(agree::AgreementSystem sys, AllocatorOptions opts)
-    : sys_(std::move(sys)), opts_(opts), pipeline_(pipeline_options(opts)) {
+    : sys_(std::move(sys)),
+      opts_(opts),
+      pipeline_(pipeline_options(opts)),
+      verifier_(opts.solver.tols) {
   sys_.validate(/*allow_overdraft=*/true);
   obs_plan_seconds_ = &opts_.sink.histogram("alloc.plan.seconds");
   obs_cache_hits_ = &opts_.sink.counter("alloc.model_cache.hits");
@@ -35,6 +38,8 @@ Allocator::Allocator(agree::AgreementSystem sys, AllocatorOptions opts)
   obs_plans_insufficient_ = &opts_.sink.counter("alloc.plans.insufficient");
   obs_plans_denied_ = &opts_.sink.counter("alloc.plans.denied");
   obs_plans_failed_ = &opts_.sink.counter("alloc.plans.solver_failed");
+  obs_fastpath_granted_ = &opts_.sink.counter("alloc.fastpath.granted");
+  obs_fastpath_fallthrough_ = &opts_.sink.counter("alloc.fastpath.fallthrough");
   // The expensive part (simple-path enumeration) depends only on S; do it
   // once and keep the K matrix cached across capacity updates.
   Matrix t = agree::transitive_shares(sys_.relative, opts_.transitive);
@@ -96,6 +101,14 @@ AllocationPlan Allocator::allocate(std::size_t a, double amount) const {
 
   obs::ScopedTimer plan_timer(obs_plan_seconds_);
   const bool exact = opts_.equality == EqualityMode::Exact;
+  if (opts_.fast_path && !exact && opts_.formulation == Formulation::Compact &&
+      opts_.reuse_context && !opts_.presolve) {
+    AllocationPlan fast;
+    if (try_fast_path(a, amount, fast)) {
+      if constexpr (obs::kEnabled) obs_plans_satisfied_->inc();
+      return fast;
+    }
+  }
   AllocationPlan plan = opts_.formulation == Formulation::Compact
                             ? solve_compact(a, amount, exact)
                             : solve_full(a, amount, exact);
@@ -116,6 +129,62 @@ AllocationPlan Allocator::allocate(std::size_t a, double amount) const {
     }
   }
   return plan;
+}
+
+bool Allocator::try_fast_path(std::size_t a, double amount, AllocationPlan& plan) const {
+  const std::size_t n = sys_.size();
+  // Self-draw feasibility test: d = amount * e_a respects its bound exactly
+  // when the amount fits inside the requester's retained entitlement U_aa.
+  if (amount > report_.entitlement(a, a)) {
+    fastpath_fallthrough_.inc();
+    if constexpr (obs::kEnabled) obs_fastpath_fallthrough_->inc();
+    return false;
+  }
+
+  // theta for the self-draw plan: the drop at i is amount * That_ai with
+  // That_aa = retained_a and That_ai = K_ai, every coefficient <= 1 (clamped
+  // transitive shares, retained in [0,1]), hence "theta <= 1 per unit" --
+  // the perturbation never exceeds the request itself.
+  double maxcoeff = sys_.retained[a];
+  const double* row = report_.shares.row(a).data();
+  for (std::size_t i = 0; i < n; ++i)
+    if (i != a && row[i] > maxcoeff) maxcoeff = row[i];
+  const double theta = amount * maxcoeff;
+
+  // Certify admission against the CURRENT compact model -- the same problem
+  // object the LP would have solved -- so a grant from this path carries the
+  // same "independently verified against the problem data" guarantee as a
+  // pipeline answer (minus optimality, which this path deliberately trades).
+  if (!cache_.built()) {
+    obs_cache_misses_->inc();
+    cache_.build(sys_, report_);
+  }
+  cache_.patch(report_, a, amount);
+  fast_x_.assign(n + 1, 0.0);
+  fast_x_[a] = amount;
+  fast_x_[n] = theta;
+  const lp::Certificate cert = verifier_.certify_admission(cache_.problem(), fast_x_, theta);
+  if (!cert.certified) {
+    fastpath_fallthrough_.inc();
+    if constexpr (obs::kEnabled) obs_fastpath_fallthrough_->inc();
+    return false;
+  }
+
+  plan.status = PlanStatus::Satisfied;
+  plan.certified = true;
+  plan.theta = theta;
+  plan.lp_iterations = 0;
+  plan.draw.assign(n, 0.0);
+  plan.draw[a] = amount;
+  plan.capacity_before = report_.capacity;
+  plan.capacity_after.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double coeff = i == a ? sys_.retained[a] : row[i];
+    plan.capacity_after[i] = report_.capacity[i] - amount * coeff;
+  }
+  fastpath_granted_.inc();
+  if constexpr (obs::kEnabled) obs_fastpath_granted_->inc();
+  return true;
 }
 
 AllocationPlan Allocator::solve_compact(std::size_t a, double amount, bool exact) const {

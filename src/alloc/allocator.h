@@ -27,7 +27,9 @@
 // falls back to Relaxed when it renders the program infeasible.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 
 #include "agree/capacity.h"
@@ -35,11 +37,26 @@
 #include "alloc/allocator_base.h"
 #include "alloc/model_cache.h"
 #include "alloc/plan.h"
+#include "lp/certify.h"
 #include "lp/problem.h"
 #include "lp/result.h"
 #include "lp/solve_pipeline.h"
 
 namespace agora::alloc {
+
+/// Relaxed-order counter that stays copyable/movable (Allocator instances are
+/// moved into engine shards); a copy carries the value, not the identity.
+struct RelaxedCounter {
+  RelaxedCounter() = default;
+  RelaxedCounter(const RelaxedCounter& o) : v(o.load()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& o) {
+    v.store(o.load(), std::memory_order_relaxed);
+    return *this;
+  }
+  void inc() { v.fetch_add(1, std::memory_order_relaxed); }
+  std::uint64_t load() const { return v.load(std::memory_order_relaxed); }
+  std::atomic<std::uint64_t> v{0};
+};
 
 enum class Formulation { Compact, FullPaper };
 enum class EqualityMode { Relaxed, Exact };
@@ -69,6 +86,17 @@ struct AllocatorOptions {
   /// bypassed (certification checks the answer against the problem actually
   /// posed, so the pipeline solves the original model).
   bool certify = true;
+  /// Admission fast path: a request that fits inside the requester's own
+  /// retained entitlement (U_aa) is granted as the self-draw plan
+  /// d = amount * e_a with theta = amount * max_i That_ai, skipping the LP
+  /// entirely. The plan is still certified -- lp::Verifier::certify_admission
+  /// proves it feasible against the current compact model -- so the "no
+  /// uncertified grant" invariant holds, but theta is the self-draw
+  /// perturbation, not the LP minimum (the LP may spread the draw thinner).
+  /// Off by default; turn on where throughput beats perturbation optimality
+  /// (see DESIGN.md section 13). Requires the Compact/Relaxed reuse_context
+  /// configuration; other configurations ignore the flag.
+  bool fast_path = false;
   lp::SolverOptions solver;
   /// Telemetry destination, propagated into the solve pipeline. Metric
   /// handles are resolved once at Allocator construction.
@@ -110,7 +138,15 @@ class Allocator : public AllocatorBase {
   /// All-zero when `certify` is off.
   const lp::PipelineStats* solver_stats() const override { return &pipeline_.stats(); }
 
+  /// Fast-path telemetry (zero unless AllocatorOptions::fast_path). Readable
+  /// from other threads (the engine aggregates these into EngineStats).
+  std::uint64_t fastpath_granted() const { return fastpath_granted_.load(); }
+  std::uint64_t fastpath_fallthrough() const { return fastpath_fallthrough_.load(); }
+
  private:
+  /// Attempt the theta<=1 self-draw grant; true when `plan` was filled with a
+  /// certified Satisfied plan, false to fall through to the LP.
+  bool try_fast_path(std::size_t a, double amount, AllocationPlan& plan) const;
   AllocationPlan solve_compact(std::size_t a, double amount, bool exact) const;
   AllocationPlan solve_full(std::size_t a, double amount, bool exact) const;
   lp::SolveResult run_solver(const lp::Problem& p) const;
@@ -137,11 +173,18 @@ class Allocator : public AllocatorBase {
   obs::Counter* obs_plans_insufficient_ = nullptr;
   obs::Counter* obs_plans_denied_ = nullptr;
   obs::Counter* obs_plans_failed_ = nullptr;
+  obs::Counter* obs_fastpath_granted_ = nullptr;
+  obs::Counter* obs_fastpath_fallthrough_ = nullptr;
   /// Lazily built compact-model structure + solver workspace; logically a
   /// memo of (sys_, report_), hence mutable behind const allocate().
   mutable AllocationModelCache cache_;
   /// Certified solve chain (statistics mutate behind const allocate()).
   mutable lp::SolvePipeline pipeline_;
+  /// Admission-certification scratch for the fast path.
+  mutable lp::Verifier verifier_;
+  mutable std::vector<double> fast_x_;
+  mutable RelaxedCounter fastpath_granted_;
+  mutable RelaxedCounter fastpath_fallthrough_;
 };
 
 }  // namespace agora::alloc

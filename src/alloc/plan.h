@@ -60,6 +60,11 @@ struct AllocationPlan {
   /// (0 on the happy path; see lp::SolvePipeline).
   std::uint64_t solver_fallbacks = 0;
 
+  /// Capacity-snapshot epoch this decision was made against, stamped by the
+  /// engine (see engine::CapacitySnapshot::epoch). 0 for plans produced by a
+  /// bare Allocator outside the engine.
+  std::uint64_t decision_epoch = 0;
+
   bool satisfied() const { return status == PlanStatus::Satisfied; }
   /// Unified-status view of `status` (see to_status(PlanStatus)).
   Status to_status() const { return alloc::to_status(status); }

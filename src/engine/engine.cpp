@@ -64,6 +64,24 @@ EnforcementEngine::EnforcementEngine(agree::AgreementSystem sys, EngineOptions o
   obs_coalesced_ops_ = &opts_.sink.counter("engine.requests.coalesced");
   obs_epochs_ = &opts_.sink.counter("engine.epochs");
   obs_batch_size_ = &opts_.sink.histogram("engine.batch.size");
+  obs_pc_hits_ = &opts_.sink.counter("engine.plan_cache.hits");
+  obs_pc_misses_ = &opts_.sink.counter("engine.plan_cache.misses");
+  obs_pc_stale_ = &opts_.sink.counter("engine.plan_cache.stale");
+  obs_pc_rejects_ = &opts_.sink.counter("engine.plan_cache.certify_rejects");
+
+  if (opts_.plan_cache) {
+    pcache_ = std::make_unique<PlanCache>(
+        PlanCacheOptions{opts_.plan_cache_slots, /*probe_window=*/8});
+    // The re-certification coefficients: one row per drawn-on participant k,
+    // that_(k, i) = capacity drop at i per unit drawn at k. Identical to the
+    // compact LP's perturbation rows (clamped transitive shares off the
+    // diagonal, retained share on it), and exact for every sharding mode:
+    // replicated shards solve the full system, and connectivity shards solve
+    // closed components whose transitive closure matches the global one.
+    that_ = agree::overdraft_clamp(
+        agree::transitive_shares(sys_.relative, opts_.alloc.transitive));
+    for (std::size_t i = 0; i < n_; ++i) that_(i, i) = sys_.retained[i];
+  }
 
   const std::size_t n = n_;
   shards_.reserve(part_.shards);
@@ -155,7 +173,14 @@ void EnforcementEngine::process(Shard& shard, Op& op) {
       EngineResult res;
       try {
         res.plan = globalize(shard, shard.alloc->allocate(op.principal, op.amount));
+        // The decision was made against this shard's post-mutation state,
+        // which is exactly the epoch-muts_applied snapshot (see the field's
+        // comment); stamp it so callers can assert freshness.
+        res.plan.decision_epoch = shard.muts_applied;
         res.status = res.plan.to_status();
+        if (pcache_ && res.plan.status == alloc::PlanStatus::Satisfied &&
+            res.plan.certified)
+          pcache_->insert(shard.muts_applied, op.global, op.amount, res.plan);
       } catch (const std::exception& e) {
         res.plan = {};
         res.status = to_status(e);
@@ -172,6 +197,7 @@ void EnforcementEngine::process(Shard& shard, Op& op) {
       // set_capacities and replicas in hash mode stay identical.
       try {
         shard.alloc->set_capacities(std::span<const double>(op.vec));
+        ++shard.muts_applied;
         ShardView view;
         view.capacity.assign(op.vec.begin(), op.vec.end());
         view.available.resize(shard.members.size());
@@ -222,6 +248,10 @@ alloc::AllocationPlan EnforcementEngine::globalize(const Shard& shard,
 alloc::AllocationPlan EnforcementEngine::consult(std::size_t a, double amount) const {
   AGORA_REQUIRE(a < n_, "unknown principal");
   AGORA_REQUIRE(amount >= 0.0 && std::isfinite(amount), "request must be non-negative");
+  if (pcache_ && !stopping_.load(std::memory_order_acquire)) {
+    if (std::optional<alloc::AllocationPlan> hit = cached_decision(a, amount))
+      return std::move(*hit);
+  }
   EngineResult res = submit_unchecked(a, amount).get();
   switch (res.status.code()) {
     case StatusCode::Ok:
@@ -248,7 +278,73 @@ std::future<EngineResult> EnforcementEngine::submit(std::size_t a, double amount
         {}});
     return p.get_future();
   }
+  if (pcache_ && !stopping_.load(std::memory_order_acquire)) {
+    if (std::optional<alloc::AllocationPlan> hit = cached_decision(a, amount)) {
+      std::promise<EngineResult> p;
+      EngineResult res;
+      res.status = hit->to_status();
+      res.plan = std::move(*hit);
+      p.set_value(std::move(res));
+      return p.get_future();
+    }
+  }
   return submit_unchecked(a, amount);
+}
+
+std::optional<alloc::AllocationPlan> EnforcementEngine::cached_decision(
+    std::size_t a, double amount) const {
+  const std::shared_ptr<const CapacitySnapshot> snap = cell_.load();
+  PlanCache::LookupResult found = pcache_->lookup(snap->epoch, a, amount);
+  switch (found.outcome) {
+    case PlanCache::Outcome::Miss:
+      obs_pc_misses_->inc();
+      return std::nullopt;
+    case PlanCache::Outcome::Stale:
+      obs_pc_stale_->inc();
+      return std::nullopt;
+    case PlanCache::Outcome::Hit:
+      break;
+  }
+  if (!recertify(*found.entry, *snap)) {
+    // The stored plan no longer proves admissible against the published
+    // state (e.g. the snapshot moved between the epoch compare and here).
+    // Never serve it -- fall through to a fresh certified solve.
+    pcache_->note_certify_reject();
+    obs_pc_rejects_->inc();
+    return std::nullopt;
+  }
+  obs_pc_hits_->inc();
+  obs_consults_->inc();
+  return found.entry->plan;
+}
+
+bool EnforcementEngine::recertify(const PlanCache::Entry& e,
+                                  const CapacitySnapshot& snap) const {
+  // Residual admission check, the engine-level mirror of
+  // lp::Verifier::certify_admission run against SNAPSHOT data instead of a
+  // Problem object: every nonzero draw within the drawer's current
+  // entitlement to `a`, demand met exactly, theta covering the capacity
+  // drop it induces anywhere. O(nnz) bound checks + O(nnz * n) drop
+  // accumulation on the vectorized kernels.
+  const double tol = opts_.alloc.solver.tols.feasibility;
+  const std::size_t a = e.participant;
+  thread_local std::vector<double> drop;
+  drop.assign(n_, 0.0);
+  double total = 0.0;
+  for (const std::uint32_t k : e.nz) {
+    const double d = e.plan.draw[k];
+    const double vk = snap.capacity[k];
+    const double bound = k == a ? sys_.retained[a] * vk
+                                : std::min(vk * that_(k, a) + sys_.absolute(k, a), vk);
+    if (d > bound + tol * (1.0 + bound)) return false;
+    vaxpy(d, that_.row(k), std::span<double>(drop));
+    total += d;
+  }
+  if (std::fabs(total - e.amount) > tol * (1.0 + std::fabs(e.amount))) return false;
+  const double theta_cap = e.plan.theta + tol * (1.0 + e.plan.theta);
+  for (std::size_t i = 0; i < n_; ++i)
+    if (drop[i] > theta_cap) return false;
+  return true;
 }
 
 std::future<EngineResult> EnforcementEngine::submit_unchecked(std::size_t a,
@@ -257,6 +353,7 @@ std::future<EngineResult> EnforcementEngine::submit_unchecked(std::size_t a,
   Op op;
   op.kind = Op::Kind::Consult;
   op.principal = shard.local_of[a];
+  op.global = a;
   op.amount = amount;
   std::future<EngineResult> fut = op.result.get_future();
   if (!shard.queue.push(std::move(op))) {
@@ -266,7 +363,7 @@ std::future<EngineResult> EnforcementEngine::submit_unchecked(std::size_t a,
     p.set_value(EngineResult{Status::unavailable("engine is shut down"), {}});
     return p.get_future();
   }
-  shard.obs_queue_depth->set(static_cast<double>(shard.queue.size()));
+  shard.obs_queue_depth->set(static_cast<double>(shard.queue.size_approx()));
   return fut;
 }
 
@@ -392,7 +489,10 @@ EngineStats EnforcementEngine::stats() const {
     s.max_batch = shard->max_batch.load(std::memory_order_relaxed);
     s.queue_depth = shard->queue.size();
     out.shard.push_back(s);
+    out.fastpath_granted += shard->alloc->fastpath_granted();
+    out.fastpath_fallthrough += shard->alloc->fastpath_fallthrough();
   }
+  if (pcache_) out.plan_cache = pcache_->stats();
   return out;
 }
 

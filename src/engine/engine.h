@@ -35,14 +35,17 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "alloc/allocator.h"
 #include "alloc/allocator_base.h"
 #include "engine/partition.h"
+#include "engine/plan_cache.h"
 #include "engine/snapshot.h"
 #include "obs/sink.h"
+#include "util/matrix.h"
 #include "util/status.h"
 #include "util/task_queue.h"
 
@@ -56,6 +59,18 @@ struct EngineOptions {
   /// Per-shard allocator configuration. `certify` stays on by default;
   /// `reuse_context` gives each shard its own warm-start workspace.
   alloc::AllocatorOptions alloc;
+  /// Epoch-keyed decision cache fronting the shard queues (plan_cache.h).
+  /// A repeated (participant, amount) shape within one snapshot epoch is
+  /// answered on the CALLER thread -- no queue, no worker hop, no LP -- after
+  /// a sparse residual re-certification against the current snapshot. Off by
+  /// default: with the cache on, repeated shapes are answered from the first
+  /// decision of that epoch instead of being re-solved, which a test
+  /// asserting per-call solver telemetry would notice. Decisions themselves
+  /// are unchanged (same epoch => same LP answer, by warm-start
+  /// path-independence).
+  bool plan_cache = false;
+  /// Slot count for the decision cache (rounded up to a power of two).
+  std::size_t plan_cache_slots = std::size_t{1} << 13;
   /// Telemetry: per-shard queue-depth gauges, batch-size histograms,
   /// coalesce counters, EngineBatch trace events (emitted only for
   /// coalesced batches, so a serial caller's event stream is unchanged).
@@ -88,6 +103,12 @@ struct EngineStats {
   std::size_t components = 0;
   std::uint64_t epoch = 0;
   std::vector<ShardStats> shard;
+  /// Decision-cache counters (all zero when EngineOptions::plan_cache off).
+  PlanCacheStats plan_cache;
+  /// Theta<=1 fast-path grants/fallthroughs summed over the per-shard
+  /// allocators (zero unless EngineOptions::alloc.fast_path).
+  std::uint64_t fastpath_granted = 0;
+  std::uint64_t fastpath_fallthrough = 0;
 };
 
 class EnforcementEngine : public alloc::AllocatorBase {
@@ -162,6 +183,7 @@ class EnforcementEngine : public alloc::AllocatorBase {
     enum class Kind { Consult, Apply, Release, SetCapacities, Query };
     Kind kind = Kind::Query;
     std::size_t principal = 0;  ///< shard-local index (Consult)
+    std::size_t global = 0;     ///< global participant id (Consult; cache key)
     double amount = 0.0;
     std::vector<double> vec;    ///< shard-local slice (mutations)
     std::promise<EngineResult> result;  ///< Consult
@@ -176,6 +198,12 @@ class EnforcementEngine : public alloc::AllocatorBase {
     BlockingQueue<Op> queue;
     std::thread worker;
     std::uint64_t ordinal = 0;  ///< ops processed (worker-only; event time)
+    /// Mutations applied on this shard (worker-only). Every mutate() fans one
+    /// op to every shard and publishes epoch+1, so after this worker applies
+    /// its m-th mutation its allocator state equals the global epoch-m
+    /// snapshot restricted to its members -- making this the correct epoch
+    /// key for decisions it computes from here on.
+    std::uint64_t muts_applied = 0;
     // Telemetry (relaxed atomics; readable without quiescence).
     std::atomic<std::uint64_t> consults{0};
     std::atomic<std::uint64_t> batches{0};
@@ -187,6 +215,14 @@ class EnforcementEngine : public alloc::AllocatorBase {
 
   void worker_loop(Shard& shard);
   void process(Shard& shard, Op& op);
+  /// Caller-thread cache front end: lookup against the published epoch,
+  /// re-certify the stored plan against the snapshot, return a copy on
+  /// success. Nullopt (= go through the shard queue) on miss/stale/reject.
+  std::optional<alloc::AllocationPlan> cached_decision(std::size_t a, double amount) const;
+  /// Sparse residual re-certification of a cached plan against `snap`:
+  /// draws within current entitlements, demand met, theta covers every
+  /// capacity drop. O(nnz * n) with the vectorized kernels.
+  bool recertify(const PlanCache::Entry& e, const CapacitySnapshot& snap) const;
   /// Map a shard-local plan back to full-system indices, overlaying the
   /// current snapshot for participants outside the shard.
   alloc::AllocationPlan globalize(const Shard& shard, alloc::AllocationPlan local) const;
@@ -208,6 +244,12 @@ class EnforcementEngine : public alloc::AllocatorBase {
   Partition part_;
   std::vector<std::unique_ptr<Shard>> shards_;
   SnapshotCell cell_;
+  /// Decision cache + the immutable matrices its re-certification needs:
+  /// that_(k, i) is the capacity drop at i per unit drawn at k (retained_k on
+  /// the diagonal, clamped transitive share K_ki off it) -- the same
+  /// coefficients the compact LP's perturbation rows use.
+  std::unique_ptr<PlanCache> pcache_;
+  Matrix that_;
   std::uint64_t epoch_ = 0;          ///< guarded by mutate_mu_
   mutable std::mutex mutate_mu_;     ///< serializes mutations + publish
   mutable lp::PipelineStats agg_stats_;  ///< scratch for solver_stats()
@@ -219,6 +261,10 @@ class EnforcementEngine : public alloc::AllocatorBase {
   obs::Counter* obs_coalesced_ops_ = nullptr;
   obs::Counter* obs_epochs_ = nullptr;
   obs::LogHistogram* obs_batch_size_ = nullptr;
+  obs::Counter* obs_pc_hits_ = nullptr;
+  obs::Counter* obs_pc_misses_ = nullptr;
+  obs::Counter* obs_pc_stale_ = nullptr;
+  obs::Counter* obs_pc_rejects_ = nullptr;
 };
 
 }  // namespace agora::engine

@@ -1,0 +1,121 @@
+// plan_cache.h -- the epoch-keyed admission decision cache fronting the
+// enforcement engine (DESIGN.md §13).
+//
+// Production admission traffic is heavily repetitive: the same participants
+// ask for the same handful of request shapes over and over (trace studies
+// behind the paper's proxy experiments show Zipf-like shape popularity).
+// Between two capacity mutations the engine's decision function is PURE --
+// the answer to (participant, amount) depends only on the published
+// CapacitySnapshot -- so a decision computed once per epoch can be replayed
+// without touching a shard queue, a worker thread, or the LP.
+//
+// The cache is a fixed-size open-addressing table keyed by
+// (participant, canonicalized amount); the snapshot EPOCH is not part of the
+// hash but stored in the entry and compared on lookup. That choice is what
+// makes invalidation free: a mutation publishes epoch+1, every cached entry
+// silently becomes stale (lookup mismatches), and the next solve of a shape
+// overwrites its slot in place -- no flush pass, no generation sweeps.
+//
+// Concurrency: slots hold std::atomic<std::shared_ptr<const Entry>>, so
+// readers (engine front-end, any caller thread) and writers (shard workers
+// inserting fresh decisions) never block each other; a reader that loses a
+// race simply sees the old or the new immutable entry. Eviction is a probe-
+// window LRU clock: each slot carries a reference byte, bumped on hit and
+// decayed as insert scans pass over it; the coldest slot in the window is
+// replaced.
+//
+// A cache hit is NEVER granted on the cache's word alone -- the engine
+// re-certifies the stored plan against the current snapshot with a sparse
+// residual check (see EnforcementEngine::recertify) before returning it,
+// preserving the "no uncertified grant" invariant end to end.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "alloc/plan.h"
+
+namespace agora::engine {
+
+struct PlanCacheOptions {
+  /// Slot count; rounded up to a power of two, minimum 64.
+  std::size_t slots = std::size_t{1} << 13;
+  /// Linear-probe window per key. Bounded probing keeps the worst-case
+  /// lookup cost flat; a full window falls back to LRU-clock eviction.
+  std::size_t probe_window = 8;
+};
+
+/// Counter snapshot (relaxed reads; exact once the engine is quiescent).
+struct PlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stale = 0;  ///< shape found but from an older epoch
+  std::uint64_t inserts = 0;
+  std::uint64_t evictions = 0;        ///< inserts that displaced a live entry
+  std::uint64_t certify_rejects = 0;  ///< hits the residual re-check refused
+};
+
+class PlanCache {
+ public:
+  /// An immutable cached decision. `plan` is the full globalized plan as the
+  /// engine returned it (decision_epoch == epoch); `nz` lists the indices of
+  /// its nonzero draws so the engine's residual re-check touches only the
+  /// rows that matter.
+  struct Entry {
+    std::uint64_t epoch = 0;
+    std::size_t participant = 0;
+    double amount = 0.0;
+    alloc::AllocationPlan plan;
+    std::vector<std::uint32_t> nz;
+  };
+
+  enum class Outcome { Hit, Miss, Stale };
+
+  struct LookupResult {
+    std::shared_ptr<const Entry> entry;  ///< non-null iff outcome == Hit
+    Outcome outcome = Outcome::Miss;
+  };
+
+  explicit PlanCache(PlanCacheOptions opts = {});
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Find the decision for (participant, amount) made at exactly `epoch`.
+  LookupResult lookup(std::uint64_t epoch, std::size_t participant, double amount);
+
+  /// Publish a decision. `plan` must be a Satisfied, certified, globalized
+  /// plan computed against snapshot `epoch`. A same-shape entry anywhere in
+  /// the probe window is overwritten in place (this is how stale entries die).
+  void insert(std::uint64_t epoch, std::size_t participant, double amount,
+              const alloc::AllocationPlan& plan);
+
+  /// Record a hit the engine's residual re-certification rejected (counted
+  /// here so PlanCacheStats tells the whole admission story in one struct).
+  void note_certify_reject() { certify_rejects_.fetch_add(1, std::memory_order_relaxed); }
+
+  std::size_t slots() const { return slots_.size(); }
+  PlanCacheStats stats() const;
+
+ private:
+  struct Slot {
+    std::atomic<std::shared_ptr<const Entry>> entry;
+    std::atomic<std::uint8_t> ref{0};  ///< LRU-clock recency, saturating
+  };
+
+  std::size_t base_index(std::size_t participant, double amount) const;
+
+  std::size_t mask_ = 0;
+  std::size_t probe_ = 8;
+  std::vector<Slot> slots_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> stale_{0};
+  std::atomic<std::uint64_t> inserts_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> certify_rejects_{0};
+};
+
+}  // namespace agora::engine

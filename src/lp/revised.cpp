@@ -14,12 +14,12 @@ namespace agora::lp {
 
 namespace {
 
-/// x_B = B^-1 b with the same arithmetic (dot per row) and denormal clamp as
-/// refactorize() has always used, but writing into reused storage.
+/// x_B = B^-1 b (vectorized dot per binv row) with the denormal clamp
+/// refactorize() has always used, writing into reused storage.
 void compute_xb(const StandardForm& sf, SolveWorkspace& W, double drop) {
   const std::size_t m = sf.rows();
   W.xb.assign(m, 0.0);
-  for (std::size_t r = 0; r < m; ++r) W.xb[r] = dot(W.binv.row(r), sf.b);
+  for (std::size_t r = 0; r < m; ++r) W.xb[r] = vdot(W.binv.row(r), sf.b);
   for (double& v : W.xb)
     if (std::fabs(v) < drop) v = 0.0;
 }
@@ -104,41 +104,44 @@ void refine_xb(const StandardForm& sf, SolveWorkspace& W, const SolverOptions& o
   ++stats.refinement_steps;
   const std::size_t m = sf.rows();
   for (std::size_t r = 0; r < m; ++r) {
-    W.xb[r] += dot(W.binv.row(r), W.resid);
+    W.xb[r] += vdot(W.binv.row(r), W.resid);
     if (std::fabs(W.xb[r]) < opts.tols.drop) W.xb[r] = 0.0;
   }
 }
 
-/// w = B^-1 A_col, iterating only the column's nonzeros (CSC).
+/// w = B^-1 A_col over the column's nonzeros (CSC). Iterates binv by rows --
+/// each row is contiguous, so the gather over the column's row indices stays
+/// inside one cache line run instead of striding the whole inverse (the
+/// compact allocation model's columns are dense: one demand entry plus a
+/// perturbation entry per participant).
 void ftran(const StandardForm& sf, SolveWorkspace& W, std::size_t col) {
   const std::size_t m = sf.rows();
-  W.w.assign(m, 0.0);
-  for (std::size_t t = sf.col_start[col]; t < sf.col_start[col + 1]; ++t) {
-    const std::size_t k = sf.col_row[t];
-    const double a = sf.col_val[t];
-    for (std::size_t r = 0; r < m; ++r)
-      W.w[r] += W.binv.at_unchecked(r, k) * a;
-  }
+  const std::size_t start = sf.col_start[col];
+  const std::size_t nnz = sf.col_start[col + 1] - start;
+  const std::size_t* idx = sf.col_row.data() + start;
+  const double* val = sf.col_val.data() + start;
+  W.w.resize(m);
+  for (std::size_t r = 0; r < m; ++r)
+    W.w[r] = gather_dot(&W.binv.at_unchecked(r, 0), idx, val, nnz);
 }
 
-/// y' = c_B' B^-1 into W.y.
+/// y' = c_B' B^-1 into W.y (vectorized axpy per contributing binv row).
 void btran(const StandardForm& sf, SolveWorkspace& W) {
   const std::size_t m = sf.rows();
   W.y.assign(m, 0.0);
   for (std::size_t r = 0; r < m; ++r) {
     const double c = W.cb[r];
     if (c == 0.0) continue;
-    for (std::size_t k = 0; k < m; ++k) W.y[k] += c * W.binv.at_unchecked(r, k);
+    vaxpy(c, W.binv.row(r), std::span<double>(W.y));
   }
 }
 
 /// Reduced cost d_j = c_j - y' A_j over the column's nonzeros.
 double reduced_cost(const StandardForm& sf, const SolveWorkspace& W,
                     const std::vector<double>& cost, std::size_t j) {
-  double d = cost[j];
-  for (std::size_t t = sf.col_start[j]; t < sf.col_start[j + 1]; ++t)
-    d -= W.y[sf.col_row[t]] * sf.col_val[t];
-  return d;
+  const std::size_t start = sf.col_start[j];
+  return cost[j] - gather_dot(W.y.data(), sf.col_row.data() + start,
+                              sf.col_val.data() + start, sf.col_start[j + 1] - start);
 }
 
 /// Elementary update of binv and xb after column `enter` (with tableau
@@ -153,8 +156,7 @@ void update(SolveWorkspace& W, std::size_t leave, std::size_t enter, double drop
     if (r == leave) continue;
     const double f = W.w[r];
     if (f == 0.0) continue;
-    for (std::size_t k = 0; k < m; ++k)
-      W.binv.at_unchecked(r, k) -= f * W.binv.at_unchecked(leave, k);
+    vaxpy(-f, W.binv.row(leave), W.binv.row(r));
     W.xb[r] -= f * W.xb[leave];
     if (std::fabs(W.xb[r]) < drop) W.xb[r] = 0.0;
   }

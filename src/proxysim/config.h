@@ -54,6 +54,11 @@ struct SimConfig {
   /// engine::EnforcementEngine with this many worker threads (agora_sim
   /// --threads N). threads=1 is decision-identical to the direct path.
   std::size_t scheduler_threads = 0;
+  /// Epoch-keyed decision cache in front of the engine's shard queues
+  /// (engine/plan_cache.h; agora_sim --plan-cache). Repeated consult shapes
+  /// are answered in the caller's thread after a certified residual
+  /// re-check. Only meaningful when scheduler_threads >= 1.
+  bool engine_plan_cache = false;
 
   /// Consult the global scheduler when a proxy's queued demand (in
   /// unit-power service seconds) exceeds this.

@@ -28,6 +28,7 @@ SchedulerBridge::SchedulerBridge(const SimConfig& cfg)
     if (cfg.scheduler_threads >= 1) {
       engine::EngineOptions eng;
       eng.threads = cfg.scheduler_threads;
+      eng.plan_cache = cfg.engine_plan_cache;
       eng.alloc = cfg.alloc_opts;
       eng.sink = cfg.alloc_opts.sink;
       allocator_ =
@@ -78,7 +79,10 @@ RedirectDecision SchedulerBridge::plan(std::size_t origin, double overflow,
   }
 
   if (kind_ == SchedulerKind::Lp) {
-    allocator_->set_capacities(std::span<const double>(usable_));
+    if (usable_ != last_caps_) {
+      allocator_->set_capacities(std::span<const double>(usable_));
+      last_caps_ = usable_;
+    }
     // Partial redirection: place as much of the overflow as transitive
     // agreements allow; the LP decides the local/remote split (the origin's
     // own spare enters as d_origin) and minimizes the global perturbation.

@@ -77,6 +77,13 @@ class SchedulerBridge {
   agree::AgreementSystem endpoint_sys_;
   /// Reused per-consult scratch (masked spare / budget vectors).
   std::vector<double> usable_, budget_;
+  /// The capacity vector last pushed into the allocator. When a consult's
+  /// masked spare is bitwise-unchanged, the set_capacities call is a
+  /// semantic no-op and is skipped -- identical decisions either way, but
+  /// the engine backend keeps its snapshot epoch, which is what lets the
+  /// plan cache (engine/plan_cache.h) serve repeated shapes during stable
+  /// spare-capacity windows.
+  std::vector<double> last_caps_;
   /// Cached registry handles (see obs/metrics.h); resolved from the
   /// config's alloc_opts sink so bridge and allocator report to one place.
   obs::LogHistogram* obs_plan_seconds_ = nullptr;

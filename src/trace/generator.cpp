@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+
+#include "trace/zipf.h"
 
 namespace agora::trace {
 
@@ -20,6 +23,24 @@ std::vector<TraceRequest> Generator::generate(std::uint64_t seed, double time_sh
   const double horizon = profile_.horizon();
   const double width = profile_.slot_width();
 
+  // Zipf popularity mode: a config-deterministic object catalog (same size
+  // mixture as the per-request draw below, fixed seed so all proxies share
+  // it) plus a per-proxy-seeded rank sampler.
+  const bool zipf_mode = cfg_.zipf_s > 0.0 && cfg_.zipf_catalog > 0;
+  std::vector<std::uint64_t> object_bytes;
+  std::optional<ZipfSampler> zipf;
+  if (zipf_mode) {
+    Pcg32 crng(0x0b1ec7ULL, /*stream=*/0xca7a10ULL);
+    object_bytes.reserve(cfg_.zipf_catalog);
+    for (std::size_t k = 0; k < cfg_.zipf_catalog; ++k) {
+      const double b = crng.next_double() < cfg_.tail_probability
+                           ? crng.pareto(cfg_.tail_scale_bytes, cfg_.tail_alpha)
+                           : crng.lognormal(cfg_.body_log_median_bytes, cfg_.body_sigma);
+      object_bytes.push_back(static_cast<std::uint64_t>(b));
+    }
+    zipf.emplace(cfg_.zipf_catalog, cfg_.zipf_s, seed);
+  }
+
   std::vector<TraceRequest> out;
   out.reserve(static_cast<std::size_t>(cfg_.peak_rate * profile_.mean_weight() * horizon * 1.1) +
               16);
@@ -34,7 +55,9 @@ std::vector<TraceRequest> Generator::generate(std::uint64_t seed, double time_sh
       t = std::fmod(t, horizon);
       if (t < 0.0) t += horizon;
       r.arrival = t;
-      if (rng.next_double() < cfg_.tail_probability) {
+      if (zipf_mode) {
+        r.response_bytes = object_bytes[zipf->next()];
+      } else if (rng.next_double() < cfg_.tail_probability) {
         r.response_bytes = static_cast<std::uint64_t>(
             rng.pareto(cfg_.tail_scale_bytes, cfg_.tail_alpha));
       } else {

@@ -35,6 +35,16 @@ struct GeneratorConfig {
   double tail_alpha = 1.3;
   /// Synthetic client population size.
   std::uint32_t num_clients = 5000;
+  /// Optional Zipf popularity mode (agora_sim --zipf): when zipf_s > 0,
+  /// response lengths are drawn from a fixed catalog of `zipf_catalog`
+  /// distinct objects whose rank popularity follows Zipf(zipf_s) (zipf.h),
+  /// instead of the fresh lognormal/Pareto draw per request above. The
+  /// catalog depends on the config alone, so every proxy sees the same
+  /// object population; rank sampling stays deterministic in the per-proxy
+  /// seed. A few hot object sizes dominating the stream is what makes the
+  /// engine's request-shape plan cache effective end to end.
+  double zipf_s = 0.0;
+  std::size_t zipf_catalog = 512;
 };
 
 /// Mean response length implied by the config (bytes).

@@ -1,0 +1,64 @@
+#include "trace/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace agora::trace {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s, std::uint64_t seed)
+    : s_(s), rng_(seed, /*stream=*/0x5a1fULL) {
+  AGORA_REQUIRE(n >= 1, "ZipfSampler needs at least one rank");
+  AGORA_REQUIRE(s >= 0.0 && std::isfinite(s), "Zipf exponent must be finite and >= 0");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += std::pow(static_cast<double>(k + 1), -s);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding leaving the last bin short
+}
+
+std::size_t ZipfSampler::next() {
+  const double u = rng_.next_double();
+  // First k with cdf_[k] > u; cdf_.back() == 1 > u always terminates.
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::probability(std::size_t k) const {
+  AGORA_REQUIRE(k < cdf_.size(), "rank out of range");
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+double ZipfSampler::mass_of_top(std::size_t k) const {
+  if (k == 0) return 0.0;
+  return cdf_[std::min(k, cdf_.size()) - 1];
+}
+
+ZipfShapeGenerator::ZipfShapeGenerator(Config cfg)
+    : cfg_(cfg), zipf_(std::max<std::size_t>(cfg.shapes, 1), cfg.s, cfg.seed) {
+  AGORA_REQUIRE(cfg_.participants >= 1, "need at least one participant");
+  AGORA_REQUIRE(cfg_.shapes >= 1, "need at least one shape");
+  AGORA_REQUIRE(cfg_.amount_levels >= 1, "need at least one amount level");
+  AGORA_REQUIRE(cfg_.amount_min >= 0.0 && cfg_.amount_step >= 0.0,
+                "amounts must be non-negative");
+  // The catalog stream is separate from the sampling stream so that two
+  // generators with the same config draw the same shapes no matter how many
+  // samples either has produced.
+  Pcg32 rng(cfg_.seed, /*stream=*/0xca7a10ULL);
+  catalog_.reserve(cfg_.shapes);
+  for (std::size_t i = 0; i < cfg_.shapes; ++i) {
+    RequestShape shape;
+    shape.participant = rng.uniform_u32(static_cast<std::uint32_t>(cfg_.participants));
+    shape.amount = cfg_.amount_min +
+                   cfg_.amount_step *
+                       static_cast<double>(
+                           rng.uniform_u32(static_cast<std::uint32_t>(cfg_.amount_levels)));
+    catalog_.push_back(shape);
+  }
+}
+
+}  // namespace agora::trace

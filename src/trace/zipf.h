@@ -1,0 +1,97 @@
+// zipf.h -- seeded Zipf(s) sampling and the request-shape generator built on
+// it.
+//
+// Admission traffic is not uniform: a few participants issue most of the
+// consults, and each participant's requests cluster on a few amounts (batch
+// sizes, page quanta, connection slots). The decision cache (engine/
+// plan_cache.h) exists for exactly this shape of workload, so the benchmark
+// and proxysim drive it with the same popularity model trace studies report:
+// shape popularity ~ Zipf with exponent s near 1.
+//
+// ZipfSampler draws ranks in [0, n) with P(rank k) proportional to
+// 1 / (k+1)^s via an inverse-CDF table + binary search: O(n) setup, O(log n)
+// per sample, bit-reproducible for a fixed (n, s, seed) across platforms
+// (Pcg32 underneath, like every other generator in src/trace).
+//
+// ZipfShapeGenerator materializes a catalog of `shapes` distinct
+// (participant, amount) pairs -- participants drawn uniformly, amounts from
+// a seeded uniform grid -- and samples the catalog by Zipf rank, so shape
+// popularity is Zipf while the shape population itself stays spread across
+// participants. `hottest_share(k)` reports the probability mass of the k
+// most popular shapes, which is the cache-hit-rate upper bound a benchmark
+// should compare against.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace agora::trace {
+
+/// Zipf(s) rank sampler over {0, ..., n-1}: P(k) ~ 1 / (k+1)^s.
+class ZipfSampler {
+ public:
+  /// Requires n >= 1 and s >= 0 (s = 0 degenerates to uniform).
+  ZipfSampler(std::size_t n, double s, std::uint64_t seed);
+
+  std::size_t size() const { return cdf_.size(); }
+  double exponent() const { return s_; }
+
+  /// Next rank, most popular = 0.
+  std::size_t next();
+
+  /// Probability of rank k.
+  double probability(std::size_t k) const;
+
+  /// Total probability mass of ranks [0, k) -- the best hit rate any cache
+  /// holding the k hottest shapes can reach.
+  double mass_of_top(std::size_t k) const;
+
+ private:
+  double s_ = 1.0;
+  std::vector<double> cdf_;  ///< cdf_[k] = P(rank <= k), cdf_.back() == 1
+  Pcg32 rng_;
+};
+
+/// One admission request shape: participant `a` asking for `amount`.
+struct RequestShape {
+  std::size_t participant = 0;
+  double amount = 0.0;
+};
+
+/// Zipf-popular catalog of request shapes (see file comment).
+class ZipfShapeGenerator {
+ public:
+  struct Config {
+    std::size_t participants = 64;  ///< participant ids in [0, participants)
+    std::size_t shapes = 512;       ///< catalog size (distinct shapes)
+    double s = 1.1;                 ///< Zipf exponent of shape popularity
+    /// Amounts are drawn uniformly from {amount_min + j * amount_step} with
+    /// j in [0, amount_levels): a discrete grid, because real request sizes
+    /// are quantized and cache keys compare exact bits.
+    double amount_min = 0.5;
+    double amount_step = 0.25;
+    std::size_t amount_levels = 16;
+    std::uint64_t seed = 1;
+  };
+
+  explicit ZipfShapeGenerator(Config cfg);
+
+  const Config& config() const { return cfg_; }
+  const std::vector<RequestShape>& catalog() const { return catalog_; }
+
+  /// Next request, sampled by Zipf shape popularity.
+  RequestShape next() { return catalog_[zipf_.next()]; }
+
+  /// Popularity mass of the k hottest shapes.
+  double hottest_share(std::size_t k) const { return zipf_.mass_of_top(k); }
+
+ private:
+  Config cfg_;
+  std::vector<RequestShape> catalog_;
+  ZipfSampler zipf_;
+};
+
+}  // namespace agora::trace

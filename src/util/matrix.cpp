@@ -4,6 +4,10 @@
 #include <cmath>
 #include <ostream>
 
+#if defined(AGORA_SIMD_AVX2) && defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
 namespace agora {
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
@@ -189,6 +193,112 @@ double linf_distance(std::span<const double> a, std::span<const double> b) {
   double m = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::fabs(a[i] - b[i]));
   return m;
+}
+
+// --- Vectorized kernels ----------------------------------------------------
+//
+// The AVX2 path uses explicit mul+add (never fmadd), so -ffp-contract
+// settings cannot make the sanitizer builds drift from the tier-1 build,
+// and the fallback's four scalar accumulators replay the exact lane
+// arithmetic of the 4-wide register. Tail elements are folded into lane
+// (i % 4) in both paths.
+
+#if defined(AGORA_SIMD_AVX2) && defined(__AVX2__)
+
+double vdot(const double* a, const double* b, std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  for (; i < n; ++i) lane[i & 3] += a[i] * b[i];
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+DotAbs vdot_abs(const double* a, const double* x, std::size_t n) {
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  __m256d acc = _mm256_setzero_pd();
+  __m256d mag = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d p = _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(x + i));
+    acc = _mm256_add_pd(acc, p);
+    mag = _mm256_add_pd(mag, _mm256_andnot_pd(sign_mask, p));
+  }
+  alignas(32) double vlane[4], mlane[4];
+  _mm256_store_pd(vlane, acc);
+  _mm256_store_pd(mlane, mag);
+  for (; i < n; ++i) {
+    const double p = a[i] * x[i];
+    vlane[i & 3] += p;
+    mlane[i & 3] += std::fabs(p);
+  }
+  return {(vlane[0] + vlane[1]) + (vlane[2] + vlane[3]),
+          (mlane[0] + mlane[1]) + (mlane[2] + mlane[3])};
+}
+
+void vaxpy(double alpha, const double* x, double* y, std::size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i),
+                                          _mm256_mul_pd(va, _mm256_loadu_pd(x + i))));
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+#else  // scalar fallback, lane-for-lane identical to the AVX2 path
+
+double vdot(const double* a, const double* b, std::size_t n) {
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    l0 += a[i] * b[i];
+    l1 += a[i + 1] * b[i + 1];
+    l2 += a[i + 2] * b[i + 2];
+    l3 += a[i + 3] * b[i + 3];
+  }
+  double lane[4] = {l0, l1, l2, l3};
+  for (; i < n; ++i) lane[i & 3] += a[i] * b[i];
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+DotAbs vdot_abs(const double* a, const double* x, std::size_t n) {
+  double vlane[4] = {0.0, 0.0, 0.0, 0.0};
+  double mlane[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    for (std::size_t l = 0; l < 4; ++l) {
+      const double p = a[i + l] * x[i + l];
+      vlane[l] += p;
+      mlane[l] += std::fabs(p);
+    }
+  }
+  for (; i < n; ++i) {
+    const double p = a[i] * x[i];
+    vlane[i & 3] += p;
+    mlane[i & 3] += std::fabs(p);
+  }
+  return {(vlane[0] + vlane[1]) + (vlane[2] + vlane[3]),
+          (mlane[0] + mlane[1]) + (mlane[2] + mlane[3])};
+}
+
+void vaxpy(double alpha, const double* x, double* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+#endif  // AGORA_SIMD_AVX2
+
+void gemv(const Matrix& a, std::span<const double> x, std::span<double> y) {
+  AGORA_REQUIRE(a.cols() == x.size() && a.rows() == y.size(), "gemv: shape mismatch");
+  for (std::size_t i = 0; i < a.rows(); ++i) y[i] = vdot(a.row(i), x);
+}
+
+double gather_dot(const double* row, const std::size_t* idx, const double* val,
+                  std::size_t nnz) {
+  double s = 0.0;
+  for (std::size_t t = 0; t < nnz; ++t) s += row[idx[t]] * val[t];
+  return s;
 }
 
 }  // namespace agora

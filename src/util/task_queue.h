@@ -17,6 +17,7 @@
 // report closure, so no submitted work is ever silently lost.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -35,13 +36,23 @@ class BlockingQueue {
 
   /// Enqueue one item. Returns false (dropping the item) iff the queue is
   /// closed -- callers that must not lose work check the result.
+  ///
+  /// Wake-up hygiene: notify_one() is only issued when a consumer is
+  /// actually parked in a wait (waiters_ > 0). When the worker is busy
+  /// solving -- the common case under batch coalescing -- the push is one
+  /// lock acquisition with no condvar syscall; the worker's own wait_drain
+  /// re-check picks the item up. This removes the spurious-notify storm that
+  /// showed up as tail-latency outliers in the scale_shards latency phase.
   bool push(T item) {
+    bool wake;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_) return false;
       items_.push_back(std::move(item));
+      count_.store(items_.size(), std::memory_order_relaxed);
+      wake = waiters_ > 0;
     }
-    cv_.notify_one();
+    if (wake) cv_.notify_one();
     return true;
   }
 
@@ -49,10 +60,11 @@ class BlockingQueue {
   /// drained.
   bool wait_pop(T& out) {
     std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    wait_for_work(lock);
     if (items_.empty()) return false;
     out = std::move(items_.front());
     items_.pop_front();
+    count_.store(items_.size(), std::memory_order_relaxed);
     return true;
   }
 
@@ -61,11 +73,12 @@ class BlockingQueue {
   std::size_t wait_drain(std::vector<T>& out) {
     out.clear();
     std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    wait_for_work(lock);
     while (!items_.empty()) {
       out.push_back(std::move(items_.front()));
       items_.pop_front();
     }
+    count_.store(0, std::memory_order_relaxed);
     return out.size();
   }
 
@@ -77,6 +90,7 @@ class BlockingQueue {
       out.push_back(std::move(items_.front()));
       items_.pop_front();
     }
+    count_.store(0, std::memory_order_relaxed);
     return out.size();
   }
 
@@ -100,10 +114,27 @@ class BlockingQueue {
     return items_.size();
   }
 
+  /// Lock-free depth estimate for telemetry gauges on hot submit paths --
+  /// may lag concurrent pushes/pops by a step, never takes the queue lock.
+  std::size_t size_approx() const { return count_.load(std::memory_order_relaxed); }
+
  private:
+  /// Park until there is work or the queue closes, tracking the waiter so
+  /// push() knows whether a notify is needed. waiters_ is only accessed
+  /// under mu_, so no wake-up can be lost: a waiter either registered before
+  /// the pusher's critical section (push sees waiters_ > 0 and notifies) or
+  /// registers after it (the wait predicate sees the item and never sleeps).
+  void wait_for_work(std::unique_lock<std::mutex>& lock) {
+    ++waiters_;
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    --waiters_;
+  }
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<T> items_;
+  std::atomic<std::size_t> count_{0};
+  std::size_t waiters_ = 0;
   bool closed_ = false;
 };
 

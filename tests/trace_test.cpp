@@ -8,6 +8,7 @@
 #include "trace/generator.h"
 #include "trace/profile.h"
 #include "trace/trace_io.h"
+#include "trace/zipf.h"
 #include "util/error.h"
 #include "util/stats.h"
 
@@ -207,6 +208,67 @@ TEST(TraceIo, FileRoundTrip) {
   ASSERT_EQ(back.size(), reqs.size());
   for (std::size_t i = 0; i < reqs.size(); ++i)
     EXPECT_EQ(back[i].response_bytes, reqs[i].response_bytes);
+}
+
+// ------------------------------------------------------------------- zipf ---
+
+TEST(Zipf, ProbabilitiesFollowThePowerLaw) {
+  ZipfSampler z(100, 1.1, 7);
+  double total = 0.0;
+  for (std::size_t k = 0; k < z.size(); ++k) total += z.probability(k);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // P(k) / P(2k) == 2^s for a pure power law.
+  EXPECT_NEAR(z.probability(1) / z.probability(3), std::pow(2.0, 1.1), 1e-9);
+  EXPECT_NEAR(z.mass_of_top(z.size()), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(z.mass_of_top(0), 0.0);
+}
+
+TEST(Zipf, SamplingIsDeterministicInTheSeed) {
+  ZipfSampler a(64, 1.1, 42), b(64, 1.1, 42), c(64, 1.1, 43);
+  bool any_diff = false;
+  for (int i = 0; i < 256; ++i) {
+    const std::size_t ra = a.next();
+    EXPECT_EQ(ra, b.next());
+    if (ra != c.next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);  // different seed, different stream
+}
+
+TEST(Zipf, EmpiricalSkewMatchesTheory) {
+  ZipfSampler z(64, 1.1, 11);
+  std::vector<std::size_t> count(64, 0);
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) ++count[z.next()];
+  // Rank 0 should dominate and land near its theoretical mass.
+  const double p0 = static_cast<double>(count[0]) / draws;
+  EXPECT_NEAR(p0, z.probability(0), 0.02);
+  EXPECT_GT(count[0], count[32]);
+  std::size_t top8 = 0;
+  for (std::size_t k = 0; k < 8; ++k) top8 += count[k];
+  EXPECT_NEAR(static_cast<double>(top8) / draws, z.mass_of_top(8), 0.03);
+}
+
+TEST(Zipf, ShapeGeneratorIsDeterministicAndBounded) {
+  ZipfShapeGenerator::Config cfg;
+  cfg.participants = 16;
+  cfg.shapes = 64;
+  cfg.seed = 5;
+  ZipfShapeGenerator g1(cfg), g2(cfg);
+  ASSERT_EQ(g1.catalog().size(), 64u);
+  for (const RequestShape& s : g1.catalog()) {
+    EXPECT_LT(s.participant, 16u);
+    EXPECT_GE(s.amount, cfg.amount_min);
+    EXPECT_LE(s.amount,
+              cfg.amount_min + cfg.amount_step * static_cast<double>(cfg.amount_levels - 1));
+  }
+  for (int i = 0; i < 128; ++i) {
+    const RequestShape a = g1.next(), b = g2.next();
+    EXPECT_EQ(a.participant, b.participant);
+    EXPECT_EQ(a.amount, b.amount);
+  }
+  // hottest_share is a proper cache-hit-rate bound: monotone, <= 1.
+  EXPECT_LE(g1.hottest_share(8), g1.hottest_share(64));
+  EXPECT_NEAR(g1.hottest_share(64), 1.0, 1e-12);
 }
 
 }  // namespace

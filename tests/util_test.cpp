@@ -3,14 +3,19 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <span>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "util/csv.h"
 #include "util/error.h"
 #include "util/matrix.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "util/task_queue.h"
 #include "util/threadpool.h"
 
 namespace agora {
@@ -394,6 +399,98 @@ TEST(ThreadPool, ParallelForPropagatesExceptions) {
 TEST(ThreadPool, ZeroIterationsIsNoop) {
   ThreadPool pool(2);
   pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+// --------------------------------------------------- vectorized kernels ---
+
+namespace {
+std::vector<double> ramp(std::size_t n, double base, double step) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = base + step * static_cast<double>(i);
+  return v;
+}
+}  // namespace
+
+TEST(VectorKernels, VdotMatchesDotWithinTolerance) {
+  // vdot uses 4-lane accumulation, so it is not bit-equal to the serial dot;
+  // on well-scaled data the two agree to relative machine epsilon * n.
+  for (std::size_t n : {0u, 1u, 3u, 4u, 7u, 64u, 129u}) {
+    const auto a = ramp(n, 0.25, 0.375);
+    const auto b = ramp(n, -1.5, 0.125);
+    const double serial = dot(a, b);
+    const double lanes = vdot(a, b);
+    EXPECT_NEAR(lanes, serial, 1e-12 * (1.0 + std::fabs(serial))) << "n=" << n;
+  }
+}
+
+TEST(VectorKernels, VaxpyBitIdenticalToAxpy) {
+  for (std::size_t n : {0u, 1u, 5u, 64u, 131u}) {
+    const auto x = ramp(n, 0.1, 0.7);
+    auto y1 = ramp(n, 3.0, -0.2);
+    auto y2 = y1;
+    axpy(-1.75, x, y1);
+    vaxpy(-1.75, x, y2);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(y1[i], y2[i]) << "n=" << n << " i=" << i;
+  }
+}
+
+TEST(VectorKernels, VdotAbsValueAndMagnitude) {
+  const std::vector<double> a = {1.0, -2.0, 3.0, -4.0, 5.0};
+  const std::vector<double> x = {2.0, 2.0, 2.0, 2.0, 2.0};
+  const DotAbs r = vdot_abs(a, x);
+  EXPECT_NEAR(r.value, 6.0, 1e-12);
+  EXPECT_NEAR(r.magnitude, 30.0, 1e-12);
+}
+
+TEST(VectorKernels, GemvMatchesOperator) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const std::vector<double> x = {0.5, -1.0, 2.0};
+  const std::vector<double> ref = m * std::span<const double>(x);
+  std::vector<double> y(2, 0.0);
+  gemv(m, x, y);
+  for (std::size_t i = 0; i < 2; ++i) EXPECT_NEAR(y[i], ref[i], 1e-12);
+}
+
+TEST(VectorKernels, GemvShapeMismatchThrows) {
+  Matrix m(2, 3);
+  std::vector<double> x(2, 0.0), y(2, 0.0);
+  EXPECT_THROW(gemv(m, x, y), PreconditionError);
+}
+
+TEST(VectorKernels, GatherDotMatchesDense) {
+  const auto row = ramp(10, 1.0, 1.0);  // 1..10
+  const std::size_t idx[] = {0, 3, 7};
+  const double val[] = {2.0, -1.0, 0.5};
+  // 1*2 - 4 + 8*0.5 = 2
+  EXPECT_NEAR(gather_dot(row.data(), idx, val, 3), 2.0, 1e-12);
+  EXPECT_EQ(gather_dot(row.data(), idx, val, 0), 0.0);
+}
+
+// ---------------------------------------------------------- BlockingQueue ---
+
+TEST(BlockingQueue, SizeApproxTracksDepth) {
+  BlockingQueue<int> q;
+  EXPECT_EQ(q.size_approx(), 0u);
+  q.push(1);
+  q.push(2);
+  EXPECT_EQ(q.size_approx(), 2u);
+  std::vector<int> out;
+  EXPECT_EQ(q.try_drain(out), 2u);
+  EXPECT_EQ(q.size_approx(), 0u);
+}
+
+TEST(BlockingQueue, WaiterIsWokenByPush) {
+  BlockingQueue<int> q;
+  std::atomic<int> got{0};
+  std::thread consumer([&] {
+    int v = 0;
+    if (q.wait_pop(v)) got.store(v);
+  });
+  // Give the consumer a chance to park before the (waiter-counted) notify.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.push(42);
+  consumer.join();
+  EXPECT_EQ(got.load(), 42);
 }
 
 }  // namespace

@@ -169,6 +169,14 @@ int main(int argc, char** argv) {
   flags.define("threads", "0",
                "LP scheduler worker threads: 0 = direct in-process allocator, >= 1 = "
                "sharded enforcement engine (1 is decision-identical to direct)");
+  flags.define("plan-cache", "0",
+               "1 = epoch-keyed decision cache in front of the engine: repeated consult "
+               "shapes answered without the LP after a certified residual re-check "
+               "(requires --threads >= 1)");
+  flags.define("zipf", "0",
+               "Zipf(s) response-popularity exponent: responses drawn from a fixed "
+               "512-object catalog with Zipf-ranked popularity; 0 = fresh "
+               "lognormal/Pareto length per request");
   flags.define("grm-replicas", "0",
                "0 = proxy simulator (default); >= 1 switches to the RMS service mode: "
                "a quorum-replicated GRM with this many replicas plus per-site LRMs");
@@ -207,6 +215,9 @@ int main(int argc, char** argv) {
     cfg.planning_window = flags.get_double("window");
     cfg.power.assign(n, flags.get_double("capacity"));
     cfg.scheduler_threads = static_cast<std::size_t>(flags.get_int("threads"));
+    cfg.engine_plan_cache = flags.get_int("plan-cache") != 0;
+    if (cfg.engine_plan_cache && cfg.scheduler_threads == 0)
+      throw PreconditionError("--plan-cache requires --threads >= 1 (engine backend)");
 
     const std::string sched = flags.get("scheduler");
     if (sched == "lp") cfg.scheduler = proxysim::SchedulerKind::Lp;
@@ -232,6 +243,7 @@ int main(int argc, char** argv) {
 
     trace::GeneratorConfig gc;
     gc.peak_rate = flags.get_double("peak-rate");
+    gc.zipf_s = flags.get_double("zipf");
     const trace::Generator gen(gc, trace::DiurnalProfile::berkeley_like());
     std::vector<std::vector<trace::TraceRequest>> traces;
     const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));

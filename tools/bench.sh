@@ -15,7 +15,7 @@ mkdir -p "${OUT}"
 
 cmake -B "${BUILD}" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${BUILD}" -j --target micro_lp micro_warmstart micro_certify scale_shards \
-  chaos_failover
+  scale_hotpath chaos_failover
 
 "./${BUILD}/bench/micro_lp" \
   --benchmark_out="${OUT}/micro_lp.json" --benchmark_out_format=json
@@ -38,10 +38,17 @@ python3 tools/bench_lp_json.py \
 
 echo "bench: BENCH_lp.json written"
 
-# Enforcement-engine shard sweep (1/2/4/8 worker shards over the
-# 64-participant island economy): consults/sec + p50/p99 consult latency,
-# written straight to BENCH_engine.json by the binary.
-"./${BUILD}/bench/scale_shards" BENCH_engine.json
+# Enforcement-engine sweeps: the shard-count sweep (1/2/4/8 worker shards,
+# consults/sec + p50/p99 consult latency with a recorded p99 regression
+# bound) and the admission hot-path sweep (baseline vs plan-cache vs
+# cache+fastpath on a Zipf s=1.1 request mix; cache hit-rate, fast-path
+# share, 100%-certified-grants gate). The merge script nests both fragments
+# under the schema-versioned BENCH_engine.json and enforces the >=10x
+# cache-speedup acceptance bound.
+"./${BUILD}/bench/scale_shards" "${OUT}/scale_shards.json"
+"./${BUILD}/bench/scale_hotpath" "${OUT}/scale_hotpath.json"
+python3 tools/bench_engine_json.py \
+  "${OUT}/scale_shards.json" "${OUT}/scale_hotpath.json" BENCH_engine.json
 
 echo "bench: BENCH_engine.json written"
 

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Merge the enforcement-engine bench fragments into BENCH_engine.json.
+
+Usage: bench_engine_json.py <scale_shards.json> <scale_hotpath.json> <out.json>
+
+scale_shards (shard-count sweep) and scale_hotpath (plan-cache / fast-path
+sweep, DESIGN.md section 13) each write a standalone JSON fragment; this
+script nests them under a schema-versioned top level so the repo tracks one
+engine bench file. Only the Python standard library is used.
+
+The hot-path acceptance gates from ISSUE/PR7 are re-checked here so a bad
+merge can't slip into the tracked file: certified_grant_pct must be 100 and
+the cache speedup over the baseline phase must be >= 10x.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main(argv):
+    if len(argv) != 4:
+        raise SystemExit(__doc__)
+    shards = load(argv[1])
+    hotpath = load(argv[2])
+
+    if hotpath.get("certified_grant_pct") != 100.0:
+        raise SystemExit("hotpath sweep reports uncertified grants")
+    speedup = hotpath.get("speedup_cache_vs_baseline", 0.0)
+    if speedup < 10.0:
+        raise SystemExit(f"hotpath cache speedup {speedup:.1f}x below the 10x acceptance bound")
+
+    doc = {
+        "schema": "agora-bench-engine/2",
+        "scale_shards": shards,
+        "scale_hotpath": hotpath,
+    }
+    with open(argv[3], "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"wrote {argv[3]}")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -22,7 +22,7 @@ cmake --build build -j
 # the tier-1 build bit for bit.
 cmake -B build-asan -S . -DAGORA_SANITIZE=ON
 cmake --build build-asan -j --target rms_test rms_chaos_test rms_replica_test \
-  rms_failover_test fuzz_test lp_certify_test lp_adversarial_test
+  rms_failover_test fuzz_test lp_certify_test lp_adversarial_test engine_cache_test
 ./build-asan/tests/rms_test
 ./build-asan/tests/rms_chaos_test
 ./build-asan/tests/rms_replica_test
@@ -30,6 +30,7 @@ cmake --build build-asan -j --target rms_test rms_chaos_test rms_replica_test \
 ./build-asan/tests/fuzz_test
 ./build-asan/tests/lp_certify_test
 ./build-asan/tests/lp_adversarial_test
+./build-asan/tests/engine_cache_test
 
 # ThreadSanitizer pass over the deliberately multithreaded code: the
 # concurrent observability substrate (metrics registry, lock-free EventRing
@@ -38,15 +39,19 @@ cmake --build build-asan -j --target rms_test rms_chaos_test rms_replica_test \
 # semantics, engine_stress_test hammers it with producer/mutator threads and
 # runs the GRM-on-engine chaos scenarios), and the rms chaos suite, whose
 # fault-injection paths exercise the bus under the heaviest event/metric
-# traffic.
+# traffic. engine_cache_test joins both passes: the plan cache's lock-free
+# slots (atomic shared_ptr loads racing in-place overwrites) and the
+# caller-thread hit path racing capacity mutations are exactly the code
+# TSan is for, and the hammer test drives them hard.
 cmake -B build-tsan -S . -DAGORA_TSAN=ON
 cmake --build build-tsan -j --target obs_test rms_chaos_test rms_failover_test \
-  engine_test engine_stress_test
+  engine_test engine_stress_test engine_cache_test
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/rms_chaos_test
 ./build-tsan/tests/rms_failover_test
 ./build-tsan/tests/engine_test
 ./build-tsan/tests/engine_stress_test
+./build-tsan/tests/engine_cache_test
 
 echo "tier1: all green"
 echo "tier1: LP perf numbers (BENCH_lp.json) are produced by tools/bench.sh"
