@@ -65,6 +65,11 @@
 // Enforcement at scale.
 #include "engine/engine.h"
 
+// The wire boundary: framed loopback RPC service over the engine, and the
+// failover-aware client (DESIGN.md §14).
+#include "net/client.h"
+#include "net/service.h"
+
 // Trace IO.
 #include "trace/generator.h"
 #include "trace/trace_io.h"

@@ -68,6 +68,8 @@ EnforcementEngine::EnforcementEngine(agree::AgreementSystem sys, EngineOptions o
   obs_pc_misses_ = &opts_.sink.counter("engine.plan_cache.misses");
   obs_pc_stale_ = &opts_.sink.counter("engine.plan_cache.stale");
   obs_pc_rejects_ = &opts_.sink.counter("engine.plan_cache.certify_rejects");
+  obs_pc_neg_hits_ = &opts_.sink.counter("engine.plan_cache.neg_hits");
+  obs_pc_neg_rejects_ = &opts_.sink.counter("engine.plan_cache.neg_rejects");
 
   if (opts_.plan_cache) {
     pcache_ = std::make_unique<PlanCache>(
@@ -178,8 +180,14 @@ void EnforcementEngine::process(Shard& shard, Op& op) {
         // comment); stamp it so callers can assert freshness.
         res.plan.decision_epoch = shard.muts_applied;
         res.status = res.plan.to_status();
-        if (pcache_ && res.plan.status == alloc::PlanStatus::Satisfied &&
-            res.plan.certified)
+        // Cache certified outcomes of BOTH polarities: grants for replay,
+        // and Insufficient denials (certified infeasible via the Farkas
+        // witness when the pipeline runs certify-on) so a requester
+        // hammering an impossible amount stops costing an LP solve per
+        // refusal. Denied / SolverFailed are give-ups, never cached.
+        if (pcache_ && res.plan.certified &&
+            (res.plan.status == alloc::PlanStatus::Satisfied ||
+             res.plan.status == alloc::PlanStatus::Insufficient))
           pcache_->insert(shard.muts_applied, op.global, op.amount, res.plan);
       } catch (const std::exception& e) {
         res.plan = {};
@@ -261,6 +269,7 @@ alloc::AllocationPlan EnforcementEngine::consult(std::size_t a, double amount) c
       return std::move(res.plan);
     case StatusCode::InvalidArgument:
     case StatusCode::Unavailable:
+    case StatusCode::DeadlineExceeded:
       throw PreconditionError(res.status.to_string());
     case StatusCode::Internal:
     case StatusCode::Io:
@@ -304,6 +313,25 @@ std::optional<alloc::AllocationPlan> EnforcementEngine::cached_decision(
       return std::nullopt;
     case PlanCache::Outcome::Hit:
       break;
+  }
+  if (found.entry->negative()) {
+    // Cached denial. The cheap re-check mirrors recertify()'s role for
+    // grants: confirm infeasibility against the PUBLISHED snapshot (the
+    // epoch compare may have raced a concurrent publish). Insufficient
+    // means demand exceeds availability C_a, so the denial still holds iff
+    // the amount is strictly beyond what the snapshot makes available.
+    const double tol = opts_.alloc.solver.tols.feasibility;
+    if (amount > snap->available[a] + tol * (1.0 + std::fabs(amount))) {
+      obs_pc_neg_hits_->inc();
+      obs_consults_->inc();
+      return found.entry->plan;
+    }
+    // Availability caught up with the request: the denial is no longer
+    // provable. Fall through to a fresh solve (which will overwrite the
+    // entry with a grant if one exists).
+    pcache_->note_certify_reject();
+    obs_pc_neg_rejects_->inc();
+    return std::nullopt;
   }
   if (!recertify(*found.entry, *snap)) {
     // The stored plan no longer proves admissible against the published

@@ -265,6 +265,8 @@ class EnforcementEngine : public alloc::AllocatorBase {
   obs::Counter* obs_pc_misses_ = nullptr;
   obs::Counter* obs_pc_stale_ = nullptr;
   obs::Counter* obs_pc_rejects_ = nullptr;
+  obs::Counter* obs_pc_neg_hits_ = nullptr;
+  obs::Counter* obs_pc_neg_rejects_ = nullptr;
 };
 
 }  // namespace agora::engine

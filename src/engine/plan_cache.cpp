@@ -23,6 +23,11 @@ std::uint64_t mix(std::uint64_t x) {
 }
 
 constexpr std::uint8_t kHotRef = 3;
+/// Negative entries start colder than grants: when a grant and a denial
+/// compete for the same probe window, the denial is evicted first -- a
+/// replayed denial only saves a solve, a replayed grant saves a solve AND
+/// keeps the certified fast path hot.
+constexpr std::uint8_t kNegRef = 1;
 
 }  // namespace
 
@@ -54,8 +59,8 @@ PlanCache::LookupResult PlanCache::lookup(std::uint64_t epoch, std::size_t parti
       stale_.fetch_add(1, std::memory_order_relaxed);
       return {nullptr, Outcome::Stale};
     }
-    slot.ref.store(kHotRef, std::memory_order_relaxed);
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    slot.ref.store(e->negative() ? kNegRef : kHotRef, std::memory_order_relaxed);
+    (e->negative() ? neg_hits_ : hits_).fetch_add(1, std::memory_order_relaxed);
     return {std::move(e), Outcome::Hit};
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
@@ -72,6 +77,8 @@ void PlanCache::insert(std::uint64_t epoch, std::size_t participant, double amou
   entry->nz.reserve(4);
   for (std::size_t k = 0; k < plan.draw.size(); ++k)
     if (plan.draw[k] != 0.0) entry->nz.push_back(static_cast<std::uint32_t>(k));
+  const bool negative = entry->negative();
+  const std::uint8_t fresh_ref = negative ? kNegRef : kHotRef;
 
   const std::size_t base = base_index(participant, amount);
   const std::uint64_t bits = amount_bits(amount);
@@ -85,8 +92,8 @@ void PlanCache::insert(std::uint64_t epoch, std::size_t participant, double amou
     if (e && e->participant == participant && amount_bits(e->amount) == bits) {
       // Same shape (fresh or stale): refresh in place.
       slot.entry.store(std::move(entry), std::memory_order_release);
-      slot.ref.store(kHotRef, std::memory_order_relaxed);
-      inserts_.fetch_add(1, std::memory_order_relaxed);
+      slot.ref.store(fresh_ref, std::memory_order_relaxed);
+      (negative ? neg_inserts_ : inserts_).fetch_add(1, std::memory_order_relaxed);
       return;
     }
     if (!e) {
@@ -106,10 +113,16 @@ void PlanCache::insert(std::uint64_t epoch, std::size_t participant, double amou
     }
   }
   Slot& slot = slots_[victim];
-  if (!victim_empty) evictions_.fetch_add(1, std::memory_order_relaxed);
+  if (!victim_empty) {
+    // Attribute the eviction to the polarity of the DISPLACED entry, so the
+    // counters answer "are denials crowding out grants?" directly.
+    std::shared_ptr<const Entry> old = slot.entry.load(std::memory_order_acquire);
+    (old && old->negative() ? neg_evictions_ : evictions_)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
   slot.entry.store(std::move(entry), std::memory_order_release);
-  slot.ref.store(kHotRef, std::memory_order_relaxed);
-  inserts_.fetch_add(1, std::memory_order_relaxed);
+  slot.ref.store(fresh_ref, std::memory_order_relaxed);
+  (negative ? neg_inserts_ : inserts_).fetch_add(1, std::memory_order_relaxed);
 }
 
 PlanCacheStats PlanCache::stats() const {
@@ -120,6 +133,9 @@ PlanCacheStats PlanCache::stats() const {
   s.inserts = inserts_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.certify_rejects = certify_rejects_.load(std::memory_order_relaxed);
+  s.neg_hits = neg_hits_.load(std::memory_order_relaxed);
+  s.neg_inserts = neg_inserts_.load(std::memory_order_relaxed);
+  s.neg_evictions = neg_evictions_.load(std::memory_order_relaxed);
   return s;
 }
 

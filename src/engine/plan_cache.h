@@ -49,13 +49,20 @@ struct PlanCacheOptions {
 };
 
 /// Counter snapshot (relaxed reads; exact once the engine is quiescent).
+/// The neg_* family tracks NEGATIVE entries -- cached certified denials
+/// (PlanStatus::Insufficient) replayed so a hammering requester cannot buy
+/// an LP solve per refusal. misses/stale are shared: at lookup time the
+/// polarity of an absent answer is unknown.
 struct PlanCacheStats {
-  std::uint64_t hits = 0;
+  std::uint64_t hits = 0;  ///< grant (positive-entry) hits
   std::uint64_t misses = 0;
   std::uint64_t stale = 0;  ///< shape found but from an older epoch
   std::uint64_t inserts = 0;
-  std::uint64_t evictions = 0;        ///< inserts that displaced a live entry
+  std::uint64_t evictions = 0;        ///< inserts that displaced a live grant
   std::uint64_t certify_rejects = 0;  ///< hits the residual re-check refused
+  std::uint64_t neg_hits = 0;
+  std::uint64_t neg_inserts = 0;
+  std::uint64_t neg_evictions = 0;  ///< inserts that displaced a live denial
 };
 
 class PlanCache {
@@ -70,6 +77,9 @@ class PlanCache {
     double amount = 0.0;
     alloc::AllocationPlan plan;
     std::vector<std::uint32_t> nz;
+
+    /// A cached certified denial (no draws to replay, only the refusal).
+    bool negative() const { return plan.status != alloc::PlanStatus::Satisfied; }
   };
 
   enum class Outcome { Hit, Miss, Stale };
@@ -86,9 +96,13 @@ class PlanCache {
   /// Find the decision for (participant, amount) made at exactly `epoch`.
   LookupResult lookup(std::uint64_t epoch, std::size_t participant, double amount);
 
-  /// Publish a decision. `plan` must be a Satisfied, certified, globalized
-  /// plan computed against snapshot `epoch`. A same-shape entry anywhere in
-  /// the probe window is overwritten in place (this is how stale entries die).
+  /// Publish a decision. `plan` must be a certified, globalized plan
+  /// computed against snapshot `epoch` -- Satisfied (a replayable grant) or
+  /// Insufficient (a replayable denial; inserted COLD, so under probe-window
+  /// pressure denials are evicted before grants). A same-shape entry
+  /// anywhere in the probe window is overwritten in place (this is how
+  /// stale entries die, and how a denial flips to a grant after a capacity
+  /// mutation).
   void insert(std::uint64_t epoch, std::size_t participant, double amount,
               const alloc::AllocationPlan& plan);
 
@@ -116,6 +130,9 @@ class PlanCache {
   std::atomic<std::uint64_t> inserts_{0};
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> certify_rejects_{0};
+  std::atomic<std::uint64_t> neg_hits_{0};
+  std::atomic<std::uint64_t> neg_inserts_{0};
+  std::atomic<std::uint64_t> neg_evictions_{0};
 };
 
 }  // namespace agora::engine

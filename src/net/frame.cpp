@@ -1,0 +1,161 @@
+#include "net/frame.h"
+
+#include <array>
+#include <cstring>
+
+namespace agora::net {
+
+namespace {
+
+/// Little-endian scalar writes into a byte vector.
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (std::uint16_t{p[1]} << 8));
+}
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+/// Header byte layout (32 bytes, little-endian; DESIGN.md §14.1):
+///   [0,4)   magic          [4]     version        [5]     type
+///   [6,8)   flags (0)      [8,16)  request_id     [16,24) deadline_us
+///   [24,28) payload_len    [28,32) crc32 (header with this field zeroed,
+///                                  then payload)
+constexpr std::size_t kOffMagic = 0;
+constexpr std::size_t kOffVersion = 4;
+constexpr std::size_t kOffType = 5;
+constexpr std::size_t kOffFlags = 6;
+constexpr std::size_t kOffRequestId = 8;
+constexpr std::size_t kOffDeadline = 16;
+constexpr std::size_t kOffPayloadLen = 24;
+constexpr std::size_t kOffCrc = 28;
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  const auto& t = crc_table();
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (std::uint8_t b : data) c = t[(c ^ b) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+bool valid_frame_type(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(FrameType::Consult) &&
+         t <= static_cast<std::uint8_t>(FrameType::Error);
+}
+
+void encode_frame(const Frame& f, std::vector<std::uint8_t>& out) {
+  const std::size_t start = out.size();
+  out.reserve(start + kHeaderSize + f.payload.size());
+  put_u32(out, kMagic);
+  out.push_back(f.version);
+  out.push_back(static_cast<std::uint8_t>(f.type));
+  put_u16(out, 0);  // flags: reserved, zero in v1
+  put_u64(out, f.request_id);
+  put_u64(out, f.deadline_us);
+  put_u32(out, static_cast<std::uint32_t>(f.payload.size()));
+  put_u32(out, 0);  // crc placeholder
+  out.insert(out.end(), f.payload.begin(), f.payload.end());
+
+  // CRC over the header with the crc field zeroed, continued over the
+  // payload, written back into the placeholder.
+  std::uint32_t c = crc32(std::span<const std::uint8_t>(out.data() + start, kHeaderSize));
+  c = crc32(std::span<const std::uint8_t>(f.payload.data(), f.payload.size()), c);
+  std::uint8_t* p = out.data() + start + kOffCrc;
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(c >> (8 * i));
+}
+
+const char* to_string(DecodeError e) {
+  switch (e) {
+    case DecodeError::None: return "none";
+    case DecodeError::BadMagic: return "bad magic";
+    case DecodeError::BadVersion: return "unsupported protocol version";
+    case DecodeError::BadFlags: return "nonzero reserved flags";
+    case DecodeError::BadType: return "unknown frame type";
+    case DecodeError::Oversized: return "payload exceeds the frame limit";
+    case DecodeError::BadChecksum: return "checksum mismatch";
+  }
+  return "unknown";
+}
+
+FrameDecoder::FrameDecoder(std::size_t max_payload) : max_payload_(max_payload) {}
+
+void FrameDecoder::feed(std::span<const std::uint8_t> data) {
+  if (error_ != DecodeError::None) return;
+  // Compact the consumed prefix before growing: the buffer stays bounded by
+  // one frame (header + max_payload) plus whatever one feed() delivered.
+  if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > (std::size_t{1} << 16))) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+FrameDecoder::Result FrameDecoder::next(Frame& out) {
+  if (error_ != DecodeError::None) return Result::Error;
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kHeaderSize) return Result::NeedMore;
+  const std::uint8_t* h = buf_.data() + pos_;
+
+  // Validate every header field BEFORE trusting payload_len: a bit-flipped
+  // length must never make us wait for (or allocate) gigabytes.
+  if (get_u32(h + kOffMagic) != kMagic) return fail(DecodeError::BadMagic);
+  if (h[kOffVersion] != kWireVersion) return fail(DecodeError::BadVersion);
+  if (get_u16(h + kOffFlags) != 0) return fail(DecodeError::BadFlags);
+  if (!valid_frame_type(h[kOffType])) return fail(DecodeError::BadType);
+  const std::uint32_t len = get_u32(h + kOffPayloadLen);
+  if (len > max_payload_) return fail(DecodeError::Oversized);
+  if (avail < kHeaderSize + len) return Result::NeedMore;
+
+  // Checksum: header with the crc field zeroed, then payload.
+  std::uint8_t hdr[kHeaderSize];
+  std::memcpy(hdr, h, kHeaderSize);
+  std::memset(hdr + kOffCrc, 0, 4);
+  std::uint32_t c = crc32(std::span<const std::uint8_t>(hdr, kHeaderSize));
+  c = crc32(std::span<const std::uint8_t>(h + kHeaderSize, len), c);
+  if (c != get_u32(h + kOffCrc)) return fail(DecodeError::BadChecksum);
+
+  out.version = h[kOffVersion];
+  out.type = static_cast<FrameType>(h[kOffType]);
+  out.request_id = get_u64(h + kOffRequestId);
+  out.deadline_us = get_u64(h + kOffDeadline);
+  out.payload.assign(h + kHeaderSize, h + kHeaderSize + len);
+  pos_ += kHeaderSize + len;
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
+  return Result::Frame;
+}
+
+}  // namespace agora::net

@@ -1,0 +1,111 @@
+// frame.h -- the length-prefixed, versioned, checksummed binary framing
+// layer under agora's wire boundary (DESIGN.md §14).
+//
+// Everything that crosses a socket is a Frame: a fixed 32-byte header
+// followed by a bounded payload. The header carries the four things the
+// transport itself must know -- how many bytes to read (payload_len), how to
+// interpret them (version + type), which conversation they belong to
+// (request_id), and how much time the caller is still willing to wait
+// (deadline_us, a RELATIVE budget so client and server need no clock
+// agreement). A CRC-32 over header+payload rejects corruption and truncated
+// writes explicitly instead of letting them surface as garbage decodes.
+//
+// FrameDecoder is the receive-side state machine: feed it raw bytes as they
+// arrive (partial reads, coalesced frames, one byte at a time -- anything),
+// poll next() for complete frames. It never reads past the bytes it was
+// given, never allocates more than header + max_payload per frame, and
+// every malformed input -- bad magic, version skew, oversized length,
+// checksum mismatch, nonzero reserved flags -- lands in a sticky,
+// explicit error state the connection owner acts on (reply + close).
+// That contract is fuzzed in tests/net_frame_test.cpp under ASan/UBSan.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace agora::net {
+
+/// "AGRA" little-endian: the first four bytes of every agora frame.
+inline constexpr std::uint32_t kMagic = 0x41524741u;
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderSize = 32;
+/// Default ceiling on payload bytes; ServiceOptions/ClientOptions may lower
+/// it. A 64-participant consult reply is ~600 bytes, so 1 MiB is generous.
+inline constexpr std::size_t kDefaultMaxPayload = std::size_t{1} << 20;
+
+enum class FrameType : std::uint8_t {
+  Consult = 1,       ///< client -> server: one admission request
+  ConsultReply = 2,  ///< server -> client: the definite decision
+  Info = 3,          ///< client -> server: service introspection probe
+  InfoReply = 4,
+  Ping = 5,          ///< liveness probe; server echoes Pong with the same id
+  Pong = 6,
+  GoAway = 7,        ///< server -> client: draining, fail over now
+  Error = 8,         ///< either side: protocol violation notice, then close
+};
+
+/// True for the type values a v1 peer may legally send.
+bool valid_frame_type(std::uint8_t t);
+
+struct Frame {
+  std::uint8_t version = kWireVersion;
+  FrameType type = FrameType::Ping;
+  std::uint64_t request_id = 0;
+  /// Remaining time budget in microseconds at send time; 0 = no deadline.
+  std::uint64_t deadline_us = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// CRC-32 (IEEE 802.3, reflected) -- the frame checksum. Exposed for tests.
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed = 0);
+
+/// Serialize a frame (header + payload) into `out` (appended).
+void encode_frame(const Frame& f, std::vector<std::uint8_t>& out);
+
+enum class DecodeError : std::uint8_t {
+  None = 0,
+  BadMagic,     ///< stream desync or a non-agora peer
+  BadVersion,   ///< version skew: peer speaks a protocol we do not
+  BadFlags,     ///< reserved header flags nonzero (v1 forbids extensions)
+  BadType,      ///< unknown frame type
+  Oversized,    ///< payload_len above the configured ceiling
+  BadChecksum,  ///< CRC mismatch: corruption or truncation
+};
+
+const char* to_string(DecodeError e);
+
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_payload = kDefaultMaxPayload);
+
+  /// Append raw bytes from the socket. No-op once in the error state.
+  void feed(std::span<const std::uint8_t> data);
+
+  enum class Result {
+    Frame,     ///< `out` holds the next complete frame
+    NeedMore,  ///< no complete frame buffered yet
+    Error,     ///< stream poisoned; see error(). Sticky.
+  };
+
+  /// Extract the next complete frame. Call until NeedMore/Error.
+  Result next(Frame& out);
+
+  DecodeError error() const { return error_; }
+  /// Bytes currently buffered (bounded by kHeaderSize + max_payload).
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  Result fail(DecodeError e) {
+    error_ = e;
+    return Result::Error;
+  }
+
+  std::size_t max_payload_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  ///< consumed prefix of buf_
+  DecodeError error_ = DecodeError::None;
+};
+
+}  // namespace agora::net

@@ -1,0 +1,139 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace agora::net {
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+namespace {
+
+sockaddr_in loopback_addr(const std::string& host, std::uint16_t port, bool& ok) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const char* h = host.empty() ? "127.0.0.1" : host.c_str();
+  ok = ::inet_pton(AF_INET, h, &addr.sin_addr) == 1;
+  return addr;
+}
+
+}  // namespace
+
+Fd listen_tcp(std::uint16_t port, std::uint16_t& actual_port, std::string& err) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    err = std::strerror(errno);
+    return {};
+  }
+  int one = 1;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  bool ok = false;
+  sockaddr_in addr = loopback_addr({}, port, ok);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd.get(), 128) != 0 || !set_nonblocking(fd.get())) {
+    err = std::strerror(errno);
+    return {};
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    err = std::strerror(errno);
+    return {};
+  }
+  actual_port = ntohs(addr.sin_port);
+  return fd;
+}
+
+Fd connect_tcp(const std::string& host, std::uint16_t port, int timeout_ms, std::string& err) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    err = std::strerror(errno);
+    return {};
+  }
+  bool ok = false;
+  sockaddr_in addr = loopback_addr(host, port, ok);
+  if (!ok) {
+    err = "bad host (dotted-quad IPv4 only): " + host;
+    return {};
+  }
+  if (!set_nonblocking(fd.get())) {
+    err = std::strerror(errno);
+    return {};
+  }
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      err = std::strerror(errno);
+      return {};
+    }
+    pollfd p{fd.get(), POLLOUT, 0};
+    const int r = ::poll(&p, 1, timeout_ms);
+    if (r <= 0) {
+      err = r == 0 ? "connect timeout" : std::strerror(errno);
+      return {};
+    }
+    int so_err = 0;
+    socklen_t len = sizeof(so_err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &so_err, &len) != 0 || so_err != 0) {
+      err = std::strerror(so_err != 0 ? so_err : errno);
+      return {};
+    }
+  }
+  set_nodelay(fd.get());
+  return fd;
+}
+
+std::ptrdiff_t write_some(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      return static_cast<std::ptrdiff_t>(off);
+    if (n < 0 && errno == EINTR) continue;
+    return -1;
+  }
+  return static_cast<std::ptrdiff_t>(off);
+}
+
+std::ptrdiff_t read_some(int fd, std::uint8_t* buf, std::size_t cap, bool& eof) {
+  eof = false;
+  while (true) {
+    const ssize_t n = ::read(fd, buf, cap);
+    if (n > 0) return n;
+    if (n == 0) {
+      eof = true;
+      return 0;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+}  // namespace agora::net

@@ -1,0 +1,69 @@
+// socket.h -- the thin POSIX layer under the wire boundary: an RAII fd,
+// nonblocking loopback TCP listen/accept/connect, and partial-I/O helpers.
+//
+// Deliberately minimal: the service binds 127.0.0.1 only (agora's wire
+// boundary is a co-located RPC surface, not an internet listener -- put a
+// real proxy in front for anything else), uses poll(2) rather than epoll
+// so the loop stays portable, and leaves TCP tuning at TCP_NODELAY (frames
+// are small and latency-bound; Nagle would serialize the request/reply
+// exchange).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace agora::net {
+
+/// Move-only owning file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& o) noexcept : fd_(std::exchange(o.fd_, -1)) {}
+  Fd& operator=(Fd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = std::exchange(o.fd_, -1);
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() { return std::exchange(fd_, -1); }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Make `fd` nonblocking (O_NONBLOCK); returns false on fcntl failure.
+bool set_nonblocking(int fd);
+/// Disable Nagle; best-effort (loopback works without it, just slower).
+void set_nodelay(int fd);
+
+/// Bind + listen on 127.0.0.1:`port` (0 = ephemeral), nonblocking.
+/// On success stores the bound port in `actual_port`; on failure returns an
+/// invalid Fd and stores strerror text in `err`.
+Fd listen_tcp(std::uint16_t port, std::uint16_t& actual_port, std::string& err);
+
+/// Connect to 127.0.0.1:`port` (or `host` if nonempty, dotted-quad only),
+/// blocking with `timeout_ms`, then switched to nonblocking. Invalid Fd +
+/// `err` on failure.
+Fd connect_tcp(const std::string& host, std::uint16_t port, int timeout_ms, std::string& err);
+
+/// write(2) as much of [data, data+len) as the socket accepts.
+/// Returns bytes written (possibly 0 on EAGAIN), or -1 on a fatal error.
+std::ptrdiff_t write_some(int fd, const std::uint8_t* data, std::size_t len);
+
+/// read(2) into [buf, buf+cap). Returns bytes read, 0 for EOF **only when
+/// the peer closed** (eof set), -1 on fatal error; EAGAIN reports 0 bytes
+/// with eof=false.
+std::ptrdiff_t read_some(int fd, std::uint8_t* buf, std::size_t cap, bool& eof);
+
+}  // namespace agora::net

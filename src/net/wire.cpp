@@ -1,0 +1,146 @@
+#include "net/wire.h"
+
+#include <bit>
+#include <cmath>
+
+namespace agora::net {
+
+bool valid_status_code(std::uint8_t c) {
+  return c <= static_cast<std::uint8_t>(StatusCode::DeadlineExceeded);
+}
+
+void Writer::u16(std::uint16_t v) {
+  for (int i = 0; i < 2; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+void Writer::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+void Writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+void Writer::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+void Writer::str(const std::string& s) {
+  const std::size_t n = std::min<std::size_t>(s.size(), 0xffff);
+  u16(static_cast<std::uint16_t>(n));
+  out_.insert(out_.end(), s.begin(), s.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+bool Reader::u8(std::uint8_t& v) {
+  if (n_ - i_ < 1) return false;
+  v = p_[i_++];
+  return true;
+}
+bool Reader::u16(std::uint16_t& v) {
+  if (n_ - i_ < 2) return false;
+  v = static_cast<std::uint16_t>(p_[i_] | (std::uint16_t{p_[i_ + 1]} << 8));
+  i_ += 2;
+  return true;
+}
+bool Reader::u32(std::uint32_t& v) {
+  if (n_ - i_ < 4) return false;
+  v = 0;
+  for (int k = 3; k >= 0; --k) v = (v << 8) | p_[i_ + static_cast<std::size_t>(k)];
+  i_ += 4;
+  return true;
+}
+bool Reader::u64(std::uint64_t& v) {
+  if (n_ - i_ < 8) return false;
+  v = 0;
+  for (int k = 7; k >= 0; --k) v = (v << 8) | p_[i_ + static_cast<std::size_t>(k)];
+  i_ += 8;
+  return true;
+}
+bool Reader::f64(double& v) {
+  std::uint64_t bits = 0;
+  if (!u64(bits)) return false;
+  v = std::bit_cast<double>(bits);
+  return true;
+}
+bool Reader::str(std::string& s) {
+  std::uint16_t n = 0;
+  if (!u16(n)) return false;
+  if (n_ - i_ < n) return false;
+  s.assign(reinterpret_cast<const char*>(p_ + i_), n);
+  i_ += n;
+  return true;
+}
+
+void encode(const ConsultRequest& m, std::vector<std::uint8_t>& out) {
+  Writer w(out);
+  w.u32(m.participant);
+  w.f64(m.amount);
+}
+
+bool decode(std::span<const std::uint8_t> in, ConsultRequest& m) {
+  Reader r(in);
+  return r.u32(m.participant) && r.f64(m.amount) && r.done();
+}
+
+void encode(const ConsultReply& m, std::vector<std::uint8_t>& out) {
+  Writer w(out);
+  w.u8(static_cast<std::uint8_t>(m.code));
+  w.str(m.message);
+  w.u32(m.retry_after_ms);
+  w.u8(m.has_plan ? 1 : 0);
+  if (!m.has_plan) return;
+  w.f64(m.theta);
+  w.u8(m.certified ? 1 : 0);
+  w.u64(m.decision_epoch);
+  w.f64(m.total_drawn);
+  w.u32(static_cast<std::uint32_t>(m.draws.size()));
+  for (const WireDraw& d : m.draws) {
+    w.u32(d.participant);
+    w.f64(d.amount);
+  }
+}
+
+bool decode(std::span<const std::uint8_t> in, ConsultReply& m) {
+  Reader r(in);
+  std::uint8_t code = 0, has_plan = 0;
+  if (!r.u8(code) || !valid_status_code(code)) return false;
+  m.code = static_cast<StatusCode>(code);
+  if (!r.str(m.message) || !r.u32(m.retry_after_ms) || !r.u8(has_plan)) return false;
+  if (has_plan > 1) return false;
+  m.has_plan = has_plan == 1;
+  if (!m.has_plan) {
+    m.draws.clear();
+    return r.done();
+  }
+  std::uint8_t certified = 0;
+  std::uint32_t count = 0;
+  if (!r.f64(m.theta) || !r.u8(certified) || certified > 1 || !r.u64(m.decision_epoch) ||
+      !r.f64(m.total_drawn) || !r.u32(count) || count > kMaxDraws)
+    return false;
+  m.certified = certified == 1;
+  m.draws.resize(count);
+  for (WireDraw& d : m.draws)
+    if (!r.u32(d.participant) || !r.f64(d.amount)) return false;
+  return r.done();
+}
+
+void encode(const InfoReply& m, std::vector<std::uint8_t>& out) {
+  Writer w(out);
+  w.u32(m.participants);
+  w.u64(m.epoch);
+  w.u8(m.draining);
+  w.u64(m.in_flight);
+}
+
+bool decode(std::span<const std::uint8_t> in, InfoReply& m) {
+  Reader r(in);
+  return r.u32(m.participants) && r.u64(m.epoch) && r.u8(m.draining) && m.draining <= 1 &&
+         r.u64(m.in_flight) && r.done();
+}
+
+void encode(const WireError& m, std::vector<std::uint8_t>& out) {
+  Writer w(out);
+  w.u8(m.code);
+  w.str(m.message);
+}
+
+bool decode(std::span<const std::uint8_t> in, WireError& m) {
+  Reader r(in);
+  return r.u8(m.code) && r.str(m.message) && r.done();
+}
+
+}  // namespace agora::net

@@ -1,0 +1,119 @@
+// wire.h -- payload encodings for the v1 frame types (DESIGN.md §14.2).
+//
+// Frames carry opaque payloads; this header defines what is inside them:
+// bounds-checked little-endian scalar codecs (Reader/Writer) and the
+// request/reply message structs. Every decode_* returns false on ANY
+// malformed input -- truncated buffer, trailing garbage, out-of-range
+// enum, absurd counts -- and never reads out of bounds; the fuzz suite
+// drives these through the same corpus as the frame decoder.
+//
+// The consult reply is the protocol's load-bearing message: it always
+// carries a definite agora::Status, optionally a retry-after hint
+// (set iff the service shed the request and a retry has a chance), and
+// optionally a plan summary -- theta, the certification bit, the decision
+// epoch, and the nonzero draws in sparse (index, amount) form. The full
+// dense plan never crosses the wire: a consult answer is an admission
+// decision, not a capacity dump.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace agora::net {
+
+/// Ceiling on the sparse draw count a reply may carry; decode rejects more.
+inline constexpr std::uint32_t kMaxDraws = 1u << 16;
+
+/// True for byte values that map to a StatusCode a v1 peer may send.
+bool valid_status_code(std::uint8_t c);
+
+// --- bounds-checked byte codecs ---------------------------------------------
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  /// Length-prefixed (u16) byte string, truncated to 64 KiB - 1.
+  void str(const std::string& s);
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : p_(data.data()), n_(data.size()) {}
+  bool u8(std::uint8_t& v);
+  bool u16(std::uint16_t& v);
+  bool u32(std::uint32_t& v);
+  bool u64(std::uint64_t& v);
+  bool f64(double& v);
+  bool str(std::string& s);
+  bool done() const { return i_ == n_; }
+
+ private:
+  const std::uint8_t* p_;
+  std::size_t n_;
+  std::size_t i_ = 0;
+};
+
+// --- messages ----------------------------------------------------------------
+
+struct ConsultRequest {
+  std::uint32_t participant = 0;
+  double amount = 0.0;
+};
+
+/// Sparse nonzero draw of a granted plan.
+struct WireDraw {
+  std::uint32_t participant = 0;
+  double amount = 0.0;
+};
+
+struct ConsultReply {
+  StatusCode code = StatusCode::Ok;
+  std::string message;
+  /// Milliseconds after which a retry is worth attempting; 0 = no hint.
+  /// Set iff the service shed the request (queue or deadline pressure,
+  /// drain) rather than deciding it.
+  std::uint32_t retry_after_ms = 0;
+  bool has_plan = false;
+  double theta = 0.0;
+  bool certified = false;
+  std::uint64_t decision_epoch = 0;
+  double total_drawn = 0.0;
+  std::vector<WireDraw> draws;  ///< nonzero draws only
+};
+
+struct InfoReply {
+  std::uint32_t participants = 0;
+  std::uint64_t epoch = 0;
+  std::uint8_t draining = 0;
+  std::uint64_t in_flight = 0;
+};
+
+/// Error-frame payload (protocol violations; the sender closes after it).
+struct WireError {
+  std::uint8_t code = 0;  ///< a DecodeError value, or 0 for app-level text
+  std::string message;
+};
+
+void encode(const ConsultRequest& m, std::vector<std::uint8_t>& out);
+void encode(const ConsultReply& m, std::vector<std::uint8_t>& out);
+void encode(const InfoReply& m, std::vector<std::uint8_t>& out);
+void encode(const WireError& m, std::vector<std::uint8_t>& out);
+
+bool decode(std::span<const std::uint8_t> in, ConsultRequest& m);
+bool decode(std::span<const std::uint8_t> in, ConsultReply& m);
+bool decode(std::span<const std::uint8_t> in, InfoReply& m);
+bool decode(std::span<const std::uint8_t> in, WireError& m);
+
+}  // namespace agora::net

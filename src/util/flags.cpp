@@ -1,15 +1,96 @@
 #include "util/flags.h"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
 namespace agora {
 
-void Flags::define(const std::string& name, const std::string& default_value,
-                   const std::string& doc) {
+namespace {
+
+bool parse_int_value(const std::string& v, std::int64_t& out) {
+  char* end = nullptr;
+  errno = 0;
+  const long long i = std::strtoll(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0' || errno == ERANGE) return false;
+  out = i;
+  return true;
+}
+
+bool parse_double_value(const std::string& v, double& out) {
+  char* end = nullptr;
+  const double d = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0') return false;
+  out = d;
+  return true;
+}
+
+bool parse_bool_value(const std::string& v, bool& out) {
+  if (v == "true" || v == "1" || v == "yes" || v.empty()) {
+    out = true;
+    return true;
+  }
+  if (v == "false" || v == "0" || v == "no") {
+    out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void Flags::define_typed(const std::string& name, const std::string& default_value,
+                         const std::string& doc, Kind kind) {
   AGORA_REQUIRE(!name.empty() && name[0] != '-', "flag names are given without dashes");
   AGORA_REQUIRE(defs_.find(name) == defs_.end(), "duplicate flag: " + name);
-  defs_[name] = Def{default_value, doc, default_value};
+  validate(name, default_value, kind);  // a bad default is a programmer error
+  defs_[name] = Def{default_value, doc, default_value, kind};
+}
+
+void Flags::define(const std::string& name, const std::string& default_value,
+                   const std::string& doc) {
+  define_typed(name, default_value, doc, Kind::String);
+}
+
+void Flags::define_int(const std::string& name, const std::string& default_value,
+                       const std::string& doc) {
+  define_typed(name, default_value, doc, Kind::Int);
+}
+
+void Flags::define_double(const std::string& name, const std::string& default_value,
+                          const std::string& doc) {
+  define_typed(name, default_value, doc, Kind::Double);
+}
+
+void Flags::define_bool(const std::string& name, const std::string& default_value,
+                        const std::string& doc) {
+  define_typed(name, default_value, doc, Kind::Bool);
+}
+
+void Flags::validate(const std::string& name, const std::string& value, Kind kind) {
+  switch (kind) {
+    case Kind::String:
+      return;
+    case Kind::Int: {
+      std::int64_t i;
+      if (!parse_int_value(value, i))
+        throw PreconditionError("flag --" + name + " is not an integer: " + value);
+      return;
+    }
+    case Kind::Double: {
+      double d;
+      if (!parse_double_value(value, d))
+        throw PreconditionError("flag --" + name + " is not a number: " + value);
+      return;
+    }
+    case Kind::Bool: {
+      bool b;
+      if (!parse_bool_value(value, b))
+        throw PreconditionError("flag --" + name + " is not a boolean: " + value);
+      return;
+    }
+  }
 }
 
 std::vector<std::string> Flags::parse(int argc, const char* const* argv) {
@@ -32,15 +113,41 @@ std::vector<std::string> Flags::parse(int argc, const char* const* argv) {
       arg = arg.substr(0, eq);
     } else {
       const auto it = defs_.find(arg);
-      AGORA_REQUIRE(it != defs_.end(), "unknown flag: --" + arg);
-      AGORA_REQUIRE(i + 1 < argc, "flag --" + arg + " expects a value");
+      if (it == defs_.end()) throw PreconditionError("unknown flag: --" + arg);
+      if (i + 1 >= argc) throw PreconditionError("flag --" + arg + " expects a value");
       value = argv[++i];
     }
     const auto it = defs_.find(arg);
-    AGORA_REQUIRE(it != defs_.end(), "unknown flag: --" + arg);
+    if (it == defs_.end()) throw PreconditionError("unknown flag: --" + arg);
+    validate(arg, value, it->second.kind);
     it->second.value = value;
   }
   return positional;
+}
+
+std::vector<std::string> Flags::parse_or_exit(int argc, const char* const* argv,
+                                              const std::string& program_description,
+                                              bool allow_positional) {
+  description_ = program_description;
+  std::vector<std::string> positional;
+  try {
+    positional = parse(argc, argv);
+  } catch (const PreconditionError& err) {
+    usage_error(err.what());
+  }
+  if (help_) {
+    std::printf("%s", help_text(description_).c_str());
+    std::exit(0);
+  }
+  if (!allow_positional && !positional.empty())
+    usage_error("unexpected argument: " + positional.front());
+  return positional;
+}
+
+void Flags::usage_error(const std::string& message) const {
+  std::fprintf(stderr, "error: %s\n\n%s", message.c_str(),
+               help_text(description_).c_str());
+  std::exit(2);
 }
 
 std::string Flags::help_text(const std::string& program_description) const {
@@ -60,25 +167,26 @@ std::string Flags::get(const std::string& name) const {
 
 double Flags::get_double(const std::string& name) const {
   const std::string v = get(name);
-  char* end = nullptr;
-  const double d = std::strtod(v.c_str(), &end);
-  AGORA_REQUIRE(end != v.c_str() && *end == '\0', "flag --" + name + " is not a number: " + v);
+  double d;
+  if (!parse_double_value(v, d))
+    throw PreconditionError("flag --" + name + " is not a number: " + v);
   return d;
 }
 
 std::int64_t Flags::get_int(const std::string& name) const {
   const std::string v = get(name);
-  char* end = nullptr;
-  const long long i = std::strtoll(v.c_str(), &end, 10);
-  AGORA_REQUIRE(end != v.c_str() && *end == '\0', "flag --" + name + " is not an integer: " + v);
+  std::int64_t i;
+  if (!parse_int_value(v, i))
+    throw PreconditionError("flag --" + name + " is not an integer: " + v);
   return i;
 }
 
 bool Flags::get_bool(const std::string& name) const {
   const std::string v = get(name);
-  if (v == "true" || v == "1" || v == "yes" || v.empty()) return true;
-  if (v == "false" || v == "0" || v == "no") return false;
-  throw PreconditionError("flag --" + name + " is not a boolean: " + v);
+  bool b;
+  if (!parse_bool_value(v, b))
+    throw PreconditionError("flag --" + name + " is not a boolean: " + v);
+  return b;
 }
 
 }  // namespace agora

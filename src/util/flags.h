@@ -3,6 +3,14 @@
 // Supports --name=value and --name value forms, typed accessors with
 // defaults, --help generation, and unknown-flag detection. Deliberately
 // tiny: the tools need a dozen scalar options, not a framework.
+//
+// Hardened entry point for tools: declare typed flags (define_int /
+// define_double / define_bool) so malformed values fail AT PARSE TIME with
+// the flag's name, then call parse_or_exit() -- unknown flags, bad values,
+// and stray positional arguments all print the offending argument plus the
+// full usage text to stderr and exit(2); --help prints usage to stdout and
+// exit(0). Value-RANGE errors discovered after parsing go through
+// usage_error() for the same contract.
 #pragma once
 
 #include <cstdint>
@@ -17,13 +25,35 @@ namespace agora {
 
 class Flags {
  public:
-  /// Declare a flag before parsing. `doc` appears in help output.
+  /// Declare a free-form string flag before parsing. `doc` appears in help.
   void define(const std::string& name, const std::string& default_value,
               const std::string& doc);
+  /// Typed declarations: parse() rejects a value the matching get_* would
+  /// throw on, so a typo dies with usage instead of deep in the tool.
+  void define_int(const std::string& name, const std::string& default_value,
+                  const std::string& doc);
+  void define_double(const std::string& name, const std::string& default_value,
+                     const std::string& doc);
+  void define_bool(const std::string& name, const std::string& default_value,
+                   const std::string& doc);
 
-  /// Parse argv. Throws PreconditionError on unknown or malformed flags.
-  /// Returns leftover positional arguments.
+  /// Parse argv. Throws PreconditionError on unknown flags, missing values,
+  /// or values that fail their flag's typed validation. Returns leftover
+  /// positional arguments.
   std::vector<std::string> parse(int argc, const char* const* argv);
+
+  /// Tool-main() entry point: parse() with the exit contract described in
+  /// the header comment. `allow_positional` = false (the default) makes any
+  /// positional argument a usage error. Stores `program_description` so
+  /// later usage_error() calls print the same usage text.
+  std::vector<std::string> parse_or_exit(int argc, const char* const* argv,
+                                         const std::string& program_description,
+                                         bool allow_positional = false);
+
+  /// Print `message` plus usage to stderr and exit(2). For post-parse
+  /// validation (range checks, flag interactions) in tools that used
+  /// parse_or_exit.
+  [[noreturn]] void usage_error(const std::string& message) const;
 
   bool help_requested() const { return help_; }
   std::string help_text(const std::string& program_description) const;
@@ -34,12 +64,21 @@ class Flags {
   bool get_bool(const std::string& name) const;
 
  private:
+  enum class Kind { String, Int, Double, Bool };
+
   struct Def {
     std::string value;
     std::string doc;
     std::string default_value;
+    Kind kind = Kind::String;
   };
+
+  void define_typed(const std::string& name, const std::string& default_value,
+                    const std::string& doc, Kind kind);
+  static void validate(const std::string& name, const std::string& value, Kind kind);
+
   std::map<std::string, Def> defs_;
+  std::string description_;
   bool help_ = false;
 };
 

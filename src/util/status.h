@@ -35,8 +35,14 @@ enum class StatusCode : int {
   /// I/O failure: trace files, CSV/JSONL export (IoError).
   Io,
   /// The target is shutting down or its queue rejected the work (e.g. an
-  /// EnforcementEngine submit after stop()).
+  /// EnforcementEngine submit after stop(), or an AgoraService shedding
+  /// load; wire replies may carry a retry-after hint alongside).
   Unavailable,
+  /// The caller's deadline budget ran out before an answer was computed:
+  /// the request was dropped, not solved (net deadline propagation,
+  /// DESIGN.md §14.3). Distinct from Unavailable -- retrying immediately
+  /// will not help a caller that has no time left.
+  DeadlineExceeded,
 };
 
 inline const char* to_string(StatusCode c) {
@@ -49,6 +55,7 @@ inline const char* to_string(StatusCode c) {
     case StatusCode::Internal: return "internal";
     case StatusCode::Io: return "io";
     case StatusCode::Unavailable: return "unavailable";
+    case StatusCode::DeadlineExceeded: return "deadline_exceeded";
   }
   return "unknown";
 }
@@ -75,6 +82,9 @@ class [[nodiscard]] Status {
   static Status io(std::string m = {}) { return Status(StatusCode::Io, std::move(m)); }
   static Status unavailable(std::string m = {}) {
     return Status(StatusCode::Unavailable, std::move(m));
+  }
+  static Status deadline_exceeded(std::string m = {}) {
+    return Status(StatusCode::DeadlineExceeded, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::Ok; }

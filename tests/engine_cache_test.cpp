@@ -129,6 +129,66 @@ TEST(PlanCache, LookupKeepsHotEntriesUnderEvictionPressure) {
   EXPECT_EQ(cache.lookup(0, 9999, 7.0).outcome, PlanCache::Outcome::Hit);
 }
 
+// --------------------------------------------------------- negative entries ---
+
+alloc::AllocationPlan sample_denial(std::size_t n) {
+  alloc::AllocationPlan p;
+  p.status = alloc::PlanStatus::Insufficient;
+  p.certified = true;  // Farkas-certified infeasibility
+  p.draw.assign(n, 0.0);
+  return p;
+}
+
+TEST(PlanCache, NegativeEntriesKeyAndCountSeparately) {
+  PlanCache cache({256, 8});
+  cache.insert(0, 5, 100.0, sample_denial(8));
+  const auto r = cache.lookup(0, 5, 100.0);
+  ASSERT_EQ(r.outcome, PlanCache::Outcome::Hit);
+  ASSERT_TRUE(r.entry);
+  EXPECT_TRUE(r.entry->negative());
+  EXPECT_EQ(r.entry->plan.status, alloc::PlanStatus::Insufficient);
+  const PlanCacheStats s = cache.stats();
+  EXPECT_EQ(s.neg_inserts, 1u);
+  EXPECT_EQ(s.neg_hits, 1u);
+  EXPECT_EQ(s.inserts, 0u);
+  EXPECT_EQ(s.hits, 0u);
+  // Same shape solved to a grant later (capacity mutation): the denial is
+  // overwritten in place and the entry flips polarity.
+  cache.insert(1, 5, 100.0, sample_plan(8, 5, 100.0));
+  const auto r2 = cache.lookup(1, 5, 100.0);
+  ASSERT_EQ(r2.outcome, PlanCache::Outcome::Hit);
+  EXPECT_FALSE(r2.entry->negative());
+  EXPECT_EQ(cache.stats().inserts, 1u);
+}
+
+TEST(PlanCache, DenialsEvictBeforeGrantsUnderPressure) {
+  // One grant and a stream of denials contending for the same 4-slot probe
+  // windows of a tiny table. The grant starts hot (kHotRef) and denials
+  // start cold, so surviving entries should skew heavily toward grants even
+  // though denials outnumber them 4:1 in the insert stream.
+  PlanCache cache({64, 4});
+  for (std::size_t i = 0; i < 128; ++i) {
+    if (i % 5 == 0)
+      cache.insert(0, i, 1.0, sample_plan(4, 0, 1.0));
+    else
+      cache.insert(0, i, 1.0, sample_denial(4));
+  }
+  const PlanCacheStats s = cache.stats();
+  EXPECT_EQ(s.inserts + s.neg_inserts, 128u);
+  EXPECT_GT(s.neg_evictions, 0u);
+  std::size_t grants_resident = 0, grants_inserted = 0;
+  std::size_t denials_resident = 0, denials_inserted = 0;
+  for (std::size_t i = 0; i < 128; ++i) {
+    const bool grant = i % 5 == 0;
+    (grant ? grants_inserted : denials_inserted)++;
+    if (cache.lookup(0, i, 1.0).outcome == PlanCache::Outcome::Hit)
+      (grant ? grants_resident : denials_resident)++;
+  }
+  // Fractional survival: grants must out-survive denials.
+  EXPECT_GT(static_cast<double>(grants_resident) / static_cast<double>(grants_inserted),
+            static_cast<double>(denials_resident) / static_cast<double>(denials_inserted));
+}
+
 // ------------------------------------------------- engine + cache semantics ---
 
 TEST(EngineCache, Threads1AllMissBitIdenticalToDirectAllocator) {
@@ -210,6 +270,69 @@ TEST(EngineCache, SubmitServesHitsWithReadyFutures) {
   ASSERT_TRUE(hit.status.ok());
   expect_identical(hit.plan, miss.plan);
   EXPECT_EQ(engine.stats().plan_cache.hits, 1u);
+}
+
+TEST(EngineCache, RepeatedImpossibleRequestServesCachedDenial) {
+  const auto sys = island_economy(1, 4, 0.25);
+  EngineOptions opts;
+  opts.threads = 1;
+  opts.plan_cache = true;
+  EnforcementEngine engine(sys, opts);
+  // Far beyond the island's total capacity: certified Insufficient.
+  const double impossible = 1.0e6;
+  const alloc::AllocationPlan first = engine.consult(2, impossible);
+  EXPECT_EQ(first.status, alloc::PlanStatus::Insufficient);
+  ASSERT_TRUE(first.certified) << "infeasibility must be Farkas-certified to cache";
+  for (int i = 0; i < 5; ++i) {
+    const alloc::AllocationPlan again = engine.consult(2, impossible);
+    EXPECT_EQ(again.status, alloc::PlanStatus::Insufficient);
+    EXPECT_TRUE(again.certified);
+  }
+  const EngineStats s = engine.stats();
+  EXPECT_GE(s.plan_cache.neg_inserts, 1u);
+  EXPECT_EQ(s.plan_cache.neg_hits, 5u);
+  EXPECT_EQ(s.plan_cache.hits, 0u);
+  // The denial replays without a worker solve: exactly one consult reached
+  // the shard.
+  std::uint64_t worker_consults = 0;
+  for (const ShardStats& sh : s.shard) worker_consults += sh.consults;
+  EXPECT_EQ(worker_consults, 1u);
+}
+
+TEST(EngineCache, MutationInvalidatesCachedDenialAndRequestCanGrant) {
+  const auto sys = island_economy(1, 4, 0.25);
+  EngineOptions opts;
+  opts.threads = 1;
+  opts.plan_cache = true;
+  EnforcementEngine engine(sys, opts);
+  // More than participant 1 can reach under the seed capacities, less than
+  // it can reach once everyone's capacity quadruples.
+  double reachable = 0.0;
+  {
+    alloc::Allocator probe(sys, opts.alloc);
+    reachable = probe.available_to(1);
+  }
+  const double amount = reachable * 2.0;
+  const alloc::AllocationPlan denied = engine.consult(1, amount);
+  ASSERT_EQ(denied.status, alloc::PlanStatus::Insufficient);
+  EXPECT_EQ(engine.consult(1, amount).status, alloc::PlanStatus::Insufficient);
+  EXPECT_GE(engine.stats().plan_cache.neg_hits, 1u);
+
+  std::vector<double> caps = sys.capacity;
+  for (double& c : caps) c *= 4.0;
+  engine.set_capacities(caps);
+
+  // The cached denial is epoch-stale; the fresh solve against the larger
+  // capacities grants, and the grant overwrites the denial's slot.
+  const alloc::AllocationPlan granted = engine.consult(1, amount);
+  EXPECT_TRUE(granted.satisfied());
+  EXPECT_TRUE(granted.certified);
+  EXPECT_EQ(granted.decision_epoch, 1u);
+  const alloc::AllocationPlan replay = engine.consult(1, amount);
+  EXPECT_TRUE(replay.satisfied());
+  const EngineStats s = engine.stats();
+  EXPECT_GE(s.plan_cache.hits, 1u);
+  EXPECT_GE(s.plan_cache.stale, 1u);
 }
 
 // ------------------------------------------------------- theta<=1 fast path ---
@@ -355,11 +478,13 @@ TEST(EngineCache, HammerConsultsInterleavedWithMutationsNeverServeStale) {
   EXPECT_EQ(engine.epoch(), kMutations);
 
   // Accounting closes: every consult was served by exactly one of the cache
-  // front end (hits minus recertify rejects) or a shard worker.
+  // front end (grant + denial hits minus re-check rejects of either
+  // polarity) or a shard worker.
   const EngineStats s = engine.stats();
   std::uint64_t worker_consults = 0;
   for (const ShardStats& sh : s.shard) worker_consults += sh.consults;
-  EXPECT_EQ((s.plan_cache.hits - s.plan_cache.certify_rejects) + worker_consults,
+  EXPECT_EQ((s.plan_cache.hits + s.plan_cache.neg_hits - s.plan_cache.certify_rejects) +
+                worker_consults,
             2u * 1200u);
   EXPECT_GT(s.plan_cache.hits, 0u);
 }

@@ -1,0 +1,265 @@
+// Tests for the wire framing layer (DESIGN.md §14.1-14.2): header codec
+// round-trips, incremental decoding under arbitrary chunking, CRC and
+// bounds enforcement, and a deterministic seeded fuzz corpus -- truncated,
+// oversized, bit-flipped, version-skewed, and garbage frames must produce a
+// clean DecodeError or NeedMore, never a crash or over-read (tier1.sh runs
+// this binary under ASan/UBSan).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/wire.h"
+#include "util/rng.h"
+
+namespace agora::net {
+namespace {
+
+Frame make_frame(FrameType type, std::uint64_t rid, std::vector<std::uint8_t> payload,
+                 std::uint64_t deadline_us = 0) {
+  Frame f;
+  f.type = type;
+  f.request_id = rid;
+  f.deadline_us = deadline_us;
+  f.payload = std::move(payload);
+  return f;
+}
+
+std::vector<std::uint8_t> encode(const Frame& f) {
+  std::vector<std::uint8_t> buf;
+  encode_frame(f, buf);
+  return buf;
+}
+
+/// Feed `bytes` in chunks of `chunk` and expect exactly the given frames.
+void expect_decodes(const std::vector<std::uint8_t>& bytes, std::size_t chunk,
+                    const std::vector<Frame>& expect) {
+  FrameDecoder dec(kDefaultMaxPayload);
+  std::vector<Frame> got;
+  for (std::size_t off = 0; off < bytes.size(); off += chunk) {
+    const std::size_t n = std::min(chunk, bytes.size() - off);
+    dec.feed(std::span<const std::uint8_t>(bytes.data() + off, n));
+    Frame f;
+    while (dec.next(f) == FrameDecoder::Result::Frame) got.push_back(f);
+  }
+  Frame leftover;
+  ASSERT_EQ(dec.next(leftover), FrameDecoder::Result::NeedMore) << "undecoded bytes left";
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(got[i].type, expect[i].type);
+    EXPECT_EQ(got[i].request_id, expect[i].request_id);
+    EXPECT_EQ(got[i].deadline_us, expect[i].deadline_us);
+    EXPECT_EQ(got[i].payload, expect[i].payload);
+  }
+}
+
+// ------------------------------------------------------------------ crc32 ---
+
+TEST(Crc32, MatchesTheIeeeCheckVector) {
+  const char* s = "123456789";
+  EXPECT_EQ(crc32(std::span<const std::uint8_t>(
+                reinterpret_cast<const std::uint8_t*>(s), 9)),
+            0xCBF43926u);
+  EXPECT_EQ(crc32(std::span<const std::uint8_t>()), 0u);
+}
+
+// ------------------------------------------------------------ round trips ---
+
+TEST(FrameCodec, RoundTripsAcrossChunkSizes) {
+  std::vector<Frame> frames;
+  frames.push_back(make_frame(FrameType::Ping, 1, {}));
+  frames.push_back(make_frame(FrameType::Consult, 2, {1, 2, 3, 4, 5}, 125'000));
+  frames.push_back(make_frame(FrameType::ConsultReply, 3,
+                              std::vector<std::uint8_t>(1024, 0xAB)));
+  std::vector<std::uint8_t> stream;
+  for (const Frame& f : frames) {
+    const auto one = encode(f);
+    stream.insert(stream.end(), one.begin(), one.end());
+  }
+  // Whole buffer, byte-at-a-time, and awkward primes must all decode the
+  // same three frames.
+  for (const std::size_t chunk : {stream.size(), std::size_t{1}, std::size_t{7},
+                                  std::size_t{31}, std::size_t{kHeaderSize}})
+    expect_decodes(stream, chunk, frames);
+}
+
+TEST(FrameCodec, EmptyPayloadAndMaxPayloadRoundTrip) {
+  FrameDecoder dec(/*max_payload=*/256);
+  const Frame big = make_frame(FrameType::Info, 9, std::vector<std::uint8_t>(256, 7));
+  const auto bytes = encode(big);
+  dec.feed(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  Frame out;
+  ASSERT_EQ(dec.next(out), FrameDecoder::Result::Frame);
+  EXPECT_EQ(out.payload.size(), 256u);
+}
+
+// ---------------------------------------------------------------- rejects ---
+
+TEST(FrameDecoder, RejectsBadMagic) {
+  auto bytes = encode(make_frame(FrameType::Ping, 1, {}));
+  bytes[0] ^= 0xFF;
+  FrameDecoder dec(kDefaultMaxPayload);
+  dec.feed(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  Frame out;
+  ASSERT_EQ(dec.next(out), FrameDecoder::Result::Error);
+  EXPECT_EQ(dec.error(), DecodeError::BadMagic);
+  // Sticky: the decoder stays dead after an error.
+  dec.feed(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  EXPECT_EQ(dec.next(out), FrameDecoder::Result::Error);
+}
+
+TEST(FrameDecoder, RejectsVersionSkew) {
+  auto bytes = encode(make_frame(FrameType::Ping, 1, {}));
+  bytes[4] = kWireVersion + 1;  // version byte; checked before the checksum
+  FrameDecoder dec(kDefaultMaxPayload);
+  dec.feed(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  Frame out;
+  ASSERT_EQ(dec.next(out), FrameDecoder::Result::Error);
+  EXPECT_EQ(dec.error(), DecodeError::BadVersion);
+}
+
+TEST(FrameDecoder, RejectsOversizedPayloadFromHeaderAlone) {
+  // A header advertising a huge payload must die at the header, before any
+  // payload allocation or read.
+  auto bytes = encode(make_frame(FrameType::Consult, 1, std::vector<std::uint8_t>(64, 1)));
+  FrameDecoder dec(/*max_payload=*/32);
+  dec.feed(std::span<const std::uint8_t>(bytes.data(), kHeaderSize));
+  Frame out;
+  ASSERT_EQ(dec.next(out), FrameDecoder::Result::Error);
+  EXPECT_EQ(dec.error(), DecodeError::Oversized);
+}
+
+TEST(FrameDecoder, RejectsCorruptPayloadByChecksum) {
+  auto bytes = encode(make_frame(FrameType::Consult, 5, {10, 20, 30, 40}));
+  bytes[bytes.size() - 2] ^= 0x01;  // flip a payload bit
+  FrameDecoder dec(kDefaultMaxPayload);
+  dec.feed(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  Frame out;
+  ASSERT_EQ(dec.next(out), FrameDecoder::Result::Error);
+  EXPECT_EQ(dec.error(), DecodeError::BadChecksum);
+}
+
+TEST(FrameDecoder, TruncatedFrameIsNeedMoreNotError) {
+  const auto bytes = encode(make_frame(FrameType::Consult, 6, {1, 2, 3}));
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    FrameDecoder dec(kDefaultMaxPayload);
+    dec.feed(std::span<const std::uint8_t>(bytes.data(), cut));
+    Frame out;
+    EXPECT_EQ(dec.next(out), FrameDecoder::Result::NeedMore) << "cut at " << cut;
+  }
+}
+
+// ------------------------------------------------------------- fuzz corpus ---
+
+/// Seeded adversarial corpus: for each round, build a valid two-frame
+/// stream, then mutate it (truncate / flip bits / skew version / inflate
+/// the length field / replace with garbage) and require the decoder to
+/// answer with frames, NeedMore, or a sticky error -- never a crash, hang,
+/// or out-of-bounds access (ASan/UBSan enforce the latter).
+TEST(FrameDecoderFuzz, SurvivesMutatedStreams) {
+  Pcg32 rng(0xF4A5E5EEDULL);
+  for (int round = 0; round < 4000; ++round) {
+    std::vector<std::uint8_t> payload(rng.uniform_u32(128));
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng.uniform_u32(256));
+    std::vector<std::uint8_t> stream =
+        encode(make_frame(static_cast<FrameType>(1 + rng.uniform_u32(8)),
+                          rng.uniform_u32(1000), payload, rng.uniform_u32(1 << 20)));
+    const auto second = encode(make_frame(FrameType::Ping, 7, {}));
+    stream.insert(stream.end(), second.begin(), second.end());
+
+    switch (rng.uniform_u32(5)) {
+      case 0:  // truncate
+        stream.resize(rng.uniform_u32(static_cast<std::uint32_t>(stream.size()) + 1));
+        break;
+      case 1: {  // flip 1-4 random bits
+        const int flips = 1 + static_cast<int>(rng.uniform_u32(4));
+        for (int i = 0; i < flips && !stream.empty(); ++i)
+          stream[rng.uniform_u32(static_cast<std::uint32_t>(stream.size()))] ^=
+              static_cast<std::uint8_t>(1u << rng.uniform_u32(8));
+        break;
+      }
+      case 2:  // version skew
+        if (stream.size() > 4) stream[4] = static_cast<std::uint8_t>(rng.uniform_u32(256));
+        break;
+      case 3:  // inflate the payload_len field
+        if (stream.size() >= kHeaderSize)
+          for (int i = 0; i < 4; ++i)
+            stream[24 + i] = static_cast<std::uint8_t>(rng.uniform_u32(256));
+        break;
+      case 4:  // pure garbage
+        for (auto& b : stream) b = static_cast<std::uint8_t>(rng.uniform_u32(256));
+        break;
+    }
+
+    FrameDecoder dec(/*max_payload=*/4096);
+    std::size_t off = 0;
+    while (off < stream.size()) {
+      const std::size_t n =
+          std::min<std::size_t>(1 + rng.uniform_u32(64), stream.size() - off);
+      dec.feed(std::span<const std::uint8_t>(stream.data() + off, n));
+      off += n;
+      Frame f;
+      FrameDecoder::Result r;
+      int frames_in_round = 0;
+      while ((r = dec.next(f)) == FrameDecoder::Result::Frame) {
+        // A decoded frame must be internally consistent.
+        EXPECT_LE(f.payload.size(), 4096u);
+        ASSERT_LT(++frames_in_round, 64) << "decoder livelock";
+      }
+      if (r == FrameDecoder::Result::Error) break;  // sticky; stop feeding
+    }
+  }
+}
+
+/// The message-codec layer under the same discipline: mutated ConsultReply
+/// payloads either decode to a bounded struct or return false -- never
+/// crash/over-read.
+TEST(WireCodecFuzz, SurvivesMutatedPayloads) {
+  Pcg32 rng(0xC0DEC5EEDULL);
+  for (int round = 0; round < 4000; ++round) {
+    ConsultReply m;
+    m.code = StatusCode::Ok;
+    m.message = "ok";
+    m.retry_after_ms = rng.uniform_u32(1000);
+    m.has_plan = true;
+    m.theta = rng.uniform(0.0, 4.0);
+    m.certified = true;
+    m.decision_epoch = rng.uniform_u32(100);
+    m.total_drawn = rng.uniform(0.0, 8.0);
+    const std::uint32_t ndraws = rng.uniform_u32(8);
+    for (std::uint32_t i = 0; i < ndraws; ++i)
+      m.draws.push_back({rng.uniform_u32(64), rng.uniform(0.0, 2.0)});
+    std::vector<std::uint8_t> buf;
+    encode(m, buf);
+
+    switch (rng.uniform_u32(3)) {
+      case 0:
+        buf.resize(rng.uniform_u32(static_cast<std::uint32_t>(buf.size()) + 1));
+        break;
+      case 1:
+        if (!buf.empty())
+          buf[rng.uniform_u32(static_cast<std::uint32_t>(buf.size()))] ^=
+              static_cast<std::uint8_t>(1u << rng.uniform_u32(8));
+        break;
+      case 2:
+        for (auto& b : buf) b = static_cast<std::uint8_t>(rng.uniform_u32(256));
+        break;
+    }
+    ConsultReply out;
+    if (decode(std::span<const std::uint8_t>(buf.data(), buf.size()), out)) {
+      EXPECT_LE(out.draws.size(), kMaxDraws);
+      EXPECT_TRUE(valid_status_code(static_cast<std::uint8_t>(out.code)));
+    }
+    ConsultRequest req;
+    (void)decode(std::span<const std::uint8_t>(buf.data(), buf.size()), req);
+    InfoReply info;
+    (void)decode(std::span<const std::uint8_t>(buf.data(), buf.size()), info);
+    WireError werr;
+    (void)decode(std::span<const std::uint8_t>(buf.data(), buf.size()), werr);
+  }
+}
+
+}  // namespace
+}  // namespace agora::net

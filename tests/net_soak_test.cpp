@@ -1,0 +1,188 @@
+// Long-running wire-boundary soak (tier2-soak label; tier1.sh runs it
+// under ASan): a service under continuous client churn, including a
+// crash/restart window on the same port, must keep its resource gauges
+// bounded (fds, admission queue, in-flight window, connections) and lose
+// no in-flight call -- every consult ever issued resolves with a definite
+// status, server-decided or client-side.
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "agree/matrices.h"
+#include "engine/engine.h"
+#include "net/client.h"
+#include "net/service.h"
+#include "util/rng.h"
+
+namespace agora::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::size_t open_fd_count() {
+  std::size_t n = 0;
+  DIR* d = ::opendir("/proc/self/fd");
+  if (d == nullptr) return 0;
+  while (::readdir(d) != nullptr) ++n;
+  ::closedir(d);
+  return n;
+}
+
+agree::AgreementSystem soak_economy() {
+  constexpr std::size_t n = 8;
+  agree::AgreementSystem sys(n);
+  for (std::size_t i = 0; i < n; ++i) sys.capacity[i] = 12.0 + static_cast<double>(i % 3);
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b = 0; b < n; ++b)
+      if (a != b) sys.relative(a, b) = 0.1;
+  return sys;
+}
+
+TEST(NetSoak, ChurnAndRestartKeepResourcesBoundedAndLoseNothing) {
+  const auto t0 = Clock::now();
+  const agree::AgreementSystem sys = soak_economy();
+
+  ServiceOptions sopts;
+  sopts.max_queue = 64;
+  sopts.max_inflight = 16;
+  sopts.max_connections = 64;
+  sopts.drain_grace_ms = 2000;
+
+  auto engine = std::make_unique<engine::EnforcementEngine>(sys, [] {
+    engine::EngineOptions e;
+    e.threads = 2;
+    return e;
+  }());
+  auto service = std::make_unique<AgoraService>(*engine, sopts);
+  ASSERT_TRUE(service->start().ok());
+  const std::uint16_t port = service->port();
+
+  const std::size_t fd_baseline = open_fd_count();
+
+  // Churning clients: each worker repeatedly builds a short-lived Client,
+  // issues a handful of consults, and tears it down -- connection churn,
+  // not just request load. Every call must return a definite status.
+  constexpr int kWorkers = 6;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> issued{0}, resolved{0}, server_decided{0}, uncertified{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      Pcg32 rng(0x50AC0000u + static_cast<std::uint64_t>(w));
+      while (!stop.load(std::memory_order_relaxed)) {
+        ClientOptions copt;
+        copt.endpoints = {Endpoint{"", port}};
+        copt.max_attempts = 3;
+        copt.connect_timeout_ms = 200;
+        copt.seed = (static_cast<std::uint64_t>(rng.next_u32()) << 32) | rng.next_u32();
+        Client client(copt);
+        const int burst = 1 + static_cast<int>(rng.uniform_u32(8));
+        for (int i = 0; i < burst && !stop.load(std::memory_order_relaxed); ++i) {
+          issued++;
+          const ConsultOutcome out = client.consult(
+              rng.uniform_u32(8), 0.2 + rng.next_double() * 3.0, 500);
+          resolved++;  // consult() returned: the call did not hang or vanish
+          switch (out.status.code()) {
+            case StatusCode::Ok:
+              if (!out.reply.certified) uncertified++;
+              server_decided++;
+              break;
+            case StatusCode::Insufficient:
+            case StatusCode::Denied:
+            case StatusCode::SolverFailed:
+              server_decided++;
+              break;
+            default:
+              break;  // shed or client-side verdict: definite, not decided
+          }
+        }
+      }
+    });
+  }
+
+  // Phase 1: steady churn.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1200));
+  const std::size_t fd_mid = open_fd_count();
+
+  // Phase 2: crash/restart window -- drain and destroy the service, leave
+  // the port dark while clients keep hammering it, then restart on the
+  // SAME port. Clients must ride it out with definite failures + retries.
+  ServiceStats first_stats;
+  {
+    service->request_drain();
+    const auto deadline = Clock::now() + std::chrono::seconds(10);
+    while (service->running() && Clock::now() < deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_FALSE(service->running()) << "drain did not finish";
+    service->stop();
+    first_stats = service->stats();
+    service.reset();
+    engine.reset();
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));  // dark window
+
+  auto engine2 = std::make_unique<engine::EnforcementEngine>(sys, [] {
+    engine::EngineOptions e;
+    e.threads = 2;
+    return e;
+  }());
+  ServiceOptions sopts2 = sopts;
+  sopts2.port = port;
+  auto service2 = std::make_unique<AgoraService>(*engine2, sopts2);
+  Status restarted = service2->start();
+  for (int attempt = 0; !restarted.ok() && attempt < 50; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    restarted = service2->start();
+  }
+  ASSERT_TRUE(restarted.ok()) << "could not rebind " << port << ": "
+                              << restarted.to_string();
+
+  // Phase 3: churn against the restarted service.
+  const std::uint64_t decided_before_phase3 = server_decided.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1200));
+  stop.store(true);
+  for (auto& t : workers) t.join();
+
+  service2->stop();
+  const ServiceStats s2 = service2->stats();
+  const std::size_t fd_end = open_fd_count();
+
+  // Nothing lost: every issued consult resolved (the counters are bumped
+  // around a blocking call, so equality at join is the no-hang proof), and
+  // the service answered everything it admitted, across both lifetimes.
+  EXPECT_EQ(issued.load(), resolved.load());
+  EXPECT_EQ(first_stats.consults, first_stats.answered);
+  EXPECT_EQ(s2.consults, s2.answered);
+  EXPECT_GT(server_decided.load(), 0u);
+  EXPECT_GT(server_decided.load() - decided_before_phase3, 0u)
+      << "no request was served after the restart";
+  EXPECT_EQ(uncertified.load(), 0u) << "an uncertified grant crossed the wire";
+
+  // Bounded gauges across both service lifetimes.
+  for (const ServiceStats* s : {static_cast<const ServiceStats*>(&first_stats), &s2}) {
+    EXPECT_LE(s->peak_queue, sopts.max_queue);
+    EXPECT_LE(s->peak_inflight, sopts.max_inflight);
+    EXPECT_LE(s->peak_connections, sopts.max_connections);
+    EXPECT_EQ(s->accepted, s->closed) << "connection leak";
+  }
+
+  // Fd bound: steady-state churn must not accumulate descriptors. The
+  // slack covers transient client sockets open at sample time.
+  EXPECT_LE(fd_mid, fd_baseline + 2 * kWorkers + 8);
+  EXPECT_LE(fd_end, fd_baseline + 8);
+
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - t0);
+  RecordProperty("soak_ms", static_cast<int>(elapsed.count()));
+  RecordProperty("consults", static_cast<int>(issued.load()));
+}
+
+}  // namespace
+}  // namespace agora::net

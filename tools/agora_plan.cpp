@@ -18,29 +18,19 @@ using namespace agora;
 
 int main(int argc, char** argv) {
   Flags flags;
-  flags.define("proxies", "10", "number of ISP proxies");
-  flags.define("gap-hours", "1", "time-zone skew between adjacent proxies (hours)");
-  flags.define("peak-rate", "9.5", "requests/second at the diurnal peak");
+  flags.define_int("proxies", "10", "number of ISP proxies");
+  flags.define_double("gap-hours", "1", "time-zone skew between adjacent proxies (hours)");
+  flags.define_double("peak-rate", "9.5", "requests/second at the diurnal peak");
   flags.define("scheduler", "lp", "lp | none");
   flags.define("topology", "complete", "complete | ring | decay");
-  flags.define("share", "0.1", "per-agreement relative share");
-  flags.define("skip", "1", "ring topology: neighbor distance");
-  flags.define("level", "0", "transitivity level (0 = full closure)");
-  flags.define("capacity", "1", "processing-power multiplier for every proxy");
-  flags.define("overhead", "0", "redirection overhead as a fraction of moved work");
+  flags.define_double("share", "0.1", "per-agreement relative share");
+  flags.define_int("skip", "1", "ring topology: neighbor distance");
+  flags.define_int("level", "0", "transitivity level (0 = full closure)");
+  flags.define_double("capacity", "1", "processing-power multiplier for every proxy");
+  flags.define_double("overhead", "0", "redirection overhead as a fraction of moved work");
 
-  try {
-    flags.parse(argc, argv);
-  } catch (const PreconditionError& err) {
-    std::fprintf(stderr, "%s\n", err.what());
-    return 2;
-  }
-  if (flags.help_requested()) {
-    std::printf("%s", flags.help_text("agora_plan: fluid what-if planner for sharing "
-                                      "agreement topologies")
-                          .c_str());
-    return 0;
-  }
+  flags.parse_or_exit(argc, argv,
+                      "agora_plan: fluid what-if planner for sharing agreement topologies");
 
   try {
     const auto n = static_cast<std::size_t>(flags.get_int("proxies"));
@@ -74,11 +64,11 @@ int main(int argc, char** argv) {
             agree::ring(n, share, static_cast<std::size_t>(flags.get_int("skip")));
       else if (topo == "decay")
         cfg.agreements = agree::distance_decay(n, {2 * share, share, share / 2, share / 4});
-      else throw PreconditionError("unknown --topology: " + topo);
+      else flags.usage_error("unknown --topology: " + topo);
       const auto level = static_cast<std::size_t>(flags.get_int("level"));
       if (level > 0) cfg.alloc_opts.transitive.max_level = level;
     } else if (sched != "none") {
-      throw PreconditionError("unknown --scheduler: " + sched);
+      flags.usage_error("unknown --scheduler: " + sched);
     }
 
     const fluid::FluidResult r = fluid::plan(cfg, demand);

@@ -48,8 +48,8 @@ int run_rms_service(const Flags& flags) {
   const double share = flags.get_double("share");
   const double drop = flags.get_double("rms-drop");
   const bool crash_leader = flags.get_int("rms-crash-leader") != 0;
-  AGORA_REQUIRE(sites >= 1, "--rms-sites must be >= 1");
-  AGORA_REQUIRE(drop >= 0.0 && drop < 1.0, "--rms-drop must be in [0, 1)");
+  if (sites < 1) flags.usage_error("--rms-sites must be >= 1");
+  if (!(drop >= 0.0 && drop < 1.0)) flags.usage_error("--rms-drop must be in [0, 1)");
 
   // One resource; site s has capacity 5 * (s + 1), every pair shares `share`.
   agree::AgreementSystem sys(sites);
@@ -151,56 +151,47 @@ int run_rms_service(const Flags& flags) {
 
 int main(int argc, char** argv) {
   Flags flags;
-  flags.define("proxies", "10", "number of ISP proxies");
-  flags.define("gap-hours", "1", "time-zone skew between adjacent proxies (hours)");
-  flags.define("peak-rate", "9.5", "requests/second at the diurnal peak");
-  flags.define("seed", "100", "base RNG seed (proxy p uses seed+p)");
+  flags.define_int("proxies", "10", "number of ISP proxies");
+  flags.define_double("gap-hours", "1", "time-zone skew between adjacent proxies (hours)");
+  flags.define_double("peak-rate", "9.5", "requests/second at the diurnal peak");
+  flags.define_int("seed", "100", "base RNG seed (proxy p uses seed+p)");
   flags.define("scheduler", "lp", "lp | endpoint | none");
   flags.define("topology", "complete", "complete | ring | decay | sparse");
-  flags.define("share", "0.1", "per-agreement relative share");
-  flags.define("skip", "1", "ring topology: neighbor distance");
-  flags.define("degree", "3", "sparse topology: agreements per proxy");
-  flags.define("level", "0", "transitivity level (0 = full closure)");
-  flags.define("redirect-cost", "0", "fixed overhead per redirected request (s)");
-  flags.define("capacity", "1", "processing-power multiplier for every proxy");
-  flags.define("threshold", "5", "queued seconds that trigger a scheduler consult");
-  flags.define("cooldown", "5", "minimum seconds between consults per proxy");
-  flags.define("window", "600", "scheduling epoch for spare-capacity reports (s)");
-  flags.define("threads", "0",
+  flags.define_double("share", "0.1", "per-agreement relative share");
+  flags.define_int("skip", "1", "ring topology: neighbor distance");
+  flags.define_int("degree", "3", "sparse topology: agreements per proxy");
+  flags.define_int("level", "0", "transitivity level (0 = full closure)");
+  flags.define_double("redirect-cost", "0", "fixed overhead per redirected request (s)");
+  flags.define_double("capacity", "1", "processing-power multiplier for every proxy");
+  flags.define_double("threshold", "5", "queued seconds that trigger a scheduler consult");
+  flags.define_double("cooldown", "5", "minimum seconds between consults per proxy");
+  flags.define_double("window", "600", "scheduling epoch for spare-capacity reports (s)");
+  flags.define_int("threads", "0",
                "LP scheduler worker threads: 0 = direct in-process allocator, >= 1 = "
                "sharded enforcement engine (1 is decision-identical to direct)");
-  flags.define("plan-cache", "0",
+  flags.define_int("plan-cache", "0",
                "1 = epoch-keyed decision cache in front of the engine: repeated consult "
                "shapes answered without the LP after a certified residual re-check "
                "(requires --threads >= 1)");
-  flags.define("zipf", "0",
+  flags.define_int("zipf", "0",
                "Zipf(s) response-popularity exponent: responses drawn from a fixed "
                "512-object catalog with Zipf-ranked popularity; 0 = fresh "
                "lognormal/Pareto length per request");
-  flags.define("grm-replicas", "0",
+  flags.define_int("grm-replicas", "0",
                "0 = proxy simulator (default); >= 1 switches to the RMS service mode: "
                "a quorum-replicated GRM with this many replicas plus per-site LRMs");
-  flags.define("rms-sites", "2", "RMS mode: number of sites/LRMs");
-  flags.define("rms-requests", "100", "RMS mode: synthetic allocation requests");
-  flags.define("rms-drop", "0", "RMS mode: per-link message drop probability");
-  flags.define("rms-crash-leader", "0", "RMS mode: 1 = crash the leader at t=10 for 10 s");
+  flags.define_int("rms-sites", "2", "RMS mode: number of sites/LRMs");
+  flags.define_int("rms-requests", "100", "RMS mode: synthetic allocation requests");
+  flags.define_double("rms-drop", "0", "RMS mode: per-link message drop probability");
+  flags.define_int("rms-crash-leader", "0", "RMS mode: 1 = crash the leader at t=10 for 10 s");
   flags.define("csv", "", "write the full 10-minute-slot series to this CSV file");
   flags.define("metrics-out", "",
                "write an observability snapshot (registry metrics + trace events) to this "
                "file; .csv extension selects CSV, anything else JSON lines");
 
-  try {
-    flags.parse(argc, argv);
-  } catch (const PreconditionError& err) {
-    std::fprintf(stderr, "%s\n", err.what());
-    return 2;
-  }
-  if (flags.help_requested()) {
-    std::printf("%s", flags.help_text("agora_sim: web-proxy sharing-agreement simulator "
-                                      "(Zhao & Karamcheti, SC 2000)")
-                          .c_str());
-    return 0;
-  }
+  flags.parse_or_exit(argc, argv,
+                      "agora_sim: web-proxy sharing-agreement simulator "
+                      "(Zhao & Karamcheti, SC 2000)");
 
   try {
     if (flags.get_int("grm-replicas") >= 1) return run_rms_service(flags);
@@ -217,13 +208,13 @@ int main(int argc, char** argv) {
     cfg.scheduler_threads = static_cast<std::size_t>(flags.get_int("threads"));
     cfg.engine_plan_cache = flags.get_int("plan-cache") != 0;
     if (cfg.engine_plan_cache && cfg.scheduler_threads == 0)
-      throw PreconditionError("--plan-cache requires --threads >= 1 (engine backend)");
+      flags.usage_error("--plan-cache requires --threads >= 1 (engine backend)");
 
     const std::string sched = flags.get("scheduler");
     if (sched == "lp") cfg.scheduler = proxysim::SchedulerKind::Lp;
     else if (sched == "endpoint") cfg.scheduler = proxysim::SchedulerKind::Endpoint;
     else if (sched == "none") cfg.scheduler = proxysim::SchedulerKind::None;
-    else throw PreconditionError("unknown --scheduler: " + sched);
+    else flags.usage_error("unknown --scheduler: " + sched);
 
     const std::string topo = flags.get("topology");
     if (cfg.scheduler != proxysim::SchedulerKind::None) {
@@ -236,7 +227,7 @@ int main(int argc, char** argv) {
         cfg.agreements = agree::sparse_random(
             n, static_cast<std::size_t>(flags.get_int("degree")), share,
             static_cast<std::uint64_t>(flags.get_int("seed")));
-      else throw PreconditionError("unknown --topology: " + topo);
+      else flags.usage_error("unknown --topology: " + topo);
     }
     const auto level = static_cast<std::size_t>(flags.get_int("level"));
     if (level > 0) cfg.alloc_opts.transitive.max_level = level;

@@ -23,22 +23,16 @@ int main(int argc, char** argv) {
   Flags flags;
   flags.define("allocate", "", "principal name to run an allocation query for");
   flags.define("resource", "", "resource for the allocation query (default: first)");
-  flags.define("amount", "0", "amount for the allocation query");
-  flags.define("level", "0", "transitivity level (0 = full closure)");
+  flags.define_double("amount", "0", "amount for the allocation query");
+  flags.define_int("level", "0", "transitivity level (0 = full closure)");
 
-  std::vector<std::string> positional;
-  try {
-    positional = flags.parse(argc, argv);
-  } catch (const PreconditionError& err) {
-    std::fprintf(stderr, "%s\n", err.what());
-    return 2;
-  }
-  if (flags.help_requested() || positional.empty()) {
-    std::printf("%s\nusage: agora_value <spec-file> [flags]\n",
-                flags.help_text("agora_value: price an economy spec and query availability")
-                    .c_str());
-    return flags.help_requested() ? 0 : 2;
-  }
+  const std::vector<std::string> positional = flags.parse_or_exit(
+      argc, argv,
+      "agora_value: price an economy spec and query availability\n"
+      "usage: agora_value <spec-file> [flags]",
+      /*allow_positional=*/true);
+  if (positional.empty()) flags.usage_error("missing <spec-file> argument");
+  if (positional.size() > 1) flags.usage_error("unexpected argument: " + positional[1]);
 
   try {
     const core::Economy e = core::load_economy(positional[0]);

@@ -15,7 +15,7 @@ mkdir -p "${OUT}"
 
 cmake -B "${BUILD}" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${BUILD}" -j --target micro_lp micro_warmstart micro_certify scale_shards \
-  scale_hotpath chaos_failover
+  scale_hotpath chaos_failover wire_loopback
 
 "./${BUILD}/bench/micro_lp" \
   --benchmark_out="${OUT}/micro_lp.json" --benchmark_out_format=json
@@ -59,3 +59,11 @@ echo "bench: BENCH_engine.json written"
 "./${BUILD}/bench/chaos_failover" BENCH_rms.json
 
 echo "bench: BENCH_rms.json written"
+
+# Wire boundary: sustainable-rate calibration, 2x-overload shed behavior
+# (explicit unavailable + retry-after, bounded p99 for the accepted
+# consults), and graceful drain under live senders, all over loopback.
+# The binary exits non-zero if an acceptance bound is violated.
+"./${BUILD}/bench/wire_loopback" BENCH_net.json
+
+echo "bench: BENCH_net.json written"

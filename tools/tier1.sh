@@ -22,7 +22,8 @@ cmake --build build -j
 # the tier-1 build bit for bit.
 cmake -B build-asan -S . -DAGORA_SANITIZE=ON
 cmake --build build-asan -j --target rms_test rms_chaos_test rms_replica_test \
-  rms_failover_test fuzz_test lp_certify_test lp_adversarial_test engine_cache_test
+  rms_failover_test fuzz_test lp_certify_test lp_adversarial_test engine_cache_test \
+  net_frame_test net_service_test net_soak_test
 ./build-asan/tests/rms_test
 ./build-asan/tests/rms_chaos_test
 ./build-asan/tests/rms_replica_test
@@ -31,6 +32,13 @@ cmake --build build-asan -j --target rms_test rms_chaos_test rms_replica_test \
 ./build-asan/tests/lp_certify_test
 ./build-asan/tests/lp_adversarial_test
 ./build-asan/tests/engine_cache_test
+# Wire boundary under ASan/UBSan: the frame-decoder fuzz corpus (bit flips,
+# truncations, version skew -- exactly where over-reads would hide), the
+# live loopback service suite (partial I/O, drain, malformed peers), and
+# the tier2 soak with its crash/restart window.
+./build-asan/tests/net_frame_test
+./build-asan/tests/net_service_test
+./build-asan/tests/net_soak_test
 
 # ThreadSanitizer pass over the deliberately multithreaded code: the
 # concurrent observability substrate (metrics registry, lock-free EventRing
@@ -45,13 +53,17 @@ cmake --build build-asan -j --target rms_test rms_chaos_test rms_replica_test \
 # TSan is for, and the hammer test drives them hard.
 cmake -B build-tsan -S . -DAGORA_TSAN=ON
 cmake --build build-tsan -j --target obs_test rms_chaos_test rms_failover_test \
-  engine_test engine_stress_test engine_cache_test
+  engine_test engine_stress_test engine_cache_test net_service_test
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/rms_chaos_test
 ./build-tsan/tests/rms_failover_test
 ./build-tsan/tests/engine_test
 ./build-tsan/tests/engine_stress_test
 ./build-tsan/tests/engine_cache_test
+# net_service_test joins the TSan pass: the poll-loop thread's connection
+# state races client threads and the engine's shard workers through the
+# admission queue, in-flight futures, and the atomic stats cells.
+./build-tsan/tests/net_service_test
 
 echo "tier1: all green"
 echo "tier1: LP perf numbers (BENCH_lp.json) are produced by tools/bench.sh"
