@@ -16,6 +16,13 @@
 //     with a recorded p99 regression bound (kP99BoundUs) and a single retry
 //     when an environmental outlier trips it.
 //
+// A second sweep (DESIGN.md §15) runs the same islands joined into ONE
+// component by weak ring bridges, federated off/on x 1/2/4/8 threads.
+// Without federation a single component at threads>1 falls back to full
+// replicas (every shard solves the 65-variable LP); with federation the
+// bridges are cut, each shard solves its 9-variable local+bank LP, and the
+// sweep records the measured optimality gap the engine reports per epoch.
+//
 // Usage: scale_shards [out.json]   (default BENCH_engine.json)
 #include <algorithm>
 #include <chrono>
@@ -44,6 +51,22 @@ agora::agree::AgreementSystem island_economy() {
     for (std::size_t i = g * kPerIsland; i < (g + 1) * kPerIsland; ++i)
       for (std::size_t j = g * kPerIsland; j < (g + 1) * kPerIsland; ++j)
         if (i != j) sys.relative(i, j) = kShare;
+  return sys;
+}
+
+/// Ring-bridge share joining the islands into one component: weak enough
+/// that the federated cut severs exactly the bridges, strong enough that
+/// border credits are worth granting.
+constexpr double kBridgeShare = 0.05;
+
+agora::agree::AgreementSystem bridged_economy() {
+  agora::agree::AgreementSystem sys = island_economy();
+  for (std::size_t g = 0; g < kIslands; ++g) {
+    const std::size_t a = g * kPerIsland + (kPerIsland - 1);
+    const std::size_t b = ((g + 1) % kIslands) * kPerIsland;
+    sys.relative(a, b) = kBridgeShare;
+    sys.relative(b, a) = kBridgeShare;
+  }
   return sys;
 }
 
@@ -135,6 +158,85 @@ SweepPoint measure(const agora::agree::AgreementSystem& sys, std::size_t threads
   return pt;
 }
 
+// ------------------------------------------------- single-component sweep ---
+
+struct FedPoint {
+  bool fed_requested = false;
+  bool federated = false;
+  bool replicated = false;
+  std::size_t threads = 0;
+  std::size_t shards = 0;
+  std::uint64_t consults = 0;
+  double consults_per_sec = 0.0;
+  double certified_pct = 0.0;
+  double gap_last_rel = 0.0;
+  double gap_max_rel = 0.0;
+  std::uint64_t gap_probes = 0;
+  std::uint64_t credits = 0;
+  std::uint64_t settlements = 0;
+};
+
+FedPoint measure_single_component(const agora::agree::AgreementSystem& sys,
+                                  std::size_t threads, bool fed_on) {
+  agora::engine::EngineOptions opts;
+  opts.threads = threads;
+  opts.sink = agora::obs::Sink::none();
+  opts.alloc.sink = agora::obs::Sink::none();
+  // One connected 64-node component: bound the transitive DFS the same way
+  // the federation test suites do.
+  opts.alloc.transitive.max_level = 3;
+  opts.federation.enabled = fed_on;
+  opts.federation.gap_probes = 4;
+  agora::engine::EnforcementEngine eng(sys, opts);
+
+  const std::size_t n = sys.size();
+  agora::Pcg32 rng(7);
+  std::vector<double> amounts(n);
+  for (std::size_t i = 0; i < n; ++i) amounts[i] = rng.uniform(0.5, 4.0);
+  for (std::size_t i = 0; i < n; ++i) (void)eng.consult(i, amounts[i]);
+
+  FedPoint pt;
+  pt.fed_requested = fed_on;
+  pt.federated = eng.federated();
+  pt.replicated = eng.replicated();
+  pt.threads = threads;
+  pt.shards = eng.num_shards();
+
+  std::uint64_t granted = 0, certified = 0;
+  std::vector<std::future<agora::engine::EngineResult>> wave;
+  wave.reserve(n);
+  const auto t0 = Clock::now();
+  double elapsed = 0.0;
+  while (elapsed < 0.5) {
+    wave.clear();
+    for (std::size_t i = 0; i < n; ++i) wave.push_back(eng.submit(i, amounts[i]));
+    for (auto& f : wave) {
+      const agora::engine::EngineResult res = f.get();
+      if (res.plan.satisfied()) {
+        ++granted;
+        if (res.plan.certified) ++certified;
+      }
+    }
+    pt.consults += n;
+    elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
+  }
+  pt.consults_per_sec = static_cast<double>(pt.consults) / elapsed;
+  pt.certified_pct =
+      granted == 0 ? 0.0
+                   : 100.0 * static_cast<double>(certified) / static_cast<double>(granted);
+
+  // An epoch boundary at unchanged capacities: drains the shard gap rings
+  // and (federated) probes the exact global LP for the optimality gap.
+  eng.settle();
+  const agora::engine::EngineStats st = eng.stats();
+  pt.gap_last_rel = st.federation.last_gap_rel;
+  pt.gap_max_rel = st.federation.max_gap_rel;
+  pt.gap_probes = st.federation.gap_probes;
+  pt.credits = st.federation.credits;
+  pt.settlements = st.federation.settlements;
+  return pt;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -153,6 +255,28 @@ int main(int argc, char** argv) {
   }
   const double speedup = sweep.back().consults_per_sec / sweep.front().consults_per_sec;
   std::printf("speedup 8 vs 1 threads: %.2fx\n", speedup);
+
+  // Single-component sweep: federated off (full-replica fallback) vs on
+  // (edge-scored cut + border credits), threads 1/2/4/8.
+  const agora::agree::AgreementSystem one = bridged_economy();
+  std::vector<FedPoint> fed_sweep;
+  for (const bool fed_on : {false, true}) {
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+      fed_sweep.push_back(measure_single_component(one, threads, fed_on));
+      const FedPoint& pt = fed_sweep.back();
+      std::printf(
+          "one-component fed=%s threads=%zu shards=%zu%s  %10.0f consults/s  "
+          "certified %.1f%%  gap last/max %.4f/%.4f\n",
+          pt.fed_requested ? "on " : "off", pt.threads, pt.shards,
+          pt.replicated ? " (replicated)" : pt.federated ? " (federated)" : "",
+          pt.consults_per_sec, pt.certified_pct, pt.gap_last_rel, pt.gap_max_rel);
+    }
+  }
+  // fed_sweep rows: [0..3] = off x threads{1,2,4,8}, [4..7] = on x same.
+  const double speedup_fed = fed_sweep[7].consults_per_sec / fed_sweep[4].consults_per_sec;
+  const double speedup_rep = fed_sweep[3].consults_per_sec / fed_sweep[0].consults_per_sec;
+  std::printf("one-component speedup 8 vs 1 shards: federated %.2fx, replicated %.2fx\n",
+              speedup_fed, speedup_rep);
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (!f) {
@@ -179,6 +303,31 @@ int main(int argc, char** argv) {
                  i + 1 < sweep.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"single_component\": {\n");
+  std::fprintf(f, "    \"bridge_share\": %.2f,\n", kBridgeShare);
+  std::fprintf(f, "    \"sweep\": [\n");
+  for (std::size_t i = 0; i < fed_sweep.size(); ++i) {
+    const FedPoint& pt = fed_sweep[i];
+    std::fprintf(f,
+                 "      {\"federated_requested\": %s, \"federated\": %s, "
+                 "\"replicated\": %s, \"threads\": %zu, \"shards\": %zu, "
+                 "\"consults\": %llu, \"consults_per_sec\": %.1f, "
+                 "\"certified_grant_pct\": %.1f, \"gap_last_rel\": %.6f, "
+                 "\"gap_max_rel\": %.6f, \"gap_probes\": %llu, \"credits\": %llu, "
+                 "\"settlements\": %llu}%s\n",
+                 pt.fed_requested ? "true" : "false", pt.federated ? "true" : "false",
+                 pt.replicated ? "true" : "false", pt.threads, pt.shards,
+                 static_cast<unsigned long long>(pt.consults), pt.consults_per_sec,
+                 pt.certified_pct, pt.gap_last_rel, pt.gap_max_rel,
+                 static_cast<unsigned long long>(pt.gap_probes),
+                 static_cast<unsigned long long>(pt.credits),
+                 static_cast<unsigned long long>(pt.settlements),
+                 i + 1 < fed_sweep.size() ? "," : "");
+  }
+  std::fprintf(f, "    ],\n");
+  std::fprintf(f, "    \"speedup_fed_8_vs_1\": %.3f,\n", speedup_fed);
+  std::fprintf(f, "    \"speedup_replicated_8_vs_1\": %.3f\n", speedup_rep);
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"speedup_8_vs_1\": %.3f\n}\n", speedup);
   std::fclose(f);
   std::printf("scale_shards: wrote %s\n", out_path.c_str());

@@ -1,7 +1,9 @@
 #include "engine/partition.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
+#include <tuple>
 
 #include "util/error.h"
 
@@ -23,13 +25,102 @@ void unite(std::vector<std::size_t>& parent, std::size_t a, std::size_t b) {
   if (a != b) parent[std::max(a, b)] = std::min(a, b);
 }
 
+/// Groups of participants (components or agglomerated clusters), each
+/// ascending, ordered by smallest member for determinism.
+std::vector<std::vector<std::size_t>> collect_groups(std::vector<std::size_t>& parent) {
+  const std::size_t n = parent.size();
+  std::vector<std::vector<std::size_t>> groups;
+  std::vector<std::size_t> group_of(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t r = find_root(parent, i);
+    if (group_of[r] == n) {
+      group_of[r] = groups.size();
+      groups.emplace_back();
+    }
+    groups[group_of[r]].push_back(i);  // ascending: i is visited in order
+  }
+  return groups;
+}
+
+/// LPT bin-packing of groups onto `part.shards` shards: largest group first
+/// onto the least-loaded shard, ties toward the lower shard id.
+void pack_groups(const std::vector<std::vector<std::size_t>>& groups, Partition& part) {
+  part.members.assign(part.shards, {});
+  part.shard_of.assign(part.shard_of.size(), 0);
+  std::vector<std::size_t> order(groups.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return groups[a].size() > groups[b].size();
+  });
+  std::vector<std::size_t> load(part.shards, 0);
+  for (const std::size_t g : order) {
+    const std::size_t s = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    load[s] += groups[g].size();
+    for (const std::size_t i : groups[g]) {
+      part.members[s].push_back(i);
+      part.shard_of[i] = s;
+    }
+  }
+  // Local indices inside a shard follow the sorted global order so the
+  // induced sub-system is independent of packing order.
+  for (auto& m : part.members) std::sort(m.begin(), m.end());
+}
+
+/// Min-cut-ish split for federated mode: heavy-edge agglomeration under a
+/// size cap. Merging the heaviest agreement edges first keeps them inside a
+/// shard, so the edges that end up cut -- and become border credits -- are
+/// the lightest ones, which is what bounds the optimality gap in practice.
+std::vector<std::vector<std::size_t>> agglomerate(const agree::AgreementSystem& sys,
+                                                  std::size_t shards, double slack) {
+  const std::size_t n = sys.size();
+  const std::size_t cap = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(static_cast<double>(n) * (1.0 + slack) / static_cast<double>(shards))));
+
+  // Absolute amounts live on the capacity scale; relative shares are
+  // fractions. Normalize A by the mean capacity so both contribute
+  // comparably to the edge weight.
+  double mean_cap = 0.0;
+  for (double v : sys.capacity) mean_cap += v;
+  mean_cap = std::max(1.0, mean_cap / static_cast<double>(n));
+
+  struct Edge {
+    double weight;
+    std::size_t i, j;
+  };
+  std::vector<Edge> edges;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double w = sys.relative(i, j) + sys.relative(j, i) +
+                       (sys.absolute(i, j) + sys.absolute(j, i)) / mean_cap;
+      if (w > 0.0) edges.push_back(Edge{w, i, j});
+    }
+  }
+  std::stable_sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return std::tie(b.weight, a.i, a.j) < std::tie(a.weight, b.i, b.j);
+  });
+
+  std::vector<std::size_t> parent(n), size(n, 1);
+  std::iota(parent.begin(), parent.end(), 0);
+  for (const Edge& e : edges) {
+    const std::size_t a = find_root(parent, e.i);
+    const std::size_t b = find_root(parent, e.j);
+    if (a == b || size[a] + size[b] > cap) continue;
+    const std::size_t root = std::min(a, b);
+    size[root] = size[a] + size[b];
+    parent[std::max(a, b)] = root;
+  }
+  return collect_groups(parent);
+}
+
 }  // namespace
 
-Partition partition_participants(const agree::AgreementSystem& sys, std::size_t shards) {
+Partition partition_participants(const agree::AgreementSystem& sys,
+                                 const PartitionOptions& opts) {
   const std::size_t n = sys.size();
   AGORA_REQUIRE(n > 0, "cannot partition an empty system");
-  if (shards == 0) shards = 1;
-  shards = std::min(shards, n);
+  std::size_t shards = opts.shards == 0 ? 1 : std::min(opts.shards, n);
 
   // Connected components of the symmetrized agreement support S + A.
   std::vector<std::size_t> parent(n);
@@ -38,60 +129,41 @@ Partition partition_participants(const agree::AgreementSystem& sys, std::size_t 
     for (std::size_t j = 0; j < n; ++j)
       if (i != j && (sys.relative(i, j) > 0.0 || sys.absolute(i, j) > 0.0))
         unite(parent, i, j);
-
-  std::vector<std::vector<std::size_t>> comps;
-  {
-    std::vector<std::size_t> comp_of(n, n);
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::size_t r = find_root(parent, i);
-      if (comp_of[r] == n) {
-        comp_of[r] = comps.size();
-        comps.emplace_back();
-      }
-      comps[comp_of[r]].push_back(i);  // ascending: i is visited in order
-    }
-  }
+  const std::vector<std::vector<std::size_t>> comps = collect_groups(parent);
 
   Partition part;
   part.components = comps.size();
+  part.shard_of.assign(n, 0);
+
+  if (comps.size() < shards && shards > 1 && opts.federated) {
+    // Federated split: cut the components themselves, lightest edges first
+    // to the boundary. Cut entitlements become border credits.
+    const auto groups = agglomerate(sys, shards, opts.balance_slack);
+    part.shards = std::min(shards, groups.size());
+    part.federated = part.shards > 1 && groups.size() > comps.size();
+    pack_groups(groups, part);
+    return part;
+  }
 
   if (comps.size() == 1 && shards > 1) {
     // Hash fallback: one giant component, no independent split. Replicate
     // the full system on every shard and route requests by participant id.
     part.shards = shards;
     part.replicated = true;
-    part.shard_of.resize(n);
     for (std::size_t i = 0; i < n; ++i) part.shard_of[i] = i % shards;
     part.members.assign(shards, comps[0]);
     return part;
   }
 
   part.shards = std::min(shards, comps.size());
-  part.replicated = false;
-  part.members.assign(part.shards, {});
-  part.shard_of.assign(n, 0);
-
-  // LPT bin-packing: largest component first onto the least-loaded shard,
-  // ties broken toward the lower shard id for determinism.
-  std::vector<std::size_t> order(comps.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return comps[a].size() > comps[b].size();
-  });
-  std::vector<std::size_t> load(part.shards, 0);
-  for (const std::size_t c : order) {
-    const std::size_t s = static_cast<std::size_t>(
-        std::min_element(load.begin(), load.end()) - load.begin());
-    load[s] += comps[c].size();
-    for (const std::size_t i : comps[c]) {
-      part.members[s].push_back(i);
-      part.shard_of[i] = s;
-    }
-  }
-  // Local indices inside a shard follow the sorted global order so the
-  // induced sub-system is independent of packing order.
-  for (auto& m : part.members) std::sort(m.begin(), m.end());
+  pack_groups(comps, part);
   return part;
+}
+
+Partition partition_participants(const agree::AgreementSystem& sys, std::size_t shards) {
+  PartitionOptions opts;
+  opts.shards = shards;
+  return partition_participants(sys, opts);
 }
 
 }  // namespace agora::engine

@@ -26,6 +26,19 @@ void accumulate(SolveStats& into, const SolveStats& s) {
 
 }  // namespace
 
+void accumulate(PipelineStats& into, const PipelineStats& from) {
+  into.solves += from.solves;
+  for (int s = 0; s < kPipelineStages; ++s) {
+    into.attempts[s] += from.attempts[s];
+    into.failures[s] += from.failures[s];
+  }
+  into.certified += from.certified;
+  into.primal_only += from.primal_only;
+  into.exhausted += from.exhausted;
+  into.max_fallback_depth = std::max(into.max_fallback_depth, from.max_fallback_depth);
+  accumulate(into.solver, from.solver);
+}
+
 SolvePipeline::SolvePipeline(PipelineOptions opts)
     : opts_(opts), verifier_(opts.solver.tols) {
   // Resolve all metric handles up front; solve() then only bumps atomics.

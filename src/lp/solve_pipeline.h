@@ -82,6 +82,11 @@ struct PipelineStats {
   SolveStats solver;
 };
 
+/// Merge `from` into `into`: counters add, high-water marks take the max.
+/// The aggregation every multi-pipeline owner needs (the engine's per-shard
+/// allocators, a rebuilt allocator carrying its predecessor's telemetry).
+void accumulate(PipelineStats& into, const PipelineStats& from);
+
 struct PipelineResult {
   SolveResult result;
   Certificate certificate;

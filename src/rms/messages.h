@@ -185,9 +185,35 @@ struct NotLeader {
   std::size_t leader = 0;  ///< bus endpoint of the believed leader
 };
 
+// ---------------------------------------------------------------------------
+// Federated settlement (engine/federation.h, DESIGN.md §15): the coordinator
+// distributes border-credit balances to borrower shards over the bus. Both
+// messages are idempotent by settle_id -- at-least-once delivery with
+// receiver-side dedup yields exactly-once application, which the tier2-chaos
+// federation suite drives through the fault plan.
+// ---------------------------------------------------------------------------
+
+/// Coordinator -> borrower shard: the shard's full inbound credit table as
+/// of settlement round `settle_id` (absolute balances, not deltas, so a
+/// duplicated or replayed grant is harmlessly re-applied).
+struct CreditGrant {
+  std::uint64_t settle_id = 0;
+  std::size_t shard = 0;
+  std::vector<std::uint64_t> credit_ids;
+  std::vector<double> remaining;  ///< parallel to credit_ids
+};
+
+/// Borrower shard -> coordinator: round `settle_id` applied (or already
+/// applied -- re-acked on retry, like ReserveCommand's Ack).
+struct CreditAck {
+  std::uint64_t settle_id = 0;
+  std::size_t shard = 0;
+};
+
 using Payload = std::variant<AvailabilityReport, AllocationRequest, AllocationReply,
                              ReserveCommand, ReleaseNotice, AgreementUpdate, Ack,
                              LrmResync, Timer, RequestVote, VoteReply, AppendEntries,
-                             AppendReply, InstallSnapshot, SnapshotReply, NotLeader>;
+                             AppendReply, InstallSnapshot, SnapshotReply, NotLeader,
+                             CreditGrant, CreditAck>;
 
 }  // namespace agora::rms

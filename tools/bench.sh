@@ -40,11 +40,13 @@ echo "bench: BENCH_lp.json written"
 
 # Enforcement-engine sweeps: the shard-count sweep (1/2/4/8 worker shards,
 # consults/sec + p50/p99 consult latency with a recorded p99 regression
-# bound) and the admission hot-path sweep (baseline vs plan-cache vs
-# cache+fastpath on a Zipf s=1.1 request mix; cache hit-rate, fast-path
-# share, 100%-certified-grants gate). The merge script nests both fragments
-# under the schema-versioned BENCH_engine.json and enforces the >=10x
-# cache-speedup acceptance bound.
+# bound), its single-component federation sweep (federated off/on x 1/2/4/8
+# shards over the ring-bridged economy, measured optimality gap per point),
+# and the admission hot-path sweep (baseline vs plan-cache vs cache+fastpath
+# on a Zipf s=1.1 request mix; cache hit-rate, fast-path share,
+# 100%-certified-grants gate). The merge script nests the fragments under
+# the schema-versioned BENCH_engine.json and enforces the >=10x
+# cache-speedup and >=3x federated-shard-speedup acceptance bounds.
 "./${BUILD}/bench/scale_shards" "${OUT}/scale_shards.json"
 "./${BUILD}/bench/scale_hotpath" "${OUT}/scale_hotpath.json"
 python3 tools/bench_engine_json.py \

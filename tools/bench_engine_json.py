@@ -8,12 +8,18 @@ sweep, DESIGN.md section 13) each write a standalone JSON fragment; this
 script nests them under a schema-versioned top level so the repo tracks one
 engine bench file. Only the Python standard library is used.
 
-The hot-path acceptance gates from ISSUE/PR7 are re-checked here so a bad
-merge can't slip into the tracked file: certified_grant_pct must be 100 and
-the cache speedup over the baseline phase must be >= 10x.
+The acceptance gates are re-checked here so a bad merge can't slip into the
+tracked file:
+  * hot path (PR 7): certified_grant_pct must be 100 and the cache speedup
+    over the baseline phase must be >= 10x;
+  * federation (PR 9): on the single-component sweep, federated@8-shards
+    must beat federated@1-shard by >= 3x with NO full-replica fallback
+    (federated true, replicated false at every threads>1 point), every
+    grant certified, and a finite measured optimality gap recorded.
 """
 
 import json
+import math
 import sys
 
 
@@ -34,8 +40,30 @@ def main(argv):
     if speedup < 10.0:
         raise SystemExit(f"hotpath cache speedup {speedup:.1f}x below the 10x acceptance bound")
 
+    single = shards.get("single_component")
+    if not single:
+        raise SystemExit("scale_shards fragment lacks the single_component sweep")
+    fed_speedup = single.get("speedup_fed_8_vs_1", 0.0)
+    if fed_speedup < 3.0:
+        raise SystemExit(
+            f"federated 8-vs-1 shard speedup {fed_speedup:.2f}x below the 3x acceptance bound")
+    gap_seen = False
+    for pt in single.get("sweep", []):
+        where = f"single_component point threads={pt.get('threads')} fed={pt.get('federated_requested')}"
+        if pt.get("certified_grant_pct") != 100.0:
+            raise SystemExit(f"{where}: uncertified grants")
+        if pt.get("federated_requested") and pt.get("threads", 1) > 1:
+            if pt.get("replicated") or not pt.get("federated"):
+                raise SystemExit(f"{where}: fell back to full replicas")
+            gap = pt.get("gap_max_rel")
+            if not isinstance(gap, (int, float)) or not math.isfinite(gap) or gap < 0.0:
+                raise SystemExit(f"{where}: no measured optimality gap recorded")
+            gap_seen = True
+    if not gap_seen:
+        raise SystemExit("single_component sweep recorded no federated optimality gap")
+
     doc = {
-        "schema": "agora-bench-engine/2",
+        "schema": "agora-bench-engine/3",
         "scale_shards": shards,
         "scale_hotpath": hotpath,
     }

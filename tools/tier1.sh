@@ -8,7 +8,10 @@ cd "$(dirname "$0")/.."
 
 cmake -B build -S .
 cmake --build build -j
-(cd build && ctest --output-on-failure -j)
+# Fast tier-1 lane: the long-running stress/soak/figure/chaos suites carry
+# tier2-* labels and run selectively (`ctest -L tier2-stress` etc.) or via
+# the sanitizer passes below. Plain `ctest` still runs everything.
+(cd build && ctest --output-on-failure -j -LE '^tier2-')
 
 # Sanitizer pass over the message-layer tests (the fault-injection code
 # paths -- drops, duplicate frees of envelopes, restart handlers -- are the
@@ -23,6 +26,7 @@ cmake --build build -j
 cmake -B build-asan -S . -DAGORA_SANITIZE=ON
 cmake --build build-asan -j --target rms_test rms_chaos_test rms_replica_test \
   rms_failover_test fuzz_test lp_certify_test lp_adversarial_test engine_cache_test \
+  engine_federation_test credit_conservation_test federation_chaos_test \
   net_frame_test net_service_test net_soak_test
 ./build-asan/tests/rms_test
 ./build-asan/tests/rms_chaos_test
@@ -32,6 +36,12 @@ cmake --build build-asan -j --target rms_test rms_chaos_test rms_replica_test \
 ./build-asan/tests/lp_certify_test
 ./build-asan/tests/lp_adversarial_test
 ./build-asan/tests/engine_cache_test
+# Federation suites under ASan/UBSan: the credit ledger's settle/consume
+# arithmetic, the border-bank allocator rebuilds, and the chaos harness's
+# envelope lifetimes are the new lifetime-sensitive surface.
+./build-asan/tests/engine_federation_test
+./build-asan/tests/credit_conservation_test
+./build-asan/tests/federation_chaos_test
 # Wire boundary under ASan/UBSan: the frame-decoder fuzz corpus (bit flips,
 # truncations, version skew -- exactly where over-reads would hide), the
 # live loopback service suite (partial I/O, drain, malformed peers), and
@@ -53,13 +63,20 @@ cmake --build build-asan -j --target rms_test rms_chaos_test rms_replica_test \
 # TSan is for, and the hammer test drives them hard.
 cmake -B build-tsan -S . -DAGORA_TSAN=ON
 cmake --build build-tsan -j --target obs_test rms_chaos_test rms_failover_test \
-  engine_test engine_stress_test engine_cache_test net_service_test
+  engine_test engine_stress_test engine_cache_test engine_federation_test \
+  federation_chaos_test net_service_test
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/rms_chaos_test
 ./build-tsan/tests/rms_failover_test
 ./build-tsan/tests/engine_test
 ./build-tsan/tests/engine_stress_test
 ./build-tsan/tests/engine_cache_test
+# Federated engine under TSan: worker threads consult against border banks
+# while mutators settle credits and swap shard allocators -- exactly the new
+# cross-thread handoff (ops carrying rebuilds/credit tables, gap rings
+# drained through acks) this pass is for.
+./build-tsan/tests/engine_federation_test
+./build-tsan/tests/federation_chaos_test
 # net_service_test joins the TSan pass: the poll-loop thread's connection
 # state races client threads and the engine's shard workers through the
 # admission queue, in-flight futures, and the atomic stats cells.
