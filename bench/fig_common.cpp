@@ -78,6 +78,36 @@ lp::Problem compact_allocation_lp(std::size_t n) {
   return std::move(cache.problem());
 }
 
+agree::AgreementSystem banded_sharing_system(std::size_t n) {
+  Pcg32 rng(n * 13 + 5);
+  agree::AgreementSystem sys(n);
+  for (std::size_t i = 0; i < n; ++i) sys.capacity[i] = rng.uniform(5.0, 20.0);
+  // Neighbors at ring distance 1..3 get a decaying share; the trailing 0.0
+  // applies to every farther distance, so the direct matrix is a band.
+  sys.relative = agree::distance_decay(n, {0.25, 0.12, 0.06, 0.0});
+  return sys;
+}
+
+alloc::AllocatorOptions sparse_bench_alloc_options() {
+  alloc::AllocatorOptions opts;
+  // Two transitive hops widen the band to ~12 neighbors but keep row
+  // density independent of n; without the cap the closure over a ring
+  // eventually densifies the entitlement matrix.
+  opts.transitive.max_level = 2;
+  opts.transitive.prune_below = 1e-8;
+  return opts;
+}
+
+lp::Problem sparse_allocation_lp(std::size_t n) {
+  const agree::AgreementSystem sys = banded_sharing_system(n);
+  const agree::CapacityReport rep =
+      agree::compute_capacities(sys, sparse_bench_alloc_options().transitive);
+  alloc::AllocationModelCache cache;
+  cache.build(sys, rep);
+  cache.patch(rep, /*a=*/0, rep.capacity[0] * 0.5);
+  return std::move(cache.problem());
+}
+
 trace::Generator make_generator() {
   trace::GeneratorConfig cfg;
   cfg.peak_rate = kPeakRate;

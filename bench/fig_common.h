@@ -82,6 +82,23 @@ alloc::AllocatorOptions bench_alloc_options();
 /// perturbation rows is retained_i, not 1.0).
 lp::Problem compact_allocation_lp(std::size_t n);
 
+/// Banded sharing system: principals on a ring of time zones share with
+/// neighbors up to ring distance 3 (Figure 13's distance-decayed shape, cut
+/// off so the matrix is genuinely sparse). Row density stays O(1) as n
+/// grows, which is what makes the n = 1000 LP tractable for the sparse
+/// basis and a stress case for the dense inverse.
+agree::AgreementSystem banded_sharing_system(std::size_t n);
+
+/// Transitive options for the banded system: chains capped at 2 hops keep
+/// the entitlement matrix banded (width ~12) at any n.
+alloc::AllocatorOptions sparse_bench_alloc_options();
+
+/// Compact allocation LP over banded_sharing_system(n) -- requester 0,
+/// amount = half its availability. ~2n+1 standard-form rows with O(1)
+/// nonzeros each; the lp scaling sweep (micro_lp, BENCH_lp.json) runs this
+/// at n in {100, 500, 1000}.
+lp::Problem sparse_allocation_lp(std::size_t n);
+
 /// Print the figure banner.
 void banner(const std::string& figure, const std::string& description);
 

@@ -70,7 +70,7 @@ Scenario make_scenario() {
 
 alloc::AllocatorOptions engine_opts(bool certify) {
   alloc::AllocatorOptions opts;
-  opts.engine = alloc::LpEngine::Revised;
+  opts.solve.backend = lp::Backend::Revised;
   opts.reuse_context = true;  // the warm path is where overhead would hide
   opts.certify = certify;
   return opts;

@@ -100,7 +100,7 @@ Scenario make_scenario() {
 
 alloc::AllocatorOptions engine_opts(bool reuse) {
   alloc::AllocatorOptions opts;
-  opts.engine = alloc::LpEngine::Revised;
+  opts.solve.backend = lp::Backend::Revised;
   opts.reuse_context = reuse;
   return opts;
 }

@@ -4,9 +4,7 @@
 #include <cmath>
 
 #include "lp/model_builder.h"
-#include "lp/presolve.h"
-#include "lp/revised.h"
-#include "lp/simplex.h"
+#include "lp/solve.h"
 #include "obs/timer.h"
 
 namespace agora::alloc {
@@ -16,8 +14,7 @@ constexpr double kFeasTol = 1e-9;
 
 lp::PipelineOptions pipeline_options(const AllocatorOptions& opts) {
   lp::PipelineOptions po;
-  po.solver = opts.solver;
-  po.prefer_revised = opts.engine == LpEngine::Revised;
+  po.solve = opts.solve;
   po.sink = opts.sink;
   return po;
 }
@@ -27,7 +24,7 @@ Allocator::Allocator(agree::AgreementSystem sys, AllocatorOptions opts)
     : sys_(std::move(sys)),
       opts_(opts),
       pipeline_(pipeline_options(opts)),
-      verifier_(opts.solver.tols) {
+      verifier_(opts.solve.tols) {
   sys_.validate(/*allow_overdraft=*/true);
   obs_plan_seconds_ = &opts_.sink.histogram("alloc.plan.seconds");
   obs_cache_hits_ = &opts_.sink.counter("alloc.model_cache.hits");
@@ -78,13 +75,7 @@ void Allocator::refresh_availability() {
 }
 
 lp::SolveResult Allocator::run_solver(const lp::Problem& p) const {
-  const auto solve = [this](const lp::Problem& q) {
-    if (opts_.engine == LpEngine::Revised)
-      return lp::RevisedSimplexSolver(opts_.solver).solve(q);
-    return lp::SimplexSolver(opts_.solver).solve(q);
-  };
-  if (opts_.presolve) return lp::solve_with_presolve(p, solve, opts_.solver.tols);
-  return solve(p);
+  return lp::solve(p, opts_.solve);
 }
 
 lp::SolveResult Allocator::run_certified(const lp::Problem& p, lp::SolveWorkspace* ws,
@@ -102,7 +93,7 @@ AllocationPlan Allocator::allocate(std::size_t a, double amount) const {
   obs::ScopedTimer plan_timer(obs_plan_seconds_);
   const bool exact = opts_.equality == EqualityMode::Exact;
   if (opts_.fast_path && !exact && opts_.formulation == Formulation::Compact &&
-      opts_.reuse_context && !opts_.presolve) {
+      opts_.reuse_context && !opts_.solve.presolve) {
     AllocationPlan fast;
     if (try_fast_path(a, amount, fast)) {
       if constexpr (obs::kEnabled) obs_plans_satisfied_->inc();
@@ -195,7 +186,7 @@ AllocationPlan Allocator::solve_compact(std::size_t a, double amount, bool exact
   // In both branches below, variables are d_0..d_{n-1} then theta, so the
   // extraction after the solve is shared.
   lp::SolveResult r;
-  if (!exact && opts_.reuse_context && !opts_.presolve) {
+  if (!exact && opts_.reuse_context && !opts_.solve.presolve) {
     // Amortized path: the model structure is built once per Allocator;
     // each request only patches the d_k bounds (U_kA) and the demand rhs.
     if (!cache_.built()) {
@@ -205,14 +196,11 @@ AllocationPlan Allocator::solve_compact(std::size_t a, double amount, bool exact
       obs_cache_hits_->inc();
     }
     cache_.patch(report_, a, amount);
+    const bool revised = opts_.solve.backend == lp::Backend::Revised;
     if (opts_.certify) {
-      r = run_certified(cache_.problem(),
-                        opts_.engine == LpEngine::Revised ? &cache_.workspace() : nullptr,
-                        plan);
-    } else if (opts_.engine == LpEngine::Revised) {
-      r = lp::RevisedSimplexSolver(opts_.solver).solve(cache_.problem(), &cache_.workspace());
+      r = run_certified(cache_.problem(), revised ? &cache_.workspace() : nullptr, plan);
     } else {
-      r = lp::SimplexSolver(opts_.solver).solve(cache_.problem());
+      r = lp::solve(cache_.problem(), opts_.solve, revised ? &cache_.workspace() : nullptr);
     }
   } else {
     lp::ModelBuilder mb(lp::Sense::Minimize);

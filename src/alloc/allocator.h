@@ -60,17 +60,25 @@ struct RelaxedCounter {
 
 enum class Formulation { Compact, FullPaper };
 enum class EqualityMode { Relaxed, Exact };
-enum class LpEngine { Tableau, Revised };
 
 struct AllocatorOptions {
   agree::TransitiveOptions transitive;  ///< level limit etc. (Figs 8-11)
   Formulation formulation = Formulation::Compact;
   EqualityMode equality = EqualityMode::Relaxed;
-  LpEngine engine = LpEngine::Tableau;
-  /// Run the lightweight LP presolve (fixed variables, singleton rows, row
-  /// scaling) before the simplex. Mostly useful for the FullPaper
-  /// formulation, whose flow equalities presolve can collapse.
-  bool presolve = false;
+  /// Every LP knob in one struct (see lp/solve.h): backend choice, presolve
+  /// switch, basis representation, iteration caps, tolerances. The defaults
+  /// here deliberately diverge from lp::SolveOptions' own to preserve the
+  /// allocator's historical behavior: tableau backend, and presolve off --
+  /// the allocator's hot paths patch a cached model whose structure presolve
+  /// would rebuild per request (and the warm-started workspace path skips
+  /// presolve regardless). Presolve pays off for the FullPaper formulation,
+  /// whose flow equalities it can collapse.
+  lp::SolveOptions solve = [] {
+    lp::SolveOptions o;
+    o.backend = lp::Backend::Tableau;
+    o.presolve = false;
+    return o;
+  }();
   /// Reuse the compact model structure (and, for the Revised engine, the
   /// previous optimal basis as a warm start) across allocate() calls. The
   /// returned plans are identical either way; this only removes per-request
@@ -82,9 +90,9 @@ struct AllocatorOptions {
   /// Verify every LP answer against the original problem (lp::Verifier) and
   /// escalate through the staged solve chain (lp::SolvePipeline) until one
   /// certifies. A consult whose chain is exhausted yields an explicit
-  /// PlanStatus::Denied -- never an uncertified grant. When on, presolve is
-  /// bypassed (certification checks the answer against the problem actually
-  /// posed, so the pipeline solves the original model).
+  /// PlanStatus::Denied -- never an uncertified grant. Certification always
+  /// checks against the problem actually posed: when presolve is on, the
+  /// pipeline maps the reduced answer back (postsolve) before verifying.
   bool certify = true;
   /// Admission fast path: a request that fits inside the requester's own
   /// retained entitlement (U_aa) is granted as the self-draw plan
@@ -97,7 +105,6 @@ struct AllocatorOptions {
   /// (see DESIGN.md section 13). Requires the Compact/Relaxed reuse_context
   /// configuration; other configurations ignore the flag.
   bool fast_path = false;
-  lp::SolverOptions solver;
   /// Telemetry destination, propagated into the solve pipeline. Metric
   /// handles are resolved once at Allocator construction.
   obs::Sink sink = obs::Sink::global();

@@ -5,7 +5,7 @@
 #include <utility>
 
 #include "lp/model_builder.h"
-#include "lp/simplex.h"
+#include "lp/solve.h"
 #include "obs/timer.h"
 
 namespace agora::alloc {
@@ -13,8 +13,7 @@ namespace agora::alloc {
 namespace {
 lp::PipelineOptions fine_pipeline_options(const AllocatorOptions& opts) {
   lp::PipelineOptions po;
-  po.solver = opts.solver;
-  po.prefer_revised = opts.engine == LpEngine::Revised;
+  po.solve = opts.solve;
   po.sink = opts.sink;
   return po;
 }
@@ -208,7 +207,9 @@ AllocationPlan HierarchicalAllocator::allocate(std::size_t a, double amount) con
       r = std::move(pr.result);
       if (!pr.certified()) r.status = lp::Status::IterationLimit;  // force fallback below
     } else {
-      r = lp::SimplexSolver(opts_.solver).solve(mb.problem());
+      lp::SolveOptions fine = opts_.solve;
+      fine.backend = lp::Backend::Tableau;
+      r = lp::solve(mb.problem(), fine);
     }
     plan.lp_iterations += r.iterations;
     if (r.status != lp::Status::Optimal) {

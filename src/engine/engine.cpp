@@ -417,7 +417,7 @@ std::optional<alloc::AllocationPlan> EnforcementEngine::cached_decision(
     // epoch compare may have raced a concurrent publish). Insufficient
     // means demand exceeds availability C_a, so the denial still holds iff
     // the amount is strictly beyond what the snapshot makes available.
-    const double tol = opts_.alloc.solver.tols.feasibility;
+    const double tol = opts_.alloc.solve.tols.feasibility;
     if (amount > snap->available[a] + tol * (1.0 + std::fabs(amount))) {
       obs_pc_neg_hits_->inc();
       obs_consults_->inc();
@@ -451,7 +451,7 @@ bool EnforcementEngine::recertify(const PlanCache::Entry& e,
   // entitlement to `a`, demand met exactly, theta covering the capacity
   // drop it induces anywhere. O(nnz) bound checks + O(nnz * n) drop
   // accumulation on the vectorized kernels.
-  const double tol = opts_.alloc.solver.tols.feasibility;
+  const double tol = opts_.alloc.solve.tols.feasibility;
   const std::size_t a = e.participant;
   thread_local std::vector<double> drop;
   drop.assign(n_, 0.0);
@@ -506,7 +506,7 @@ void EnforcementEngine::apply(const alloc::AllocationPlan& plan) {
   // a later settlement) throws here instead of drawing lender capacity the
   // ledger no longer backs.
   if (fed_ && !plan.borrowed.empty())
-    fed_->consume(plan.borrowed, opts_.alloc.solver.tols.feasibility);
+    fed_->consume(plan.borrowed, opts_.alloc.solve.tols.feasibility);
   std::vector<double> next = sys_.capacity;
   for (std::size_t i = 0; i < next.size(); ++i) {
     AGORA_REQUIRE(plan.draw[i] <= next[i] + 1e-7, "plan draws more than a principal owns");

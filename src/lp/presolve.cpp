@@ -71,12 +71,66 @@ std::vector<double> PresolveOutcome::postsolve(const std::vector<double>& reduce
   return x;
 }
 
+void PresolveOutcome::postsolve(const Problem& original, SolveResult& r,
+                                const Tolerances& tols) const {
+  const bool with_duals = r.duals.size() == row_origin.size();
+  r.x = postsolve(r.x);
+  r.objective = original.objective_value(r.x);
+  if (!with_duals) {
+    r.duals.clear();  // primal-only certificate: never hand back reduced-space duals
+    return;
+  }
+
+  // Surviving rows: undo the row scaling (a/s) x rel b/s -- the dual with
+  // respect to the original rhs b is the reduced dual divided by s. Dropped
+  // rows start at zero (exactly right for non-binding rows).
+  std::vector<double> duals(original_rows, 0.0);
+  for (std::size_t i = 0; i < row_origin.size(); ++i)
+    duals[row_origin[i]] = r.duals[i] / row_scale[i];
+
+  // Folded singleton rows, reverse elimination order: the row a x_j rel b
+  // was replaced by a bound on x_j, so the variable's remaining reduced cost
+  // z_j = c_j - y'A_j (in minimize normalization, over the ORIGINAL matrix
+  // with the duals assigned so far) belongs to the row whenever the row is
+  // binding at the restored point: y_row = z_j / a zeroes z_j and carries
+  // the sign the row's relation demands. A non-binding row keeps y = 0 --
+  // complementary slackness requires it, and x_j then rests on one of its
+  // original bounds where z_j's sign already satisfies stationarity.
+  const double s = original.sense() == Sense::Minimize ? 1.0 : -1.0;
+  for (std::size_t k = folded_rows.size(); k-- > 0;) {
+    const std::size_t row = folded_rows[k].row;
+    const std::size_t j = folded_rows[k].var;
+    const Constraint& c = original.constraint(row);
+    const double a = c.coeffs[j];
+    if (a == 0.0) continue;  // defensive: folded rows always have a != 0
+    double z = s * original.objective_coeff(j);
+    for (std::size_t i = 0; i < original_rows; ++i) {
+      if (duals[i] == 0.0) continue;
+      z -= s * duals[i] * original.constraint(i).coeffs[j];
+    }
+    double activity = 0.0;
+    for (std::size_t t = 0; t < c.coeffs.size(); ++t) activity += c.coeffs[t] * r.x[t];
+    const bool binding = std::fabs(activity - c.rhs) <= scaled(tols.complementarity, std::fabs(c.rhs));
+    if (!binding) continue;
+    const double cand = z / a;  // minimize-normalized row dual
+    const bool sign_ok = c.rel == Relation::Equal ||
+                         (c.rel == Relation::LessEqual && cand <= 0.0) ||
+                         (c.rel == Relation::GreaterEqual && cand >= 0.0);
+    if (sign_ok) duals[row] = s * cand;  // back to the problem's own sense
+  }
+  r.duals = std::move(duals);
+}
+
 PresolveOutcome presolve(const Problem& p, const Tolerances& tols) {
   p.validate();
   Work w(p);
   w.fix_tol = tols.presolve_fix;
   PresolveOutcome out;
   out.original_vars = p.num_variables();
+  out.original_rows = p.num_constraints();
+
+  // Minimize-normalized objective sign for the dual-fixing tests.
+  const double s = p.sense() == Sense::Minimize ? 1.0 : -1.0;
 
   bool changed = true;
   while (changed && !w.infeasible) {
@@ -121,6 +175,61 @@ PresolveOutcome presolve(const Problem& p, const Tolerances& tols) {
         }
         if (!w.tighten(last, rel, bound)) w.infeasible = true;
         w.row_alive[i] = false;
+        out.folded_rows.push_back({i, last});
+        changed = true;
+      }
+    }
+    if (w.infeasible) break;
+
+    // 4 & 5. Empty columns and dual fixing. A column is down-safe when
+    // shrinking the variable relaxes every row it touches (<= rows need
+    // a >= 0, >= rows need a <= 0, equality rows disqualify); mirror for
+    // up-safe. With a down-safe column whose minimize-normalized cost is
+    // non-negative, some optimum has the variable at its lower bound, and
+    // the assigned dual signs guarantee its reduced cost stays stationary
+    // there after postsolve.
+    for (std::size_t j = 0; j < w.var_alive.size(); ++j) {
+      if (!w.var_alive[j]) continue;
+      bool down_safe = true, up_safe = true;
+      std::size_t nnz = 0;
+      for (std::size_t i = 0; i < w.rows.size(); ++i) {
+        if (!w.row_alive[i]) continue;
+        const double a = w.rows[i].coeffs[j];
+        if (std::fabs(a) <= w.fix_tol) continue;
+        ++nnz;
+        switch (w.rows[i].rel) {
+          case Relation::LessEqual:
+            if (a < 0.0) down_safe = false;
+            if (a > 0.0) up_safe = false;
+            break;
+          case Relation::GreaterEqual:
+            if (a > 0.0) down_safe = false;
+            if (a < 0.0) up_safe = false;
+            break;
+          case Relation::Equal:
+            down_safe = up_safe = false;
+            break;
+        }
+      }
+      const double cmin = s * w.cost[j];
+      if (nnz == 0) {
+        // Empty column: the objective alone places it. An empty column whose
+        // preferred bound is infinite stays alive -- the simplex turns it
+        // into a proper unboundedness certificate.
+        double v;
+        if (cmin > 0.0 && std::isfinite(w.lo[j])) v = w.lo[j];
+        else if (cmin < 0.0 && std::isfinite(w.hi[j])) v = w.hi[j];
+        else if (cmin == 0.0)
+          v = std::isfinite(w.lo[j]) ? w.lo[j] : (std::isfinite(w.hi[j]) ? w.hi[j] : 0.0);
+        else
+          continue;
+        w.fix_variable(j, v);
+        changed = true;
+      } else if (cmin >= 0.0 && down_safe && std::isfinite(w.lo[j])) {
+        w.fix_variable(j, w.lo[j]);
+        changed = true;
+      } else if (cmin <= 0.0 && up_safe && std::isfinite(w.hi[j])) {
+        w.fix_variable(j, w.hi[j]);
         changed = true;
       }
     }
@@ -147,18 +256,20 @@ PresolveOutcome presolve(const Problem& p, const Tolerances& tols) {
   }
 
   if (reduced.num_variables() == 0) {
+    // Every variable was eliminated and every surviving row verified
+    // consistent: presolve decided the problem. Reconstruct the folded-row
+    // duals so the decided result certifies with full KKT conditions, not
+    // just primal feasibility.
     SolveResult r;
     r.status = Status::Optimal;
-    r.x = out.postsolve({});
-    r.objective = p.objective_value(r.x);
-    // Residual rows were all verified consistent above.
-    out.decided = r;
+    out.postsolve(p, r, tols);
+    out.decided = std::move(r);
     return out;
   }
 
   for (std::size_t i = 0; i < w.rows.size(); ++i) {
     if (!w.row_alive[i]) continue;
-    // 4. Row scaling by the largest surviving coefficient.
+    // 6. Row scaling by the largest surviving coefficient.
     double scale = 0.0;
     for (std::size_t j = 0; j < w.rows[i].coeffs.size(); ++j)
       if (w.var_alive[j]) scale = std::max(scale, std::fabs(w.rows[i].coeffs[j]));
@@ -168,6 +279,8 @@ PresolveOutcome presolve(const Problem& p, const Tolerances& tols) {
       if (w.var_alive[j]) coeffs[new_index[j]] = w.rows[i].coeffs[j] / scale;
     reduced.add_constraint(std::move(coeffs), w.rows[i].rel, w.rows[i].rhs / scale,
                            w.rows[i].name);
+    out.row_origin.push_back(i);
+    out.row_scale.push_back(scale);
   }
 
   out.reduced = std::move(reduced);

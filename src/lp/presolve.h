@@ -1,11 +1,27 @@
-// presolve.h -- lightweight LP presolve: removes trivially determined
-// structure before the simplex sees the problem, and maps solutions back.
+// presolve.h -- LP presolve: removes trivially determined structure before
+// the simplex sees the problem, and maps full solutions (primal AND dual)
+// back to the original problem so lp::Verifier can certify the mapped
+// answer against the problem the caller actually posed.
 //
 // Reductions applied (in a loop until a fixed point):
 //   1. fixed variables (lo == hi) are substituted out,
 //   2. empty constraint rows are checked for consistency and dropped,
-//   3. singleton rows (one nonzero coefficient) are folded into bounds,
-//   4. rows are scaled by their largest |coefficient| (numerical hygiene).
+//   3. singleton rows (one nonzero coefficient) are folded into bounds --
+//      this is the bound-tightening pass: general activity-based tightening
+//      is deliberately not attempted because folded singletons are the only
+//      tightening whose dual can be reconstructed exactly in postsolve,
+//   4. empty columns (no surviving row touches the variable) are fixed at
+//      the bound the objective prefers,
+//   5. dual fixing: a column whose objective never rewards growth and whose
+//      every coefficient relaxes its rows when the variable shrinks is fixed
+//      at its lower bound (mirror case at the upper bound),
+//   6. rows are scaled by their largest |coefficient| (numerical hygiene).
+//
+// Postsolve restores eliminated variables, rescales surviving duals, and
+// reconstructs the duals of folded singleton rows (in reverse elimination
+// order, absorbing the variable's remaining reduced cost when the row is
+// binding), so the mapped result satisfies the KKT conditions of the
+// original problem whenever the reduced result satisfied the reduced one's.
 //
 // The paper notes that "the complexity of the linear programming model can
 // be reduced by exploiting additional structure in commonly encountered
@@ -14,6 +30,7 @@
 #pragma once
 
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "lp/problem.h"
@@ -24,36 +41,42 @@ namespace agora::lp {
 
 struct PresolveOutcome {
   /// Set when presolve alone decided the problem (infeasible, or every
-  /// variable fixed).
+  /// variable fixed). Decided results carry no Farkas certificate --
+  /// lp::solve re-solves the original directly when a caller needs one.
   std::optional<SolveResult> decided;
   /// The reduced problem (valid when !decided).
   Problem reduced;
   /// reduced variable index -> original variable index.
   std::vector<std::size_t> var_origin;
+  /// reduced row index -> original row index.
+  std::vector<std::size_t> row_origin;
+  /// Divisor applied to each reduced row (reduction 6); postsolve divides
+  /// the corresponding dual by the same factor.
+  std::vector<double> row_scale;
   /// Values of variables eliminated during presolve (by original index).
   std::vector<std::pair<std::size_t, double>> fixed_values;
-  /// Original variable count.
+  /// Folded singleton rows in elimination order; postsolve reconstructs
+  /// their duals in reverse.
+  struct FoldedRow {
+    std::size_t row;  ///< original row index.
+    std::size_t var;  ///< original index of the row's single variable.
+  };
+  std::vector<FoldedRow> folded_rows;
+  /// Original problem dimensions.
   std::size_t original_vars = 0;
+  std::size_t original_rows = 0;
 
   /// Map a solution of `reduced` back to the original variable space.
   std::vector<double> postsolve(const std::vector<double>& reduced_x) const;
+
+  /// Map a full reduced-problem result (primal, duals, objective) back to
+  /// `original`. Duals are reconstructed only when the reduced result
+  /// carried them; a dual-free result stays dual-free (primal-only
+  /// certificate).
+  void postsolve(const Problem& original, SolveResult& r,
+                 const Tolerances& tols = {}) const;
 };
 
 PresolveOutcome presolve(const Problem& p, const Tolerances& tols = {});
-
-/// Convenience: presolve, solve the reduced problem with the given solver
-/// callable (Problem -> SolveResult), postsolve the answer.
-template <typename Solver>
-SolveResult solve_with_presolve(const Problem& p, const Solver& solver,
-                                const Tolerances& tols = {}) {
-  PresolveOutcome out = presolve(p, tols);
-  if (out.decided) return *out.decided;
-  SolveResult r = solver(out.reduced);
-  if (r.status == Status::Optimal) {
-    r.x = out.postsolve(r.x);
-    r.objective = p.objective_value(r.x);
-  }
-  return r;
-}
 
 }  // namespace agora::lp

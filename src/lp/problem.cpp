@@ -1,8 +1,14 @@
 #include "lp/problem.h"
 
+#include <atomic>
 #include <cmath>
 
 namespace agora::lp {
+
+std::uint64_t Problem::next_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
 
 std::size_t Problem::add_variable(const std::string& name, double lo, double hi, double cost) {
   AGORA_REQUIRE(!(lo > hi), "variable bounds inverted: " + name);
@@ -14,6 +20,7 @@ std::size_t Problem::add_variable(const std::string& name, double lo, double hi,
   var_names_.push_back(name);  // empty stays empty; variable_name() synthesizes
   // Pad existing constraints so their coefficient vectors stay dense.
   for (auto& c : constraints_) c.coeffs.resize(lo_.size(), 0.0);
+  ++structural_rev_;
   return lo_.size() - 1;
 }
 
@@ -25,6 +32,7 @@ std::size_t Problem::add_constraint(std::vector<double> coeffs, Relation rel, do
   coeffs.resize(num_variables(), 0.0);
   constraints_.push_back(Constraint{std::move(coeffs), rel, rhs,
                                     name.empty() ? "c" + std::to_string(constraints_.size()) : name});
+  ++structural_rev_;
   return constraints_.size() - 1;
 }
 
@@ -42,6 +50,7 @@ std::size_t Problem::add_constraint_sparse(
 void Problem::set_objective_coeff(std::size_t var, double cost) {
   AGORA_REQUIRE(var < num_variables(), "objective coefficient for unknown variable");
   cost_[var] = cost;
+  ++structural_rev_;
 }
 
 double Problem::objective_coeff(std::size_t var) const {
@@ -63,8 +72,19 @@ void Problem::set_rhs(std::size_t i, double rhs) {
 void Problem::set_bounds(std::size_t var, double lo, double hi) {
   AGORA_REQUIRE(var < num_variables(), "bounds for unknown variable");
   AGORA_REQUIRE(!(lo > hi), "variable bounds inverted");
+  // A value-only move of a finite upper bound (lower bound untouched) only
+  // changes the rhs of the variable's bound row in standard form, so it
+  // does not invalidate cached structure (see repatch_standard_form_rhs).
+  // Anything that can change the variable mapping -- a lower-bound move
+  // (shift offsets feed A's transformed rhs and c0) or a bound changing
+  // finiteness -- is a structural edit.
+  const bool rhs_only =
+      lo == lo_[var] && (hi == hi_[var] || (std::isfinite(lo) &&
+                                            std::isfinite(hi) &&
+                                            std::isfinite(hi_[var])));
   lo_[var] = lo;
   hi_[var] = hi;
+  if (!rhs_only) ++structural_rev_;
 }
 
 double Problem::objective_value(const std::vector<double>& x) const {

@@ -8,6 +8,7 @@
 // canonical standard form internally (see standard_form.h).
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
@@ -35,10 +36,45 @@ struct Constraint {
 /// count at the time they are added and padded with zeros afterwards).
 class Problem {
  public:
-  explicit Problem(Sense sense = Sense::Minimize) : sense_(sense) {}
+  explicit Problem(Sense sense = Sense::Minimize) : sense_(sense), id_(next_id()) {}
+
+  // Copies get a fresh identity: (instance_id, structural_revision) must
+  // uniquely name a structure snapshot, and a copy is free to diverge from
+  // the original. Moves transfer the identity -- the structure moves with it.
+  Problem(const Problem& o)
+      : sense_(o.sense_), cost_(o.cost_), lo_(o.lo_), hi_(o.hi_),
+        var_names_(o.var_names_), constraints_(o.constraints_), id_(next_id()) {}
+  Problem& operator=(const Problem& o) {
+    if (this == &o) return *this;
+    sense_ = o.sense_;
+    cost_ = o.cost_;
+    lo_ = o.lo_;
+    hi_ = o.hi_;
+    var_names_ = o.var_names_;
+    constraints_ = o.constraints_;
+    id_ = next_id();
+    structural_rev_ = 0;
+    return *this;
+  }
+  Problem(Problem&&) = default;
+  Problem& operator=(Problem&&) = default;
 
   Sense sense() const { return sense_; }
-  void set_sense(Sense s) { sense_ = s; }
+  void set_sense(Sense s) {
+    sense_ = s;
+    ++structural_rev_;
+  }
+
+  /// Identity of this Problem instance; fresh per construction and per copy.
+  /// Together with structural_revision() it names a structure snapshot:
+  /// every mutation except set_rhs() and a value-only set_bounds() (finite
+  /// upper bound moved, lower bound untouched) bumps the revision, so a
+  /// consumer that cached derived state under (id, revision) may skip
+  /// rebuilding it when both still match and only re-read the constraint
+  /// rhs and bound values. See repatch_standard_form_rhs() for the
+  /// consumer this exists for.
+  std::uint64_t instance_id() const { return id_; }
+  std::uint64_t structural_revision() const { return structural_rev_; }
 
   /// Add a variable with bounds [lo, hi] and objective coefficient `cost`.
   /// Returns the variable's index. Names are debug-only: pass "" (or use the
@@ -97,12 +133,16 @@ class Problem {
   void validate() const;
 
  private:
+  static std::uint64_t next_id();
+
   Sense sense_;
   std::vector<double> cost_;
   std::vector<double> lo_;
   std::vector<double> hi_;
   std::vector<std::string> var_names_;
   std::vector<Constraint> constraints_;
+  std::uint64_t id_ = 0;
+  std::uint64_t structural_rev_ = 0;
 };
 
 }  // namespace agora::lp

@@ -14,22 +14,48 @@ namespace agora::lp {
 
 namespace {
 
-/// x_B = B^-1 b (vectorized dot per binv row) with the denormal clamp
-/// refactorize() has always used, writing into reused storage.
-void compute_xb(const StandardForm& sf, SolveWorkspace& W, double drop) {
+bool use_sparse(const SolverOptions& opts) { return opts.basis == BasisRep::SparseLu; }
+
+/// Ratio-test pivots below this fraction of ||w||_inf are treated as
+/// possible eta-file drift when the factorization is stale: refactorize and
+/// recompute the column instead of committing the pivot (see run_phase).
+constexpr double kEtaPivotStability = 1e-6;
+
+/// x_B = B^-1 b with the denormal clamp refactorize() has always used,
+/// writing into reused storage. Sparse path: copy b and run it through the
+/// factored basis; dense path: vectorized dot per binv row.
+void compute_xb(const StandardForm& sf, SolveWorkspace& W, const SolverOptions& opts) {
   const std::size_t m = sf.rows();
-  W.xb.assign(m, 0.0);
-  for (std::size_t r = 0; r < m; ++r) W.xb[r] = vdot(W.binv.row(r), sf.b);
+  if (use_sparse(opts)) {
+    W.xb.assign(sf.b.begin(), sf.b.end());
+    W.slu.ftran(W.xb);
+  } else {
+    W.xb.assign(m, 0.0);
+    for (std::size_t r = 0; r < m; ++r) W.xb[r] = vdot(W.binv.row(r), sf.b);
+  }
   for (double& v : W.xb)
-    if (std::fabs(v) < drop) v = 0.0;
+    if (std::fabs(v) < opts.tols.drop) v = 0.0;
 }
 
-/// Rebuild binv and xb from the basis via LU factorization. Resets the
+/// Rebuild the factored basis (sparse LU, or the explicit dense inverse
+/// under BasisRep::DenseInverse) and xb from the basis. Resets the
 /// cross-solve pivot counter. When `stats` is given, counts the rebuild and
-/// refreshes the cheap condition estimate ||B||_inf * ||B^-1||_inf.
-bool refactorize(const StandardForm& sf, SolveWorkspace& W, double drop,
+/// refreshes the cheap condition estimate plus the sparsity telemetry.
+bool refactorize(const StandardForm& sf, SolveWorkspace& W, const SolverOptions& opts,
                  SolveStats* stats = nullptr) {
   const std::size_t m = sf.rows();
+  if (use_sparse(opts)) {
+    if (!W.slu.factorize(sf, W.basis)) return false;
+    compute_xb(sf, W, opts);
+    W.pivots_since_factor = 0;
+    if (stats) {
+      ++stats->refactorizations;
+      stats->condition_estimate = W.slu.condition_estimate();
+      stats->basis_nnz = W.slu.basis_nnz();
+      stats->lu_nnz = W.slu.lu_nnz();
+    }
+    return true;
+  }
   W.bmat.assign(m, m);
   for (std::size_t i = 0; i < m; ++i)
     for (std::size_t r = 0; r < m; ++r)
@@ -44,7 +70,7 @@ bool refactorize(const StandardForm& sf, SolveWorkspace& W, double drop,
     e[col] = 0.0;
     for (std::size_t r = 0; r < m; ++r) W.binv.at_unchecked(r, col) = x[r];
   }
-  compute_xb(sf, W, drop);
+  compute_xb(sf, W, opts);
   W.pivots_since_factor = 0;
   if (stats) {
     ++stats->refactorizations;
@@ -97,37 +123,125 @@ void refine_xb(const StandardForm& sf, SolveWorkspace& W, const SolverOptions& o
   stats.max_xb_residual = std::max(stats.max_xb_residual, rel);
   if (rel > opts.tols.refactor_residual) {
     ++stats.residual_refactorizations;
-    if (!refactorize(sf, W, opts.tols.drop, &stats)) return;
+    if (!refactorize(sf, W, opts, &stats)) return;
     rel = xb_residual(sf, W);
   }
   if (rel == 0.0) return;
   ++stats.refinement_steps;
   const std::size_t m = sf.rows();
+  if (use_sparse(opts)) {
+    W.rho.assign(W.resid.begin(), W.resid.end());
+    W.slu.ftran(W.rho);
+    for (std::size_t r = 0; r < m; ++r) {
+      W.xb[r] += W.rho[r];
+      if (std::fabs(W.xb[r]) < opts.tols.drop) W.xb[r] = 0.0;
+    }
+    return;
+  }
   for (std::size_t r = 0; r < m; ++r) {
     W.xb[r] += vdot(W.binv.row(r), W.resid);
     if (std::fabs(W.xb[r]) < opts.tols.drop) W.xb[r] = 0.0;
   }
 }
 
-/// w = B^-1 A_col over the column's nonzeros (CSC). Iterates binv by rows --
-/// each row is contiguous, so the gather over the column's row indices stays
-/// inside one cache line run instead of striding the whole inverse (the
-/// compact allocation model's columns are dense: one demand entry plus a
-/// perturbation entry per participant).
-void ftran(const StandardForm& sf, SolveWorkspace& W, std::size_t col) {
+/// Relative residual ||B w - a_col||_inf / (1 + ||a_col||_inf) of the
+/// tableau column W.w claimed for entering column `col`. The sparse path
+/// verifies every column with this before the ratio test: the rhs-based
+/// xb_residual check is structurally blind on heavily degenerate problems
+/// (when every nonzero of x_B sits on a slack column, b - B x_B is exactly
+/// zero no matter how far the eta file has drifted), and an unverified
+/// drifted column can pivot a dependent column into the basis. O(nnz of the
+/// basis columns w touches). Clobbers W.resid.
+double tableau_column_residual(const StandardForm& sf, SolveWorkspace& W,
+                               std::size_t col) {
+  const std::size_t m = sf.rows();
+  W.resid.assign(m, 0.0);
+  double anorm = 0.0;
+  for (std::size_t t = sf.col_start[col]; t < sf.col_start[col + 1]; ++t) {
+    W.resid[sf.col_row[t]] = sf.col_val[t];
+    anorm = std::max(anorm, std::fabs(sf.col_val[t]));
+  }
+  double bmax = 0.0;
+  double wmax = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double wi = W.w[i];
+    if (wi == 0.0) continue;
+    wmax = std::max(wmax, std::fabs(wi));
+    const std::size_t bcol = W.basis[i];
+    for (std::size_t t = sf.col_start[bcol]; t < sf.col_start[bcol + 1]; ++t) {
+      W.resid[sf.col_row[t]] -= sf.col_val[t] * wi;
+      bmax = std::max(bmax, std::fabs(sf.col_val[t]));
+    }
+  }
+  double rnorm = 0.0;
+  for (double v : W.resid) rnorm = std::max(rnorm, std::fabs(v));
+  // Normwise backward error: a stable solve satisfies
+  // ||a - B w|| <= O(eps) * (||a|| + ||B|| ||w||), so the denominator must
+  // scale with the solution. Dividing by (1 + ||a||) alone condemns every
+  // solve whose tableau column is large -- on the degenerate allocation LPs
+  // ||w|| reaches 1e3 and a perfectly stable solve shows an "absolute"
+  // residual near 1e-7, which is eps-level once normalized.
+  return rnorm / (1.0 + anorm + bmax * wmax);
+}
+
+/// Normwise backward error of the pricing solve: ||c_B - B' y|| over
+/// (1 + ||c_B|| + ||B|| ||y||), with W.y as produced by btran. A small value
+/// means the simplex multipliers -- and hence every reduced cost priced with
+/// them -- are as trustworthy as if the eta file were empty, so optimality
+/// can be declared on stale factors without a refactorization.
+double dual_residual(const StandardForm& sf, SolveWorkspace& W) {
+  const std::size_t m = sf.rows();
+  double cmax = 0.0;
+  double ymax = 0.0;
+  double bmax = 0.0;
+  double rnorm = 0.0;
+  for (std::size_t i = 0; i < m; ++i) ymax = std::max(ymax, std::fabs(W.y[i]));
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t bcol = W.basis[i];
+    double s = 0.0;
+    for (std::size_t t = sf.col_start[bcol]; t < sf.col_start[bcol + 1]; ++t) {
+      s += sf.col_val[t] * W.y[sf.col_row[t]];
+      bmax = std::max(bmax, std::fabs(sf.col_val[t]));
+    }
+    cmax = std::max(cmax, std::fabs(W.cb[i]));
+    rnorm = std::max(rnorm, std::fabs(W.cb[i] - s));
+  }
+  return rnorm / (1.0 + cmax + bmax * ymax);
+}
+
+/// w = B^-1 A_col over the column's nonzeros (CSC). Sparse path: scatter the
+/// column and sweep the LU factors + eta file (work scales with the factor
+/// nonzeros). Dense path iterates binv by rows -- each row is contiguous, so
+/// the gather over the column's row indices stays inside one cache line run
+/// instead of striding the whole inverse.
+void ftran(const StandardForm& sf, SolveWorkspace& W, const SolverOptions& opts,
+           std::size_t col) {
   const std::size_t m = sf.rows();
   const std::size_t start = sf.col_start[col];
   const std::size_t nnz = sf.col_start[col + 1] - start;
   const std::size_t* idx = sf.col_row.data() + start;
   const double* val = sf.col_val.data() + start;
+  if (use_sparse(opts)) {
+    // Scatter the CSC column and run it through the factored basis.
+    W.w.assign(m, 0.0);
+    for (std::size_t t = 0; t < nnz; ++t) W.w[idx[t]] = val[t];
+    W.slu.ftran(W.w);
+    return;
+  }
   W.w.resize(m);
   for (std::size_t r = 0; r < m; ++r)
     W.w[r] = gather_dot(&W.binv.at_unchecked(r, 0), idx, val, nnz);
 }
 
-/// y' = c_B' B^-1 into W.y (vectorized axpy per contributing binv row).
-void btran(const StandardForm& sf, SolveWorkspace& W) {
+/// y' = c_B' B^-1 into W.y (sparse: transpose solve through the factored
+/// basis; dense: vectorized axpy per contributing binv row).
+void btran(const StandardForm& sf, SolveWorkspace& W, const SolverOptions& opts) {
   const std::size_t m = sf.rows();
+  if (use_sparse(opts)) {
+    W.y.assign(W.cb.begin(), W.cb.end());
+    W.slu.btran(W.y);
+    return;
+  }
   W.y.assign(m, 0.0);
   for (std::size_t r = 0; r < m; ++r) {
     const double c = W.cb[r];
@@ -144,21 +258,30 @@ double reduced_cost(const StandardForm& sf, const SolveWorkspace& W,
                               sf.col_val.data() + start, sf.col_start[j + 1] - start);
 }
 
-/// Elementary update of binv and xb after column `enter` (with tableau
-/// column W.w) replaces the basic variable of row `leave`.
-void update(SolveWorkspace& W, std::size_t leave, std::size_t enter, double drop) {
+/// Basis update after column `enter` (with tableau column W.w) replaces the
+/// basic variable of row `leave`. Sparse path: W.w *is* the product-form eta
+/// vector, so absorbing the pivot is one sparse copy; dense path: the
+/// historical elementary row update of binv. Both apply the same elementary
+/// update to xb.
+void update(SolveWorkspace& W, std::size_t leave, std::size_t enter,
+            const SolverOptions& opts, SolveStats& stats) {
   const std::size_t m = W.basis.size();
   const double pivot = W.w[leave];
   const double inv = 1.0 / pivot;
-  for (std::size_t k = 0; k < m; ++k) W.binv.at_unchecked(leave, k) *= inv;
+  if (use_sparse(opts)) {
+    W.slu.push_eta(leave, W.w, opts.tols.drop);
+    stats.max_eta_count = std::max<std::uint64_t>(stats.max_eta_count, W.slu.eta_count());
+  } else {
+    for (std::size_t k = 0; k < m; ++k) W.binv.at_unchecked(leave, k) *= inv;
+  }
   W.xb[leave] *= inv;
   for (std::size_t r = 0; r < m; ++r) {
     if (r == leave) continue;
     const double f = W.w[r];
     if (f == 0.0) continue;
-    vaxpy(-f, W.binv.row(leave), W.binv.row(r));
+    if (!use_sparse(opts)) vaxpy(-f, W.binv.row(leave), W.binv.row(r));
     W.xb[r] -= f * W.xb[leave];
-    if (std::fabs(W.xb[r]) < drop) W.xb[r] = 0.0;
+    if (std::fabs(W.xb[r]) < opts.tols.drop) W.xb[r] = 0.0;
   }
   W.basis[leave] = enter;
   ++W.pivots_since_factor;
@@ -180,9 +303,47 @@ PhaseOutcome run_phase(const StandardForm& sf, SolveWorkspace& W,
   W.in_basis.assign(n, false);
   for (std::size_t b : W.basis) W.in_basis[b] = true;
 
+  // Partial pricing (sparse basis only): scan candidate columns in blocks
+  // starting from a rotating cursor and enter the best reduced cost of the
+  // first block that has one; optimality is only declared after a full sweep
+  // of all n columns finds none, so the claim is as strong as full Dantzig
+  // pricing. The dense path keeps block == n, i.e. the historical full scan.
+  //
+  // The block doubles after every degenerate pivot and snaps back to the
+  // base size on real progress. On heavily degenerate problems a fixed
+  // block is poison: every column it can see ties at ratio zero (the
+  // allocation LPs are ring-symmetric, so whole blocks are interchangeable
+  // junk), the cursor crawls, and the solver burns its stall budget before
+  // ever seeing the distant column a full Dantzig scan would enter first.
+  // Escalating to a full scan under degeneracy buys the dense path's
+  // stall behavior while keeping block pricing where it pays.
+  const std::size_t base_block =
+      use_sparse(opts) ? std::max<std::size_t>(64, n / 8) : n;
+  std::size_t price_block = base_block;
+  std::size_t price_cursor = 0;
+
   for (std::uint64_t it = 0; it < opts.max_iterations; ++it) {
-    if (since_refactor >= RevisedSimplexSolver::kRefactorInterval) {
-      if (!refactorize(sf, W, opts.tols.drop, &stats)) return PhaseOutcome::NumericalFailure;
+    const bool bland = degenerate_streak >= opts.stall_threshold;
+    // Periodic refactorization. The sparse path keys on the workspace-global
+    // pivot counter so the eta file stays bounded by kRefactorInterval even
+    // across phase transitions and warm re-entries (the eta file persists
+    // where the phase-local counter restarts); the dense path keeps the
+    // historical phase-local cadence bit-for-bit.
+    const std::uint64_t interval = RevisedSimplexSolver::kRefactorInterval;
+    const std::uint64_t since =
+        use_sparse(opts) ? W.pivots_since_factor : since_refactor;
+    // Cost-based cadence on top of the pivot count: once the eta file holds
+    // more nonzeros than the LU factors themselves, every ftran/btran pays
+    // more to replay the update history than to apply the factorization, so
+    // rebuilding is cheaper than carrying on. This is what keeps the warm
+    // consult loop's solves eta-light. The pivot floor stops the trigger
+    // from thrashing early in phase 1, where the slack basis factors to
+    // lu_nnz ~ m and a couple of etas already outweigh it even though the
+    // file is still trivially cheap to replay.
+    const bool eta_heavy = use_sparse(opts) && W.pivots_since_factor >= 8 &&
+                           W.slu.eta_nnz() > W.slu.lu_nnz();
+    if (since >= interval || eta_heavy) {
+      if (!refactorize(sf, W, opts, &stats)) return PhaseOutcome::NumericalFailure;
       since_refactor = 0;
     } else if (W.pivots_since_factor > 0) {
       // Residual-triggered refactorization: elementary updates accumulate
@@ -192,53 +353,166 @@ PhaseOutcome run_phase(const StandardForm& sf, SolveWorkspace& W,
       stats.max_xb_residual = std::max(stats.max_xb_residual, rel);
       if (rel > opts.tols.refactor_residual) {
         ++stats.residual_refactorizations;
-        if (!refactorize(sf, W, opts.tols.drop, &stats)) return PhaseOutcome::NumericalFailure;
+        if (!refactorize(sf, W, opts, &stats)) return PhaseOutcome::NumericalFailure;
         since_refactor = 0;
       }
     }
-    // Price: y = c_B' B^-1, then reduced costs d_j = c_j - y' A_j.
+    // Price: y = c_B' B^-1, then reduced costs d_j = c_j - y' A_j over each
+    // candidate column's nonzeros.
     W.cb.assign(m, 0.0);
     for (std::size_t r = 0; r < m; ++r) W.cb[r] = cost[W.basis[r]];
-    btran(sf, W);
+    btran(sf, W, opts);
+    // While Bland's rule is active the sparse path insists on trustworthy
+    // pricing every iteration, not just at optimality: the anti-cycling
+    // proof assumes exact pivot selection, and eta drift in y (a column
+    // whose true reduced cost is zero showing d < -tol) breaks it. A
+    // backward-stable y -- verified directly, one pass over the basis
+    // columns -- carries the same error level as pricing off fresh factors,
+    // so only a failed check forces the rebuild (refactorizing every Bland
+    // iteration unconditionally costs more than the stall itself).
+    if (use_sparse(opts) && bland && W.pivots_since_factor > 0 &&
+        dual_residual(sf, W) > opts.tols.refactor_residual) {
+      ++stats.residual_refactorizations;
+      if (!refactorize(sf, W, opts, &stats)) return PhaseOutcome::NumericalFailure;
+      since_refactor = 0;
+      W.cb.assign(m, 0.0);
+      for (std::size_t r = 0; r < m; ++r) W.cb[r] = cost[W.basis[r]];
+      btran(sf, W, opts);
+    }
 
-    const bool bland = degenerate_streak >= opts.stall_threshold;
     std::size_t enter = n;
-    double best = -opts.tol;
-    for (std::size_t j = 0; j < n; ++j) {
-      if (!W.allowed[j] || W.in_basis[j]) continue;
-      const double d = reduced_cost(sf, W, cost, j);
-      if (d < (bland ? -opts.tol : best)) {
-        enter = j;
-        if (bland) break;
-        best = d;
+    if (bland) {
+      // Bland's rule: lowest-index improving column, scanned in full.
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!W.allowed[j] || W.in_basis[j]) continue;
+        if (reduced_cost(sf, W, cost, j) < -opts.tol) {
+          enter = j;
+          break;
+        }
+      }
+    } else {
+      double best = -opts.tol;
+      std::size_t scanned = 0;
+      while (scanned < n && enter == n) {
+        const std::size_t limit = std::min(n, scanned + price_block);
+        for (; scanned < limit; ++scanned) {
+          std::size_t j = price_cursor + scanned;
+          if (j >= n) j -= n;
+          if (!W.allowed[j] || W.in_basis[j]) continue;
+          const double d = reduced_cost(sf, W, cost, j);
+          if (d < best) {
+            best = d;
+            enter = j;
+          }
+        }
+      }
+      if (enter != n) price_cursor = enter + 1 < n ? enter + 1 : 0;
+    }
+    if (enter == n) {
+      // Sparse path: only declare optimality against trustworthy pricing --
+      // y came through the eta file, and a drifted y can make an improving
+      // column look priced-out. A backward-stable y (checked directly, one
+      // pass over the basis columns) is as good as fresh factors; only when
+      // the check fails is a rebuild + re-price needed. This keeps the warm
+      // consult loop -- whose every solve ends here -- factorization-free.
+      if (use_sparse(opts) && W.pivots_since_factor > 0 &&
+          dual_residual(sf, W) > opts.tols.refactor_residual) {
+        if (!refactorize(sf, W, opts, &stats)) return PhaseOutcome::NumericalFailure;
+        since_refactor = 0;
+        continue;
+      }
+      return PhaseOutcome::Optimal;
+    }
+
+    ftran(sf, W, opts, enter);
+    // Sparse path: verify the tableau column before the ratio test sees it.
+    // The xb-residual trigger cannot catch eta drift on heavily degenerate
+    // problems (see tableau_column_residual), and a pivot committed from a
+    // drifted column can wedge a dependent column into the basis -- after
+    // which every refactorization fails. A failed check first gets one step
+    // of iterative refinement (the verification already left a - B w in
+    // W.resid, so the correction is a single extra solve) -- that also
+    // absorbs Markowitz element growth, which fresh factors inherit -- and
+    // only an unrefinable column forces a refactorization.
+    if (use_sparse(opts)) {
+      const auto refined_residual = [&](std::size_t col) {
+        double rel = tableau_column_residual(sf, W, col);
+        if (rel <= opts.tols.refactor_residual) return rel;
+        W.rho.assign(W.resid.begin(), W.resid.end());
+        W.slu.ftran(W.rho);
+        for (std::size_t i = 0; i < m; ++i) W.w[i] += W.rho[i];
+        return tableau_column_residual(sf, W, col);
+      };
+      double rel = refined_residual(enter);
+      if (rel > opts.tols.refactor_residual && W.pivots_since_factor > 0) {
+        ++stats.residual_refactorizations;
+        if (!refactorize(sf, W, opts, &stats)) return PhaseOutcome::NumericalFailure;
+        since_refactor = 0;
+        ftran(sf, W, opts, enter);
+        rel = refined_residual(enter);
       }
     }
-    if (enter == n) return PhaseOutcome::Optimal;
-
-    ftran(sf, W, enter);
     std::size_t leave = m;
     double best_ratio = std::numeric_limits<double>::infinity();
+    double wmax = 0.0;
+    for (std::size_t r = 0; r < m; ++r) wmax = std::max(wmax, std::fabs(W.w[r]));
+    // Eta-file stability floor (sparse path, stale factors): an entry that is
+    // noise-sized relative to the tableau column is as likely to be
+    // accumulated eta drift as a real value -- pivoting on it can wedge a
+    // dependent column into the basis (B becomes singular and the next
+    // refactorization fails). With fresh factors the absolute tolerance
+    // already screens drift (a true-zero entry resolves to ~eps * ||w||), so
+    // the relative floor only applies while the eta file is non-empty -- and
+    // never under Bland's rule, whose termination proof requires that every
+    // truly-positive entry stay eligible to leave; there the verified (and
+    // if needed refined) tableau column is the drift screen instead.
+    const double pivot_floor =
+        use_sparse(opts) && !bland && W.pivots_since_factor > 0
+            ? std::max(opts.tol, kEtaPivotStability * wmax)
+            : opts.tol;
+    // Ratio-test tie-break: the sparse path prefers the largest pivot among
+    // tied ratios (degenerate LPs tie dozens of rows at ratio 0, and a
+    // noise-sized pivot there poisons the product-form eta file); under
+    // Bland's rule the lowest basis index is kept -- its termination proof
+    // needs it. The dense path keeps the historical index tie-break.
+    const bool prefer_magnitude = use_sparse(opts) && !bland;
     for (std::size_t r = 0; r < m; ++r) {
-      if (W.w[r] <= opts.tol) continue;
+      if (W.w[r] <= pivot_floor) continue;
       const double ratio = W.xb[r] / W.w[r];
-      const bool better = ratio < best_ratio - opts.tol ||
-                          (ratio < best_ratio + opts.tol && leave < m &&
-                           W.basis[r] < W.basis[leave]);
+      bool better = ratio < best_ratio - opts.tol;
+      if (!better && ratio < best_ratio + opts.tol && leave < m) {
+        better = prefer_magnitude ? W.w[r] > W.w[leave]
+                                  : W.basis[r] < W.basis[leave];
+      }
       if (better) {
         best_ratio = ratio;
         leave = r;
       }
     }
     if (leave == m) {
+      // Unboundedness, like optimality, is only declared against fresh
+      // factors: the relative floor may have screened out drift-sized
+      // entries, and a drifted column can hide the true blocking row.
+      if (use_sparse(opts) && W.pivots_since_factor > 0) {
+        if (!refactorize(sf, W, opts, &stats)) return PhaseOutcome::NumericalFailure;
+        since_refactor = 0;
+        continue;
+      }
       if (unbounded_enter) *unbounded_enter = enter;
       return PhaseOutcome::Unbounded;
     }
 
-    degenerate_streak = best_ratio <= opts.tol ? degenerate_streak + 1 : 0;
+    if (best_ratio <= opts.tol) {
+      ++degenerate_streak;
+      price_block = std::min(n, price_block * 2);
+    } else {
+      degenerate_streak = 0;
+      price_block = base_block;
+    }
     if (bland) ++stats.bland_pivots;
     W.in_basis[W.basis[leave]] = false;
     W.in_basis[enter] = true;
-    update(W, leave, enter, opts.tols.drop);
+    update(W, leave, enter, opts, stats);
     ++iterations;
     ++since_refactor;
   }
@@ -261,7 +535,7 @@ bool warm_repair(const StandardForm& sf, SolveWorkspace& W, const SolverOptions&
 
   for (std::uint64_t it = 0; it < limit; ++it) {
     if (W.pivots_since_factor >= RevisedSimplexSolver::kRefactorInterval) {
-      if (!refactorize(sf, W, opts.tols.drop, &stats)) return false;
+      if (!refactorize(sf, W, opts, &stats)) return false;
     }
     // Most infeasible row leaves.
     std::size_t leave = m;
@@ -276,10 +550,18 @@ bool warm_repair(const StandardForm& sf, SolveWorkspace& W, const SolverOptions&
 
     W.cb.assign(m, 0.0);
     for (std::size_t r = 0; r < m; ++r) W.cb[r] = sf.c[W.basis[r]];
-    btran(sf, W);
+    btran(sf, W, opts);
 
     // Dual ratio test over the leaving row alpha_j = (B^-1)_leave . A_j.
-    const std::span<const double> rho = W.binv.row(leave);
+    // The sparse basis has no explicit inverse row; recover it as
+    // rho = B^-T e_leave through the transpose solve.
+    if (use_sparse(opts)) {
+      W.rho.assign(m, 0.0);
+      W.rho[leave] = 1.0;
+      W.slu.btran(W.rho);
+    }
+    const std::span<const double> rho =
+        use_sparse(opts) ? std::span<const double>(W.rho) : W.binv.row(leave);
     std::size_t enter = n;
     double best_ratio = std::numeric_limits<double>::infinity();
     for (std::size_t j = 0; j < n; ++j) {
@@ -299,11 +581,19 @@ bool warm_repair(const StandardForm& sf, SolveWorkspace& W, const SolverOptions&
     }
     if (enter == n) return false;  // row cannot be repaired: let cold path decide
 
-    ftran(sf, W, enter);
+    ftran(sf, W, opts, enter);
+    // Same column verification as run_phase: never commit a pivot from a
+    // drifted product-form solve (see tableau_column_residual).
+    if (use_sparse(opts) && W.pivots_since_factor > 0 &&
+        tableau_column_residual(sf, W, enter) > opts.tols.refactor_residual) {
+      ++stats.residual_refactorizations;
+      if (!refactorize(sf, W, opts, &stats)) return false;
+      ftran(sf, W, opts, enter);
+    }
     if (std::fabs(W.w[leave]) <= opts.tol) return false;  // numerical mismatch
     W.in_basis[W.basis[leave]] = false;
     W.in_basis[enter] = true;
-    update(W, leave, enter, opts.tols.drop);
+    update(W, leave, enter, opts, stats);
     ++iterations;
   }
   return false;
@@ -317,21 +607,25 @@ bool try_warm_start(const StandardForm& sf, SolveWorkspace& W, const SolverOptio
   const std::size_t m = sf.rows();
   if (W.warm_basis.size() != m) return false;
   W.basis = W.warm_basis;
-  if (W.pivots_since_factor >= RevisedSimplexSolver::kRefactorInterval) {
-    if (!refactorize(sf, W, opts.tols.drop, &stats)) return false;
+  const bool factored = use_sparse(opts)
+                            ? (W.slu.factorized() && W.slu.dim() == m)
+                            : (W.binv.rows() == m && W.binv.cols() == m);
+  if (!factored || W.pivots_since_factor >= RevisedSimplexSolver::kRefactorInterval) {
+    if (!refactorize(sf, W, opts, &stats)) return false;
   } else {
     // The basis matrix is unchanged (same columns of the same A), so the
-    // retained inverse is still exact: only x_B = B^-1 b must be recomputed.
-    compute_xb(sf, W, opts.tols.drop);
-    // Self-heal a drifted (or corrupted) retained inverse: if the basic
-    // solution does not satisfy B x_B = b to tolerance, the cached inverse
-    // is no longer trustworthy -- rebuild it from the basis before pricing
-    // a single column against it.
+    // retained factorization is still exact: only x_B = B^-1 b must be
+    // recomputed.
+    compute_xb(sf, W, opts);
+    // Self-heal a drifted (or corrupted) retained factorization: if the
+    // basic solution does not satisfy B x_B = b to tolerance, the cached
+    // factors are no longer trustworthy -- rebuild them from the basis
+    // before pricing a single column against them.
     const double rel = xb_residual(sf, W);
     stats.max_xb_residual = std::max(stats.max_xb_residual, rel);
     if (rel > opts.tols.refactor_residual) {
       ++stats.residual_refactorizations;
-      if (!refactorize(sf, W, opts.tols.drop, &stats)) return false;
+      if (!refactorize(sf, W, opts, &stats)) return false;
     }
   }
   double bnorm = 0.0;
@@ -369,7 +663,11 @@ SolveResult RevisedSimplexSolver::solve(const Problem& p, SolveWorkspace* ws) co
 
   std::optional<SolveWorkspace> local;
   SolveWorkspace& W = ws ? *ws : local.emplace();
-  rebuild_standard_form(p, W.sf);
+  // rhs-only motion (the trace loop / allocator patch path) skips the full
+  // conversion: b is recomputed in O(m) from the cached offset dots and the
+  // matrix, costs, and fingerprint stay valid -- so the warm start below
+  // still engages.
+  if (!repatch_standard_form_rhs(p, W.sf)) rebuild_standard_form(p, W.sf);
   const StandardForm& sf = W.sf;
   const std::size_t m = sf.rows();
   const std::size_t n = sf.cols();
@@ -391,7 +689,7 @@ SolveResult RevisedSimplexSolver::solve(const Problem& p, SolveWorkspace* ws) co
 
   if (!warmed) {
     W.basis = sf.initial_basis;
-    if (!refactorize(sf, W, opts_.tols.drop, &res.stats)) {
+    if (!refactorize(sf, W, opts_, &res.stats)) {
       // The initial slack/artificial basis is an identity; failure here would
       // be a construction bug.
       res.status = Status::Infeasible;
@@ -418,7 +716,7 @@ SolveResult RevisedSimplexSolver::solve(const Problem& p, SolveWorkspace* ws) co
         // cost (y'A_j <= 0) while y'b equals the positive artificial sum.
         W.cb.assign(m, 0.0);
         for (std::size_t r = 0; r < m; ++r) W.cb[r] = W.cost1[W.basis[r]];
-        btran(sf, W);
+        btran(sf, W, opts_);
         res.farkas = W.y;
         res.status = Status::Infeasible;
         return res;
@@ -476,7 +774,7 @@ SolveResult RevisedSimplexSolver::solve(const Problem& p, SolveWorkspace* ws) co
   {
     W.cb.assign(m, 0.0);
     for (std::size_t r = 0; r < m; ++r) W.cb[r] = sf.c[W.basis[r]];
-    btran(sf, W);
+    btran(sf, W, opts_);
     res.duals.assign(p.num_constraints(), 0.0);
     for (std::size_t r = 0; r < m; ++r) {
       const std::size_t origin = sf.row_origin[r];

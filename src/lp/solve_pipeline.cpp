@@ -5,9 +5,6 @@
 
 #include <string>
 
-#include "lp/brute_force.h"
-#include "lp/revised.h"
-#include "lp/simplex.h"
 #include "obs/timer.h"
 #include "util/error.h"
 
@@ -22,6 +19,12 @@ void accumulate(SolveStats& into, const SolveStats& s) {
   into.bland_pivots += s.bland_pivots;
   into.condition_estimate = std::max(into.condition_estimate, s.condition_estimate);
   into.max_xb_residual = std::max(into.max_xb_residual, s.max_xb_residual);
+  // Snapshot-style gauges: keep the high-water mark, not a meaningless sum.
+  into.basis_nnz = std::max(into.basis_nnz, s.basis_nnz);
+  into.lu_nnz = std::max(into.lu_nnz, s.lu_nnz);
+  into.max_eta_count = std::max(into.max_eta_count, s.max_eta_count);
+  into.presolve_rows_removed = std::max(into.presolve_rows_removed, s.presolve_rows_removed);
+  into.presolve_cols_removed = std::max(into.presolve_cols_removed, s.presolve_cols_removed);
 }
 
 }  // namespace
@@ -40,7 +43,7 @@ void accumulate(PipelineStats& into, const PipelineStats& from) {
 }
 
 SolvePipeline::SolvePipeline(PipelineOptions opts)
-    : opts_(opts), verifier_(opts.solver.tols) {
+    : opts_(opts), verifier_(opts.solve.tols) {
   // Resolve all metric handles up front; solve() then only bumps atomics.
   for (int i = 0; i < kPipelineStages; ++i) {
     const std::string prefix =
@@ -74,7 +77,7 @@ PipelineResult SolvePipeline::attempt_chain(const Problem& p, SolveWorkspace* ws
 
   PipelineStage chain[kPipelineStages];
   std::size_t len = 0;
-  if (opts_.prefer_revised) {
+  if (opts_.solve.backend == Backend::Revised) {
     if (ws && ws->warm) chain[len++] = PipelineStage::WarmRevised;
     chain[len++] = PipelineStage::ColdRevised;
     chain[len++] = PipelineStage::Tableau;
@@ -91,29 +94,32 @@ PipelineResult SolvePipeline::attempt_chain(const Problem& p, SolveWorkspace* ws
     const PipelineStage stage = chain[s];
     SolveResult r;
     const double stage_start = obs::kEnabled ? obs::now_seconds() : 0.0;
+    // Presolve only applies to the first attempt: a fallback is a
+    // cross-check, and checking through the same reductions that may have
+    // produced the bad answer would not be independent.
+    SolveOptions stage_opts = opts_.solve;
+    stage_opts.presolve = opts_.solve.presolve && attempts_made == 0;
     switch (stage) {
       case PipelineStage::WarmRevised:
-        r = RevisedSimplexSolver(opts_.solver).solve(p, ws);
-        break;
       case PipelineStage::ColdRevised:
-        // Still passes the workspace: scratch is reused and a certified
-        // optimum re-establishes the warm state for the next solve. The
-        // warm flag is guaranteed off here (either never set, or cleared
-        // below after a failed warm certification).
-        r = RevisedSimplexSolver(opts_.solver).solve(p, ws);
+        // Both pass the workspace: scratch is reused and a certified
+        // optimum re-establishes the warm state for the next solve. In the
+        // cold stage the warm flag is guaranteed off (either never set, or
+        // cleared below after a failed warm certification).
+        stage_opts.backend = Backend::Revised;
+        r = lp::solve(p, stage_opts, ws);
         break;
       case PipelineStage::Tableau:
-        r = SimplexSolver(opts_.solver).solve(p);
+        stage_opts.backend = Backend::Tableau;
+        r = lp::solve(p, stage_opts, nullptr);
         break;
       case PipelineStage::BruteForce: {
         // Enumeration cannot recognize unboundedness: if any earlier stage
         // claimed it, a "best basic solution" would be a lie. Skip.
         if (saw_unbounded_claim) continue;
-        BruteForceOptions bopts;
-        bopts.max_bases = opts_.brute_force_max_bases;
-        bopts.tol = opts_.solver.tol;
+        stage_opts.backend = Backend::BruteForce;
         try {
-          r = brute_force_solve(p, bopts);
+          r = lp::solve(p, stage_opts, nullptr);
         } catch (const PreconditionError&) {
           continue;  // problem too large for the terminal stage
         }

@@ -25,6 +25,7 @@
 #include "lp/certify.h"
 #include "lp/problem.h"
 #include "lp/result.h"
+#include "lp/solve.h"
 #include "lp/workspace.h"
 #include "obs/sink.h"
 
@@ -51,16 +52,16 @@ inline const char* to_string(PipelineStage s) {
 }
 
 struct PipelineOptions {
-  /// Tuning (tolerances, iteration caps) shared by every stage; the
-  /// Verifier uses `solver.tols` too.
-  SolverOptions solver;
-  /// Stage order: true puts the revised solver first (warm, then cold),
-  /// false starts at the tableau solver and uses cold-revised as the
-  /// cross-check. Either way every stage's answer must certify.
-  bool prefer_revised = true;
-  /// Basis-count cap for the terminal brute-force stage; problems larger
-  /// than this skip the stage (enumeration is exponential).
-  std::uint64_t brute_force_max_bases = 200'000;
+  /// Every solve knob (backend preference, presolve switch, basis
+  /// representation, tolerances, iteration caps) shared by the stages; the
+  /// Verifier uses `solve.tols` too. `solve.backend` picks the stage order:
+  /// Backend::Revised puts the revised solver first (warm, then cold, then
+  /// tableau); anything else starts at the tableau solver and uses
+  /// cold-revised as the cross-check. Either way every stage's answer must
+  /// certify, and presolve only runs on the first attempt -- fallback
+  /// stages solve the original problem directly so the cross-check is
+  /// independent of the reductions too.
+  SolveOptions solve;
   /// Telemetry destination. Metric handles are resolved once at pipeline
   /// construction; the solve path itself never touches the registry map.
   /// Events carry the solve ordinal as their time (the pipeline has no

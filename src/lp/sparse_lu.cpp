@@ -1,0 +1,332 @@
+#include "lp/sparse_lu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace agora::lp {
+
+namespace {
+
+/// Threshold-pivoting relaxation factor: a pivot must have magnitude at
+/// least this fraction of the largest entry in its row AND its column to be
+/// admissible (Markowitz search with tau = 0.1 is the classical sweet spot:
+/// enough freedom to chase sparsity, bounded element growth).
+constexpr double kPivotThreshold = 0.1;
+/// Entries below this absolute magnitude never pivot (matches the dense
+/// LuFactorization's singularity cutoff).
+constexpr double kPivotFloor = 1e-12;
+/// Merge results whose magnitude collapsed to rounding error of the
+/// operands are dropped instead of stored as fill (pure cancellation dust).
+constexpr double kCancel = 1e-14;
+/// Suhl-style cap on the pivot search: once this many rows have offered an
+/// admissible pivot, take the best seen. Rows come bucketed by count, so
+/// the candidates examined are already the lowest-Markowitz-cost rows; the
+/// cap trades a (rarely) slightly denser factor for a search that no
+/// longer rescans every alive row at every elimination step.
+constexpr std::size_t kPivotCandidates = 4;
+
+}  // namespace
+
+bool SparseLu::factorize(const StandardForm& sf, const std::vector<std::size_t>& basis) {
+  const std::size_t m = sf.rows();
+  dim_ = 0;  // stays 0 (== not factorized) until we succeed
+
+  // --- Load B: rows_[i] collects (basis position, value) sorted by
+  // position because we scatter column by column in position order. -------
+  rows_.resize(std::max(rows_.size(), m));
+  col_rows_.resize(std::max(col_rows_.size(), m));
+  for (std::size_t i = 0; i < m; ++i) rows_[i].clear();
+  for (std::size_t j = 0; j < m; ++j) col_rows_[j].clear();
+  row_count_.assign(m, 0);
+  col_count_.assign(m, 0);
+  row_alive_.assign(m, true);
+  col_alive_.assign(m, true);
+
+  basis_nnz_ = 0;
+  bnorm_ = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    const std::size_t col = basis[j];
+    double colsum = 0.0;
+    for (std::size_t t = sf.col_start[col]; t < sf.col_start[col + 1]; ++t) {
+      const std::size_t r = sf.col_row[t];
+      const double v = sf.col_val[t];
+      if (v == 0.0) continue;
+      rows_[r].push_back({j, v});
+      col_rows_[j].push_back(r);
+      ++col_count_[j];
+      colsum += std::fabs(v);
+      ++basis_nnz_;
+    }
+    bnorm_ = std::max(bnorm_, colsum);
+  }
+  for (std::size_t i = 0; i < m; ++i) row_count_[i] = rows_[i].size();
+
+  // Count buckets for the pivot search. Every count change re-enqueues the
+  // row under its new count; entries under outdated counts are dropped
+  // lazily when a search pass touches them. A live row with entries is
+  // always findable: its latest enqueue (or a surviving older entry under a
+  // count it returned to) is in the bucket matching row_count_.
+  cnt_bucket_.resize(std::max(cnt_bucket_.size(), m + 1));
+  for (auto& b : cnt_bucket_) b.clear();
+  row_bucket_.assign(m, 0);
+  const auto enqueue_row = [&](std::size_t i) {
+    const std::size_t c = row_count_[i];
+    if (c == 0 || row_bucket_[i] == c) return;
+    row_bucket_[i] = c;
+    cnt_bucket_[c].push_back(i);
+  };
+  for (std::size_t i = 0; i < m; ++i) enqueue_row(i);
+
+  l_start_.assign(1, 0);
+  l_row_.clear();
+  l_val_.clear();
+  u_start_.assign(1, 0);
+  u_col_.clear();
+  u_val_.clear();
+  u_diag_.clear();
+  pivot_row_.clear();
+  pivot_col_.clear();
+  eta_start_.assign(1, 0);
+  eta_pos_.clear();
+  eta_pivot_.clear();
+  eta_idx_.clear();
+  eta_val_.clear();
+  udiag_max_ = 0.0;
+  udiag_min_ = std::numeric_limits<double>::infinity();
+
+  merge_val_.assign(m, 0.0);
+  merge_mark_.assign(m, 0);
+  merge_cols_.clear();
+
+  // --- Elimination: m Markowitz-pivoted steps. ----------------------------
+  for (std::size_t step = 0; step < m; ++step) {
+    // Pivot search: best (r-1)(c-1) among entries passing the row threshold;
+    // ties prefer larger magnitude. Buckets are scanned in increasing row
+    // count, so the lowest-cost rows surface first and the Suhl cap can cut
+    // the scan off after kPivotCandidates admissible rows (or immediately on
+    // a cost-0 pivot). Stale bucket entries are compacted away in passing.
+    // Bucket order is a deterministic function of the input, so the pivot
+    // sequence -- and every downstream solve -- stays reproducible.
+    std::size_t best_row = m, best_col = m;
+    double best_val = 0.0;
+    std::uint64_t best_cost = std::numeric_limits<std::uint64_t>::max();
+    std::size_t candidates = 0;
+    bool done = false;
+    for (std::size_t c = 1; c <= m && !done; ++c) {
+      std::vector<std::size_t>& bucket = cnt_bucket_[c];
+      std::size_t keep = 0;
+      for (std::size_t idx = 0; idx < bucket.size(); ++idx) {
+        const std::size_t i = bucket[idx];
+        if (!row_alive_[i] || row_count_[i] != c) continue;  // stale: drop
+        bucket[keep++] = i;
+        const std::uint64_t rminus = c - 1;
+        double rowmax = 0.0;
+        for (const Entry& e : rows_[i]) rowmax = std::max(rowmax, std::fabs(e.val));
+        if (rowmax <= kPivotFloor) continue;  // numerically empty row
+        const double cut = std::max(kPivotFloor, kPivotThreshold * rowmax);
+        bool admissible = false;
+        for (const Entry& e : rows_[i]) {
+          const double mag = std::fabs(e.val);
+          if (mag < cut) continue;
+          admissible = true;
+          const std::uint64_t cost = rminus * (col_count_[e.col] - 1);
+          const bool better =
+              cost < best_cost || (cost == best_cost && mag > std::fabs(best_val));
+          if (better) {
+            best_cost = cost;
+            best_row = i;
+            best_col = e.col;
+            best_val = e.val;
+          }
+        }
+        if (admissible) ++candidates;
+        if (best_cost == 0 || (candidates >= kPivotCandidates && best_row != m)) {
+          for (++idx; idx < bucket.size(); ++idx) bucket[keep++] = bucket[idx];
+          done = true;
+          break;
+        }
+      }
+      bucket.resize(keep);
+    }
+    if (best_row == m) return false;  // singular: no admissible pivot left
+
+    const std::size_t p = best_row, q = best_col;
+    const double diag = best_val;
+    udiag_max_ = std::max(udiag_max_, std::fabs(diag));
+    udiag_min_ = std::min(udiag_min_, std::fabs(diag));
+
+    // Record U row `step`: diagonal first, then the off-diagonals.
+    pivot_row_.push_back(p);
+    pivot_col_.push_back(q);
+    u_diag_.push_back(diag);
+    for (const Entry& e : rows_[p])
+      if (e.col != q) {
+        u_col_.push_back(e.col);
+        u_val_.push_back(e.val);
+      }
+    u_start_.push_back(u_col_.size());
+
+    // Eliminate column q from every other alive row that carries it, and
+    // record the multipliers as L column `step`.
+    for (const std::size_t i : col_rows_[q]) {
+      if (!row_alive_[i] || i == p) continue;
+      // Locate a_iq (rows are unsorted; linear scan over the sparse row).
+      double aiq = 0.0;
+      for (const Entry& e : rows_[i])
+        if (e.col == q) {
+          aiq = e.val;
+          break;
+        }
+      if (aiq == 0.0) continue;  // stale column-list entry
+      const double mult = aiq / diag;
+      l_row_.push_back(i);
+      l_val_.push_back(mult);
+
+      // row_i := row_i - mult * row_p, dropping the q entry. Dense-
+      // accumulator merge: scatter row_i, axpy row_p, gather. Mark 1 =
+      // position already present in row i, mark 2 = fill introduced by
+      // row p (used below to maintain the column lists without a scan).
+      merge_cols_.clear();
+      for (const Entry& e : rows_[i]) {
+        if (e.col == q) continue;
+        merge_val_[e.col] = e.val;
+        merge_mark_[e.col] = 1;
+        merge_cols_.push_back(e.col);
+      }
+      for (const Entry& e : rows_[p]) {
+        if (e.col == q) continue;
+        if (!merge_mark_[e.col]) {
+          merge_val_[e.col] = 0.0;
+          merge_mark_[e.col] = 2;
+          merge_cols_.push_back(e.col);
+        }
+        merge_val_[e.col] -= mult * e.val;
+      }
+      rows_[i].clear();
+      for (const std::size_t c : merge_cols_) {
+        const bool fill = merge_mark_[c] == 2;
+        merge_mark_[c] = 0;
+        const double v = merge_val_[c];
+        // Keep the entry unless it is cancellation dust relative to the
+        // operands that produced it.
+        if (std::fabs(v) > kCancel * (1.0 + std::fabs(mult) * bnorm_)) {
+          rows_[i].push_back({c, v});
+          // Genuinely new fill (the merge saw no prior entry for c in row
+          // i) is appended to the column list without a membership scan:
+          // row i can already be listed under c only as a stale leftover
+          // from a cancellation drop, so the scan was a near-guaranteed
+          // full-length miss. A rare duplicate is harmless -- the
+          // elimination loop skips rows that no longer carry the pivot
+          // column -- and only nudges col_count_'s heuristic value.
+          if (fill) {
+            col_rows_[c].push_back(i);
+            ++col_count_[c];
+          }
+        }
+        // else: cancellation dust; dropping it may leave col_count_ slightly
+        // overcounting, which only biases the Markowitz heuristic, never
+        // correctness.
+      }
+      row_count_[i] = rows_[i].size();
+      enqueue_row(i);
+    }
+    l_start_.push_back(l_row_.size());
+
+    // Retire the pivot row and column. Column counts of the pivot row's
+    // other columns drop by one (their entry in row p moved into U).
+    row_alive_[p] = false;
+    col_alive_[q] = false;
+    for (const Entry& e : rows_[p])
+      if (e.col != q && col_count_[e.col] > 0) --col_count_[e.col];
+    rows_[p].clear();
+    row_count_[p] = 0;
+    col_rows_[q].clear();
+  }
+
+  lu_nnz_ = l_row_.size() + u_col_.size() + m;
+  dim_ = m;
+  return true;
+}
+
+void SparseLu::ftran(std::vector<double>& x) const {
+  const std::size_t m = dim_;
+  // Forward pass: apply the elimination steps to the right-hand side.
+  for (std::size_t k = 0; k < m; ++k) {
+    const double piv = x[pivot_row_[k]];
+    if (piv == 0.0) continue;
+    for (std::size_t t = l_start_[k]; t < l_start_[k + 1]; ++t)
+      x[l_row_[t]] -= l_val_[t] * piv;
+  }
+  // Back substitution on U: results live in basis-position space.
+  scratch_.assign(m, 0.0);
+  for (std::size_t k = m; k-- > 0;) {
+    double s = x[pivot_row_[k]];
+    for (std::size_t t = u_start_[k]; t < u_start_[k + 1]; ++t)
+      s -= u_val_[t] * scratch_[u_col_[t]];
+    scratch_[pivot_col_[k]] = s / u_diag_[k];
+  }
+  x.assign(scratch_.begin(), scratch_.begin() + m);
+
+  // Eta file, forward: solve E u = x per eta (u_r = x_r / w_r, then the
+  // rank-one correction).
+  for (std::size_t e = 0; e < eta_pos_.size(); ++e) {
+    const std::size_t r = eta_pos_[e];
+    const double xr = x[r] / eta_pivot_[e];
+    x[r] = xr;
+    if (xr == 0.0) continue;
+    for (std::size_t t = eta_start_[e]; t < eta_start_[e + 1]; ++t)
+      x[eta_idx_[t]] -= eta_val_[t] * xr;
+  }
+}
+
+void SparseLu::btran(std::vector<double>& y) const {
+  const std::size_t m = dim_;
+  // Eta file in reverse, transposed: E' u = y only changes u_r.
+  for (std::size_t e = eta_pos_.size(); e-- > 0;) {
+    const std::size_t r = eta_pos_[e];
+    double s = y[r];
+    for (std::size_t t = eta_start_[e]; t < eta_start_[e + 1]; ++t)
+      s -= eta_val_[t] * y[eta_idx_[t]];
+    y[r] = s / eta_pivot_[e];
+  }
+
+  // U' z = y: forward over the steps, scattering each z into the columns
+  // its U row touches.
+  scratch_.resize(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    const double z = y[pivot_col_[k]] / u_diag_[k];
+    scratch_[k] = z;
+    if (z == 0.0) continue;
+    for (std::size_t t = u_start_[k]; t < u_start_[k + 1]; ++t)
+      y[u_col_[t]] -= u_val_[t] * z;
+  }
+  // L' pass: y lives in standard-form-row space from here.
+  for (std::size_t k = 0; k < m; ++k) y[pivot_row_[k]] = scratch_[k];
+  for (std::size_t k = m; k-- > 0;) {
+    double s = y[pivot_row_[k]];
+    for (std::size_t t = l_start_[k]; t < l_start_[k + 1]; ++t)
+      s -= l_val_[t] * y[l_row_[t]];
+    y[pivot_row_[k]] = s;
+  }
+}
+
+void SparseLu::push_eta(std::size_t pos, const std::vector<double>& w, double drop) {
+  eta_pos_.push_back(pos);
+  eta_pivot_.push_back(w[pos]);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    if (i == pos) continue;
+    const double v = w[i];
+    if (std::fabs(v) <= drop) continue;
+    eta_idx_.push_back(i);
+    eta_val_.push_back(v);
+  }
+  eta_start_.push_back(eta_idx_.size());
+}
+
+double SparseLu::condition_estimate() const {
+  if (dim_ == 0 || udiag_min_ <= 0.0) return 0.0;
+  return bnorm_ * (udiag_max_ / udiag_min_);
+}
+
+}  // namespace agora::lp

@@ -69,6 +69,7 @@ void rebuild_standard_form(const Problem& p, StandardForm& sf) {
   sf.b.assign(m, 0.0);
   sf.row_origin.assign(m, static_cast<std::size_t>(-1));
   sf.row_negated.assign(m, false);
+  sf.offset_dot.assign(p.num_constraints(), 0.0);
 
   // rel_of(i): the row's relation after negation; recomputed on demand so no
   // scratch vector is needed.
@@ -89,15 +90,18 @@ void rebuild_standard_form(const Problem& p, StandardForm& sf) {
       if (vm.kind != StandardForm::VarMap::Kind::Split) rhs -= a * vm.offset;
     }
     sf.b[i] = rhs;
+    sf.offset_dot[i] = con.rhs - rhs;
     sf.row_origin[i] = i;
   }
   {
+    sf.bound_row_var.clear();
     std::size_t row = p.num_constraints();
     for (std::size_t j = 0; j < nv; ++j) {
       const auto& vm = sf.var_map[j];
       if (vm.kind != StandardForm::VarMap::Kind::Shifted) continue;
       const double hi = p.upper_bound(j);
       if (!std::isfinite(hi)) continue;
+      sf.bound_row_var.push_back(j);
       sf.b[row++] = hi - p.lower_bound(j);
     }
   }
@@ -221,6 +225,42 @@ void rebuild_standard_form(const Problem& p, StandardForm& sf) {
   for (std::size_t j = 0; j < total; ++j)
     fp += sf.c[j] * static_cast<double>(j + 1) * 1e-3;
   sf.fingerprint = fp;
+  sf.source_id = p.instance_id();
+  sf.source_rev = p.structural_revision();
+}
+
+bool repatch_standard_form_rhs(const Problem& p, StandardForm& sf) {
+  if (sf.source_id == 0 || sf.source_id != p.instance_id() ||
+      sf.source_rev != p.structural_revision())
+    return false;
+  const std::size_t nc = p.num_constraints();
+  if (sf.offset_dot.size() != nc || sf.b.size() != nc + sf.bound_row_var.size())
+    return false;
+  // Validate before committing: a transformed rhs that changes sign changes
+  // the row's negation, i.e. the coefficients of A -- full rebuild territory.
+  // The matching structural revision already guarantees lower bounds and
+  // bound finiteness are as built, so bound rows recompute as hi - lo.
+  for (std::size_t i = 0; i < nc; ++i) {
+    const double t = p.constraint(i).rhs - sf.offset_dot[i];
+    if (!std::isfinite(t)) return false;
+    if ((t < 0.0) != sf.row_negated[i]) return false;
+  }
+  for (std::size_t r = 0; r < sf.bound_row_var.size(); ++r) {
+    const std::size_t j = sf.bound_row_var[r];
+    const double t = p.upper_bound(j) - p.lower_bound(j);
+    if (!std::isfinite(t)) return false;
+    if ((t < 0.0) != sf.row_negated[nc + r]) return false;
+  }
+  for (std::size_t i = 0; i < nc; ++i) {
+    const double t = p.constraint(i).rhs - sf.offset_dot[i];
+    sf.b[i] = t < 0.0 ? -t : t;
+  }
+  for (std::size_t r = 0; r < sf.bound_row_var.size(); ++r) {
+    const std::size_t j = sf.bound_row_var[r];
+    const double t = p.upper_bound(j) - p.lower_bound(j);
+    sf.b[nc + r] = t < 0.0 ? -t : t;
+  }
+  return true;
 }
 
 std::vector<double> recover_solution(const StandardForm& sf, const std::vector<double>& y,

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "lp/problem.h"
@@ -65,6 +66,20 @@ struct StandardForm {
   /// key on this: a reused basis is only valid against an unchanged matrix.
   double fingerprint = 0.0;
 
+  /// Per original-constraint row: sum_j a_ij * offset_j, the bound-shift
+  /// contribution folded into b at build time. Cached so an rhs-only change
+  /// can recompute b[i] = |rhs_i - offset_dot[i]| in O(1) per row without
+  /// touching the matrix (see repatch_standard_form_rhs).
+  std::vector<double> offset_dot;
+  /// Per bound row (rows num_constraints()..rows()-1, in order): the
+  /// original variable whose y <= hi - lo row it is. Lets a value-only
+  /// upper-bound move repatch b without a rebuild.
+  std::vector<std::size_t> bound_row_var;
+  /// (instance_id, structural_revision) of the Problem this form was built
+  /// from; repatch_standard_form_rhs refuses to patch when either moved.
+  std::uint64_t source_id = 0;
+  std::uint64_t source_rev = 0;
+
   std::size_t rows() const { return b.size(); }
   std::size_t cols() const { return c.size(); }
   bool has_artificials() const;
@@ -79,6 +94,18 @@ StandardForm build_standard_form(const Problem& p);
 /// enforcement loop. Produces exactly the same standard form as
 /// build_standard_form(p).
 void rebuild_standard_form(const Problem& p, StandardForm& sf);
+
+/// Fast path for the consult loop's rhs-only motion -- Problem::set_rhs and
+/// value-only Problem::set_bounds (the allocator's per-request patch): when
+/// `sf` was built from this exact problem structure (same instance, same
+/// structural revision) and no transformed rhs changes sign -- a sign flip
+/// negates the row's coefficients, i.e. changes A -- update sf.b in place
+/// (constraint rows from the cached offset dots, bound rows from the moved
+/// bounds), O(rows), and return true. Any mismatch returns false with sf.b
+/// possibly half-written; the caller must then rebuild_standard_form().
+/// A, c, and the fingerprint are untouched, so warm starts keyed on the
+/// fingerprint survive the patch.
+bool repatch_standard_form_rhs(const Problem& p, StandardForm& sf);
 
 /// Map a standard-form point y back to the original variable space.
 std::vector<double> recover_solution(const StandardForm& sf, const std::vector<double>& y,

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "lp/sparse_lu.h"
 #include "lp/standard_form.h"
 #include "util/matrix.h"
 
@@ -31,8 +32,10 @@ struct SolveWorkspace {
   // heap blocks persist so steady-state solves allocate nothing. ----------
   StandardForm sf;                  ///< standard-form rebuild target.
   std::vector<std::size_t> basis;   ///< current basis, length m.
-  Matrix binv;                      ///< m x m basis inverse.
-  Matrix bmat;                      ///< refactorization scratch.
+  SparseLu slu;                     ///< factored basis (BasisRep::SparseLu).
+  Matrix binv;                      ///< m x m basis inverse (DenseInverse).
+  Matrix bmat;                      ///< dense refactorization scratch.
+  std::vector<double> rho;          ///< B^-T e_r scratch (dual ratio test).
   std::vector<double> xb;           ///< current basic solution B^-1 b.
   std::vector<double> cb;           ///< basic cost gather.
   std::vector<double> y;            ///< btran output (simplex multipliers).

@@ -184,7 +184,7 @@ TEST(Allocator, PresolveProducesSameAnswer) {
   sys.relative(1, 0) = 0.5;
   sys.relative(2, 0) = 0.5;
   AllocatorOptions plain, pre;
-  pre.presolve = true;
+  pre.solve.presolve = true;
   pre.formulation = Formulation::FullPaper;  // the formulation presolve helps
   plain.formulation = Formulation::FullPaper;
   Allocator a(sys, plain), b(sys, pre);

@@ -10,8 +10,7 @@
 #include "agree/from_economy.h"
 #include "core/economy.h"
 #include "core/valuation.h"
-#include "lp/revised.h"
-#include "lp/simplex.h"
+#include "lp/solve.h"
 #include "proxysim/simulator.h"
 #include "rms/bus.h"
 #include "rms/client.h"
@@ -134,11 +133,17 @@ TEST(RevisedSimplexStress, RefactorizationPathExercised) {
     }
     p.add_constraint(std::move(coeffs), lp::Relation::LessEqual, at_interior + 0.25);
   }
-  const lp::SolveResult rev = lp::RevisedSimplexSolver().solve(p);
-  const lp::SolveResult tab = lp::SimplexSolver().solve(p);
+  lp::SolveOptions rev_opts;
+  rev_opts.backend = lp::Backend::Revised;
+  rev_opts.presolve = false;  // the iteration-count assertion targets the raw solver
+  lp::SolveOptions tab_opts;
+  tab_opts.backend = lp::Backend::Tableau;
+  tab_opts.presolve = false;
+  const lp::SolveResult rev = lp::solve(p, rev_opts);
+  const lp::SolveResult tab = lp::solve(p, tab_opts);
   ASSERT_EQ(rev.status, lp::Status::Optimal);
   ASSERT_EQ(tab.status, lp::Status::Optimal);
-  EXPECT_GT(rev.iterations, lp::RevisedSimplexSolver::kRefactorInterval);
+  EXPECT_GT(rev.iterations, lp::kRefactorInterval);
   EXPECT_NEAR(rev.objective, tab.objective, 1e-4);
   EXPECT_LE(p.max_violation(rev.x), 1e-5);
 }

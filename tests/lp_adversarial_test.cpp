@@ -14,8 +14,7 @@
 #include "lp/brute_force.h"
 #include "lp/certify.h"
 #include "lp/problem.h"
-#include "lp/revised.h"
-#include "lp/simplex.h"
+#include "lp/solve.h"
 #include "lp/solve_pipeline.h"
 #include "lp/workspace.h"
 
@@ -62,13 +61,13 @@ void corrupt_inverse(SolveWorkspace& ws, double factor) {
 
 TEST(Adversarial, BealeCyclingExampleCertifiesOnBothEngines) {
   const Problem p = beale();
-  for (const bool prefer_revised : {true, false}) {
+  for (const Backend backend : {Backend::Revised, Backend::Tableau}) {
     PipelineOptions po;
-    po.prefer_revised = prefer_revised;
+    po.solve.backend = backend;
     SolvePipeline pl(po);
     const PipelineResult pr = pl.solve(p);
     ASSERT_TRUE(pr.certified())
-        << "engine order " << prefer_revised << ": "
+        << "backend " << to_string(backend) << ": "
         << (pr.certificate.reject ? pr.certificate.reject : "uncertified");
     EXPECT_EQ(pr.certificate.claim, Certificate::Claim::Optimal);
     EXPECT_NEAR(pr.result.objective, -0.05, 1e-6);
@@ -202,12 +201,13 @@ TEST(Adversarial, CorruptedInverseSelfHealsViaResidualTrigger) {
   // before pricing a single column -- same answer, one extra rebuild, no
   // fallback needed.
   const Problem p = warm_corpus();
-  RevisedSimplexSolver solver;
+  SolveOptions opts;  // corrupt_inverse targets the dense explicit inverse
+  opts.basis = BasisRep::DenseInverse;
   SolveWorkspace ws;
-  const SolveResult clean = solver.solve(p, &ws);
+  const SolveResult clean = lp::solve(p, opts, &ws);
   ASSERT_EQ(clean.status, Status::Optimal);
   corrupt_inverse(ws, 1.5);
-  const SolveResult healed = solver.solve(p, &ws);
+  const SolveResult healed = lp::solve(p, opts, &ws);
   ASSERT_EQ(healed.status, Status::Optimal);
   EXPECT_GE(healed.stats.residual_refactorizations, 1u);
   EXPECT_NEAR(healed.objective, clean.objective, 1e-9);
@@ -222,7 +222,8 @@ TEST(Adversarial, CorruptedInverseFallsBackWhenHealingDisabled) {
   // reject it and the pipeline must recover a certified answer from the
   // cold stage -- the corpus case where the warm path alone fails.
   PipelineOptions po;
-  po.solver.tols.refactor_residual = 1e30;  // turn off in-solver self-healing
+  po.solve.basis = BasisRep::DenseInverse;      // corrupt_inverse targets binv
+  po.solve.tols.refactor_residual = 1e30;  // turn off in-solver self-healing
   SolvePipeline pl(po);
   const Problem p = warm_corpus();
   SolveWorkspace ws;

@@ -12,13 +12,24 @@
 #include "lp/certify.h"
 #include "lp/model_builder.h"
 #include "lp/problem.h"
-#include "lp/revised.h"
-#include "lp/simplex.h"
+#include "lp/solve.h"
 #include "lp/solve_pipeline.h"
 #include "lp/standard_form.h"
 
 namespace agora::lp {
 namespace {
+
+
+// The certification tests target raw solver answers, so presolve is off; the
+// presolve+postsolve path gets its own certification coverage elsewhere.
+SolveOptions backend_opts(Backend b) {
+  SolveOptions o;
+  o.backend = b;
+  o.presolve = false;
+  return o;
+}
+SolveResult tableau_solve(const Problem& p) { return solve(p, backend_opts(Backend::Tableau)); }
+SolveResult revised_solve(const Problem& p) { return solve(p, backend_opts(Backend::Revised)); }
 
 // max 3x + 2y  s.t.  x + y <= 4,  x + 3y <= 6,  x, y >= 0.
 // Optimum (4, 0), objective 12, duals (3, 0).
@@ -64,7 +75,7 @@ Problem unbounded_ramp() {
 
 TEST(Certify, AcceptsTableauOptimalWithDuals) {
   const Problem p = classic_max();
-  const SolveResult r = SimplexSolver().solve(p);
+  const SolveResult r = tableau_solve(p);
   ASSERT_EQ(r.status, Status::Optimal);
   Verifier v;
   const Certificate cert = v.certify(p, r);
@@ -78,7 +89,7 @@ TEST(Certify, AcceptsTableauOptimalWithDuals) {
 
 TEST(Certify, AcceptsRevisedOptimalWithDuals) {
   const Problem p = classic_min();
-  const SolveResult r = RevisedSimplexSolver().solve(p);
+  const SolveResult r = revised_solve(p);
   ASSERT_EQ(r.status, Status::Optimal);
   Verifier v;
   const Certificate cert = v.certify(p, r);
@@ -101,7 +112,7 @@ TEST(Certify, AcceptsRealFarkasCertificateFromBothSolvers) {
   const Problem p = infeasible_box();
   for (int engine = 0; engine < 2; ++engine) {
     const SolveResult r =
-        engine == 0 ? SimplexSolver().solve(p) : RevisedSimplexSolver().solve(p);
+        engine == 0 ? tableau_solve(p) : revised_solve(p);
     ASSERT_EQ(r.status, Status::Infeasible);
     ASSERT_FALSE(r.farkas.empty()) << "solver " << engine << " attached no certificate";
     Verifier v;
@@ -116,7 +127,7 @@ TEST(Certify, AcceptsRealUnboundednessRayFromBothSolvers) {
   const Problem p = unbounded_ramp();
   for (int engine = 0; engine < 2; ++engine) {
     const SolveResult r =
-        engine == 0 ? SimplexSolver().solve(p) : RevisedSimplexSolver().solve(p);
+        engine == 0 ? tableau_solve(p) : revised_solve(p);
     ASSERT_EQ(r.status, Status::Unbounded);
     ASSERT_FALSE(r.ray.empty()) << "solver " << engine << " attached no ray";
     Verifier v;
@@ -238,7 +249,7 @@ TEST(Certify, RejectsBogusFarkasCertificates) {
   EXPECT_FALSE(v.certify_infeasible(p, {}).certified);
   EXPECT_FALSE(v.certify_infeasible(p, std::vector<double>(sf.rows(), 0.0)).certified);
   EXPECT_FALSE(v.certify_infeasible(p, {1.0}).certified);
-  const SolveResult r = SimplexSolver().solve(p);
+  const SolveResult r = tableau_solve(p);
   ASSERT_EQ(r.status, Status::Infeasible);
   std::vector<double> flipped = r.farkas;
   for (double& y : flipped) y = -y;  // proves y'b < 0: nothing
@@ -258,7 +269,7 @@ TEST(Certify, RejectsFarkasForFeasibleProblem) {
 
 TEST(Certify, RejectsBogusUnboundednessRays) {
   const Problem p = unbounded_ramp();
-  const SolveResult r = SimplexSolver().solve(p);
+  const SolveResult r = tableau_solve(p);
   ASSERT_EQ(r.status, Status::Unbounded);
   Verifier v;
   // Missing ray / missing point.
@@ -311,7 +322,7 @@ TEST(Pipeline, HappyPathCertifiesOnFirstStage) {
 
 TEST(Pipeline, TableauFirstWhenPreferred) {
   PipelineOptions po;
-  po.prefer_revised = false;
+  po.solve.backend = Backend::Tableau;
   SolvePipeline pl(po);
   const PipelineResult pr = pl.solve(classic_max());
   EXPECT_TRUE(pr.certified());

@@ -6,21 +6,53 @@
 #include <cmath>
 
 #include "lp/problem.h"
-#include "lp/revised.h"
-#include "lp/simplex.h"
+#include "lp/solve.h"
 #include "util/matrix.h"
 #include "util/rng.h"
 
 namespace agora::lp {
 namespace {
 
-template <typename Solver>
-class DualsTest : public ::testing::Test {
- public:
-  Solver solver;
+// Backend/basis configurations under test: tableau, revised with the dense
+// inverse, revised with the sparse LU basis. Presolve stays off so the duals
+// come from the solver itself, not the postsolve reconstruction.
+struct TableauConfig {
+  static SolveOptions options() {
+    SolveOptions o;
+    o.backend = Backend::Tableau;
+    o.presolve = false;
+    return o;
+  }
+};
+struct RevisedDenseConfig {
+  static SolveOptions options() {
+    SolveOptions o;
+    o.backend = Backend::Revised;
+    o.basis = BasisRep::DenseInverse;
+    o.presolve = false;
+    return o;
+  }
+};
+struct RevisedSparseConfig {
+  static SolveOptions options() {
+    SolveOptions o;
+    o.backend = Backend::Revised;
+    o.basis = BasisRep::SparseLu;
+    o.presolve = false;
+    return o;
+  }
 };
 
-using SolverTypes = ::testing::Types<SimplexSolver, RevisedSimplexSolver>;
+template <typename Config>
+class DualsTest : public ::testing::Test {
+ public:
+  struct {
+    SolveResult solve(const Problem& p) const { return lp::solve(p, Config::options()); }
+  } solver;
+};
+
+using SolverTypes =
+    ::testing::Types<TableauConfig, RevisedDenseConfig, RevisedSparseConfig>;
 TYPED_TEST_SUITE(DualsTest, SolverTypes);
 
 TYPED_TEST(DualsTest, ClassicShadowPrices) {
@@ -105,7 +137,9 @@ TEST_P(DualSlope, MatchesNumericalDerivative) {
     p.add_constraint(std::move(coeffs), Relation::LessEqual, at + rng.uniform(0.1, 1.0));
   }
 
-  SimplexSolver solver;
+  struct {
+    SolveResult solve(const Problem& q) const { return lp::solve(q, TableauConfig::options()); }
+  } solver;
   const SolveResult base = solver.solve(p);
   ASSERT_EQ(base.status, Status::Optimal);
   ASSERT_EQ(base.duals.size(), m);
@@ -152,8 +186,8 @@ TEST(Duals, BothSolversAgree) {
       for (auto& c : coeffs) c = rng.uniform(0.0, 1.0);
       p.add_constraint(std::move(coeffs), Relation::LessEqual, rng.uniform(1.0, 4.0));
     }
-    const SolveResult a = SimplexSolver().solve(p);
-    const SolveResult b = RevisedSimplexSolver().solve(p);
+    const SolveResult a = lp::solve(p, TableauConfig::options());
+    const SolveResult b = lp::solve(p, RevisedSparseConfig::options());
     ASSERT_EQ(a.status, Status::Optimal);
     ASSERT_EQ(b.status, Status::Optimal);
     // Duals can differ between alternative optimal bases; compare only when

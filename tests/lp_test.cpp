@@ -5,11 +5,11 @@
 #include <cmath>
 
 #include "lp/brute_force.h"
+#include "lp/certify.h"
 #include "lp/model_builder.h"
 #include "lp/presolve.h"
 #include "lp/problem.h"
-#include "lp/revised.h"
-#include "lp/simplex.h"
+#include "lp/solve.h"
 #include "lp/standard_form.h"
 
 namespace agora::lp {
@@ -104,6 +104,93 @@ TEST(StandardForm, MaximizeFlipsSign) {
   EXPECT_DOUBLE_EQ(sf.c[0], -3.0);
 }
 
+// ----------------------------------------- repatch_standard_form_rhs ------
+
+// The allocator's per-consult patch is set_rhs plus value-only set_bounds;
+// these pin that the O(rows) repatch produces exactly the standard form a
+// full rebuild would, and that anything structural refuses the fast path.
+
+/// Two vars with finite ranges (bound rows) + one constraint; the shape the
+/// AllocationModelCache patch loop exercises.
+Problem repatchable_lp() {
+  Problem p;
+  p.add_variable("x", 0.0, 4.0, -1.0);
+  p.add_variable("y", 1.0, 6.0, -2.0);
+  p.add_constraint({1.0, 1.0}, Relation::LessEqual, 5.0);
+  p.add_constraint({1.0, -1.0}, Relation::Equal, 2.0);
+  return p;
+}
+
+TEST(StandardFormRepatch, RhsOnlyMatchesRebuild) {
+  Problem p = repatchable_lp();
+  StandardForm sf = build_standard_form(p);
+  const double fp = sf.fingerprint;
+  p.set_rhs(0, 7.5);
+  p.set_rhs(1, 3.25);
+  ASSERT_TRUE(repatch_standard_form_rhs(p, sf));
+  EXPECT_DOUBLE_EQ(sf.fingerprint, fp);
+  const StandardForm fresh = build_standard_form(p);
+  ASSERT_EQ(sf.b.size(), fresh.b.size());
+  for (std::size_t i = 0; i < sf.b.size(); ++i) EXPECT_DOUBLE_EQ(sf.b[i], fresh.b[i]);
+}
+
+TEST(StandardFormRepatch, ValueOnlyBoundMoveMatchesRebuild) {
+  Problem p = repatchable_lp();
+  StandardForm sf = build_standard_form(p);
+  const std::uint64_t rev = p.structural_revision();
+  // Finite upper bounds move, lower bounds stay: rhs-only by contract.
+  p.set_bounds(0, 0.0, 3.5);
+  p.set_bounds(1, 1.0, 9.0);
+  EXPECT_EQ(p.structural_revision(), rev);
+  ASSERT_TRUE(repatch_standard_form_rhs(p, sf));
+  const StandardForm fresh = build_standard_form(p);
+  ASSERT_EQ(sf.b.size(), fresh.b.size());
+  for (std::size_t i = 0; i < sf.b.size(); ++i) EXPECT_DOUBLE_EQ(sf.b[i], fresh.b[i]);
+  // And the patched form still solves to the rebuilt problem's optimum.
+  const SolveResult a = solve(p, SolveOptions{});
+  EXPECT_EQ(a.status, Status::Optimal);
+}
+
+TEST(StandardFormRepatch, RefusesWhenTransformedRhsFlipsSign) {
+  Problem p = repatchable_lp();
+  StandardForm sf = build_standard_form(p);
+  // Equality row rhs 2 -> -3 flips the transformed rhs negative: the row
+  // would need renegating (A changes), so the fast path must refuse.
+  p.set_rhs(1, -3.0);
+  EXPECT_FALSE(repatch_standard_form_rhs(p, sf));
+  rebuild_standard_form(p, sf);  // caller contract: rebuild after refusal
+  const StandardForm fresh = build_standard_form(p);
+  for (std::size_t i = 0; i < sf.b.size(); ++i) EXPECT_DOUBLE_EQ(sf.b[i], fresh.b[i]);
+}
+
+TEST(StandardFormRepatch, RefusesStructuralMutations) {
+  // Lower-bound move: shift offset feeds c0 and the transformed rhs.
+  {
+    Problem p = repatchable_lp();
+    StandardForm sf = build_standard_form(p);
+    const std::uint64_t rev = p.structural_revision();
+    p.set_bounds(0, 0.5, 4.0);
+    EXPECT_GT(p.structural_revision(), rev);
+    EXPECT_FALSE(repatch_standard_form_rhs(p, sf));
+  }
+  // Finiteness change: dropping the upper bound deletes the bound row.
+  {
+    Problem p = repatchable_lp();
+    StandardForm sf = build_standard_form(p);
+    const std::uint64_t rev = p.structural_revision();
+    p.set_bounds(0, 0.0, kInfinity);
+    EXPECT_GT(p.structural_revision(), rev);
+    EXPECT_FALSE(repatch_standard_form_rhs(p, sf));
+  }
+  // A copy has a fresh instance id; its cached form never patches.
+  {
+    Problem p = repatchable_lp();
+    StandardForm sf = build_standard_form(p);
+    const Problem q = p;
+    EXPECT_FALSE(repatch_standard_form_rhs(q, sf));
+  }
+}
+
 // ------------------------------------------------- solvers on known LPs ---
 
 /// Classic production-planning LP with a known optimum.
@@ -119,13 +206,43 @@ Problem classic_lp() {
   return p;
 }
 
-template <typename Solver>
-class SolverTest : public ::testing::Test {
- public:
-  Solver solver;
+// Backend/basis configurations exercised by the typed suite below. Every
+// known-LP test runs against the tableau solver, the revised solver with the
+// dense explicit inverse, and the revised solver with the sparse LU basis.
+struct TableauConfig {
+  static SolveOptions options() {
+    SolveOptions o;
+    o.backend = Backend::Tableau;
+    return o;
+  }
+};
+struct RevisedDenseConfig {
+  static SolveOptions options() {
+    SolveOptions o;
+    o.backend = Backend::Revised;
+    o.basis = BasisRep::DenseInverse;
+    return o;
+  }
+};
+struct RevisedSparseConfig {
+  static SolveOptions options() {
+    SolveOptions o;
+    o.backend = Backend::Revised;
+    o.basis = BasisRep::SparseLu;
+    return o;
+  }
 };
 
-using SolverTypes = ::testing::Types<SimplexSolver, RevisedSimplexSolver>;
+template <typename Config>
+class SolverTest : public ::testing::Test {
+ public:
+  struct {
+    SolveResult solve(const Problem& p) const { return lp::solve(p, Config::options()); }
+  } solver;
+};
+
+using SolverTypes =
+    ::testing::Types<TableauConfig, RevisedDenseConfig, RevisedSparseConfig>;
 TYPED_TEST_SUITE(SolverTest, SolverTypes);
 
 TYPED_TEST(SolverTest, ClassicMaximization) {
@@ -243,7 +360,7 @@ TYPED_TEST(SolverTest, SolutionSatisfiesConstraints) {
 TEST(BruteForce, MatchesSimplexOnClassic) {
   const Problem p = classic_lp();
   const SolveResult bf = brute_force_solve(p);
-  const SolveResult sx = SimplexSolver().solve(p);
+  const SolveResult sx = lp::solve(p, TableauConfig::options());
   ASSERT_EQ(bf.status, Status::Optimal);
   EXPECT_NEAR(bf.objective, sx.objective, 1e-7);
 }
@@ -268,20 +385,23 @@ TEST(BruteForce, RefusesHugeProblems) {
 // -------------------------------------------------------------- Presolve ---
 
 TEST(Presolve, SubstitutesFixedVariables) {
+  // The Equal row keeps dual fixing out of the picture, so substitution is
+  // the only reduction that fires: x = 3 folds into the rhs and the row
+  // survives with the remaining two variables.
   Problem p;
   p.add_variable("x", 3.0, 3.0, 1.0);  // fixed
   p.add_variable("y", 0.0, kInfinity, 1.0);
-  p.add_constraint({1.0, 1.0}, Relation::LessEqual, 10.0);
+  p.add_variable("z", 0.0, kInfinity, 1.0);
+  p.add_constraint({1.0, 1.0, 1.0}, Relation::Equal, 10.0);
   const PresolveOutcome out = presolve(p);
   ASSERT_FALSE(out.decided.has_value());
-  EXPECT_EQ(out.reduced.num_variables(), 1u);
-  // x+y <= 10 becomes the singleton y <= 7 after substitution, which the
-  // singleton-row pass then folds into y's upper bound.
-  EXPECT_EQ(out.reduced.num_constraints(), 0u);
-  EXPECT_DOUBLE_EQ(out.reduced.upper_bound(0), 7.0);
-  const auto x = out.postsolve({5.0});
+  EXPECT_EQ(out.reduced.num_variables(), 2u);
+  EXPECT_EQ(out.reduced.num_constraints(), 1u);
+  EXPECT_DOUBLE_EQ(out.reduced.constraint(0).rhs, 7.0);
+  const auto x = out.postsolve({5.0, 2.0});
   EXPECT_DOUBLE_EQ(x[0], 3.0);
   EXPECT_DOUBLE_EQ(x[1], 5.0);
+  EXPECT_DOUBLE_EQ(x[2], 2.0);
 }
 
 TEST(Presolve, FoldsSingletonRows) {
@@ -289,11 +409,27 @@ TEST(Presolve, FoldsSingletonRows) {
   p.add_variable("x", 0.0, kInfinity, 1.0);
   p.add_variable("y", 0.0, kInfinity, 1.0);
   p.add_constraint({2.0, 0.0}, Relation::LessEqual, 6.0);  // x <= 3
-  p.add_constraint({1.0, 1.0}, Relation::LessEqual, 10.0);
+  p.add_constraint({1.0, 1.0}, Relation::Equal, 2.0);      // blocks dual fixing
   const PresolveOutcome out = presolve(p);
   ASSERT_FALSE(out.decided.has_value());
   EXPECT_EQ(out.reduced.num_constraints(), 1u);
   EXPECT_DOUBLE_EQ(out.reduced.upper_bound(0), 3.0);
+}
+
+TEST(Presolve, DualFixingDecidesCostDominatedProblems) {
+  // min x + y over x + y <= 10: both columns are down-safe with positive
+  // reduced cost, so dual fixing pins them at their lower bounds and the
+  // whole problem is decided without a simplex iteration.
+  Problem p;
+  p.add_variable("x", 0.0, kInfinity, 1.0);
+  p.add_variable("y", 0.0, kInfinity, 1.0);
+  p.add_constraint({1.0, 1.0}, Relation::LessEqual, 10.0);
+  const PresolveOutcome out = presolve(p);
+  ASSERT_TRUE(out.decided.has_value());
+  EXPECT_EQ(out.decided->status, Status::Optimal);
+  EXPECT_DOUBLE_EQ(out.decided->objective, 0.0);
+  Verifier v;
+  EXPECT_TRUE(v.certify(p, *out.decided).certified);
 }
 
 TEST(Presolve, DetectsTrivialInfeasibility) {
@@ -316,11 +452,35 @@ TEST(Presolve, DecidesFullyFixedProblems) {
 
 TEST(Presolve, SolveWithPresolveMatchesDirect) {
   const Problem p = classic_lp();
-  const SolveResult direct = SimplexSolver().solve(p);
-  const SolveResult via = solve_with_presolve(
-      p, [](const Problem& q) { return SimplexSolver().solve(q); });
+  SolveOptions direct_opts;
+  direct_opts.backend = Backend::Tableau;
+  direct_opts.presolve = false;
+  const SolveResult direct = lp::solve(p, direct_opts);
+  SolveOptions via_opts = direct_opts;
+  via_opts.presolve = true;
+  const SolveResult via = lp::solve(p, via_opts);
   ASSERT_EQ(via.status, Status::Optimal);
   EXPECT_NEAR(via.objective, direct.objective, 1e-7);
+}
+
+TEST(Presolve, PostsolveReconstructsDuals) {
+  // x <= 3 singleton row is folded away; postsolve must reconstruct its dual
+  // so the reduced answer still certifies against the original problem.
+  Problem p(Sense::Maximize);
+  p.add_variable("x", 0, kInfinity, 2.0);
+  p.add_variable("y", 0, kInfinity, 1.0);
+  p.add_constraint({1.0, 0.0}, Relation::LessEqual, 3.0);  // singleton
+  p.add_constraint({1.0, 1.0}, Relation::LessEqual, 5.0);
+  SolveOptions opts;
+  opts.presolve = true;
+  const SolveResult r = lp::solve(p, opts);
+  ASSERT_EQ(r.status, Status::Optimal);
+  EXPECT_NEAR(r.objective, 8.0, 1e-7);  // x=3, y=2
+  ASSERT_EQ(r.duals.size(), 2u);
+  Verifier v;
+  const Certificate cert = v.certify(p, r);
+  EXPECT_TRUE(cert.certified) << cert.reject;
+  EXPECT_FALSE(cert.primal_only);
 }
 
 // ---------------------------------------------------------- ModelBuilder ---
@@ -333,7 +493,7 @@ TEST(ModelBuilder, BuildsClassicLp) {
   mb.add(2.0 * y <= 12.0);
   mb.add(3.0 * x + 2.0 * y <= 18.0);
   mb.maximize(3.0 * x + 5.0 * y);
-  const SolveResult r = SimplexSolver().solve(mb.problem());
+  const SolveResult r = lp::solve(mb.problem());
   ASSERT_EQ(r.status, Status::Optimal);
   EXPECT_NEAR(r.objective, 36.0, 1e-7);
 }
@@ -343,7 +503,7 @@ TEST(ModelBuilder, SumAndEquality) {
   const auto xs = mb.add_vars("x", 3);
   mb.add(sum(xs) == 6.0);
   mb.minimize(1.0 * xs[0] + 2.0 * xs[1] + 3.0 * xs[2]);
-  const SolveResult r = SimplexSolver().solve(mb.problem());
+  const SolveResult r = lp::solve(mb.problem());
   ASSERT_EQ(r.status, Status::Optimal);
   EXPECT_NEAR(r.objective, 6.0, 1e-7);  // all weight on x0
   EXPECT_NEAR(r.x[0], 6.0, 1e-7);
@@ -358,7 +518,7 @@ TEST(ModelBuilder, ExpressionAlgebra) {
   // e = 6x + 6; constraint e >= 12 means x >= 1.
   mb.add(e >= 12.0);
   mb.minimize(LinExpr(x));
-  const SolveResult r = SimplexSolver().solve(mb.problem());
+  const SolveResult r = lp::solve(mb.problem());
   ASSERT_EQ(r.status, Status::Optimal);
   EXPECT_NEAR(r.x[0], 1.0, 1e-7);
 }
@@ -368,7 +528,7 @@ TEST(ModelBuilder, GreaterEqualFoldsConstants) {
   const Var x = mb.add_var("x");
   mb.add(1.0 * x - 5.0 >= 0.0);  // x >= 5
   mb.minimize(LinExpr(x));
-  const SolveResult r = SimplexSolver().solve(mb.problem());
+  const SolveResult r = lp::solve(mb.problem());
   ASSERT_EQ(r.status, Status::Optimal);
   EXPECT_NEAR(r.x[0], 5.0, 1e-7);
 }

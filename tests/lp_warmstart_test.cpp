@@ -1,7 +1,7 @@
 // lp_warmstart_test.cpp -- property tests for the warm-started, workspace-
 // reusing revised simplex path (and the allocator model cache built on it).
 //
-// Invariant under test: passing a SolveWorkspace to RevisedSimplexSolver --
+// Invariant under test: passing a SolveWorkspace to the revised backend --
 // and, one layer up, AllocatorOptions::reuse_context -- must never change
 // WHAT is computed, only how fast. Over fuzzed sequences of bound/rhs
 // perturbations of a fixed-structure LP, the warm-started solve must agree
@@ -19,14 +19,33 @@
 #include "alloc/allocator.h"
 #include "lp/brute_force.h"
 #include "lp/model_builder.h"
-#include "lp/revised.h"
-#include "lp/simplex.h"
+#include "lp/solve.h"
 #include "util/rng.h"
 
 namespace agora::lp {
 namespace {
 
 constexpr double kTol = 1e-7;
+
+/// Thin shims over lp::solve so the fuzz loops below read like the solver
+/// calls they compare. Presolve is off: these tests pin down the raw warm
+/// path against the raw cold path, not the reductions.
+struct RevisedRunner {
+  SolveResult solve(const Problem& p, SolveWorkspace* ws = nullptr) const {
+    SolveOptions o;
+    o.backend = Backend::Revised;
+    o.presolve = false;
+    return lp::solve(p, o, ws);
+  }
+};
+struct TableauRunner {
+  SolveResult solve(const Problem& p) const {
+    SolveOptions o;
+    o.backend = Backend::Tableau;
+    o.presolve = false;
+    return lp::solve(p, o);
+  }
+};
 
 /// The allocation-LP shape used by the amortized path: n draws in
 /// [0, u_k], theta; sum d == amount; per-row drop - theta <= 0.
@@ -74,7 +93,7 @@ void expect_same_result(const SolveResult& want, const SolveResult& got, const c
 TEST(LpWarmstart, NullWorkspaceIsTheColdSolve) {
   Pcg32 rng(11);
   CompactFixture f = CompactFixture::make(6, rng);
-  RevisedSimplexSolver solver;
+  RevisedRunner solver;
   const SolveResult a = solver.solve(f.problem);
   const SolveResult b = solver.solve(f.problem, nullptr);
   ASSERT_EQ(a.status, b.status);
@@ -90,8 +109,8 @@ TEST(LpWarmstart, FuzzedPerturbationsMatchColdTableauAndBruteForce) {
     Pcg32 rng(seed * 977);
     const std::size_t n = 2 + seed % 3;  // tiny: brute force stays cheap
     CompactFixture f = CompactFixture::make(n, rng);
-    RevisedSimplexSolver revised;
-    SimplexSolver tableau;
+    RevisedRunner revised;
+    TableauRunner tableau;
     SolveWorkspace ws;
     for (int step = 0; step < 40; ++step) {
       f.perturb(rng);
@@ -112,7 +131,7 @@ TEST(LpWarmstart, FuzzedPerturbationsMatchColdTableauAndBruteForce) {
 TEST(LpWarmstart, LargerFuzzedSequencesStayWarmAndCorrect) {
   Pcg32 rng(31337);
   CompactFixture f = CompactFixture::make(12, rng);
-  RevisedSimplexSolver revised;
+  RevisedRunner revised;
   SolveWorkspace ws;
   std::uint64_t cold_iters = 0, warm_iters = 0;
   for (int step = 0; step < 120; ++step) {
@@ -133,7 +152,7 @@ TEST(LpWarmstart, StructureChangeFallsBackToColdStart) {
   Pcg32 rng(7);
   CompactFixture small = CompactFixture::make(4, rng);
   CompactFixture big = CompactFixture::make(9, rng);
-  RevisedSimplexSolver revised;
+  RevisedRunner revised;
   SolveWorkspace ws;
   // Alternate between two different matrices through ONE workspace: the
   // fingerprint check must demote every switch to a cold start and still
@@ -150,7 +169,7 @@ TEST(LpWarmstart, StructureChangeFallsBackToColdStart) {
 TEST(LpWarmstart, InfeasibleAndUnboundedPerturbationsAreDetected) {
   Pcg32 rng(99);
   CompactFixture f = CompactFixture::make(5, rng);
-  RevisedSimplexSolver revised;
+  RevisedRunner revised;
   SolveWorkspace ws;
   f.perturb(rng);
   ASSERT_EQ(revised.solve(f.problem, &ws).status, Status::Optimal);
@@ -170,9 +189,9 @@ TEST(LpWarmstart, InfeasibleAndUnboundedPerturbationsAreDetected) {
 namespace agora::alloc {
 namespace {
 
-AllocatorOptions engine_opts(LpEngine engine, bool reuse) {
+AllocatorOptions engine_opts(lp::Backend backend, bool reuse) {
   AllocatorOptions opts;
-  opts.engine = engine;
+  opts.solve.backend = backend;
   opts.reuse_context = reuse;
   return opts;
 }
@@ -189,9 +208,9 @@ TEST(AllocatorWarmstart, LockstepEnginesAgreeOverRequestReleaseSequences) {
     sys.relative = agree::complete_graph(n, 0.6 / static_cast<double>(n));
     for (std::size_t i = 0; i < n; ++i) sys.capacity[i] = rng.uniform(5.0, 15.0);
 
-    Allocator tableau(sys, engine_opts(LpEngine::Tableau, true));
-    Allocator cold(sys, engine_opts(LpEngine::Revised, false));
-    Allocator warm(sys, engine_opts(LpEngine::Revised, true));
+    Allocator tableau(sys, engine_opts(lp::Backend::Tableau, true));
+    Allocator cold(sys, engine_opts(lp::Backend::Revised, false));
+    Allocator warm(sys, engine_opts(lp::Backend::Revised, true));
 
     for (int step = 0; step < 60; ++step) {
       const std::size_t a = rng.uniform_u32(static_cast<std::uint32_t>(n));
@@ -239,7 +258,7 @@ TEST(AllocatorWarmstart, RepeatedIdenticalRequestsStaySatisfiedAndStable) {
   agree::AgreementSystem sys(6);
   sys.relative = agree::distance_decay(6, {0.25, 0.10});
   for (std::size_t i = 0; i < 6; ++i) sys.capacity[i] = 10.0;
-  Allocator warm(sys, engine_opts(LpEngine::Revised, true));
+  Allocator warm(sys, engine_opts(lp::Backend::Revised, true));
   const AllocationPlan first = warm.allocate(2, 4.0);  // cold: builds the cache
   ASSERT_TRUE(first.satisfied());
   const AllocationPlan steady = warm.allocate(2, 4.0);  // first warm solve

@@ -2,8 +2,9 @@
 # LP solver benchmark harness: builds micro_lp, micro_warmstart and
 # micro_certify in Release, runs them, and merges the results into
 # BENCH_lp.json at the repo root (iterations, ns/solve, allocs/solve, the
-# warm-vs-cold iteration ratio from micro_warmstart's verification pass, and
-# the certification overhead from micro_certify's A/B pass).
+# sparse-vs-dense LPSCALE sweep from micro_lp, the warm-vs-cold iteration
+# ratio from micro_warmstart's verification pass, and the certification
+# overhead from micro_certify's A/B pass).
 # Usage: tools/bench.sh   (from the repository root)
 set -euo pipefail
 
@@ -17,8 +18,13 @@ cmake -B "${BUILD}" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${BUILD}" -j --target micro_lp micro_warmstart micro_certify scale_shards \
   scale_hotpath chaos_failover wire_loopback
 
+# micro_lp runs the LPSCALE scaling sweep (n in {100, 500, 1000}, sparse-LU
+# vs dense-inverse) before its benchmark table and exits non-zero if any
+# configuration fails to solve+certify or the sparse basis misses the >=5x
+# consults/s bound at n = 100 -- set -e makes that the release gate here.
 "./${BUILD}/bench/micro_lp" \
-  --benchmark_out="${OUT}/micro_lp.json" --benchmark_out_format=json
+  --benchmark_out="${OUT}/micro_lp.json" --benchmark_out_format=json \
+  | tee "${OUT}/lpscale_summary.txt"
 # micro_warmstart prints its WARMSTART verification line (cold/warm pivot
 # counts, theta agreement) before the benchmark table; keep it for the merge.
 "./${BUILD}/bench/micro_warmstart" \
@@ -32,8 +38,8 @@ cmake --build "${BUILD}" -j --target micro_lp micro_warmstart micro_certify scal
   | tee "${OUT}/certify_summary.txt"
 
 python3 tools/bench_lp_json.py \
-  "${OUT}/micro_lp.json" "${OUT}/micro_warmstart.json" \
-  "${OUT}/warmstart_summary.txt" \
+  "${OUT}/micro_lp.json" "${OUT}/lpscale_summary.txt" \
+  "${OUT}/micro_warmstart.json" "${OUT}/warmstart_summary.txt" \
   "${OUT}/micro_certify.json" "${OUT}/certify_summary.txt" BENCH_lp.json
 
 echo "bench: BENCH_lp.json written"

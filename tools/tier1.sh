@@ -18,14 +18,16 @@ cmake --build build -j
 # ones most likely to hide lifetime bugs), the replicated-GRM suites
 # (rms_replica_test plus the tier2-chaos failover suite, whose crash/
 # partition/loss scenarios churn raft timers and snapshots) and the LP
-# certification and adversarial suites (ill-conditioned pivoting and
-# deliberately corrupted workspaces are where out-of-bounds reads and UB
-# would hide). The sanitizer
+# certification, adversarial and sparse-basis suites (ill-conditioned
+# pivoting, deliberately corrupted workspaces, and the sparse LU's bucketed
+# pivot search / eta-file replay -- index-heavy code where out-of-bounds
+# reads and UB would hide). The sanitizer
 # build compiles with -ffp-contract=off so its floating-point results match
 # the tier-1 build bit for bit.
 cmake -B build-asan -S . -DAGORA_SANITIZE=ON
 cmake --build build-asan -j --target rms_test rms_chaos_test rms_replica_test \
-  rms_failover_test fuzz_test lp_certify_test lp_adversarial_test engine_cache_test \
+  rms_failover_test fuzz_test lp_certify_test lp_adversarial_test lp_sparse_test \
+  engine_cache_test \
   engine_federation_test credit_conservation_test federation_chaos_test \
   net_frame_test net_service_test net_soak_test
 ./build-asan/tests/rms_test
@@ -35,6 +37,7 @@ cmake --build build-asan -j --target rms_test rms_chaos_test rms_replica_test \
 ./build-asan/tests/fuzz_test
 ./build-asan/tests/lp_certify_test
 ./build-asan/tests/lp_adversarial_test
+./build-asan/tests/lp_sparse_test
 ./build-asan/tests/engine_cache_test
 # Federation suites under ASan/UBSan: the credit ledger's settle/consume
 # arithmetic, the border-bank allocator rebuilds, and the chaos harness's
